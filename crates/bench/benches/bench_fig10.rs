@@ -1,0 +1,94 @@
+//! Figure 10: synthetic R-MAT scalability sweeps — graph size at fixed
+//! degree, graph size at fixed density, average degree, and label density.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_gen::prelude::*;
+use stwig::MatchConfig;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+fn run_queries(cloud: &MemoryCloud, dfs: bool, seed: u64) -> usize {
+    let config = MatchConfig::paper_default();
+    let queries = query_batch(cloud, 3, 6, if dfs { None } else { Some(9) }, seed);
+    let mut total = 0;
+    for q in &queries {
+        total += stwig::match_query_distributed(cloud, q, &config)
+            .unwrap()
+            .num_matches();
+    }
+    total
+}
+
+fn bench_fig10a_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_graph_size_fixed_degree");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000u64, 4_000, 16_000] {
+        // Fixed fraction of labels (5%) so the smallest graph is not a
+        // degenerate near-unlabeled graph.
+        let cloud = synthetic_experiment_graph(n, 16.0, 5e-2, 0xF10A)
+            .build_cloud(8, CostModel::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cloud, |b, cl| {
+            b.iter(|| run_queries(cl, true, 0xD0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10b_graph_size_fixed_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_graph_size_fixed_density");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000u64, 2_000, 4_000] {
+        let avg_degree = 4e-3 * n as f64;
+        let cloud = synthetic_experiment_graph(n, avg_degree, 5e-2, 0xF10B)
+            .build_cloud(8, CostModel::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cloud, |b, cl| {
+            b.iter(|| run_queries(cl, true, 0xD1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10c_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10c_average_degree");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &d in &[4.0f64, 8.0, 16.0] {
+        let cloud = synthetic_experiment_graph(4_000, d, 5e-2, 0xF10C)
+            .build_cloud(8, CostModel::default());
+        group.bench_with_input(BenchmarkId::from_parameter(d as u64), &cloud, |b, cl| {
+            b.iter(|| run_queries(cl, true, 0xD2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10d_label_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10d_label_density");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &density in &[1e-2f64, 5e-2, 1e-1] {
+        let cloud = synthetic_experiment_graph(4_000, 16.0, density, 0xF10D)
+            .build_cloud(8, CostModel::default());
+        let id = format!("{density:e}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &cloud, |b, cl| {
+            b.iter(|| run_queries(cl, false, 0xD3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10a_graph_size,
+    bench_fig10b_graph_size_fixed_density,
+    bench_fig10c_degree,
+    bench_fig10d_label_density
+);
+criterion_main!(benches);

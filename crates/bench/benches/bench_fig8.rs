@@ -1,0 +1,93 @@
+//! Figure 8: query run time on the real-data profiles as a function of query
+//! node count (DFS and random queries) and query edge count.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_gen::prelude::*;
+use stwig::MatchConfig;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+fn clouds() -> Vec<(&'static str, MemoryCloud)> {
+    vec![
+        (
+            "patents",
+            patents_like(3_000, 0xA11CE).build_cloud(8, CostModel::default()),
+        ),
+        (
+            "wordnet",
+            wordnet_like(3_000, 0xB0B).build_cloud(8, CostModel::default()),
+        ),
+    ]
+}
+
+fn bench_fig8a_dfs_query_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_dfs_query_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let config = MatchConfig::paper_default();
+    for (name, cloud) in clouds() {
+        for n in [3usize, 6, 10] {
+            let queries = query_batch(&cloud, 3, n, None, 0x8A0 + n as u64);
+            group.bench_with_input(BenchmarkId::new(name, n), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8b_random_query_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_random_query_size");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let config = MatchConfig::paper_default();
+    for (name, cloud) in clouds() {
+        for n in [5usize, 10, 15] {
+            let queries = query_batch(&cloud, 3, n, Some(2 * n), 0x8B0 + n as u64);
+            group.bench_with_input(BenchmarkId::new(name, n), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8c_edge_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8c_edge_count");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let config = MatchConfig::paper_default();
+    for (name, cloud) in clouds() {
+        for e in [10usize, 15, 20] {
+            let queries = query_batch(&cloud, 3, 10, Some(e), 0x8C0 + e as u64);
+            group.bench_with_input(BenchmarkId::new(name, e), &queries, |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8a_dfs_query_size,
+    bench_fig8b_random_query_size,
+    bench_fig8c_edge_count
+);
+criterion_main!(benches);

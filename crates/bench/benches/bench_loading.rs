@@ -1,0 +1,26 @@
+//! Table 2: graph loading time as a function of node count (fixed average
+//! degree 16), i.e. the cost of building the partitioned store and its
+//! linear string index.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graph_gen::prelude::*;
+use trinity_sim::network::CostModel;
+
+fn bench_loading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_loading");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1_000u64, 4_000, 16_000, 64_000] {
+        let graph = synthetic_experiment_graph(n, 16.0, 1e-3, 0x7AB1E2);
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| g.build_cloud(8, CostModel::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loading);
+criterion_main!(benches);

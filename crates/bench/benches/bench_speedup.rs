@@ -1,0 +1,56 @@
+//! Figure 9: scale-out behaviour — the same query workload executed by the
+//! distributed matcher over 1, 2, 4 and 8 logical machines. Wall-clock here
+//! measures the total work; the simulated makespan (reported by the
+//! `experiments fig9a`/`fig9b` harness) is what reproduces the paper's
+//! speed-up curves.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_gen::prelude::*;
+use stwig::MatchConfig;
+use trinity_sim::network::CostModel;
+
+fn bench_speedup_dfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9a_machines_dfs");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let config = MatchConfig::paper_default();
+    let graph = patents_like(3_000, 0xA11CE);
+    for machines in [1usize, 2, 4, 8] {
+        let cloud = graph.build_cloud(machines, CostModel::default());
+        let queries = query_batch(&cloud, 3, 6, None, 0x9A0);
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_speedup_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_machines_random");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let config = MatchConfig::paper_default();
+    let graph = wordnet_like(3_000, 0xB0B);
+    for machines in [1usize, 2, 4, 8] {
+        let cloud = graph.build_cloud(machines, CostModel::default());
+        let queries = query_batch(&cloud, 3, 6, Some(12), 0x9B0);
+        group.bench_with_input(BenchmarkId::from_parameter(machines), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup_dfs, bench_speedup_random);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table 1 micro-benchmarks: STwig query time versus the Ullmann, VF2 and
+//! edge-join baselines on the two dataset profiles, plus the cost of the only
+//! index STwig needs (graph loading + string index).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_gen::prelude::*;
+use stwig::MatchConfig;
+use trinity_sim::network::CostModel;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_query_time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (name, graph) in [
+        ("wordnet", wordnet_like(3_000, 0xB0B)),
+        ("patents", patents_like(3_000, 0xA11CE)),
+    ] {
+        let cloud = graph.build_cloud(4, CostModel::default());
+        let queries = query_batch(&cloud, 5, 5, None, 0x51);
+        let config = MatchConfig::paper_default();
+
+        group.bench_with_input(BenchmarkId::new("stwig", name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = stwig::match_query_distributed(&cloud, q, &config).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ullmann", name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = baselines::ullmann(&cloud, q, Some(1024));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vf2", name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = baselines::vf2(&cloud, q, Some(1024));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edge_join", name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let _ = baselines::edge_join(&cloud, q, Some(1024));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_index_build");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let graph = patents_like(10_000, 0xA11CE);
+    group.bench_function("stwig_string_index_10k", |b| {
+        b.iter(|| graph.build_cloud(8, CostModel::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Command-line harness that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bench --bin experiments --release -- <experiment|all> [scale]
+//!
+//!   experiment  one of: table1 table2 fig8a fig8b fig8c fig9a fig9b
+//!               fig10a fig10b fig10c fig10d ablation-order ablation-head
+//!               ablation-explore, or `all`
+//!   scale       small | medium (default) | large
+//! ```
+//!
+//! Output is CSV on stdout (`experiment,series,x,metric,value`); progress and
+//! diagnostics go to stderr.
+
+use bench::experiments::{experiment_names, run_experiment};
+use bench::harness::{Row, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (name, scale) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: experiments <experiment|all> [small|medium|large]");
+            eprintln!("experiments: {}", experiment_names().join(", "));
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}", Row::csv_header());
+    let names: Vec<&str> = if name == "all" {
+        experiment_names()
+    } else {
+        vec![Box::leak(name.clone().into_boxed_str()) as &str]
+    };
+    for n in names {
+        eprintln!("# running {n} at {scale:?} scale");
+        let start = std::time::Instant::now();
+        match run_experiment(n, scale) {
+            Some(rows) => {
+                for r in &rows {
+                    println!("{}", r.to_csv());
+                }
+                eprintln!(
+                    "# {n}: {} rows in {:.1}s",
+                    rows.len(),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("error: unknown experiment `{n}`");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Scale), String> {
+    if args.is_empty() {
+        return Err("missing experiment name".to_string());
+    }
+    let name = args[0].clone();
+    if name != "all" && !experiment_names().contains(&name.as_str()) {
+        return Err(format!("unknown experiment `{name}`"));
+    }
+    let scale = match args.get(1) {
+        None => Scale::Medium,
+        Some(s) => Scale::parse(s).ok_or_else(|| format!("unknown scale `{s}`"))?,
+    };
+    Ok((name, scale))
+}

@@ -1,0 +1,203 @@
+//! Shared experiment plumbing: scales, query-suite runners and the CSV row
+//! format shared by all experiments.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use stwig::{MatchConfig, QueryGraph};
+use trinity_sim::MemoryCloud;
+
+/// Experiment scale. The paper runs on clusters with billions of vertices;
+/// `Small` keeps every experiment under a few seconds on one core (used by
+/// `cargo bench` and CI), `Medium` is the default for the `experiments`
+/// binary, `Large` stretches toward the largest sizes that stay reasonable on
+/// a laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny sizes for smoke tests and criterion benches.
+    Small,
+    /// Default sizes for the experiments binary.
+    Medium,
+    /// Larger sizes for a more faithful trend reproduction.
+    Large,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// Base vertex count used by graph-size-independent experiments.
+    pub fn base_vertices(self) -> u64 {
+        match self {
+            Scale::Small => 2_000,
+            Scale::Medium => 20_000,
+            Scale::Large => 100_000,
+        }
+    }
+
+    /// Number of queries per configuration point (the paper uses 100).
+    pub fn queries_per_point(self) -> usize {
+        match self {
+            Scale::Small => 5,
+            Scale::Medium => 20,
+            Scale::Large => 50,
+        }
+    }
+}
+
+/// One output row of an experiment, printed as CSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Experiment identifier (e.g. `fig8a`, `table1`).
+    pub experiment: String,
+    /// Series within the experiment (e.g. the dataset or method name).
+    pub series: String,
+    /// X coordinate (query size, node count, machine count, …).
+    pub x: f64,
+    /// Name of the measured quantity (e.g. `run_time_ms`).
+    pub metric: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(experiment: &str, series: &str, x: f64, metric: &str, value: f64) -> Self {
+        Row {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            x,
+            metric: metric.to_string(),
+            value,
+        }
+    }
+
+    /// CSV header matching [`Row::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "experiment,series,x,metric,value"
+    }
+
+    /// Renders the row as a CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.experiment, self.series, self.x, self.metric, self.value
+        )
+    }
+}
+
+/// Aggregate result of running a suite of queries against one graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Mean measured wall-clock per query, milliseconds.
+    pub avg_wall_ms: f64,
+    /// Mean simulated time per query, milliseconds.
+    pub avg_simulated_ms: f64,
+    /// Mean matches found per query.
+    pub avg_matches: f64,
+    /// Mean cross-machine messages per query.
+    pub avg_messages: f64,
+    /// Mean cross-machine bytes per query.
+    pub avg_bytes: f64,
+    /// Mean STwig result rows (exploration output) per query.
+    pub avg_stwig_rows: f64,
+}
+
+/// Runs a suite of queries with the single-machine or distributed executor
+/// and averages the metrics (the paper reports averages over 100 queries).
+pub fn run_suite(
+    cloud: &MemoryCloud,
+    queries: &[QueryGraph],
+    config: &MatchConfig,
+    distributed: bool,
+) -> SuiteResult {
+    let mut out = SuiteResult {
+        queries: queries.len(),
+        ..Default::default()
+    };
+    if queries.is_empty() {
+        return out;
+    }
+    for q in queries {
+        let result = if distributed {
+            stwig::match_query_distributed(cloud, q, config)
+        } else {
+            stwig::match_query(cloud, q, config)
+        }
+        .expect("query execution failed");
+        let m = &result.metrics;
+        out.avg_wall_ms += m.wall_ms();
+        out.avg_simulated_ms += m.simulated_ms();
+        out.avg_matches += m.matches_found as f64;
+        out.avg_messages += m.network_messages as f64;
+        out.avg_bytes += m.network_bytes as f64;
+        out.avg_stwig_rows += m.stwig_rows.iter().sum::<u64>() as f64;
+    }
+    let n = queries.len() as f64;
+    out.avg_wall_ms /= n;
+    out.avg_simulated_ms /= n;
+    out.avg_matches /= n;
+    out.avg_messages /= n;
+    out.avg_bytes /= n;
+    out.avg_stwig_rows /= n;
+    out
+}
+
+/// Measures the wall-clock of a closure in milliseconds, returning the value
+/// and the elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_gen::prelude::*;
+    use trinity_sim::network::CostModel;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("MEDIUM"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+        assert!(Scale::Large.base_vertices() > Scale::Small.base_vertices());
+    }
+
+    #[test]
+    fn row_csv_round_trip() {
+        let r = Row::new("fig8a", "patents", 5.0, "run_time_ms", 1.25);
+        assert_eq!(r.to_csv(), "fig8a,patents,5,run_time_ms,1.25");
+        assert!(Row::csv_header().starts_with("experiment"));
+    }
+
+    #[test]
+    fn suite_runner_averages_metrics() {
+        let g = wordnet_like(500, 1);
+        let cloud = g.build_cloud(2, CostModel::default());
+        let queries = query_batch(&cloud, 3, 4, None, 11);
+        assert!(!queries.is_empty());
+        let res = run_suite(&cloud, &queries, &MatchConfig::paper_default(), false);
+        assert_eq!(res.queries, queries.len());
+        assert!(res.avg_wall_ms > 0.0);
+        assert!(res.avg_matches >= 1.0);
+        let dist = run_suite(&cloud, &queries, &MatchConfig::paper_default(), true);
+        assert_eq!(dist.queries, queries.len());
+    }
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, ms) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Tuning knobs of the matcher.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a subgraph-matching run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Stop after this many matches have been produced (the paper's pipeline
+    /// join terminates after 1024 matches). `None` enumerates all matches.
+    pub max_results: Option<usize>,
+    /// Number of rows of the driver table joined per pipeline round
+    /// (derived from available memory in the paper; a fixed row budget here).
+    pub block_rows: usize,
+    /// Whether to use binding information from previously-processed STwigs to
+    /// prune candidates during exploration (§4.2). Disabling this reproduces
+    /// the naive "match every STwig independently, then join" strategy that
+    /// §3 argues against; it is exposed for the ablation experiment.
+    pub use_bindings: bool,
+    /// Rows sampled from each table for join-cardinality estimation.
+    pub join_sample_size: usize,
+    /// Whether join-order selection is enabled; when disabled tables are
+    /// joined in STwig processing order (ablation knob).
+    pub optimize_join_order: bool,
+    /// Maximum rows MatchSTwig may emit per machine per STwig (guard against
+    /// pathological cross products). `None` is unbounded.
+    pub max_stwig_rows: Option<usize>,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            max_results: None,
+            block_rows: 4096,
+            use_bindings: true,
+            join_sample_size: 64,
+            optimize_join_order: true,
+            max_stwig_rows: None,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// The configuration used in the paper's timing experiments: pipeline join
+    /// terminating after 1024 matches. Exploration is additionally capped at
+    /// 64k rows per STwig per machine — the paper's runs are similarly bounded
+    /// in practice because they stop once 1024 matches are produced.
+    pub fn paper_default() -> Self {
+        MatchConfig {
+            max_results: Some(1024),
+            max_stwig_rows: Some(65_536),
+            ..Default::default()
+        }
+    }
+
+    /// Enumerate every match (no early termination).
+    pub fn exhaustive() -> Self {
+        MatchConfig {
+            max_results: None,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the result limit.
+    pub fn with_max_results(mut self, max: Option<usize>) -> Self {
+        self.max_results = max;
+        self
+    }
+
+    /// Enables or disables binding-based pruning.
+    pub fn with_bindings(mut self, on: bool) -> Self {
+        self.use_bindings = on;
+        self
+    }
+
+    /// Enables or disables join-order optimization.
+    pub fn with_join_order_optimization(mut self, on: bool) -> Self {
+        self.optimize_join_order = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_exhaustive() {
+        let c = MatchConfig::default();
+        assert_eq!(c.max_results, None);
+        assert!(c.use_bindings);
+        assert!(c.optimize_join_order);
+    }
+
+    #[test]
+    fn paper_default_limits_results() {
+        assert_eq!(MatchConfig::paper_default().max_results, Some(1024));
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = MatchConfig::default()
+            .with_max_results(Some(7))
+            .with_bindings(false)
+            .with_join_order_optimization(false);
+        assert_eq!(c.max_results, Some(7));
+        assert!(!c.use_bindings);
+        assert!(!c.optimize_join_order);
+    }
+}

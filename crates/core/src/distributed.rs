@@ -1,0 +1,475 @@
+//! Distributed, parallel subgraph matching (§4.3).
+//!
+//! Execution model (one logical *machine* per graph partition):
+//!
+//! 1. The proxy decomposes the query and orders the STwigs (Algorithm 2),
+//!    builds the query-specific cluster graph, selects the head STwig and
+//!    computes per-machine load sets (§5.3). This happens once, centrally.
+//! 2. **Exploration.** Every machine matches each STwig in order with root
+//!    candidates restricted to *locally-owned* vertices (`Index.getID` is a
+//!    local index). After each STwig, binding sets are synchronized across
+//!    machines (a broadcast whose volume is charged to the simulated
+//!    network). Ownership-restricted roots keep per-machine result sets
+//!    disjoint by root and make Theorem 4's load sets sound; global binding
+//!    synchronization keeps the pruning lossless. This is the substitution we
+//!    document in DESIGN.md for the paper's informally-specified binding
+//!    exchange.
+//! 3. **Join.** Every machine fetches, for each non-head STwig, the partial
+//!    results of the machines in its load set (Theorem 4), unions them with
+//!    its own, and runs the pipelined join locally. Because head-STwig
+//!    results are never fetched remotely and the graph is disjointly
+//!    partitioned, per-machine answers are disjoint and the final union needs
+//!    no deduplication.
+//!
+//! The simulated time of the run is the makespan over machines of
+//! (measured per-machine compute time + simulated communication time).
+
+use crate::bindings::Bindings;
+use crate::config::MatchConfig;
+use crate::decompose::decompose_ordered;
+use crate::error::StwigError;
+use crate::executor::MatchOutput;
+use crate::head::{load_set, select_head, HeadSelection};
+use crate::matcher::match_stwig;
+use crate::metrics::{ExploreCounters, JoinCounters, MachineMetrics, QueryMetrics};
+use crate::pipeline::pipelined_join;
+use crate::query::QueryGraph;
+use crate::stwig::STwig;
+use crate::table::ResultTable;
+use std::collections::HashSet;
+use std::time::Instant;
+use trinity_sim::cluster_graph::ClusterGraph;
+use trinity_sim::ids::{MachineId, VertexId};
+use trinity_sim::MemoryCloud;
+
+/// The centrally-computed query plan broadcast to every machine.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Ordered STwig decomposition (Algorithm 2).
+    pub stwigs: Vec<STwig>,
+    /// The query-specific cluster graph.
+    pub cluster: ClusterGraph,
+    /// Head STwig selection and root distances.
+    pub head: HeadSelection,
+}
+
+/// Builds the query plan: decomposition + ordering, cluster graph, head
+/// STwig and the data needed for load sets.
+pub fn plan_query(cloud: &MemoryCloud, query: &QueryGraph) -> Result<QueryPlan, StwigError> {
+    let stwigs = decompose_ordered(query, cloud)?;
+    let cluster = ClusterGraph::build(cloud.catalog(), &query.label_edges());
+    if stwigs.is_empty() {
+        return Err(StwigError::Internal(
+            "plan_query requires a query with at least one edge".into(),
+        ));
+    }
+    let head = select_head(query, &stwigs, &cluster);
+    Ok(QueryPlan {
+        stwigs,
+        cluster,
+        head,
+    })
+}
+
+/// Runs a subgraph query with every logical machine participating, as in
+/// §4.3. Returns the union of per-machine results (disjoint by construction)
+/// plus per-machine metrics and the simulated makespan.
+pub fn match_query_distributed(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    config: &MatchConfig,
+) -> Result<MatchOutput, StwigError> {
+    let started = Instant::now();
+    cloud.reset_traffic();
+    let num_machines = cloud.num_machines();
+    let mut metrics = QueryMetrics::default();
+    let mut machine_metrics: Vec<MachineMetrics> = (0..num_machines)
+        .map(|k| MachineMetrics {
+            machine: k as u16,
+            ..Default::default()
+        })
+        .collect();
+
+    // Single-vertex queries: a per-machine label scan.
+    if query.num_edges() == 0 {
+        let v0 = query.vertices().next().ok_or(StwigError::EmptyQuery)?;
+        let mut table = ResultTable::new(vec![v0]);
+        for k in cloud.machines() {
+            for &id in cloud.get_ids(k, query.label(v0)) {
+                table.push_row(&[id]);
+            }
+        }
+        if let Some(limit) = config.max_results {
+            if table.num_rows() > limit {
+                metrics.truncated = true;
+            }
+            table.truncate(limit);
+        }
+        metrics.matches_found = table.num_rows() as u64;
+        metrics.machines = machine_metrics;
+        finalize(&mut metrics, cloud, started);
+        return Ok(MatchOutput { table, metrics });
+    }
+
+    // ---- 1. Planning (proxy side) ----
+    let plan = plan_query(cloud, query)?;
+    metrics.num_stwigs = plan.stwigs.len();
+
+    // ---- 2. Exploration with global binding synchronization ----
+    // per_machine_tables[k][t] = G_k(q_t)
+    let mut per_machine_tables: Vec<Vec<ResultTable>> =
+        vec![Vec::with_capacity(plan.stwigs.len()); num_machines];
+    let mut bindings = Bindings::new(query.num_vertices());
+    let mut explore = ExploreCounters::default();
+
+    for stwig in plan.stwigs.iter() {
+        let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
+        for k in cloud.machines() {
+            let t0 = Instant::now();
+            let roots = local_roots(cloud, k, query, stwig, &bindings, config);
+            let mut local_counters = ExploreCounters::default();
+            let table = match_stwig(
+                cloud,
+                k,
+                query,
+                stwig,
+                &roots,
+                &bindings,
+                config,
+                &mut local_counters,
+            );
+            explore.merge(&local_counters);
+            let mm = &mut machine_metrics[k.index()];
+            mm.compute_us += t0.elapsed().as_secs_f64() * 1e6;
+            mm.rows_produced += table.num_rows() as u64;
+            new_tables.push(table);
+        }
+
+        // Synchronize bindings: the global binding of each STwig vertex is the
+        // union of what every machine discovered. Charge the broadcast.
+        if config.use_bindings {
+            let mut stwig_bindings = Bindings::new(query.num_vertices());
+            for table in &new_tables {
+                let mut local = Bindings::new(query.num_vertices());
+                local.update_from_table(table);
+                if std::ptr::eq(table, &new_tables[0]) {
+                    stwig_bindings = local;
+                } else {
+                    stwig_bindings.union_in_place(&local);
+                }
+            }
+            // Broadcast volume: each machine ships its newly-discovered
+            // binding entries to every other machine.
+            for (k, table) in new_tables.iter().enumerate() {
+                let entries = table.num_rows() as u64 * table.width() as u64;
+                for j in cloud.machines() {
+                    if j.index() != k {
+                        cloud.ship_rows(MachineId(k as u16), j, entries, 1);
+                    }
+                }
+            }
+            // Merge into the running bindings (intersecting with what previous
+            // STwigs already established for shared vertices).
+            for &col in stwig_vertices(stwig).iter() {
+                if let Some(set) = stwig_bindings.get(col) {
+                    bindings.bind(col, set.clone());
+                }
+            }
+        }
+
+        let total_rows: usize = new_tables.iter().map(|t| t.num_rows()).sum();
+        metrics.stwig_rows.push(total_rows as u64);
+        for (k, table) in new_tables.into_iter().enumerate() {
+            per_machine_tables[k].push(table);
+        }
+        if total_rows == 0 {
+            // No machine found a match for this STwig: the query has no answer.
+            metrics.explore = explore;
+            metrics.machines = machine_metrics;
+            let table = ResultTable::new(query.vertices().collect());
+            finalize(&mut metrics, cloud, started);
+            return Ok(MatchOutput { table, metrics });
+        }
+    }
+    metrics.explore = explore;
+
+    // ---- 3. Per-machine join over load sets ----
+    let mut join_counters = JoinCounters::default();
+    let mut final_table: Option<ResultTable> = None;
+    // Rows each machine appended to the final table, in append order; used to
+    // re-attribute per-machine match counts after global truncation.
+    let mut contributions: Vec<(usize, u64)> = Vec::new();
+    for k in cloud.machines() {
+        let t0 = Instant::now();
+        // Assemble R_k(q_t) for every STwig t.
+        let mut rk_tables: Vec<ResultTable> = Vec::with_capacity(plan.stwigs.len());
+        let mut received = 0u64;
+        for (t, _stwig) in plan.stwigs.iter().enumerate() {
+            let mut rk = per_machine_tables[k.index()][t].clone();
+            for j in load_set(&plan.cluster, &plan.head, k, t) {
+                let remote = &per_machine_tables[j.index()][t];
+                if remote.is_empty() {
+                    continue;
+                }
+                cloud.ship_rows(j, k, remote.num_rows() as u64, remote.width() as u64);
+                received += remote.num_rows() as u64;
+                rk.append(remote);
+            }
+            rk.dedup_rows();
+            rk_tables.push(rk);
+        }
+        machine_metrics[k.index()].rows_received += received;
+
+        // If this machine has no head-STwig results it contributes nothing.
+        if rk_tables[plan.head.head_index].is_empty() {
+            machine_metrics[k.index()].compute_us += t0.elapsed().as_secs_f64() * 1e6;
+            continue;
+        }
+        let mut local_counters = JoinCounters::default();
+        let joined = pipelined_join(&rk_tables, config, &mut local_counters);
+        join_counters.merge(&local_counters);
+        machine_metrics[k.index()].compute_us += t0.elapsed().as_secs_f64() * 1e6;
+        machine_metrics[k.index()].matches_found = joined.num_rows() as u64;
+        contributions.push((k.index(), joined.num_rows() as u64));
+
+        match &mut final_table {
+            None => final_table = Some(joined),
+            Some(acc) => {
+                // Columns may differ in order across machines; re-project.
+                if acc.columns() == joined.columns() {
+                    acc.append(&joined);
+                } else {
+                    let mut row_buf = Vec::with_capacity(acc.width());
+                    for r in 0..joined.num_rows() {
+                        row_buf.clear();
+                        for &c in acc.columns() {
+                            row_buf.push(joined.value(r, c));
+                        }
+                        acc.push_row(&row_buf);
+                    }
+                }
+            }
+        }
+    }
+    metrics.join = join_counters;
+
+    let mut table = final_table.unwrap_or_else(|| ResultTable::new(query.vertices().collect()));
+    if let Some(limit) = config.max_results {
+        if table.num_rows() > limit {
+            metrics.truncated = true;
+        }
+        table.truncate(limit);
+        // Re-attribute per-machine match counts to the rows that survived the
+        // global truncation (the final table keeps a prefix in append order).
+        let mut remaining = table.num_rows() as u64;
+        for &(machine, produced) in &contributions {
+            let kept = produced.min(remaining);
+            machine_metrics[machine].matches_found = kept;
+            remaining -= kept;
+        }
+    }
+    metrics.matches_found = table.num_rows() as u64;
+    metrics.machines = machine_metrics;
+    finalize(&mut metrics, cloud, started);
+    Ok(MatchOutput { table, metrics })
+}
+
+/// Root candidates for `stwig` on machine `k`: locally-owned vertices with
+/// the root label, filtered by the (global) binding set when bound.
+fn local_roots(
+    cloud: &MemoryCloud,
+    k: MachineId,
+    query: &QueryGraph,
+    stwig: &STwig,
+    bindings: &Bindings,
+    config: &MatchConfig,
+) -> Vec<VertexId> {
+    let postings = cloud.get_ids(k, query.label(stwig.root));
+    if config.use_bindings {
+        if let Some(bound) = bindings.get(stwig.root) {
+            return postings
+                .iter()
+                .copied()
+                .filter(|v| bound.contains(v))
+                .collect();
+        }
+    }
+    postings.to_vec()
+}
+
+fn stwig_vertices(stwig: &STwig) -> Vec<crate::query::QVid> {
+    let set: HashSet<_> = stwig.vertices().collect();
+    let mut v: Vec<_> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn finalize(metrics: &mut QueryMetrics, cloud: &MemoryCloud, started: Instant) {
+    let traffic = cloud.traffic();
+    metrics.network_messages = traffic.total_messages();
+    metrics.network_bytes = traffic.total_bytes();
+    metrics.wall_us = started.elapsed().as_secs_f64() * 1e6;
+    // Per-machine communication time and simulated makespan.
+    let mut makespan: f64 = 0.0;
+    for mm in &mut metrics.machines {
+        mm.comm_us = cloud.network().simulated_send_time_us(MachineId(mm.machine));
+        makespan = makespan.max(mm.compute_us + mm.comm_us);
+    }
+    if metrics.machines.is_empty() {
+        metrics.simulated_us = metrics.wall_us + cloud.network().simulated_total_time_us();
+    } else {
+        metrics.simulated_us = makespan;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::match_query;
+    use crate::verify::{canonical_rows, verify_all};
+    use trinity_sim::builder::GraphBuilder;
+    use trinity_sim::network::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    fn sample_cloud(machines: usize) -> MemoryCloud {
+        // A slightly larger labeled graph with multiple triangles and squares.
+        let mut gb = GraphBuilder::new_undirected();
+        for i in 0..10u64 {
+            gb.add_vertex(v(i), "a");
+        }
+        for i in 10..30u64 {
+            gb.add_vertex(v(i), "b");
+        }
+        for i in 30..50u64 {
+            gb.add_vertex(v(i), "c");
+        }
+        for i in 50..55u64 {
+            gb.add_vertex(v(i), "d");
+        }
+        // a_i - b_{10+2i}, b_{10+2i} - c_{30+2i}, c_{30+2i} - a_i (triangles)
+        for i in 0..10u64 {
+            gb.add_edge(v(i), v(10 + 2 * i));
+            gb.add_edge(v(10 + 2 * i), v(30 + 2 * i));
+            gb.add_edge(v(30 + 2 * i), v(i));
+        }
+        // extra edges to d vertices
+        for i in 0..5u64 {
+            gb.add_edge(v(50 + i), v(i));
+            gb.add_edge(v(50 + i), v(11 + 2 * i));
+        }
+        gb.build(machines, CostModel::default())
+    }
+
+    fn triangle_query(cloud: &MemoryCloud) -> QueryGraph {
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(cloud, "a").unwrap();
+        let b = qb.vertex_by_name(cloud, "b").unwrap();
+        let c = qb.vertex_by_name(cloud, "c").unwrap();
+        qb.edge(a, b).edge(b, c).edge(c, a);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn distributed_equals_single_machine() {
+        for machines in [1usize, 2, 4, 8] {
+            let cloud = sample_cloud(machines);
+            let query = triangle_query(&cloud);
+            let single = match_query(&cloud, &query, &MatchConfig::default()).unwrap();
+            let distributed =
+                match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+            assert_eq!(
+                canonical_rows(&query, &single.table),
+                canonical_rows(&query, &distributed.table),
+                "machines = {machines}"
+            );
+            verify_all(&cloud, &query, &distributed.table).unwrap();
+            assert_eq!(distributed.num_matches(), 10);
+        }
+    }
+
+    #[test]
+    fn per_machine_results_are_disjoint() {
+        let cloud = sample_cloud(4);
+        let query = triangle_query(&cloud);
+        let out = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        // No duplicate embeddings in the union.
+        let rows = canonical_rows(&query, &out.table);
+        assert_eq!(rows.len(), out.num_matches());
+    }
+
+    #[test]
+    fn four_vertex_query_with_d() {
+        let cloud = sample_cloud(4);
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(&cloud, "a").unwrap();
+        let b = qb.vertex_by_name(&cloud, "b").unwrap();
+        let c = qb.vertex_by_name(&cloud, "c").unwrap();
+        let d = qb.vertex_by_name(&cloud, "d").unwrap();
+        qb.edge(a, b).edge(b, c).edge(c, a).edge(d, a).edge(d, b);
+        let query = qb.build().unwrap();
+        let single = match_query(&cloud, &query, &MatchConfig::default()).unwrap();
+        let distributed = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        assert_eq!(
+            canonical_rows(&query, &single.table),
+            canonical_rows(&query, &distributed.table)
+        );
+        verify_all(&cloud, &query, &distributed.table).unwrap();
+    }
+
+    #[test]
+    fn no_match_distributed_query() {
+        let cloud = sample_cloud(3);
+        let mut qb = QueryGraph::builder();
+        let d1 = qb.vertex_by_name(&cloud, "d").unwrap();
+        let d2 = qb.vertex_by_name(&cloud, "d").unwrap();
+        qb.edge(d1, d2);
+        let query = qb.build().unwrap();
+        let out = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        assert_eq!(out.num_matches(), 0);
+    }
+
+    #[test]
+    fn single_vertex_distributed_query() {
+        let cloud = sample_cloud(3);
+        let mut qb = QueryGraph::builder();
+        qb.vertex_by_name(&cloud, "d").unwrap();
+        let query = qb.build().unwrap();
+        let out = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        assert_eq!(out.num_matches(), 5);
+    }
+
+    #[test]
+    fn metrics_report_per_machine_breakdown() {
+        let cloud = sample_cloud(4);
+        let query = triangle_query(&cloud);
+        let out = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        assert_eq!(out.metrics.machines.len(), 4);
+        let total_matches: u64 = out.metrics.machines.iter().map(|m| m.matches_found).sum();
+        assert_eq!(total_matches, out.num_matches() as u64);
+        assert!(out.metrics.simulated_us > 0.0);
+        assert!(out.metrics.network_messages > 0);
+    }
+
+    #[test]
+    fn result_limit_is_respected() {
+        let cloud = sample_cloud(2);
+        let query = triangle_query(&cloud);
+        let cfg = MatchConfig::default().with_max_results(Some(3));
+        let out = match_query_distributed(&cloud, &query, &cfg).unwrap();
+        assert_eq!(out.num_matches(), 3);
+        verify_all(&cloud, &query, &out.table).unwrap();
+    }
+
+    #[test]
+    fn plan_exposes_head_and_cluster() {
+        let cloud = sample_cloud(4);
+        let query = triangle_query(&cloud);
+        let plan = plan_query(&cloud, &query).unwrap();
+        assert!(!plan.stwigs.is_empty());
+        assert!(plan.head.head_index < plan.stwigs.len());
+        assert_eq!(plan.cluster.num_machines(), 4);
+    }
+}

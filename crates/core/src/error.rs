@@ -1,0 +1,84 @@
+//! Error types for query construction and matching.
+
+use std::fmt;
+
+/// Errors produced while building or executing a subgraph query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StwigError {
+    /// The query references a label that does not exist in the data graph.
+    LabelNotFound(String),
+    /// The query has no vertices.
+    EmptyQuery,
+    /// The query graph is not connected; STwig decomposition requires a
+    /// connected pattern (the paper's generators always emit connected
+    /// queries via a spanning tree).
+    DisconnectedQuery,
+    /// The query has more vertices than the supported maximum.
+    TooManyVertices {
+        /// Vertices in the offending query.
+        got: usize,
+        /// Maximum supported query size.
+        max: usize,
+    },
+    /// A query edge references a vertex index that does not exist.
+    InvalidQueryVertex(usize),
+    /// The query contains a vertex with no incident edge, which cannot be
+    /// covered by any STwig.
+    IsolatedQueryVertex(usize),
+    /// A textual pattern (see [`crate::pattern`]) could not be parsed.
+    PatternSyntax {
+        /// Zero-based index of the offending pattern term.
+        term: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Internal invariant violation (a bug if ever observed).
+    Internal(String),
+}
+
+impl fmt::Display for StwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StwigError::LabelNotFound(l) => write!(f, "label `{l}` does not exist in the data graph"),
+            StwigError::EmptyQuery => write!(f, "query graph has no vertices"),
+            StwigError::DisconnectedQuery => write!(f, "query graph is not connected"),
+            StwigError::TooManyVertices { got, max } => {
+                write!(f, "query has {got} vertices, more than the supported maximum of {max}")
+            }
+            StwigError::InvalidQueryVertex(i) => write!(f, "query edge references unknown vertex {i}"),
+            StwigError::IsolatedQueryVertex(i) => {
+                write!(f, "query vertex {i} has no incident edge and cannot be covered by an STwig")
+            }
+            StwigError::PatternSyntax { term, message } => {
+                write!(f, "pattern syntax error in term {term}: {message}")
+            }
+            StwigError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StwigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StwigError::LabelNotFound("foo".into()).to_string().contains("foo"));
+        assert!(StwigError::EmptyQuery.to_string().contains("no vertices"));
+        assert!(StwigError::DisconnectedQuery.to_string().contains("not connected"));
+        assert!(StwigError::TooManyVertices { got: 99, max: 64 }
+            .to_string()
+            .contains("99"));
+        assert!(StwigError::InvalidQueryVertex(3).to_string().contains('3'));
+        assert!(StwigError::IsolatedQueryVertex(2).to_string().contains('2'));
+        assert!(StwigError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(StwigError::PatternSyntax {
+            term: 2,
+            message: "bad connector".into()
+        }
+        .to_string()
+        .contains("term 2"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Join processing (§4.2 step 3): hash joins over STwig result tables,
+//! sample-based join-cardinality estimation and greedy join-order selection.
+
+use crate::metrics::JoinCounters;
+use crate::table::ResultTable;
+use std::collections::HashMap;
+use trinity_sim::ids::VertexId;
+
+/// Hash-joins two tables on their shared columns (natural join).
+///
+/// * Output columns are `left`'s columns followed by `right`'s non-shared
+///   columns.
+/// * Rows that map two different query vertices to the same data vertex are
+///   dropped (`enforce injectivity`): a valid embedding is a bijection.
+/// * If the tables share no column the result is the (injectivity-filtered)
+///   cartesian product.
+/// * `limit` caps the number of output rows.
+pub fn hash_join(
+    left: &ResultTable,
+    right: &ResultTable,
+    limit: Option<usize>,
+    counters: &mut JoinCounters,
+) -> ResultTable {
+    counters.joins_performed += 1;
+
+    let shared: Vec<(usize, usize)> = left
+        .columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
+        .collect();
+    let right_extra: Vec<usize> = (0..right.width())
+        .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
+        .collect();
+
+    let mut columns = left.columns().to_vec();
+    columns.extend(right_extra.iter().map(|&ri| right.columns()[ri]));
+    let mut out = ResultTable::new(columns);
+
+    // Build a hash index on the right table keyed by the shared columns.
+    let mut index: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+    for (ri, row) in right.rows().enumerate() {
+        let key: Vec<VertexId> = shared.iter().map(|&(_, rc)| row[rc]).collect();
+        index.entry(key).or_default().push(ri);
+    }
+
+    let mut row_buf: Vec<VertexId> = Vec::with_capacity(out.width());
+    'outer: for lrow in left.rows() {
+        let key: Vec<VertexId> = shared.iter().map(|&(lc, _)| lrow[lc]).collect();
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &ri in matches {
+            let rrow = right.row(ri);
+            row_buf.clear();
+            row_buf.extend_from_slice(lrow);
+            row_buf.extend(right_extra.iter().map(|&rc| rrow[rc]));
+            if ResultTable::row_has_duplicates(&row_buf) {
+                counters.rows_pruned_injective += 1;
+                continue;
+            }
+            out.push_row(&row_buf);
+            counters.intermediate_rows += 1;
+            if let Some(l) = limit {
+                if out.num_rows() >= l {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Estimates the number of rows `left ⨝ right` would produce, by sampling up
+/// to `sample_size` rows of `left` and probing a hash index of `right` built
+/// on the shared columns (the sample-based method of [Garcia-Molina et al.]).
+pub fn estimate_join_size(left: &ResultTable, right: &ResultTable, sample_size: usize) -> f64 {
+    if left.is_empty() || right.is_empty() {
+        return 0.0;
+    }
+    let shared: Vec<(usize, usize)> = left
+        .columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
+        .collect();
+    if shared.is_empty() {
+        // Cartesian product.
+        return left.num_rows() as f64 * right.num_rows() as f64;
+    }
+    // Count right rows per key.
+    let mut key_counts: HashMap<Vec<VertexId>, u64> = HashMap::new();
+    for row in right.rows() {
+        let key: Vec<VertexId> = shared.iter().map(|&(_, rc)| row[rc]).collect();
+        *key_counts.entry(key).or_insert(0) += 1;
+    }
+    let n = left.num_rows();
+    let sample = sample_size.max(1).min(n);
+    // Deterministic stratified sample: every (n / sample)-th row.
+    let step = (n / sample).max(1);
+    let mut total_matches = 0u64;
+    let mut sampled = 0u64;
+    let mut i = 0usize;
+    while i < n && sampled < sample as u64 {
+        let row = left.row(i);
+        let key: Vec<VertexId> = shared.iter().map(|&(lc, _)| row[lc]).collect();
+        total_matches += key_counts.get(&key).copied().unwrap_or(0);
+        sampled += 1;
+        i += step;
+    }
+    if sampled == 0 {
+        return 0.0;
+    }
+    (total_matches as f64 / sampled as f64) * n as f64
+}
+
+/// Greedy left-deep join-order selection: start from the smallest table, then
+/// repeatedly pick the table whose estimated join with the accumulated result
+/// is cheapest, preferring tables that share at least one column with it.
+///
+/// Returns a permutation of `0..tables.len()`.
+pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usize> {
+    let n = tables.len();
+    if n <= 1 {
+        return (0..n).collect();
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Start from the smallest table.
+    remaining.sort_by_key(|&i| tables[i].num_rows());
+    let first = remaining.remove(0);
+    let mut order = vec![first];
+    let mut joined_columns: Vec<_> = tables[first].columns().to_vec();
+    let mut current_size = tables[first].num_rows() as f64;
+
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, f64, bool)> = None; // (pos in remaining, est, shares)
+        for (pos, &ti) in remaining.iter().enumerate() {
+            let shares = tables[ti]
+                .columns()
+                .iter()
+                .any(|c| joined_columns.contains(c));
+            // Estimate against the actual table; scale by how much the
+            // accumulated result has grown relative to the starting table.
+            let est = estimate_join_size(&tables[order[0]], &tables[ti], sample_size)
+                .max(1.0)
+                * (current_size.max(1.0) / tables[order[0]].num_rows().max(1) as f64);
+            let better = match best {
+                None => true,
+                Some((_, be, bshares)) => {
+                    (shares && !bshares) || (shares == bshares && est < be)
+                }
+            };
+            if better {
+                best = Some((pos, est, shares));
+            }
+        }
+        let (pos, est, _) = best.expect("remaining not empty");
+        let ti = remaining.remove(pos);
+        for c in tables[ti].columns() {
+            if !joined_columns.contains(c) {
+                joined_columns.push(*c);
+            }
+        }
+        current_size = est;
+        order.push(ti);
+    }
+    order
+}
+
+/// Joins all tables in the given order, applying a result limit.
+pub fn multiway_join(
+    tables: &[ResultTable],
+    order: &[usize],
+    limit: Option<usize>,
+    counters: &mut JoinCounters,
+) -> ResultTable {
+    assert!(!tables.is_empty(), "cannot join zero tables");
+    assert_eq!(tables.len(), order.len());
+    let mut acc = tables[order[0]].clone();
+    if tables.len() == 1 {
+        if let Some(l) = limit {
+            acc.truncate(l);
+        }
+        return acc;
+    }
+    for &ti in &order[1..] {
+        // No limit on intermediate joins: a limit is only safe on the final
+        // output (earlier truncation could drop rows that would survive).
+        let is_last = ti == order[order.len() - 1];
+        let step_limit = if is_last { limit } else { None };
+        acc = hash_join(&acc, &tables[ti], step_limit, counters);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    if let Some(l) = limit {
+        acc.truncate(l);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QVid;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn q(x: u16) -> QVid {
+        QVid(x)
+    }
+
+    fn table(cols: &[u16], rows: &[&[u64]]) -> ResultTable {
+        let mut t = ResultTable::new(cols.iter().map(|&c| q(c)).collect());
+        for r in rows {
+            let row: Vec<VertexId> = r.iter().map(|&x| v(x)).collect();
+            t.push_row(&row);
+        }
+        t
+    }
+
+    #[test]
+    fn join_on_shared_column() {
+        let a = table(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let b = table(&[1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.columns(), &[q(0), q(1), q(2)]);
+        assert_eq!(joined.num_rows(), 3);
+        assert_eq!(c.joins_performed, 1);
+        assert_eq!(c.intermediate_rows, 3);
+    }
+
+    #[test]
+    fn join_enforces_injectivity() {
+        // Row would map q0 and q2 to the same data vertex 10.
+        let a = table(&[0, 1], &[&[10, 5]]);
+        let b = table(&[1, 2], &[&[5, 10], &[5, 11]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.num_rows(), 1);
+        assert_eq!(joined.row(0), &[v(10), v(5), v(11)]);
+        assert_eq!(c.rows_pruned_injective, 1);
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cross_product() {
+        let a = table(&[0], &[&[1], &[2]]);
+        let b = table(&[1], &[&[3], &[4]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.num_rows(), 4);
+    }
+
+    #[test]
+    fn join_respects_limit() {
+        let a = table(&[0], &[&[1], &[2], &[3]]);
+        let b = table(&[1], &[&[7], &[8], &[9]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, Some(4), &mut c);
+        assert_eq!(joined.num_rows(), 4);
+    }
+
+    #[test]
+    fn estimate_matches_exact_for_uniform_keys() {
+        let a = table(&[0, 1], &[&[1, 10], &[2, 10], &[3, 20]]);
+        let b = table(&[1, 2], &[&[10, 100], &[20, 200]]);
+        let est = estimate_join_size(&a, &b, 100);
+        let mut c = JoinCounters::default();
+        let exact = hash_join(&a, &b, None, &mut c).num_rows();
+        assert!((est - exact as f64).abs() < 1.0, "est={est}, exact={exact}");
+    }
+
+    #[test]
+    fn estimate_empty_tables_is_zero() {
+        let a = table(&[0], &[]);
+        let b = table(&[0], &[&[1]]);
+        assert_eq!(estimate_join_size(&a, &b, 10), 0.0);
+    }
+
+    #[test]
+    fn order_selection_starts_with_smallest_and_prefers_shared_columns() {
+        let big = table(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6], &[7, 8]]);
+        let small = table(&[2, 3], &[&[9, 10]]);
+        let linking = table(&[1, 2], &[&[2, 9], &[4, 9]]);
+        let tables = vec![big, small, linking];
+        let order = select_join_order(&tables, 16);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 1, "smallest table first");
+        assert_eq!(order[1], 2, "then the table sharing a column");
+    }
+
+    #[test]
+    fn multiway_join_produces_full_embeddings() {
+        // q0-q1 pairs, q1-q2 pairs, q2-q3 pairs chained.
+        let t1 = table(&[0, 1], &[&[1, 2], &[10, 20]]);
+        let t2 = table(&[1, 2], &[&[2, 3], &[20, 30]]);
+        let t3 = table(&[2, 3], &[&[3, 4], &[30, 40]]);
+        let tables = vec![t1, t2, t3];
+        let order = select_join_order(&tables, 8);
+        let mut c = JoinCounters::default();
+        let result = multiway_join(&tables, &order, None, &mut c);
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.width(), 4);
+        assert_eq!(c.joins_performed, 2);
+    }
+
+    #[test]
+    fn multiway_join_limit_truncates() {
+        let t1 = table(&[0], &[&[1], &[2], &[3]]);
+        let t2 = table(&[1], &[&[4], &[5]]);
+        let tables = vec![t1, t2];
+        let mut c = JoinCounters::default();
+        let result = multiway_join(&tables, &[0, 1], Some(2), &mut c);
+        assert_eq!(result.num_rows(), 2);
+    }
+
+    #[test]
+    fn multiway_join_single_table() {
+        let t1 = table(&[0], &[&[1], &[2], &[3]]);
+        let mut c = JoinCounters::default();
+        let result = multiway_join(&[t1], &[0], Some(2), &mut c);
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(c.joins_performed, 0);
+    }
+
+    #[test]
+    fn empty_join_short_circuits() {
+        let t1 = table(&[0, 1], &[&[1, 2]]);
+        let t2 = table(&[1, 2], &[]);
+        let t3 = table(&[2, 3], &[&[5, 6]]);
+        let tables = vec![t1, t2, t3];
+        let mut c = JoinCounters::default();
+        let result = multiway_join(&tables, &[0, 1, 2], None, &mut c);
+        assert!(result.is_empty());
+    }
+}

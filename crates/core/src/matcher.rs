@@ -1,0 +1,372 @@
+//! `MatchSTwig` (Algorithm 1): match one STwig against the memory cloud by
+//! graph exploration, optionally pruned by binding information from
+//! previously-processed STwigs.
+
+use crate::bindings::Bindings;
+use crate::config::MatchConfig;
+use crate::metrics::ExploreCounters;
+use crate::query::QueryGraph;
+use crate::stwig::STwig;
+use crate::table::ResultTable;
+use trinity_sim::ids::{MachineId, VertexId};
+use trinity_sim::MemoryCloud;
+
+/// Matches one STwig from the given root candidates.
+///
+/// For every root candidate `n` (the caller decides whether these come from
+/// the local string index or from a binding set, see §4.2):
+///
+/// 1. `Cloud.Load(n)` fetches the cell (label + neighbors);
+/// 2. for each child query vertex, candidate children are the neighbors of
+///    `n` that carry the child's label (`Index.hasLabel`, a possibly-remote
+///    probe) and are admitted by the child's binding set;
+/// 3. the cross product of child candidate sets is emitted, skipping rows
+///    that map two query vertices to the same data vertex (a valid embedding
+///    is injective).
+///
+/// The output table's columns are `[root, child_1, .., child_k]`.
+pub fn match_stwig(
+    cloud: &MemoryCloud,
+    machine: MachineId,
+    query: &QueryGraph,
+    stwig: &STwig,
+    roots: &[VertexId],
+    bindings: &Bindings,
+    config: &MatchConfig,
+    counters: &mut ExploreCounters,
+) -> ResultTable {
+    let mut columns = Vec::with_capacity(1 + stwig.children.len());
+    columns.push(stwig.root);
+    columns.extend(stwig.children.iter().copied());
+    let mut table = ResultTable::new(columns);
+
+    let root_label = query.label(stwig.root);
+    let child_labels: Vec<_> = stwig.children.iter().map(|&c| query.label(c)).collect();
+
+    let mut row_buf: Vec<VertexId> = Vec::with_capacity(1 + stwig.children.len());
+    let mut child_candidates: Vec<Vec<VertexId>> = vec![Vec::new(); stwig.children.len()];
+
+    'roots: for &n in roots {
+        if let Some(limit) = config.max_stwig_rows {
+            if table.num_rows() >= limit {
+                break;
+            }
+        }
+        counters.roots_scanned += 1;
+        // The root itself must be admitted by its own binding (when the
+        // caller passes a broader candidate list than the binding set).
+        if config.use_bindings && !bindings.admits(stwig.root, n) {
+            counters.rows_pruned_by_bindings += 1;
+            continue;
+        }
+        let cell = match cloud.load(machine, n) {
+            Some(c) => c,
+            None => continue,
+        };
+        counters.cells_loaded += 1;
+        if cell.label != root_label {
+            continue;
+        }
+
+        // Candidate children per child query vertex.
+        for (ci, (&child, &label)) in stwig.children.iter().zip(child_labels.iter()).enumerate() {
+            let cands = &mut child_candidates[ci];
+            cands.clear();
+            for &m in cell.neighbors {
+                if m == n {
+                    continue;
+                }
+                counters.label_probes += 1;
+                if !cloud.has_label(machine, m, label) {
+                    continue;
+                }
+                if config.use_bindings && !bindings.admits(child, m) {
+                    counters.rows_pruned_by_bindings += 1;
+                    continue;
+                }
+                cands.push(m);
+            }
+            if cands.is_empty() {
+                continue 'roots;
+            }
+        }
+
+        // Emit the cross product with injectivity among the STwig's vertices.
+        row_buf.clear();
+        row_buf.push(n);
+        emit_rows(
+            &child_candidates,
+            0,
+            &mut row_buf,
+            &mut table,
+            config.max_stwig_rows,
+            counters,
+        );
+    }
+    table
+}
+
+/// Recursively enumerates the cross product of child candidate lists,
+/// skipping assignments that reuse a data vertex already in the row.
+fn emit_rows(
+    child_candidates: &[Vec<VertexId>],
+    depth: usize,
+    row: &mut Vec<VertexId>,
+    table: &mut ResultTable,
+    limit: Option<usize>,
+    counters: &mut ExploreCounters,
+) {
+    if let Some(l) = limit {
+        if table.num_rows() >= l {
+            return;
+        }
+    }
+    if depth == child_candidates.len() {
+        table.push_row(row);
+        counters.rows_emitted += 1;
+        return;
+    }
+    for &cand in &child_candidates[depth] {
+        if row.contains(&cand) {
+            continue;
+        }
+        row.push(cand);
+        emit_rows(child_candidates, depth + 1, row, table, limit, counters);
+        row.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QVid;
+    use trinity_sim::builder::GraphBuilder;
+    use trinity_sim::network::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    /// Builds the paper's Figure 5 data graph (a1..a3, b1..b4, c1..c3, d, e, f
+    /// vertices with the edges needed for the q1 = (a, {b, c}) example).
+    fn fig5_like_cloud(machines: usize) -> MemoryCloud {
+        let mut b = GraphBuilder::new_undirected();
+        // a-nodes: 0..3 → a1, a2, a3
+        for i in 0..3u64 {
+            b.add_vertex(v(i), "a");
+        }
+        // b-nodes: 10..14 → b1..b4
+        for i in 10..14u64 {
+            b.add_vertex(v(i), "b");
+        }
+        // c-nodes: 20..23 → c1..c3
+        for i in 20..23u64 {
+            b.add_vertex(v(i), "c");
+        }
+        // a1: b1, b4, c1
+        b.add_edge(v(0), v(10));
+        b.add_edge(v(0), v(13));
+        b.add_edge(v(0), v(20));
+        // a2: b1, b2, c1, c2, c3
+        b.add_edge(v(1), v(10));
+        b.add_edge(v(1), v(11));
+        b.add_edge(v(1), v(20));
+        b.add_edge(v(1), v(21));
+        b.add_edge(v(1), v(22));
+        // a3: b2, c2, c3
+        b.add_edge(v(2), v(11));
+        b.add_edge(v(2), v(21));
+        b.add_edge(v(2), v(22));
+        b.build(machines, CostModel::default())
+    }
+
+    fn simple_query(cloud: &MemoryCloud) -> (QueryGraph, QVid, QVid, QVid) {
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(cloud, "a").unwrap();
+        let b = qb.vertex_by_name(cloud, "b").unwrap();
+        let c = qb.vertex_by_name(cloud, "c").unwrap();
+        qb.edge(a, b).edge(a, c).edge(b, c);
+        (qb.build().unwrap(), a, b, c)
+    }
+
+    #[test]
+    fn match_stwig_finds_all_root_child_combinations() {
+        let cloud = fig5_like_cloud(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let roots = cloud.all_ids_with_label(query.label(a));
+        let bindings = Bindings::new(query.num_vertices());
+        let mut counters = ExploreCounters::default();
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &roots,
+            &bindings,
+            &MatchConfig::default(),
+            &mut counters,
+        );
+        // a1 pairs: (b1|b4) x (c1) = 2; a2: (b1|b2) x (c1|c2|c3) = 6;
+        // a3: (b2) x (c2|c3) = 2 → 10 rows, matching the paper's G(q1).
+        assert_eq!(table.num_rows(), 10);
+        assert_eq!(counters.rows_emitted, 10);
+        assert_eq!(counters.cells_loaded, 3);
+        assert!(counters.label_probes > 0);
+        assert_eq!(table.columns(), &[a, b, c]);
+    }
+
+    #[test]
+    fn bindings_prune_candidates() {
+        let cloud = fig5_like_cloud(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let roots = cloud.all_ids_with_label(query.label(a));
+        let mut bindings = Bindings::new(query.num_vertices());
+        // Restrict b to b1 only.
+        bindings.bind(b, [v(10)].into_iter().collect());
+        let mut counters = ExploreCounters::default();
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &roots,
+            &bindings,
+            &MatchConfig::default(),
+            &mut counters,
+        );
+        // a1 with b1: c1 → 1; a2 with b1: c1,c2,c3 → 3; a3 has no b1 → 0.
+        assert_eq!(table.num_rows(), 4);
+        assert!(counters.rows_pruned_by_bindings > 0);
+    }
+
+    #[test]
+    fn disabled_bindings_ignore_filters() {
+        let cloud = fig5_like_cloud(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let roots = cloud.all_ids_with_label(query.label(a));
+        let mut bindings = Bindings::new(query.num_vertices());
+        bindings.bind(b, [v(10)].into_iter().collect());
+        let mut counters = ExploreCounters::default();
+        let cfg = MatchConfig::default().with_bindings(false);
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &roots,
+            &bindings,
+            &cfg,
+            &mut counters,
+        );
+        assert_eq!(table.num_rows(), 10);
+    }
+
+    #[test]
+    fn row_limit_truncates_output() {
+        let cloud = fig5_like_cloud(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let roots = cloud.all_ids_with_label(query.label(a));
+        let bindings = Bindings::new(query.num_vertices());
+        let mut counters = ExploreCounters::default();
+        let cfg = MatchConfig {
+            max_stwig_rows: Some(3),
+            ..Default::default()
+        };
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &roots,
+            &bindings,
+            &cfg,
+            &mut counters,
+        );
+        assert_eq!(table.num_rows(), 3);
+    }
+
+    #[test]
+    fn wrong_label_roots_are_skipped() {
+        let cloud = fig5_like_cloud(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        // Pass b-labeled vertices as roots: none match the root label.
+        let roots = cloud.all_ids_with_label(query.label(b));
+        let bindings = Bindings::new(query.num_vertices());
+        let mut counters = ExploreCounters::default();
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &roots,
+            &bindings,
+            &MatchConfig::default(),
+            &mut counters,
+        );
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn remote_probes_are_charged_to_the_network() {
+        let cloud = fig5_like_cloud(4);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let bindings = Bindings::new(query.num_vertices());
+        cloud.reset_traffic();
+        let mut counters = ExploreCounters::default();
+        let mut total_rows = 0;
+        for m in cloud.machines() {
+            let roots = cloud.get_ids(m, query.label(a)).to_vec();
+            let t = match_stwig(
+                &cloud,
+                m,
+                &query,
+                &stwig,
+                &roots,
+                &bindings,
+                &MatchConfig::default(),
+                &mut counters,
+            );
+            total_rows += t.num_rows();
+        }
+        assert_eq!(total_rows, 10);
+        assert!(cloud.traffic().total_messages() > 0);
+    }
+
+    #[test]
+    fn injectivity_within_stwig() {
+        // Graph: x labeled "p" connected to y labeled "q"; query STwig has a
+        // root "p" with two children both labeled "q": only one data vertex
+        // matches, so no injective assignment exists.
+        let mut gb = GraphBuilder::new_undirected();
+        gb.add_vertex(v(1), "p");
+        gb.add_vertex(v(2), "q");
+        gb.add_edge(v(1), v(2));
+        let cloud = gb.build(1, CostModel::free());
+        let mut qb = QueryGraph::builder();
+        let r = qb.vertex_by_name(&cloud, "p").unwrap();
+        let c1 = qb.vertex_by_name(&cloud, "q").unwrap();
+        let c2 = qb.vertex_by_name(&cloud, "q").unwrap();
+        qb.edge(r, c1).edge(r, c2).edge(c1, c2);
+        let query = qb.build().unwrap();
+        let stwig = STwig::new(r, vec![c1, c2]);
+        let bindings = Bindings::new(query.num_vertices());
+        let mut counters = ExploreCounters::default();
+        let table = match_stwig(
+            &cloud,
+            MachineId(0),
+            &query,
+            &stwig,
+            &[v(1)],
+            &bindings,
+            &MatchConfig::default(),
+            &mut counters,
+        );
+        assert!(table.is_empty());
+    }
+}

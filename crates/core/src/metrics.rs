@@ -1,0 +1,155 @@
+//! Execution metrics collected by the matchers.
+//!
+//! The paper reports wall-clock query time on a physical cluster. Our
+//! substrate is simulated, so in addition to measured wall-clock we report
+//! *simulated time*: per-machine compute time plus communication time charged
+//! by the network cost model, combined as the makespan over machines. The
+//! speed-up experiments (Fig. 9) are driven by the simulated numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected while exploring (matching STwigs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreCounters {
+    /// Root candidates considered across all STwigs.
+    pub roots_scanned: u64,
+    /// `Cloud.Load` calls issued.
+    pub cells_loaded: u64,
+    /// `Index.hasLabel` probes issued.
+    pub label_probes: u64,
+    /// Rows emitted by `MatchSTwig` across all STwigs.
+    pub rows_emitted: u64,
+    /// Rows discarded because a binding filtered a candidate.
+    pub rows_pruned_by_bindings: u64,
+}
+
+impl ExploreCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ExploreCounters) {
+        self.roots_scanned += other.roots_scanned;
+        self.cells_loaded += other.cells_loaded;
+        self.label_probes += other.label_probes;
+        self.rows_emitted += other.rows_emitted;
+        self.rows_pruned_by_bindings += other.rows_pruned_by_bindings;
+    }
+}
+
+/// Counters collected during the join phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinCounters {
+    /// Number of binary joins performed.
+    pub joins_performed: u64,
+    /// Rows produced across all intermediate join results.
+    pub intermediate_rows: u64,
+    /// Rows discarded because two query vertices mapped to one data vertex.
+    pub rows_pruned_injective: u64,
+    /// Number of pipeline rounds executed.
+    pub pipeline_rounds: u64,
+}
+
+impl JoinCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &JoinCounters) {
+        self.joins_performed += other.joins_performed;
+        self.intermediate_rows += other.intermediate_rows;
+        self.rows_pruned_injective += other.rows_pruned_injective;
+        self.pipeline_rounds += other.pipeline_rounds;
+    }
+}
+
+/// Per-machine accounting of a distributed run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineMetrics {
+    /// Index of the machine.
+    pub machine: u16,
+    /// Measured compute time of this machine's exploration + join, in µs.
+    pub compute_us: f64,
+    /// Simulated communication time charged to this machine, in µs.
+    pub comm_us: f64,
+    /// STwig result rows this machine produced.
+    pub rows_produced: u64,
+    /// STwig result rows this machine received from its load sets.
+    pub rows_received: u64,
+    /// Final matches this machine contributed.
+    pub matches_found: u64,
+}
+
+/// Full metrics for one query execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Number of STwigs the query was decomposed into.
+    pub num_stwigs: usize,
+    /// Result-row count per STwig, in processing order.
+    pub stwig_rows: Vec<u64>,
+    /// Exploration counters.
+    pub explore: ExploreCounters,
+    /// Join counters.
+    pub join: JoinCounters,
+    /// Number of final matches produced (possibly truncated by the result limit).
+    pub matches_found: u64,
+    /// Whether the result limit truncated the output.
+    pub truncated: bool,
+    /// Measured wall-clock time of the whole query, in µs.
+    pub wall_us: f64,
+    /// Simulated time (makespan over machines of compute + communication), in µs.
+    pub simulated_us: f64,
+    /// Total cross-machine messages.
+    pub network_messages: u64,
+    /// Total cross-machine bytes.
+    pub network_bytes: u64,
+    /// Per-machine breakdown (empty for the single-machine executor).
+    pub machines: Vec<MachineMetrics>,
+}
+
+impl QueryMetrics {
+    /// Simulated time in milliseconds (convenience for reporting).
+    pub fn simulated_ms(&self) -> f64 {
+        self.simulated_us / 1000.0
+    }
+
+    /// Measured wall-clock in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_us / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge() {
+        let mut a = ExploreCounters {
+            roots_scanned: 1,
+            cells_loaded: 2,
+            label_probes: 3,
+            rows_emitted: 4,
+            rows_pruned_by_bindings: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.roots_scanned, 2);
+        assert_eq!(a.rows_pruned_by_bindings, 10);
+
+        let mut j = JoinCounters {
+            joins_performed: 1,
+            intermediate_rows: 10,
+            rows_pruned_injective: 2,
+            pipeline_rounds: 1,
+        };
+        j.merge(&j.clone());
+        assert_eq!(j.joins_performed, 2);
+        assert_eq!(j.intermediate_rows, 20);
+    }
+
+    #[test]
+    fn metric_unit_conversions() {
+        let m = QueryMetrics {
+            wall_us: 2500.0,
+            simulated_us: 1500.0,
+            ..Default::default()
+        };
+        assert!((m.wall_ms() - 2.5).abs() < 1e-9);
+        assert!((m.simulated_ms() - 1.5).abs() < 1e-9);
+    }
+}

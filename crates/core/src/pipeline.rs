@@ -1,0 +1,214 @@
+//! Block-based pipelined join (§4.2 step 3, last paragraph).
+//!
+//! Even after exploration-time pruning and join-order selection, the
+//! intermediate results of a multi-way join can exceed the memory budget of a
+//! memory-cloud node. The paper therefore splits the join into rounds: in
+//! each round only a block of the driver table participates, so partial
+//! results stream out before the full join completes and the query can stop
+//! as soon as the requested number of matches (1024 in the paper's
+//! experiments) has been produced.
+
+use crate::config::MatchConfig;
+use crate::join::{hash_join, multiway_join, select_join_order};
+use crate::metrics::JoinCounters;
+use crate::table::ResultTable;
+
+/// Joins the STwig result tables into final embeddings using the block-based
+/// pipeline strategy.
+///
+/// * The join order is chosen by [`select_join_order`] (unless disabled in
+///   the config, in which case the given table order is used).
+/// * The first table in the join order becomes the *driver*; it is processed
+///   in blocks of `config.block_rows` rows.
+/// * Each round joins one driver block against the remaining tables and
+///   appends the surviving rows to the output, stopping as soon as
+///   `config.max_results` rows have been produced.
+pub fn pipelined_join(
+    tables: &[ResultTable],
+    config: &MatchConfig,
+    counters: &mut JoinCounters,
+) -> ResultTable {
+    assert!(!tables.is_empty(), "cannot join zero tables");
+    let order: Vec<usize> = if config.optimize_join_order {
+        select_join_order(tables, config.join_sample_size)
+    } else {
+        (0..tables.len()).collect()
+    };
+
+    if tables.len() == 1 {
+        let mut out = tables[0].clone();
+        counters.pipeline_rounds += 1;
+        if let Some(limit) = config.max_results {
+            out.truncate(limit);
+        }
+        return out;
+    }
+
+    let driver = &tables[order[0]];
+    let rest: Vec<&ResultTable> = order[1..].iter().map(|&i| &tables[i]).collect();
+
+    // Pre-compute the output schema by a zero-row join so that an empty
+    // driver still yields a table with the right columns.
+    let mut output = {
+        let empty_driver = driver.take_block(0, 0);
+        let mut schema = empty_driver;
+        let mut scratch = JoinCounters::default();
+        for t in &rest {
+            schema = hash_join(&schema, &t.take_block(0, 0), None, &mut scratch);
+        }
+        schema
+    };
+
+    let block_rows = config.block_rows.max(1);
+    let mut start = 0usize;
+    while start < driver.num_rows() {
+        counters.pipeline_rounds += 1;
+        let block = driver.take_block(start, block_rows);
+        start += block_rows;
+
+        let remaining_limit = config
+            .max_results
+            .map(|limit| limit.saturating_sub(output.num_rows()));
+        if remaining_limit == Some(0) {
+            break;
+        }
+
+        // Join this block against all remaining tables (in order).
+        let mut round_tables: Vec<ResultTable> = Vec::with_capacity(1 + rest.len());
+        round_tables.push(block);
+        for t in &rest {
+            round_tables.push((*t).clone());
+        }
+        let round_order: Vec<usize> = (0..round_tables.len()).collect();
+        let round_result = multiway_join(&round_tables, &round_order, remaining_limit, counters);
+        if !round_result.is_empty() {
+            // Columns can come out in a different order than the schema if the
+            // driver block was empty; they are identical otherwise.
+            if round_result.columns() == output.columns() {
+                output.append(&round_result);
+            } else {
+                // Re-project to the schema order.
+                let mut row_buf = Vec::with_capacity(output.width());
+                for r in 0..round_result.num_rows() {
+                    row_buf.clear();
+                    for &c in output.columns() {
+                        row_buf.push(round_result.value(r, c));
+                    }
+                    output.push_row(&row_buf);
+                }
+            }
+        }
+        if let Some(limit) = config.max_results {
+            if output.num_rows() >= limit {
+                output.truncate(limit);
+                break;
+            }
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QVid;
+    use trinity_sim::ids::VertexId;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn q(x: u16) -> QVid {
+        QVid(x)
+    }
+
+    fn table(cols: &[u16], rows: &[&[u64]]) -> ResultTable {
+        let mut t = ResultTable::new(cols.iter().map(|&c| q(c)).collect());
+        for r in rows {
+            let row: Vec<VertexId> = r.iter().map(|&x| v(x)).collect();
+            t.push_row(&row);
+        }
+        t
+    }
+
+    fn chain_tables(pairs: usize) -> Vec<ResultTable> {
+        // q0-q1 and q1-q2 tables with `pairs` matching chains.
+        let rows_a: Vec<Vec<u64>> = (0..pairs as u64).map(|i| vec![i, 1000 + i]).collect();
+        let rows_b: Vec<Vec<u64>> = (0..pairs as u64).map(|i| vec![1000 + i, 2000 + i]).collect();
+        let a = {
+            let refs: Vec<&[u64]> = rows_a.iter().map(|r| r.as_slice()).collect();
+            table(&[0, 1], &refs)
+        };
+        let b = {
+            let refs: Vec<&[u64]> = rows_b.iter().map(|r| r.as_slice()).collect();
+            table(&[1, 2], &refs)
+        };
+        vec![a, b]
+    }
+
+    #[test]
+    fn pipeline_equals_full_join() {
+        let tables = chain_tables(100);
+        let mut c1 = JoinCounters::default();
+        let full = multiway_join(&tables, &[0, 1], None, &mut c1);
+        let mut c2 = JoinCounters::default();
+        let cfg = MatchConfig {
+            block_rows: 7,
+            ..MatchConfig::default()
+        };
+        let mut piped = pipelined_join(&tables, &cfg, &mut c2);
+        assert_eq!(piped.num_rows(), full.num_rows());
+        assert!(c2.pipeline_rounds > 1);
+        // Same set of rows.
+        piped.dedup_rows();
+        let mut full_sorted = full.clone();
+        full_sorted.dedup_rows();
+        assert_eq!(piped, full_sorted);
+    }
+
+    #[test]
+    fn pipeline_stops_at_limit() {
+        let tables = chain_tables(1000);
+        let cfg = MatchConfig {
+            block_rows: 10,
+            max_results: Some(25),
+            ..MatchConfig::default()
+        };
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&tables, &cfg, &mut c);
+        assert_eq!(out.num_rows(), 25);
+        // Only a few rounds should have run (25 results at ≥10 per round).
+        assert!(c.pipeline_rounds <= 4, "rounds = {}", c.pipeline_rounds);
+    }
+
+    #[test]
+    fn pipeline_single_table() {
+        let t = table(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let cfg = MatchConfig {
+            max_results: Some(1),
+            ..MatchConfig::default()
+        };
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&[t], &cfg, &mut c);
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn pipeline_empty_driver_yields_empty_with_schema() {
+        let a = table(&[0, 1], &[]);
+        let b = table(&[1, 2], &[&[1, 2]]);
+        let cfg = MatchConfig::default();
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&[a, b], &cfg, &mut c);
+        assert!(out.is_empty());
+        assert_eq!(out.width(), 3);
+    }
+
+    #[test]
+    fn pipeline_without_order_optimization() {
+        let tables = chain_tables(10);
+        let cfg = MatchConfig::default().with_join_order_optimization(false);
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&tables, &cfg, &mut c);
+        assert_eq!(out.num_rows(), 10);
+    }
+}

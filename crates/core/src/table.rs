@@ -1,0 +1,269 @@
+//! Intermediate result tables.
+//!
+//! The results of matching one STwig form a table whose columns are query
+//! vertices and whose rows are data vertices. The join step (§4.2 step 3)
+//! combines these tables into full embeddings.
+
+use crate::query::QVid;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use trinity_sim::ids::VertexId;
+
+/// A table of partial matches: `columns[i]` names the query vertex whose data
+/// vertex occupies position `i` of every row. Rows are stored flat.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultTable {
+    columns: Vec<QVid>,
+    /// Flattened rows, `columns.len()` entries per row.
+    data: Vec<VertexId>,
+}
+
+impl ResultTable {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: Vec<QVid>) -> Self {
+        debug_assert!(!columns.is_empty(), "a result table needs at least one column");
+        ResultTable {
+            columns,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty table with the given columns and a row-capacity hint.
+    pub fn with_capacity(columns: Vec<QVid>, rows: usize) -> Self {
+        let width = columns.len();
+        ResultTable {
+            columns,
+            data: Vec::with_capacity(rows * width),
+        }
+    }
+
+    /// The columns (query vertices) of this table.
+    #[inline]
+    pub fn columns(&self) -> &[QVid] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        if self.columns.is_empty() {
+            0
+        } else {
+            self.data.len() / self.columns.len()
+        }
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Index of a query vertex among the columns, if present.
+    pub fn column_index(&self, q: QVid) -> Option<usize> {
+        self.columns.iter().position(|&c| c == q)
+    }
+
+    /// Appends a row; panics (debug) if the width does not match.
+    #[inline]
+    pub fn push_row(&mut self, row: &[VertexId]) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.data.extend_from_slice(row);
+    }
+
+    /// Returns row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[VertexId] {
+        let w = self.width();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[VertexId]> {
+        self.data.chunks_exact(self.width().max(1))
+    }
+
+    /// The value in row `i` for query vertex `q` (panics if `q` is not a column).
+    pub fn value(&self, i: usize, q: QVid) -> VertexId {
+        let c = self
+            .column_index(q)
+            .expect("query vertex is not a column of this table");
+        self.row(i)[c]
+    }
+
+    /// Distinct values appearing in the column for query vertex `q`.
+    pub fn distinct_values(&self, q: QVid) -> HashSet<VertexId> {
+        match self.column_index(q) {
+            None => HashSet::new(),
+            Some(c) => self.rows().map(|r| r[c]).collect(),
+        }
+    }
+
+    /// Removes duplicate rows (order is not preserved).
+    pub fn dedup_rows(&mut self) {
+        let w = self.width();
+        if w == 0 || self.data.is_empty() {
+            return;
+        }
+        let mut rows: Vec<Vec<VertexId>> = self.rows().map(|r| r.to_vec()).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        self.data.clear();
+        for r in rows {
+            self.data.extend_from_slice(&r);
+        }
+    }
+
+    /// Keeps only rows for which `keep` returns true.
+    pub fn retain_rows<F: FnMut(&[VertexId]) -> bool>(&mut self, mut keep: F) {
+        let w = self.width();
+        let mut out = Vec::with_capacity(self.data.len());
+        for r in self.data.chunks_exact(w) {
+            if keep(r) {
+                out.extend_from_slice(r);
+            }
+        }
+        self.data = out;
+    }
+
+    /// Truncates the table to at most `rows` rows.
+    pub fn truncate(&mut self, rows: usize) {
+        let w = self.width();
+        self.data.truncate(rows * w);
+    }
+
+    /// Appends all rows of `other`, which must have identical columns.
+    pub fn append(&mut self, other: &ResultTable) {
+        assert_eq!(self.columns, other.columns, "column mismatch in append");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Splits off the first `rows` rows into a new table (used by the
+    /// block-based pipeline join).
+    pub fn take_block(&self, start_row: usize, rows: usize) -> ResultTable {
+        let w = self.width();
+        let start = (start_row * w).min(self.data.len());
+        let end = ((start_row + rows) * w).min(self.data.len());
+        ResultTable {
+            columns: self.columns.clone(),
+            data: self.data[start..end].to_vec(),
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<VertexId>()
+            + self.columns.len() * std::mem::size_of::<QVid>()
+    }
+
+    /// Whether a row maps two different query vertices to the same data
+    /// vertex (which a valid isomorphism forbids).
+    pub fn row_has_duplicates(row: &[VertexId]) -> bool {
+        // Rows are tiny (< 64 entries); quadratic scan beats hashing.
+        for i in 1..row.len() {
+            for j in 0..i {
+                if row[i] == row[j] {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn q(x: u16) -> QVid {
+        QVid(x)
+    }
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new(vec![q(0), q(1)]);
+        t.push_row(&[v(1), v(2)]);
+        t.push_row(&[v(3), v(4)]);
+        t.push_row(&[v(1), v(2)]);
+        t
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = sample();
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(1), &[v(3), v(4)]);
+        assert_eq!(t.value(1, q(1)), v(4));
+        assert_eq!(t.column_index(q(1)), Some(1));
+        assert_eq!(t.column_index(q(9)), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn distinct_values_per_column() {
+        let t = sample();
+        let d0 = t.distinct_values(q(0));
+        assert_eq!(d0.len(), 2);
+        assert!(d0.contains(&v(1)));
+        assert!(t.distinct_values(q(7)).is_empty());
+    }
+
+    #[test]
+    fn dedup_removes_duplicate_rows() {
+        let mut t = sample();
+        t.dedup_rows();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn retain_and_truncate() {
+        let mut t = sample();
+        t.retain_rows(|r| r[0] == v(1));
+        assert_eq!(t.num_rows(), 2);
+        t.truncate(1);
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn append_and_blocks() {
+        let mut t = sample();
+        let t2 = sample();
+        t.append(&t2);
+        assert_eq!(t.num_rows(), 6);
+        let block = t.take_block(2, 2);
+        assert_eq!(block.num_rows(), 2);
+        assert_eq!(block.row(0), &[v(1), v(2)]);
+        // out-of-range block is empty
+        assert_eq!(t.take_block(100, 5).num_rows(), 0);
+    }
+
+    #[test]
+    fn row_duplicate_detection() {
+        assert!(ResultTable::row_has_duplicates(&[v(1), v(2), v(1)]));
+        assert!(!ResultTable::row_has_duplicates(&[v(1), v(2), v(3)]));
+        assert!(!ResultTable::row_has_duplicates(&[v(1)]));
+    }
+
+    #[test]
+    fn memory_grows_with_rows() {
+        let empty = ResultTable::new(vec![q(0)]);
+        let full = sample();
+        assert!(full.memory_bytes() > empty.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_with_mismatched_columns_panics() {
+        let mut t = ResultTable::new(vec![q(0)]);
+        let t2 = ResultTable::new(vec![q(1)]);
+        t.append(&t2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Erdős–Rényi G(n, m) random graphs: `m` edges drawn uniformly at random.
+//! Used for the fixed-density scalability experiment (Fig. 10(b)) and as an
+//! unskewed contrast to R-MAT in tests.
+
+use crate::synthetic::SyntheticGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a G(n, m) graph: `num_edges` endpoints drawn uniformly.
+pub fn gnm(num_vertices: u64, num_edges: u64, seed: u64) -> SyntheticGraph {
+    assert!(num_vertices > 0, "G(n,m) needs at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    for _ in 0..num_edges {
+        let u = rng.gen_range(0..num_vertices);
+        let v = rng.gen_range(0..num_vertices);
+        edges.push((u, v));
+    }
+    SyntheticGraph::unlabeled(num_vertices, edges)
+}
+
+/// Generates a G(n, p) graph by sampling the expected number of edges
+/// `p · n · (n-1) / 2` with the G(n, m) generator (exact G(n, p) enumeration
+/// is quadratic and unnecessary at the densities the experiments use).
+pub fn gnp(num_vertices: u64, p: f64, seed: u64) -> SyntheticGraph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let expected = p * num_vertices as f64 * (num_vertices.saturating_sub(1)) as f64 / 2.0;
+    gnm(num_vertices, expected.round() as u64, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_sizes() {
+        let g = gnm(100, 300, 1);
+        assert_eq!(g.num_vertices, 100);
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.edges.iter().all(|&(u, v)| u < 100 && v < 100));
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(gnm(50, 100, 9), gnm(50, 100, 9));
+        assert_ne!(gnm(50, 100, 9), gnm(50, 100, 10));
+    }
+
+    #[test]
+    fn gnp_expected_edge_count() {
+        let g = gnp(200, 0.01, 3);
+        let expected: f64 = 0.01 * 200.0 * 199.0 / 2.0;
+        assert_eq!(g.num_edges() as f64, expected.round());
+    }
+
+    #[test]
+    fn gnp_zero_probability_is_empty() {
+        assert_eq!(gnp(100, 0.0, 1).num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnp_invalid_probability_panics() {
+        gnp(10, 1.5, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # graph-gen
+//!
+//! Workload generation for the STwig reproduction: synthetic graph models
+//! (R-MAT, Erdős–Rényi, preferential attachment), label-assignment models
+//! (uniform and Zipf, parameterized by label density), dataset profiles that
+//! stand in for the paper's real datasets (US Patents, WordNet, Facebook),
+//! and the two query generators used in the evaluation (DFS queries and
+//! random queries).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod erdos_renyi;
+pub mod labels;
+pub mod power_law;
+pub mod query_gen;
+pub mod rmat;
+pub mod synthetic;
+
+pub use datasets::{facebook_like, patents_like, synthetic_experiment_graph, wordnet_like};
+pub use labels::{labels_for_density, LabelModel};
+pub use query_gen::{dfs_query, query_batch, random_query};
+pub use rmat::{rmat, RmatConfig};
+pub use synthetic::SyntheticGraph;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::datasets::{
+        facebook_like, patents_like, synthetic_experiment_graph, wordnet_like,
+    };
+    pub use crate::erdos_renyi::{gnm, gnp};
+    pub use crate::labels::{labels_for_density, LabelModel};
+    pub use crate::power_law::preferential_attachment;
+    pub use crate::query_gen::{dfs_query, query_batch, random_query};
+    pub use crate::rmat::{rmat, RmatConfig};
+    pub use crate::synthetic::SyntheticGraph;
+}

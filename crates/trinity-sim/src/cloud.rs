@@ -1,0 +1,384 @@
+//! The memory cloud: a labeled graph hash-partitioned across logical
+//! machines, exposing the paper's three atomic operators
+//! (`Cloud.Load`, `Index.getID`, `Index.hasLabel`) plus traffic accounting.
+
+use crate::cluster_graph::LabelPairCatalog;
+use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
+use crate::network::{CostModel, Network, TrafficSnapshot};
+use crate::partition::{Cell, Partition};
+
+/// Size, in bytes, charged for shipping one vertex id over the network.
+pub const VERTEX_ID_BYTES: u64 = 8;
+/// Size, in bytes, charged for a small control message (e.g. a label probe).
+pub const PROBE_BYTES: u64 = 16;
+
+/// Deterministic vertex → machine assignment.
+///
+/// The paper randomly partitions the graph by hashing node ids; we use a
+/// Fibonacci-style multiplicative hash so that consecutive ids spread evenly.
+#[inline]
+pub fn machine_for(id: VertexId, num_machines: usize) -> MachineId {
+    debug_assert!(num_machines > 0 && num_machines <= u16::MAX as usize);
+    let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    MachineId((h % num_machines as u64) as u16)
+}
+
+/// A labeled graph stored across `P` logical machines.
+///
+/// All reads go through methods that take the *calling* machine so that
+/// cross-partition accesses can be charged to the simulated [`Network`].
+/// Methods suffixed `_local`/`_global` bypass traffic accounting and exist for
+/// construction, statistics and single-machine execution.
+#[derive(Debug)]
+pub struct MemoryCloud {
+    partitions: Vec<Partition>,
+    interner: LabelInterner,
+    network: Network,
+    /// Global number of vertices carrying each label, indexed by `LabelId`.
+    label_frequency: Vec<u64>,
+    /// Catalog of label pairs observed between each machine pair; feeds the
+    /// query-specific cluster graph of §5.3.
+    catalog: LabelPairCatalog,
+    num_vertices: u64,
+    num_edges: u64,
+    directed: bool,
+}
+
+impl MemoryCloud {
+    /// Assembles a cloud from already-partitioned data. Intended to be called
+    /// by [`crate::builder::GraphBuilder`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        partitions: Vec<Partition>,
+        interner: LabelInterner,
+        cost: CostModel,
+        label_frequency: Vec<u64>,
+        catalog: LabelPairCatalog,
+        num_vertices: u64,
+        num_edges: u64,
+        directed: bool,
+    ) -> Self {
+        let network = Network::new(partitions.len(), cost);
+        MemoryCloud {
+            partitions,
+            interner,
+            network,
+            label_frequency,
+            catalog,
+            num_vertices,
+            num_edges,
+            directed,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology & metadata
+    // ------------------------------------------------------------------
+
+    /// Number of logical machines the graph is partitioned over.
+    pub fn num_machines(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of vertices in the cloud.
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Total number of (undirected) edges in the cloud.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Whether the graph was built as a directed graph (adjacency is still
+    /// symmetrized for exploration; see `GraphBuilder`).
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The label interner (string ⇄ id mapping).
+    pub fn labels(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// The machine that owns `id`.
+    #[inline]
+    pub fn machine_of(&self, id: VertexId) -> MachineId {
+        machine_for(id, self.partitions.len())
+    }
+
+    /// The partition owned by `machine`.
+    pub fn partition(&self, machine: MachineId) -> &Partition {
+        &self.partitions[machine.index()]
+    }
+
+    /// All machine ids.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> {
+        (0..self.partitions.len() as u16).map(MachineId)
+    }
+
+    /// The traffic-accounting network layer.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The label-pair catalog used to build query-specific cluster graphs.
+    pub fn catalog(&self) -> &LabelPairCatalog {
+        &self.catalog
+    }
+
+    /// Number of vertices in the whole cloud carrying `label` (the `freq(l)`
+    /// statistic used by the f-value ranking in §5.2).
+    pub fn label_frequency(&self, label: LabelId) -> u64 {
+        self.label_frequency.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Approximate total memory footprint of the stored graph (all partitions
+    /// plus the label frequency table), in bytes. This is the quantity the
+    /// paper's Table 1 reports as "index size + graph size" for STwig.
+    pub fn memory_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.memory_bytes()).sum::<usize>()
+            + self.label_frequency.len() * std::mem::size_of::<u64>()
+    }
+
+    // ------------------------------------------------------------------
+    // The paper's atomic operators (traffic-accounted)
+    // ------------------------------------------------------------------
+
+    /// `Cloud.Load(id)`: locate the vertex `id` and return its cell (label +
+    /// neighbor ids). `caller` is the machine performing the access; if the
+    /// vertex lives on another machine a round-trip is charged.
+    pub fn load(&self, caller: MachineId, id: VertexId) -> Option<Cell<'_>> {
+        let owner = self.machine_of(id);
+        let cell = self.partitions[owner.index()].load(id)?;
+        if owner != caller {
+            // Request + reply carrying the neighbor list.
+            self.network.record(caller, owner, PROBE_BYTES);
+            self.network
+                .record(owner, caller, cell.neighbors.len() as u64 * VERTEX_ID_BYTES);
+        }
+        Some(cell)
+    }
+
+    /// `Index.getID(label)`: ids of vertices with `label` that are local to
+    /// `caller`. Never touches the network — each machine's string index only
+    /// covers its own vertices.
+    #[inline]
+    pub fn get_ids(&self, caller: MachineId, label: LabelId) -> &[VertexId] {
+        self.partitions[caller.index()].vertices_with_label(label)
+    }
+
+    /// `Index.hasLabel(id, label)`: whether vertex `id` carries `label`.
+    /// Charged as a small probe when `id` is remote to `caller`.
+    pub fn has_label(&self, caller: MachineId, id: VertexId, label: LabelId) -> bool {
+        let owner = self.machine_of(id);
+        if owner != caller {
+            self.network.record(caller, owner, PROBE_BYTES);
+            self.network.record(owner, caller, 1);
+        }
+        self.partitions[owner.index()].label_of(id) == Some(label)
+    }
+
+    /// Ships `rows` result rows of `row_width` vertex ids each from machine
+    /// `src` to machine `dst` (used when exchanging intermediate STwig results
+    /// for the distributed join).
+    pub fn ship_rows(&self, src: MachineId, dst: MachineId, rows: u64, row_width: u64) {
+        if src == dst || rows == 0 {
+            return;
+        }
+        self.network
+            .record_bulk(src, dst, 1, rows * row_width * VERTEX_ID_BYTES);
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        self.network.snapshot()
+    }
+
+    /// Resets the traffic counters (between queries).
+    pub fn reset_traffic(&self) {
+        self.network.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting-free global accessors (construction, stats, baselines,
+    // single-machine execution)
+    // ------------------------------------------------------------------
+
+    /// Label of `id`, bypassing traffic accounting.
+    pub fn label_of_global(&self, id: VertexId) -> Option<LabelId> {
+        self.partitions[self.machine_of(id).index()].label_of(id)
+    }
+
+    /// Neighbors of `id`, bypassing traffic accounting.
+    pub fn neighbors_global(&self, id: VertexId) -> &[VertexId] {
+        self.partitions[self.machine_of(id).index()]
+            .load(id)
+            .map(|c| c.neighbors)
+            .unwrap_or(&[])
+    }
+
+    /// Degree of `id`, bypassing traffic accounting.
+    pub fn degree_global(&self, id: VertexId) -> usize {
+        self.neighbors_global(id).len()
+    }
+
+    /// Whether the edge `(u, v)` exists, bypassing traffic accounting.
+    pub fn has_edge_global(&self, u: VertexId, v: VertexId) -> bool {
+        self.partitions[self.machine_of(u).index()].has_edge(u, v)
+    }
+
+    /// All vertex ids with `label` across every machine (sorted by machine,
+    /// then id), bypassing traffic accounting.
+    pub fn all_ids_with_label(&self, label: LabelId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for p in &self.partitions {
+            out.extend_from_slice(p.vertices_with_label(label));
+        }
+        out
+    }
+
+    /// Iterates every vertex id in the cloud.
+    pub fn iter_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.partitions.iter().flat_map(|p| p.iter_vertices())
+    }
+
+    /// Checks whether a vertex exists anywhere in the cloud.
+    pub fn contains_vertex(&self, id: VertexId) -> bool {
+        self.partitions[self.machine_of(id).index()].owns(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    /// Builds a small test cloud over `machines` machines:
+    /// a triangle a(0)-b(1)-c(2)-a(0) plus a pendant d(3) attached to c.
+    fn small_cloud(machines: usize) -> MemoryCloud {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_vertex(v(0), "a");
+        b.add_vertex(v(1), "b");
+        b.add_vertex(v(2), "c");
+        b.add_vertex(v(3), "d");
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        b.add_edge(v(2), v(0));
+        b.add_edge(v(2), v(3));
+        b.build(machines, CostModel::default())
+    }
+
+    #[test]
+    fn machine_assignment_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 3, 8, 12] {
+            for id in 0..1000u64 {
+                let m = machine_for(v(id), n);
+                assert!(m.index() < n);
+                assert_eq!(m, machine_for(v(id), n));
+            }
+        }
+    }
+
+    #[test]
+    fn load_returns_cell_and_charges_remote_access() {
+        let cloud = small_cloud(4);
+        let id = v(2);
+        let owner = cloud.machine_of(id);
+        let other = cloud
+            .machines()
+            .find(|&m| m != owner)
+            .expect("at least two machines");
+        cloud.reset_traffic();
+        let cell = cloud.load(other, id).unwrap();
+        assert_eq!(cloud.labels().name(cell.label), Some("c"));
+        assert_eq!(cell.neighbors.len(), 3);
+        assert!(cloud.traffic().total_messages() >= 2);
+
+        cloud.reset_traffic();
+        let _ = cloud.load(owner, id).unwrap();
+        assert_eq!(cloud.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn get_ids_is_local_only() {
+        let cloud = small_cloud(2);
+        let label = cloud.labels().get("a").unwrap();
+        cloud.reset_traffic();
+        let mut found = 0;
+        for m in cloud.machines() {
+            found += cloud.get_ids(m, label).len();
+        }
+        assert_eq!(found, 1);
+        assert_eq!(cloud.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn has_label_answers_correctly() {
+        let cloud = small_cloud(3);
+        let la = cloud.labels().get("a").unwrap();
+        let lb = cloud.labels().get("b").unwrap();
+        let caller = MachineId(0);
+        assert!(cloud.has_label(caller, v(0), la));
+        assert!(!cloud.has_label(caller, v(0), lb));
+        assert!(!cloud.has_label(caller, v(999), la));
+    }
+
+    #[test]
+    fn global_accessors_bypass_network() {
+        let cloud = small_cloud(4);
+        cloud.reset_traffic();
+        assert_eq!(cloud.neighbors_global(v(2)).len(), 3);
+        assert_eq!(cloud.degree_global(v(3)), 1);
+        assert!(cloud.has_edge_global(v(0), v(1)));
+        assert!(!cloud.has_edge_global(v(0), v(3)));
+        assert_eq!(
+            cloud.label_of_global(v(1)),
+            Some(cloud.labels().get("b").unwrap())
+        );
+        assert_eq!(cloud.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn label_frequency_counts_all_machines() {
+        let cloud = small_cloud(4);
+        for name in ["a", "b", "c", "d"] {
+            let l = cloud.labels().get(name).unwrap();
+            assert_eq!(cloud.label_frequency(l), 1, "label {name}");
+        }
+    }
+
+    #[test]
+    fn all_ids_with_label_unions_machines() {
+        let cloud = small_cloud(4);
+        let l = cloud.labels().get("d").unwrap();
+        assert_eq!(cloud.all_ids_with_label(l), vec![v(3)]);
+    }
+
+    #[test]
+    fn ship_rows_records_bytes() {
+        let cloud = small_cloud(2);
+        cloud.reset_traffic();
+        cloud.ship_rows(MachineId(0), MachineId(1), 10, 3);
+        assert_eq!(cloud.traffic().total_bytes(), 10 * 3 * VERTEX_ID_BYTES);
+        // local shipping is free
+        cloud.ship_rows(MachineId(0), MachineId(0), 10, 3);
+        assert_eq!(cloud.traffic().total_bytes(), 10 * 3 * VERTEX_ID_BYTES);
+    }
+
+    #[test]
+    fn vertex_iteration_and_containment() {
+        let cloud = small_cloud(3);
+        let mut ids: Vec<_> = cloud.iter_vertices().collect();
+        ids.sort();
+        assert_eq!(ids, vec![v(0), v(1), v(2), v(3)]);
+        assert!(cloud.contains_vertex(v(0)));
+        assert!(!cloud.contains_vertex(v(17)));
+        assert_eq!(cloud.num_vertices(), 4);
+        assert_eq!(cloud.num_edges(), 4);
+    }
+}

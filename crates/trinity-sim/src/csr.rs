@@ -1,0 +1,144 @@
+//! Compressed-sparse-row adjacency storage for one partition.
+//!
+//! Trinity stores graph cells in flat memory trunks rather than as heap
+//! objects, precisely to avoid per-object metadata overhead on hundreds of
+//! millions of small cells. The CSR layout plays the same role here: one
+//! offsets array plus one flat neighbor array, no per-vertex allocation.
+
+use crate::ids::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// CSR adjacency over the vertices *local to one partition*.
+///
+/// Local vertices are addressed by a dense local index in `0..num_vertices`;
+/// the mapping between local indices and global [`VertexId`]s is owned by the
+/// partition. Neighbor entries are global vertex ids because edges routinely
+/// cross partitions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[i]..offsets[i+1]` is the neighbor range of local vertex `i`.
+    offsets: Vec<usize>,
+    /// Flat neighbor array, each run sorted ascending and deduplicated.
+    neighbors: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-vertex adjacency lists.
+    ///
+    /// Each list is sorted and deduplicated. `lists[i]` becomes the neighbor
+    /// run of local vertex `i`.
+    pub fn from_lists(mut lists: Vec<Vec<VertexId>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for l in &mut lists {
+            l.sort_unstable();
+            l.dedup();
+            total += l.len();
+            offsets.push(total);
+        }
+        let mut neighbors = Vec::with_capacity(total);
+        for l in &lists {
+            neighbors.extend_from_slice(l);
+        }
+        Csr { offsets, neighbors }
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored neighbor entries (directed edge endpoints).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbors of local vertex `local`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> &[VertexId] {
+        let start = self.offsets[local];
+        let end = self.offsets[local + 1];
+        &self.neighbors[start..end]
+    }
+
+    /// Degree of local vertex `local`.
+    #[inline]
+    pub fn degree(&self, local: usize) -> usize {
+        self.offsets[local + 1] - self.offsets[local]
+    }
+
+    /// Whether local vertex `local` has `target` among its neighbors.
+    #[inline]
+    pub fn has_neighbor(&self, local: usize, target: VertexId) -> bool {
+        self.neighbors(local).binary_search(&target).is_ok()
+    }
+
+    /// Approximate memory footprint in bytes (offsets + neighbor array).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+    }
+
+    /// Iterates `(local_index, neighbors)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[VertexId])> {
+        (0..self.num_vertices()).map(move |i| (i, self.neighbors(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn empty_csr() {
+        let c = Csr::from_lists(vec![]);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.num_entries(), 0);
+    }
+
+    #[test]
+    fn basic_adjacency() {
+        let c = Csr::from_lists(vec![vec![v(3), v(1)], vec![], vec![v(0)]]);
+        assert_eq!(c.num_vertices(), 3);
+        assert_eq!(c.num_entries(), 3);
+        assert_eq!(c.neighbors(0), &[v(1), v(3)]);
+        assert_eq!(c.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(c.neighbors(2), &[v(0)]);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.degree(1), 0);
+    }
+
+    #[test]
+    fn deduplicates_and_sorts() {
+        let c = Csr::from_lists(vec![vec![v(5), v(5), v(2), v(9), v(2)]]);
+        assert_eq!(c.neighbors(0), &[v(2), v(5), v(9)]);
+        assert_eq!(c.degree(0), 3);
+    }
+
+    #[test]
+    fn has_neighbor_uses_binary_search() {
+        let c = Csr::from_lists(vec![vec![v(10), v(20), v(30)]]);
+        assert!(c.has_neighbor(0, v(20)));
+        assert!(!c.has_neighbor(0, v(25)));
+    }
+
+    #[test]
+    fn iteration_covers_all_vertices() {
+        let c = Csr::from_lists(vec![vec![v(1)], vec![v(2)], vec![v(3)]]);
+        let degrees: Vec<usize> = c.iter().map(|(_, ns)| ns.len()).collect();
+        assert_eq!(degrees, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let c = Csr::from_lists(vec![vec![v(1), v(2)], vec![v(3)]]);
+        assert!(c.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The per-machine "string index": label → IDs of local vertices.
+//!
+//! This is the only index the paper's system maintains besides raw adjacency.
+//! Its size is linear in the number of local vertices, it is built in one
+//! pass, and updates are O(1) amortized — this is what makes the approach
+//! feasible on billion-node graphs while structural indices are not.
+
+use crate::ids::{LabelId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Label → sorted list of local vertex IDs, for one partition.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelIndex {
+    /// `posting[l]` is the sorted list of local vertices carrying label `l`.
+    /// Indexed by `LabelId::index()`; labels absent from this partition have
+    /// an empty posting list.
+    postings: Vec<Vec<VertexId>>,
+}
+
+impl LabelIndex {
+    /// Builds the index from `(vertex, label)` pairs. `num_labels` is the size
+    /// of the global label space so lookups for labels not present locally
+    /// stay in bounds.
+    pub fn build(pairs: impl IntoIterator<Item = (VertexId, LabelId)>, num_labels: usize) -> Self {
+        let mut postings = vec![Vec::new(); num_labels];
+        for (v, l) in pairs {
+            if l.index() >= postings.len() {
+                postings.resize(l.index() + 1, Vec::new());
+            }
+            postings[l.index()].push(v);
+        }
+        for p in &mut postings {
+            p.sort_unstable();
+            p.dedup();
+        }
+        LabelIndex { postings }
+    }
+
+    /// Vertices (local to this machine) carrying `label`, sorted ascending.
+    #[inline]
+    pub fn get(&self, label: LabelId) -> &[VertexId] {
+        self.postings
+            .get(label.index())
+            .map(|p| p.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of local vertices carrying `label`.
+    #[inline]
+    pub fn frequency(&self, label: LabelId) -> usize {
+        self.get(label).len()
+    }
+
+    /// Number of label slots (global label-space size this index was built for).
+    pub fn num_labels(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings (equals the number of local labeled vertices
+    /// when every vertex has exactly one label).
+    pub fn total_postings(&self) -> usize {
+        self.postings.iter().map(|p| p.len()).sum()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.postings.len() * std::mem::size_of::<Vec<VertexId>>()
+            + self.total_postings() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn l(x: u32) -> LabelId {
+        LabelId(x)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let idx = LabelIndex::build(
+            vec![(v(5), l(0)), (v(1), l(0)), (v(2), l(1))],
+            3,
+        );
+        assert_eq!(idx.get(l(0)), &[v(1), v(5)]);
+        assert_eq!(idx.get(l(1)), &[v(2)]);
+        assert_eq!(idx.get(l(2)), &[] as &[VertexId]);
+        assert_eq!(idx.frequency(l(0)), 2);
+        assert_eq!(idx.num_labels(), 3);
+        assert_eq!(idx.total_postings(), 3);
+    }
+
+    #[test]
+    fn out_of_range_label_is_empty() {
+        let idx = LabelIndex::build(vec![(v(1), l(0))], 1);
+        assert_eq!(idx.get(l(10)), &[] as &[VertexId]);
+        assert_eq!(idx.frequency(l(10)), 0);
+    }
+
+    #[test]
+    fn grows_for_unexpected_labels() {
+        // A label id beyond num_labels still gets stored correctly.
+        let idx = LabelIndex::build(vec![(v(1), l(5))], 2);
+        assert_eq!(idx.get(l(5)), &[v(1)]);
+    }
+
+    #[test]
+    fn duplicate_pairs_are_deduplicated() {
+        let idx = LabelIndex::build(vec![(v(1), l(0)), (v(1), l(0))], 1);
+        assert_eq!(idx.get(l(0)), &[v(1)]);
+    }
+
+    #[test]
+    fn memory_is_linear_in_postings() {
+        let small = LabelIndex::build((0..10u64).map(|i| (v(i), l(0))), 1);
+        let large = LabelIndex::build((0..1000u64).map(|i| (v(i), l(0))), 1);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+}

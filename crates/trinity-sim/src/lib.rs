@@ -1,0 +1,72 @@
+//! # trinity-sim
+//!
+//! A simulated **Trinity memory cloud**: the substrate the STwig subgraph
+//! matching algorithm of *Efficient Subgraph Matching on Billion Node Graphs*
+//! (Sun et al., VLDB 2012) runs on.
+//!
+//! The original Trinity is a distributed in-memory key/value + graph store
+//! spanning a cluster of commodity machines. This crate reproduces the parts
+//! of it the paper relies on, in-process:
+//!
+//! * a labeled graph **hash-partitioned** over `P` logical machines
+//!   ([`cloud::MemoryCloud`], [`partition::Partition`], [`csr::Csr`]);
+//! * the per-machine **string index** mapping labels to local vertex IDs
+//!   ([`label_index::LabelIndex`]) — the only index the approach uses;
+//! * the paper's three atomic operators `Cloud.Load`, `Index.getID`,
+//!   `Index.hasLabel` with **cross-machine traffic accounting**
+//!   ([`network::Network`], [`network::CostModel`]);
+//! * the **label-pair catalog** and query-specific **cluster graph** of §5.3
+//!   used for head-STwig and load-set selection
+//!   ([`cluster_graph::LabelPairCatalog`], [`cluster_graph::ClusterGraph`]);
+//! * linear-time graph loading ([`builder::GraphBuilder`]), statistics
+//!   ([`stats`]) and edge-list persistence ([`edge_list`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use trinity_sim::prelude::*;
+//!
+//! let mut b = GraphBuilder::new_undirected();
+//! b.add_vertex(VertexId(0), "a");
+//! b.add_vertex(VertexId(1), "b");
+//! b.add_edge(VertexId(0), VertexId(1));
+//! let cloud = b.build(4, CostModel::default());
+//!
+//! let label_a = cloud.labels().get("a").unwrap();
+//! assert_eq!(cloud.label_frequency(label_a), 1);
+//! let owner = cloud.machine_of(VertexId(0));
+//! let cell = cloud.load(owner, VertexId(0)).unwrap();
+//! assert_eq!(cell.neighbors, &[VertexId(1)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cloud;
+pub mod cluster_graph;
+pub mod csr;
+pub mod edge_list;
+pub mod error;
+pub mod ids;
+pub mod label_index;
+pub mod network;
+pub mod partition;
+pub mod stats;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::cloud::{machine_for, MemoryCloud};
+    pub use crate::cluster_graph::{ClusterGraph, LabelPairCatalog};
+    pub use crate::error::TrinityError;
+    pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
+    pub use crate::network::{CostModel, Network, TrafficSnapshot};
+    pub use crate::partition::{Cell, Partition};
+    pub use crate::stats::{graph_stats, GraphStats};
+}
+
+pub use builder::GraphBuilder;
+pub use cloud::MemoryCloud;
+pub use error::TrinityError;
+pub use ids::{LabelId, MachineId, VertexId};
+pub use network::CostModel;

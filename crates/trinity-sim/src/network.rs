@@ -1,0 +1,338 @@
+//! Simulated cluster interconnect.
+//!
+//! The paper runs on a real Gigabit / InfiniBand cluster; here the "network"
+//! is an accounting layer: every cross-machine access performed through the
+//! [`crate::cloud::MemoryCloud`] records a message (and its payload size) in a
+//! per-machine-pair counter matrix. A configurable [`CostModel`] converts
+//! these counters into simulated communication time, which the distributed
+//! executor combines with per-machine compute time to produce the
+//! simulated-wall-clock numbers reported by the speed-up experiments.
+
+use crate::ids::MachineId;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Latency/bandwidth model used to convert message counts into simulated time.
+///
+/// Defaults approximate the paper's cluster 1 (Gigabit Ethernet): 0.1 ms
+/// per-message latency and 1 Gbit/s ≈ 125 MB/s bandwidth, with messages
+/// between co-located endpoints free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-message latency in microseconds.
+    pub latency_us: f64,
+    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    pub bytes_per_us: f64,
+    /// Messages smaller than this are merged into batches of this size before
+    /// the latency charge is applied (Trinity merges and batches messages).
+    pub batch_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            latency_us: 100.0,
+            bytes_per_us: 125.0,
+            batch_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// An idealized infinitely-fast network (zero communication cost).
+    pub fn free() -> Self {
+        CostModel {
+            latency_us: 0.0,
+            bytes_per_us: f64::INFINITY,
+            batch_bytes: 1,
+        }
+    }
+
+    /// A model approximating the paper's 40 Gbps InfiniBand adapter on
+    /// cluster 2.
+    pub fn infiniband() -> Self {
+        CostModel {
+            latency_us: 2.0,
+            bytes_per_us: 5000.0,
+            batch_bytes: 64 * 1024,
+        }
+    }
+
+    /// Simulated time in microseconds to ship `bytes` in `messages` messages.
+    pub fn time_us(&self, messages: u64, bytes: u64) -> f64 {
+        if messages == 0 && bytes == 0 {
+            return 0.0;
+        }
+        // Message merging: latency is charged per batch, not per tiny message.
+        let batches = if self.batch_bytes <= 1 {
+            messages
+        } else {
+            let by_bytes = bytes.div_ceil(self.batch_bytes);
+            by_bytes.max(1).min(messages.max(1))
+        };
+        let transfer = if self.bytes_per_us.is_finite() && self.bytes_per_us > 0.0 {
+            bytes as f64 / self.bytes_per_us
+        } else {
+            0.0
+        };
+        batches as f64 * self.latency_us + transfer
+    }
+}
+
+/// Per-machine-pair traffic counters.
+///
+/// Counters are atomic so that logical machines can run concurrently on a
+/// thread pool while sharing one `Network`.
+#[derive(Debug)]
+pub struct Network {
+    machines: usize,
+    /// messages[src * machines + dst]
+    messages: Vec<AtomicU64>,
+    /// bytes[src * machines + dst]
+    bytes: Vec<AtomicU64>,
+    cost: CostModel,
+}
+
+/// A snapshot of the traffic counters, suitable for reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Number of logical machines.
+    pub machines: usize,
+    /// Row-major `machines x machines` message counts.
+    pub messages: Vec<u64>,
+    /// Row-major `machines x machines` byte counts.
+    pub bytes: Vec<u64>,
+}
+
+impl TrafficSnapshot {
+    /// Total number of cross-machine messages (diagonal excluded).
+    pub fn total_messages(&self) -> u64 {
+        self.iter_offdiag().map(|(_, _, m, _)| m).sum()
+    }
+
+    /// Total number of cross-machine bytes (diagonal excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.iter_offdiag().map(|(_, _, _, b)| b).sum()
+    }
+
+    /// Messages sent by machine `src` to remote machines.
+    pub fn messages_from(&self, src: MachineId) -> u64 {
+        (0..self.machines)
+            .filter(|&d| d != src.index())
+            .map(|d| self.messages[src.index() * self.machines + d])
+            .sum()
+    }
+
+    /// Bytes sent by machine `src` to remote machines.
+    pub fn bytes_from(&self, src: MachineId) -> u64 {
+        (0..self.machines)
+            .filter(|&d| d != src.index())
+            .map(|d| self.bytes[src.index() * self.machines + d])
+            .sum()
+    }
+
+    fn iter_offdiag(&self) -> impl Iterator<Item = (usize, usize, u64, u64)> + '_ {
+        let n = self.machines;
+        (0..n).flat_map(move |s| {
+            (0..n).filter_map(move |d| {
+                if s == d {
+                    None
+                } else {
+                    Some((s, d, self.messages[s * n + d], self.bytes[s * n + d]))
+                }
+            })
+        })
+    }
+}
+
+impl Network {
+    /// Creates a network connecting `machines` logical machines with the given
+    /// cost model.
+    pub fn new(machines: usize, cost: CostModel) -> Self {
+        let cells = machines * machines;
+        Network {
+            machines,
+            messages: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            cost,
+        }
+    }
+
+    /// Number of logical machines.
+    pub fn num_machines(&self) -> usize {
+        self.machines
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    #[inline]
+    fn cell(&self, src: MachineId, dst: MachineId) -> usize {
+        src.index() * self.machines + dst.index()
+    }
+
+    /// Records one message of `payload_bytes` from `src` to `dst`.
+    ///
+    /// Messages from a machine to itself are recorded (on the diagonal) but do
+    /// not contribute to cross-machine traffic totals or simulated time.
+    #[inline]
+    pub fn record(&self, src: MachineId, dst: MachineId, payload_bytes: u64) {
+        let cell = self.cell(src, dst);
+        self.messages[cell].fetch_add(1, Ordering::Relaxed);
+        self.bytes[cell].fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    /// Records `count` messages totalling `payload_bytes` from `src` to `dst`.
+    #[inline]
+    pub fn record_bulk(&self, src: MachineId, dst: MachineId, count: u64, payload_bytes: u64) {
+        let cell = self.cell(src, dst);
+        self.messages[cell].fetch_add(count, Ordering::Relaxed);
+        self.bytes[cell].fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        for c in &self.messages {
+            c.store(0, Ordering::Relaxed);
+        }
+        for c in &self.bytes {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            machines: self.machines,
+            messages: self.messages.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            bytes: self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Simulated communication time, in microseconds, charged to machine
+    /// `src`: the time to push all its outbound cross-machine traffic through
+    /// the cost model.
+    pub fn simulated_send_time_us(&self, src: MachineId) -> f64 {
+        let snap = self.snapshot();
+        let msgs = snap.messages_from(src);
+        let bytes = snap.bytes_from(src);
+        self.cost.time_us(msgs, bytes)
+    }
+
+    /// Total simulated communication time across the cluster in microseconds.
+    pub fn simulated_total_time_us(&self) -> f64 {
+        let snap = self.snapshot();
+        self.cost.time_us(snap.total_messages(), snap.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(x: u16) -> MachineId {
+        MachineId(x)
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let net = Network::new(3, CostModel::default());
+        net.record(m(0), m(1), 100);
+        net.record(m(0), m(1), 50);
+        net.record(m(1), m(2), 10);
+        net.record(m(2), m(2), 999); // local, excluded from totals
+        let snap = net.snapshot();
+        assert_eq!(snap.total_messages(), 3);
+        assert_eq!(snap.total_bytes(), 160);
+        assert_eq!(snap.messages_from(m(0)), 2);
+        assert_eq!(snap.bytes_from(m(0)), 150);
+        assert_eq!(snap.messages_from(m(2)), 0);
+    }
+
+    #[test]
+    fn bulk_record() {
+        let net = Network::new(2, CostModel::default());
+        net.record_bulk(m(0), m(1), 10, 1000);
+        let snap = net.snapshot();
+        assert_eq!(snap.total_messages(), 10);
+        assert_eq!(snap.total_bytes(), 1000);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let net = Network::new(2, CostModel::default());
+        net.record(m(0), m(1), 10);
+        net.reset();
+        assert_eq!(net.snapshot().total_messages(), 0);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let model = CostModel::free();
+        assert_eq!(model.time_us(100, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn default_model_charges_latency_and_transfer() {
+        let model = CostModel::default();
+        // one batch of 64 KiB: 100us latency + 65536/125 us transfer
+        let t = model.time_us(1, 64 * 1024);
+        assert!(t > 100.0);
+        assert!(t < 1000.0);
+        // zero traffic is free
+        assert_eq!(model.time_us(0, 0), 0.0);
+    }
+
+    #[test]
+    fn batching_reduces_latency_charges() {
+        let model = CostModel {
+            latency_us: 100.0,
+            bytes_per_us: f64::INFINITY,
+            batch_bytes: 1000,
+        };
+        // 100 messages of 10 bytes each merge into one 1000-byte batch.
+        let merged = model.time_us(100, 1000);
+        let unmerged = CostModel {
+            batch_bytes: 1,
+            ..model
+        }
+        .time_us(100, 1000);
+        assert!(merged < unmerged);
+        assert_eq!(merged, 100.0);
+    }
+
+    #[test]
+    fn simulated_times_scale_with_traffic() {
+        let net = Network::new(2, CostModel::default());
+        net.record_bulk(m(0), m(1), 100, 10_000_000);
+        let t1 = net.simulated_send_time_us(m(0));
+        net.record_bulk(m(0), m(1), 100, 10_000_000);
+        let t2 = net.simulated_send_time_us(m(0));
+        assert!(t2 > t1);
+        assert!(net.simulated_total_time_us() >= t2);
+        assert_eq!(net.simulated_send_time_us(m(1)), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let net = Arc::new(Network::new(2, CostModel::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let net = Arc::clone(&net);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        net.record(m(0), m(1), 8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.snapshot().total_messages(), 4000);
+        assert_eq!(net.snapshot().total_bytes(), 32000);
+    }
+}

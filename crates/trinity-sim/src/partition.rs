@@ -1,0 +1,224 @@
+//! One logical machine of the memory cloud: the vertices assigned to it,
+//! their labels, their adjacency (CSR), and the local label index.
+
+use crate::csr::Csr;
+use crate::ids::{LabelId, VertexId};
+use crate::label_index::LabelIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vertex record as returned by `Cloud.Load`: the vertex's label and the
+/// IDs of its neighbors (which may live on any machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell<'a> {
+    /// The vertex this cell describes.
+    pub id: VertexId,
+    /// The vertex's label.
+    pub label: LabelId,
+    /// Global IDs of all neighbors, sorted ascending.
+    pub neighbors: &'a [VertexId],
+}
+
+/// The data owned by a single logical machine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Partition {
+    /// Global IDs of local vertices, in local-index order.
+    vertex_ids: Vec<VertexId>,
+    /// Label of each local vertex, parallel to `vertex_ids`.
+    labels: Vec<LabelId>,
+    /// Global → local index map.
+    local_of: HashMap<VertexId, u32>,
+    /// Adjacency of local vertices.
+    adjacency: Csr,
+    /// Label → local vertex IDs.
+    label_index: LabelIndex,
+}
+
+impl Partition {
+    /// Assembles a partition from parallel vectors of vertex IDs, labels and
+    /// adjacency lists. The three inputs must have the same length.
+    pub fn new(
+        vertex_ids: Vec<VertexId>,
+        labels: Vec<LabelId>,
+        adjacency_lists: Vec<Vec<VertexId>>,
+        num_labels: usize,
+    ) -> Self {
+        assert_eq!(vertex_ids.len(), labels.len());
+        assert_eq!(vertex_ids.len(), adjacency_lists.len());
+        let local_of: HashMap<VertexId, u32> = vertex_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let label_index = LabelIndex::build(
+            vertex_ids.iter().copied().zip(labels.iter().copied()),
+            num_labels,
+        );
+        let adjacency = Csr::from_lists(adjacency_lists);
+        Partition {
+            vertex_ids,
+            labels,
+            local_of,
+            adjacency,
+            label_index,
+        }
+    }
+
+    /// Number of vertices owned by this machine.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_ids.len()
+    }
+
+    /// Number of adjacency entries stored locally.
+    #[inline]
+    pub fn num_edge_entries(&self) -> usize {
+        self.adjacency.num_entries()
+    }
+
+    /// Whether this machine owns vertex `id`.
+    #[inline]
+    pub fn owns(&self, id: VertexId) -> bool {
+        self.local_of.contains_key(&id)
+    }
+
+    /// Loads the cell of a locally-owned vertex. Returns `None` when the
+    /// vertex is not owned by this machine.
+    pub fn load(&self, id: VertexId) -> Option<Cell<'_>> {
+        let &local = self.local_of.get(&id)?;
+        let local = local as usize;
+        Some(Cell {
+            id,
+            label: self.labels[local],
+            neighbors: self.adjacency.neighbors(local),
+        })
+    }
+
+    /// Label of a locally-owned vertex.
+    pub fn label_of(&self, id: VertexId) -> Option<LabelId> {
+        self.local_of
+            .get(&id)
+            .map(|&local| self.labels[local as usize])
+    }
+
+    /// Degree of a locally-owned vertex.
+    pub fn degree_of(&self, id: VertexId) -> Option<usize> {
+        self.local_of
+            .get(&id)
+            .map(|&local| self.adjacency.degree(local as usize))
+    }
+
+    /// Local vertices with the given label (the paper's `Index.getID`,
+    /// restricted to this machine).
+    #[inline]
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        self.label_index.get(label)
+    }
+
+    /// Number of local vertices with the given label.
+    #[inline]
+    pub fn label_frequency(&self, label: LabelId) -> usize {
+        self.label_index.frequency(label)
+    }
+
+    /// Whether a locally-owned vertex has a given neighbor.
+    pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        match self.local_of.get(&from) {
+            Some(&local) => self.adjacency.has_neighbor(local as usize, to),
+            None => false,
+        }
+    }
+
+    /// Iterates over all locally-owned vertices in local-index order.
+    pub fn iter_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertex_ids.iter().copied()
+    }
+
+    /// Iterates over `(vertex, label, neighbors)` of every local vertex.
+    pub fn iter_cells(&self) -> impl Iterator<Item = Cell<'_>> {
+        (0..self.num_vertices()).map(move |local| Cell {
+            id: self.vertex_ids[local],
+            label: self.labels[local],
+            neighbors: self.adjacency.neighbors(local),
+        })
+    }
+
+    /// Approximate memory footprint of this partition in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.vertex_ids.len() * std::mem::size_of::<VertexId>()
+            + self.labels.len() * std::mem::size_of::<LabelId>()
+            + self.local_of.len()
+                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() + 8)
+            + self.adjacency.memory_bytes()
+            + self.label_index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn l(x: u32) -> LabelId {
+        LabelId(x)
+    }
+
+    fn sample_partition() -> Partition {
+        // vertices 10 (label 0), 20 (label 1), 30 (label 0)
+        Partition::new(
+            vec![v(10), v(20), v(30)],
+            vec![l(0), l(1), l(0)],
+            vec![vec![v(20), v(99)], vec![v(10)], vec![]],
+            2,
+        )
+    }
+
+    #[test]
+    fn load_local_cell() {
+        let p = sample_partition();
+        let cell = p.load(v(10)).unwrap();
+        assert_eq!(cell.label, l(0));
+        assert_eq!(cell.neighbors, &[v(20), v(99)]);
+        assert!(p.load(v(99)).is_none());
+    }
+
+    #[test]
+    fn label_lookup() {
+        let p = sample_partition();
+        assert_eq!(p.vertices_with_label(l(0)), &[v(10), v(30)]);
+        assert_eq!(p.vertices_with_label(l(1)), &[v(20)]);
+        assert_eq!(p.label_frequency(l(0)), 2);
+        assert_eq!(p.label_of(v(20)), Some(l(1)));
+        assert_eq!(p.label_of(v(77)), None);
+    }
+
+    #[test]
+    fn edge_and_degree_queries() {
+        let p = sample_partition();
+        assert!(p.has_edge(v(10), v(99)));
+        assert!(!p.has_edge(v(10), v(30)));
+        assert!(!p.has_edge(v(77), v(10)));
+        assert_eq!(p.degree_of(v(10)), Some(2));
+        assert_eq!(p.degree_of(v(30)), Some(0));
+    }
+
+    #[test]
+    fn ownership_and_iteration() {
+        let p = sample_partition();
+        assert!(p.owns(v(10)));
+        assert!(!p.owns(v(11)));
+        let ids: Vec<_> = p.iter_vertices().collect();
+        assert_eq!(ids, vec![v(10), v(20), v(30)]);
+        assert_eq!(p.iter_cells().count(), 3);
+        assert_eq!(p.num_vertices(), 3);
+        assert_eq!(p.num_edge_entries(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        Partition::new(vec![v(1)], vec![l(0), l(1)], vec![vec![]], 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Whole-graph statistics used by query optimization and by the experiment
+//! harness (degree distributions, label frequencies, memory accounting).
+
+use crate::cloud::MemoryCloud;
+use crate::ids::LabelId;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a memory-cloud-resident graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Total vertices.
+    pub num_vertices: u64,
+    /// Total undirected edges.
+    pub num_edges: u64,
+    /// Number of distinct labels.
+    pub num_labels: usize,
+    /// Average degree (2·m / n for an undirected graph).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated_vertices: u64,
+    /// Label density: distinct labels divided by vertex count (the knob swept
+    /// in Fig. 10(d)).
+    pub label_density: f64,
+    /// Approximate resident memory of the partitioned graph, in bytes.
+    pub memory_bytes: usize,
+    /// Number of logical machines.
+    pub num_machines: usize,
+    /// Vertices per machine (balance diagnostic).
+    pub vertices_per_machine: Vec<usize>,
+}
+
+/// Computes [`GraphStats`] for a cloud-resident graph in one pass.
+pub fn graph_stats(cloud: &MemoryCloud) -> GraphStats {
+    let mut max_degree = 0usize;
+    let mut isolated = 0u64;
+    let mut degree_sum = 0u128;
+    for m in cloud.machines() {
+        let p = cloud.partition(m);
+        for cell in p.iter_cells() {
+            let d = cell.neighbors.len();
+            degree_sum += d as u128;
+            if d > max_degree {
+                max_degree = d;
+            }
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+    }
+    let n = cloud.num_vertices();
+    let avg_degree = if n > 0 {
+        degree_sum as f64 / n as f64
+    } else {
+        0.0
+    };
+    let vertices_per_machine = cloud
+        .machines()
+        .map(|m| cloud.partition(m).num_vertices())
+        .collect();
+    GraphStats {
+        num_vertices: n,
+        num_edges: cloud.num_edges(),
+        num_labels: cloud.labels().len(),
+        avg_degree,
+        max_degree,
+        isolated_vertices: isolated,
+        label_density: if n > 0 {
+            cloud.labels().len() as f64 / n as f64
+        } else {
+            0.0
+        },
+        memory_bytes: cloud.memory_bytes(),
+        num_machines: cloud.num_machines(),
+        vertices_per_machine,
+    }
+}
+
+/// A histogram of label frequencies, sorted by decreasing frequency.
+pub fn label_histogram(cloud: &MemoryCloud) -> Vec<(LabelId, u64)> {
+    let mut hist: Vec<(LabelId, u64)> = cloud
+        .labels()
+        .iter()
+        .map(|(id, _)| (id, cloud.label_frequency(id)))
+        .collect();
+    hist.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hist
+}
+
+/// Degree histogram with logarithmic (power-of-two) buckets: entry `i` counts
+/// vertices whose degree `d` satisfies `2^i <= d+1 < 2^(i+1)`.
+pub fn degree_histogram_log2(cloud: &MemoryCloud) -> Vec<u64> {
+    let mut buckets: Vec<u64> = Vec::new();
+    for m in cloud.machines() {
+        let p = cloud.partition(m);
+        for cell in p.iter_cells() {
+            let bucket = (usize::BITS - (cell.neighbors.len() + 1).leading_zeros() - 1) as usize;
+            if bucket >= buckets.len() {
+                buckets.resize(bucket + 1, 0);
+            }
+            buckets[bucket] += 1;
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::VertexId;
+    use crate::network::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    fn star_cloud(leaves: u64, machines: usize) -> MemoryCloud {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_vertex(v(0), "hub");
+        for i in 1..=leaves {
+            b.add_vertex(v(i), "leaf");
+            b.add_edge(v(0), v(i));
+        }
+        // one isolated vertex
+        b.add_vertex(v(leaves + 1), "iso");
+        b.build(machines, CostModel::free())
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let cloud = star_cloud(10, 3);
+        let s = graph_stats(&cloud);
+        assert_eq!(s.num_vertices, 12);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.num_labels, 3);
+        assert_eq!(s.max_degree, 10);
+        assert_eq!(s.isolated_vertices, 1);
+        assert!((s.avg_degree - 20.0 / 12.0).abs() < 1e-9);
+        assert_eq!(s.num_machines, 3);
+        assert_eq!(s.vertices_per_machine.iter().sum::<usize>(), 12);
+        assert!(s.memory_bytes > 0);
+        assert!((s.label_density - 3.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn label_histogram_is_sorted_by_frequency() {
+        let cloud = star_cloud(10, 2);
+        let hist = label_histogram(&cloud);
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].1, 10); // "leaf"
+        assert!(hist[1].1 <= hist[0].1);
+        assert!(hist[2].1 <= hist[1].1);
+    }
+
+    #[test]
+    fn degree_histogram_buckets_sum_to_n() {
+        let cloud = star_cloud(17, 4);
+        let hist = degree_histogram_log2(&cloud);
+        assert_eq!(hist.iter().sum::<u64>(), cloud.num_vertices());
+        // hub has degree 17 → bucket log2(18) = 4
+        assert!(hist.len() >= 5);
+        assert!(hist[4] >= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # stwig-match
+//!
+//! Umbrella crate of the STwig reproduction (*Efficient Subgraph Matching on
+//! Billion Node Graphs*, Sun et al., VLDB 2012). It re-exports the four
+//! member crates so the examples and integration tests can use one import,
+//! and is the crate documented in the README quick start.
+//!
+//! * [`trinity_sim`] — the simulated Trinity memory cloud substrate.
+//! * [`stwig`] — the STwig matching algorithm (the paper's contribution).
+//! * [`graph_gen`] — graph, label and query workload generators.
+//! * [`baselines`] — Ullmann / VF2 / edge-join baseline matchers.
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use graph_gen;
+pub use stwig;
+pub use trinity_sim;
+
+/// Everything needed to build a graph, pose a query and run the matcher.
+pub mod prelude {
+    pub use baselines::{edge_join, signature_match, ullmann, vf2, SignatureIndex};
+    pub use graph_gen::prelude::*;
+    pub use stwig::prelude::*;
+    pub use trinity_sim::prelude::*;
+}
