@@ -24,10 +24,7 @@ pub fn label_degree_candidates(cloud: &MemoryCloud, query: &QueryGraph) -> Vec<V
 
 /// Builds a result table (columns = query vertices in index order) from a
 /// list of complete assignments.
-pub fn table_from_assignments(
-    query: &QueryGraph,
-    assignments: &[Vec<VertexId>],
-) -> ResultTable {
+pub fn table_from_assignments(query: &QueryGraph, assignments: &[Vec<VertexId>]) -> ResultTable {
     let columns: Vec<QVid> = query.vertices().collect();
     let mut table = ResultTable::with_capacity(columns.clone(), assignments.len());
     for a in assignments {

@@ -69,13 +69,12 @@ fn edge_candidates(
 ) -> ResultTable {
     let mut table = ResultTable::new(vec![u, v]);
     // Scan from the rarer endpoint label.
-    let (scan_label, other_label, swap) = if cloud.label_frequency(label_u)
-        <= cloud.label_frequency(label_v)
-    {
-        (label_u, label_v, false)
-    } else {
-        (label_v, label_u, true)
-    };
+    let (scan_label, other_label, swap) =
+        if cloud.label_frequency(label_u) <= cloud.label_frequency(label_v) {
+            (label_u, label_v, false)
+        } else {
+            (label_v, label_u, true)
+        };
     for x in cloud.all_ids_with_label(scan_label) {
         for &y in cloud.neighbors_global(x) {
             if x == y {

@@ -166,7 +166,16 @@ fn backtrack(
             }
         }
         assignment[u.index()] = Some(c);
-        backtrack(cloud, query, order, depth + 1, candidates, assignment, results, max_results);
+        backtrack(
+            cloud,
+            query,
+            order,
+            depth + 1,
+            candidates,
+            assignment,
+            results,
+            max_results,
+        );
         assignment[u.index()] = None;
     }
 }

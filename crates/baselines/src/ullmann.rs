@@ -13,11 +13,7 @@ use trinity_sim::MemoryCloud;
 
 /// Runs Ullmann's algorithm, returning up to `max_results` embeddings
 /// (`None` = all).
-pub fn ullmann(
-    cloud: &MemoryCloud,
-    query: &QueryGraph,
-    max_results: Option<usize>,
-) -> ResultTable {
+pub fn ullmann(cloud: &MemoryCloud, query: &QueryGraph, max_results: Option<usize>) -> ResultTable {
     let mut candidates = label_degree_candidates(cloud, query);
     refine(cloud, query, &mut candidates);
 

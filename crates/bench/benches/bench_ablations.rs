@@ -2,9 +2,9 @@
 //! decomposition strategies, binding-aware exploration versus naive
 //! exploration, and join-order selection.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use stwig::decompose::{decompose_ordered, decompose_random, UniformStats};
 use stwig::join::{multiway_join, select_join_order};
 use stwig::metrics::JoinCounters;

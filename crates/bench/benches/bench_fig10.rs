@@ -1,9 +1,9 @@
 //! Figure 10: synthetic R-MAT scalability sweeps — graph size at fixed
 //! degree, graph size at fixed density, average degree, and label density.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use stwig::MatchConfig;
 use trinity_sim::network::CostModel;
 use trinity_sim::MemoryCloud;
@@ -28,8 +28,8 @@ fn bench_fig10a_graph_size(c: &mut Criterion) {
     for &n in &[1_000u64, 4_000, 16_000] {
         // Fixed fraction of labels (5%) so the smallest graph is not a
         // degenerate near-unlabeled graph.
-        let cloud = synthetic_experiment_graph(n, 16.0, 5e-2, 0xF10A)
-            .build_cloud(8, CostModel::default());
+        let cloud =
+            synthetic_experiment_graph(n, 16.0, 5e-2, 0xF10A).build_cloud(8, CostModel::default());
         group.bench_with_input(BenchmarkId::from_parameter(n), &cloud, |b, cl| {
             b.iter(|| run_queries(cl, true, 0xD0))
         });
@@ -59,8 +59,8 @@ fn bench_fig10c_degree(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for &d in &[4.0f64, 8.0, 16.0] {
-        let cloud = synthetic_experiment_graph(4_000, d, 5e-2, 0xF10C)
-            .build_cloud(8, CostModel::default());
+        let cloud =
+            synthetic_experiment_graph(4_000, d, 5e-2, 0xF10C).build_cloud(8, CostModel::default());
         group.bench_with_input(BenchmarkId::from_parameter(d as u64), &cloud, |b, cl| {
             b.iter(|| run_queries(cl, true, 0xD2))
         });

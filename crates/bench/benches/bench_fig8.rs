@@ -1,9 +1,9 @@
 //! Figure 8: query run time on the real-data profiles as a function of query
 //! node count (DFS and random queries) and query edge count.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use stwig::MatchConfig;
 use trinity_sim::network::CostModel;
 use trinity_sim::MemoryCloud;

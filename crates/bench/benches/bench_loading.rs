@@ -2,9 +2,9 @@
 //! degree 16), i.e. the cost of building the partitioned store and its
 //! linear string index.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use trinity_sim::network::CostModel;
 
 fn bench_loading(c: &mut Criterion) {

@@ -4,9 +4,9 @@
 //! `experiments fig9a`/`fig9b` harness) is what reproduces the paper's
 //! speed-up curves.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use stwig::MatchConfig;
 use trinity_sim::network::CostModel;
 

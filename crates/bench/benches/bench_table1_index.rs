@@ -2,9 +2,9 @@
 //! edge-join baselines on the two dataset profiles, plus the cost of the only
 //! index STwig needs (graph loading + string index).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graph_gen::prelude::*;
+use std::time::Duration;
 use stwig::MatchConfig;
 use trinity_sim::network::CostModel;
 

@@ -25,8 +25,7 @@ use trinity_sim::MemoryCloud;
 /// between Algorithm 2's ordered decomposition and the random 2-approximate
 /// cover, on random queries over the Patents-like profile.
 pub fn ablation_order(scale: Scale) -> Vec<Row> {
-    let cloud =
-        patents_like(scale.base_vertices(), 0xA11CE).build_cloud(4, CostModel::default());
+    let cloud = patents_like(scale.base_vertices(), 0xA11CE).build_cloud(4, CostModel::default());
     // DFS queries: they are guaranteed to have matches, so the exploration
     // cost difference between the two decompositions is actually exercised
     // (random queries on the Patents profile almost always have zero matches
@@ -52,10 +51,34 @@ pub fn ablation_order(scale: Scale) -> Vec<Row> {
         }
     }
     let n = queries.len().max(1) as f64;
-    rows.push(Row::new("ablation-order", "algorithm2", 0.0, "avg_stwig_rows", ordered_rows / n));
-    rows.push(Row::new("ablation-order", "random_cover", 0.0, "avg_stwig_rows", random_rows / n));
-    rows.push(Row::new("ablation-order", "algorithm2", 0.0, "avg_cells_loaded", ordered_loads / n));
-    rows.push(Row::new("ablation-order", "random_cover", 0.0, "avg_cells_loaded", random_loads / n));
+    rows.push(Row::new(
+        "ablation-order",
+        "algorithm2",
+        0.0,
+        "avg_stwig_rows",
+        ordered_rows / n,
+    ));
+    rows.push(Row::new(
+        "ablation-order",
+        "random_cover",
+        0.0,
+        "avg_stwig_rows",
+        random_rows / n,
+    ));
+    rows.push(Row::new(
+        "ablation-order",
+        "algorithm2",
+        0.0,
+        "avg_cells_loaded",
+        ordered_loads / n,
+    ));
+    rows.push(Row::new(
+        "ablation-order",
+        "random_cover",
+        0.0,
+        "avg_cells_loaded",
+        random_loads / n,
+    ));
     rows
 }
 
@@ -110,8 +133,7 @@ fn explore_cost(
 /// worst head, over DFS queries on the Patents-like profile partitioned
 /// across 8 machines.
 pub fn ablation_head(scale: Scale) -> Vec<Row> {
-    let cloud =
-        patents_like(scale.base_vertices(), 0xA11CE).build_cloud(8, CostModel::default());
+    let cloud = patents_like(scale.base_vertices(), 0xA11CE).build_cloud(8, CostModel::default());
     let queries = query_batch(&cloud, scale.queries_per_point(), 8, None, 0xAB2);
     let mut best_total = 0.0;
     let mut worst_total = 0.0;
@@ -135,8 +157,20 @@ pub fn ablation_head(scale: Scale) -> Vec<Row> {
     }
     let n = counted.max(1) as f64;
     vec![
-        Row::new("ablation-head", "selected_head", 0.0, "avg_comm_cost", best_total / n),
-        Row::new("ablation-head", "worst_head", 0.0, "avg_comm_cost", worst_total / n),
+        Row::new(
+            "ablation-head",
+            "selected_head",
+            0.0,
+            "avg_comm_cost",
+            best_total / n,
+        ),
+        Row::new(
+            "ablation-head",
+            "worst_head",
+            0.0,
+            "avg_comm_cost",
+            worst_total / n,
+        ),
     ]
 }
 
@@ -154,12 +188,48 @@ pub fn ablation_explore(scale: Scale) -> Vec<Row> {
         false,
     );
     vec![
-        Row::new("ablation-explore", "with_bindings", 0.0, "avg_stwig_rows", with.avg_stwig_rows),
-        Row::new("ablation-explore", "no_bindings", 0.0, "avg_stwig_rows", without.avg_stwig_rows),
-        Row::new("ablation-explore", "with_bindings", 0.0, "run_time_ms", with.avg_wall_ms),
-        Row::new("ablation-explore", "no_bindings", 0.0, "run_time_ms", without.avg_wall_ms),
-        Row::new("ablation-explore", "with_bindings", 0.0, "matches", with.avg_matches),
-        Row::new("ablation-explore", "no_bindings", 0.0, "matches", without.avg_matches),
+        Row::new(
+            "ablation-explore",
+            "with_bindings",
+            0.0,
+            "avg_stwig_rows",
+            with.avg_stwig_rows,
+        ),
+        Row::new(
+            "ablation-explore",
+            "no_bindings",
+            0.0,
+            "avg_stwig_rows",
+            without.avg_stwig_rows,
+        ),
+        Row::new(
+            "ablation-explore",
+            "with_bindings",
+            0.0,
+            "run_time_ms",
+            with.avg_wall_ms,
+        ),
+        Row::new(
+            "ablation-explore",
+            "no_bindings",
+            0.0,
+            "run_time_ms",
+            without.avg_wall_ms,
+        ),
+        Row::new(
+            "ablation-explore",
+            "with_bindings",
+            0.0,
+            "matches",
+            with.avg_matches,
+        ),
+        Row::new(
+            "ablation-explore",
+            "no_bindings",
+            0.0,
+            "matches",
+            without.avg_matches,
+        ),
     ]
 }
 
@@ -197,7 +267,13 @@ pub fn figure3_candidate_counts(k: u64) -> Vec<Row> {
     // Exploration strategy: STwig exploration rows.
     let out = stwig::match_query(&cloud, &query, &MatchConfig::default()).unwrap();
     vec![
-        Row::new("figure3", "edge_join", k as f64, "candidate_rows", stats.candidate_rows as f64),
+        Row::new(
+            "figure3",
+            "edge_join",
+            k as f64,
+            "candidate_rows",
+            stats.candidate_rows as f64,
+        ),
         Row::new(
             "figure3",
             "exploration",
@@ -205,13 +281,22 @@ pub fn figure3_candidate_counts(k: u64) -> Vec<Row> {
             "candidate_rows",
             out.metrics.explore.rows_emitted as f64,
         ),
-        Row::new("figure3", "answers", k as f64, "matches", out.num_matches() as f64),
+        Row::new(
+            "figure3",
+            "answers",
+            k as f64,
+            "matches",
+            out.num_matches() as f64,
+        ),
     ]
 }
 
 /// Runs the pipelined join directly over pre-built tables — exposed so the
 /// criterion benches can isolate the join stage.
-pub fn join_only_cost(tables: &[stwig::ResultTable], config: &MatchConfig) -> (usize, JoinCounters) {
+pub fn join_only_cost(
+    tables: &[stwig::ResultTable],
+    config: &MatchConfig,
+) -> (usize, JoinCounters) {
     let mut counters = JoinCounters::default();
     let out = pipelined_join(tables, config, &mut counters);
     (out.num_rows(), counters)
@@ -225,10 +310,17 @@ mod tests {
     fn figure3_exploration_beats_edge_join() {
         let rows = figure3_candidate_counts(50);
         let ej = rows.iter().find(|r| r.series == "edge_join").unwrap().value;
-        let ex = rows.iter().find(|r| r.series == "exploration").unwrap().value;
+        let ex = rows
+            .iter()
+            .find(|r| r.series == "exploration")
+            .unwrap()
+            .value;
         // The query a-b-c on G1 has exactly 2 answers; the edge-join strategy
         // materializes ~k useless (b_i, c_2) candidates first.
-        assert!(ej > ex, "edge_join candidates {ej} should exceed exploration {ex}");
+        assert!(
+            ej > ex,
+            "edge_join candidates {ej} should exceed exploration {ex}"
+        );
         let matches = rows.iter().find(|r| r.series == "answers").unwrap().value;
         assert_eq!(matches, 2.0);
     }
@@ -246,7 +338,10 @@ mod tests {
             .find(|r| r.series == "no_bindings" && r.metric == "avg_stwig_rows")
             .unwrap()
             .value;
-        assert!(with <= without, "bindings should not increase exploration rows");
+        assert!(
+            with <= without,
+            "bindings should not increase exploration rows"
+        );
         // Both strategies must agree on the number of matches.
         let m_with = rows
             .iter()
@@ -264,8 +359,16 @@ mod tests {
     #[test]
     fn ablation_head_selected_is_no_worse_than_worst() {
         let rows = ablation_head(Scale::Small);
-        let best = rows.iter().find(|r| r.series == "selected_head").unwrap().value;
-        let worst = rows.iter().find(|r| r.series == "worst_head").unwrap().value;
+        let best = rows
+            .iter()
+            .find(|r| r.series == "selected_head")
+            .unwrap()
+            .value;
+        let worst = rows
+            .iter()
+            .find(|r| r.series == "worst_head")
+            .unwrap()
+            .value;
         assert!(best <= worst);
     }
 }

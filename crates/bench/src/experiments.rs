@@ -91,7 +91,13 @@ pub fn table1(scale: Scale) -> Vec<Row> {
         // Neighborhood-signature index baseline (Table 1 group 4): pays a
         // super-linear index to speed queries up.
         let (sig_index, sig_build_ms) = timed(|| baselines::SignatureIndex::build(&cloud));
-        rows.push(Row::new("table1", name, 0.0, "signature_index_build_ms", sig_build_ms));
+        rows.push(Row::new(
+            "table1",
+            name,
+            0.0,
+            "signature_index_build_ms",
+            sig_build_ms,
+        ));
         rows.push(Row::new(
             "table1",
             name,
@@ -144,7 +150,13 @@ pub fn table2(scale: Scale) -> Vec<Row> {
     for &n in &sizes {
         let graph = synthetic_experiment_graph(n, 16.0, 1e-3, 0x7AB1E2);
         let (cloud, ms) = timed(|| graph.build_cloud(DEFAULT_MACHINES, CostModel::default()));
-        rows.push(Row::new("table2", "rmat_deg16", n as f64, "load_time_ms", ms));
+        rows.push(Row::new(
+            "table2",
+            "rmat_deg16",
+            n as f64,
+            "load_time_ms",
+            ms,
+        ));
         rows.push(Row::new(
             "table2",
             "rmat_deg16",
@@ -168,8 +180,20 @@ pub fn fig8a(scale: Scale) -> Vec<Row> {
         for n in 3..=10usize {
             let queries = query_batch(&cloud, scale.queries_per_point(), n, None, 0x8A0 + n as u64);
             let res = run_suite(&cloud, &queries, &config, true);
-            rows.push(Row::new("fig8a", name, n as f64, "run_time_ms", res.avg_simulated_ms));
-            rows.push(Row::new("fig8a", name, n as f64, "matches", res.avg_matches));
+            rows.push(Row::new(
+                "fig8a",
+                name,
+                n as f64,
+                "run_time_ms",
+                res.avg_simulated_ms,
+            ));
+            rows.push(Row::new(
+                "fig8a",
+                name,
+                n as f64,
+                "matches",
+                res.avg_matches,
+            ));
         }
     }
     rows
@@ -184,11 +208,28 @@ pub fn fig8b(scale: Scale) -> Vec<Row> {
         ("wordnet", wordnet_cloud(scale, DEFAULT_MACHINES)),
     ] {
         for n in (5..=15usize).step_by(2) {
-            let queries =
-                query_batch(&cloud, scale.queries_per_point(), n, Some(2 * n), 0x8B0 + n as u64);
+            let queries = query_batch(
+                &cloud,
+                scale.queries_per_point(),
+                n,
+                Some(2 * n),
+                0x8B0 + n as u64,
+            );
             let res = run_suite(&cloud, &queries, &config, true);
-            rows.push(Row::new("fig8b", name, n as f64, "run_time_ms", res.avg_simulated_ms));
-            rows.push(Row::new("fig8b", name, n as f64, "matches", res.avg_matches));
+            rows.push(Row::new(
+                "fig8b",
+                name,
+                n as f64,
+                "run_time_ms",
+                res.avg_simulated_ms,
+            ));
+            rows.push(Row::new(
+                "fig8b",
+                name,
+                n as f64,
+                "matches",
+                res.avg_matches,
+            ));
         }
     }
     rows
@@ -203,10 +244,21 @@ pub fn fig8c(scale: Scale) -> Vec<Row> {
         ("wordnet", wordnet_cloud(scale, DEFAULT_MACHINES)),
     ] {
         for e in (10..=20usize).step_by(2) {
-            let queries =
-                query_batch(&cloud, scale.queries_per_point(), 10, Some(e), 0x8C0 + e as u64);
+            let queries = query_batch(
+                &cloud,
+                scale.queries_per_point(),
+                10,
+                Some(e),
+                0x8C0 + e as u64,
+            );
             let res = run_suite(&cloud, &queries, &config, true);
-            rows.push(Row::new("fig8c", name, e as f64, "run_time_ms", res.avg_simulated_ms));
+            rows.push(Row::new(
+                "fig8c",
+                name,
+                e as f64,
+                "run_time_ms",
+                res.avg_simulated_ms,
+            ));
         }
     }
     rows
@@ -250,7 +302,13 @@ fn speedup_experiment(experiment: &str, scale: Scale, edges_factor: Option<usize
             );
             let res = run_suite(&cloud, &queries, &config, true);
             let ms = res.avg_simulated_ms;
-            rows.push(Row::new(experiment, name, machines as f64, "run_time_ms", ms));
+            rows.push(Row::new(
+                experiment,
+                name,
+                machines as f64,
+                "run_time_ms",
+                ms,
+            ));
             let base = *baseline_ms.get_or_insert(ms);
             rows.push(Row::new(
                 experiment,
@@ -345,18 +403,48 @@ fn synthetic_point(experiment: &str, cloud: &MemoryCloud, x: f64, scale: Scale) 
     let mut rows = Vec::new();
     let dfs = query_batch(cloud, scale.queries_per_point(), 6, None, 0xD0 + x as u64);
     let res = run_suite(cloud, &dfs, &config, true);
-    rows.push(Row::new(experiment, "dfs", x, "run_time_ms", res.avg_simulated_ms));
-    let random = query_batch(cloud, scale.queries_per_point(), 6, Some(9), 0xD1 + x as u64);
+    rows.push(Row::new(
+        experiment,
+        "dfs",
+        x,
+        "run_time_ms",
+        res.avg_simulated_ms,
+    ));
+    let random = query_batch(
+        cloud,
+        scale.queries_per_point(),
+        6,
+        Some(9),
+        0xD1 + x as u64,
+    );
     let res = run_suite(cloud, &random, &config, true);
-    rows.push(Row::new(experiment, "random", x, "run_time_ms", res.avg_simulated_ms));
+    rows.push(Row::new(
+        experiment,
+        "random",
+        x,
+        "run_time_ms",
+        res.avg_simulated_ms,
+    ));
     rows
 }
 
 /// Returns every experiment name understood by [`run_experiment`].
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "fig8a", "fig8b", "fig8c", "fig9a", "fig9b", "fig10a", "fig10b",
-        "fig10c", "fig10d", "ablation-order", "ablation-head", "ablation-explore",
+        "table1",
+        "table2",
+        "fig8a",
+        "fig8b",
+        "fig8c",
+        "fig9a",
+        "fig9b",
+        "fig10a",
+        "fig10b",
+        "fig10c",
+        "fig10d",
+        "ablation-order",
+        "ablation-head",
+        "ablation-explore",
     ]
 }
 

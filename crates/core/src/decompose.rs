@@ -155,8 +155,8 @@ pub fn decompose_ordered<S: LabelStatistics>(
         let (&(a, b), _) = candidate_edges
             .iter()
             .map(|e| {
-                let score = f_value(query, &residual, stats, e.0)
-                    + f_value(query, &residual, stats, e.1);
+                let score =
+                    f_value(query, &residual, stats, e.0) + f_value(query, &residual, stats, e.1);
                 (e, score)
             })
             .fold(None::<(&(QVid, QVid), f64)>, |best, (e, s)| match best {
@@ -249,10 +249,7 @@ pub fn decompose_random(query: &QueryGraph, seed: u64) -> Result<Vec<STwig>, Stw
 pub fn minimum_cover_size_bruteforce(query: &QueryGraph) -> usize {
     let n = query.num_vertices();
     assert!(n <= 20, "brute force only supports small queries");
-    let edges: Vec<(usize, usize)> = query
-        .edges()
-        .map(|(u, v)| (u.index(), v.index()))
-        .collect();
+    let edges: Vec<(usize, usize)> = query.edges().map(|(u, v)| (u.index(), v.index())).collect();
     if edges.is_empty() {
         return 0;
     }

@@ -312,7 +312,9 @@ fn finalize(metrics: &mut QueryMetrics, cloud: &MemoryCloud, started: Instant) {
     // Per-machine communication time and simulated makespan.
     let mut makespan: f64 = 0.0;
     for mm in &mut metrics.machines {
-        mm.comm_us = cloud.network().simulated_send_time_us(MachineId(mm.machine));
+        mm.comm_us = cloud
+            .network()
+            .simulated_send_time_us(MachineId(mm.machine));
         makespan = makespan.max(mm.compute_us + mm.comm_us);
     }
     if metrics.machines.is_empty() {

@@ -39,15 +39,25 @@ pub enum StwigError {
 impl fmt::Display for StwigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StwigError::LabelNotFound(l) => write!(f, "label `{l}` does not exist in the data graph"),
+            StwigError::LabelNotFound(l) => {
+                write!(f, "label `{l}` does not exist in the data graph")
+            }
             StwigError::EmptyQuery => write!(f, "query graph has no vertices"),
             StwigError::DisconnectedQuery => write!(f, "query graph is not connected"),
             StwigError::TooManyVertices { got, max } => {
-                write!(f, "query has {got} vertices, more than the supported maximum of {max}")
+                write!(
+                    f,
+                    "query has {got} vertices, more than the supported maximum of {max}"
+                )
             }
-            StwigError::InvalidQueryVertex(i) => write!(f, "query edge references unknown vertex {i}"),
+            StwigError::InvalidQueryVertex(i) => {
+                write!(f, "query edge references unknown vertex {i}")
+            }
             StwigError::IsolatedQueryVertex(i) => {
-                write!(f, "query vertex {i} has no incident edge and cannot be covered by an STwig")
+                write!(
+                    f,
+                    "query vertex {i} has no incident edge and cannot be covered by an STwig"
+                )
             }
             StwigError::PatternSyntax { term, message } => {
                 write!(f, "pattern syntax error in term {term}: {message}")
@@ -65,15 +75,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(StwigError::LabelNotFound("foo".into()).to_string().contains("foo"));
+        assert!(StwigError::LabelNotFound("foo".into())
+            .to_string()
+            .contains("foo"));
         assert!(StwigError::EmptyQuery.to_string().contains("no vertices"));
-        assert!(StwigError::DisconnectedQuery.to_string().contains("not connected"));
+        assert!(StwigError::DisconnectedQuery
+            .to_string()
+            .contains("not connected"));
         assert!(StwigError::TooManyVertices { got: 99, max: 64 }
             .to_string()
             .contains("99"));
         assert!(StwigError::InvalidQueryVertex(3).to_string().contains('3'));
         assert!(StwigError::IsolatedQueryVertex(2).to_string().contains('2'));
-        assert!(StwigError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(StwigError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
         assert!(StwigError::PatternSyntax {
             term: 2,
             message: "bad connector".into()

@@ -267,7 +267,10 @@ mod tests {
         assert_eq!(m.matches_found, 2);
         assert!(m.wall_us > 0.0);
         assert!(m.simulated_us >= m.wall_us);
-        assert!(m.network_messages > 0, "3-way partitioned cloud must communicate");
+        assert!(
+            m.network_messages > 0,
+            "3-way partitioned cloud must communicate"
+        );
     }
 
     #[test]

@@ -34,22 +34,17 @@ pub struct HeadSelection {
 /// the smaller eccentricity, then the earlier STwig in processing order.
 ///
 /// `stwigs` must be non-empty.
-pub fn select_head(
-    query: &QueryGraph,
-    stwigs: &[STwig],
-    cluster: &ClusterGraph,
-) -> HeadSelection {
-    assert!(!stwigs.is_empty(), "cannot select a head from an empty decomposition");
+pub fn select_head(query: &QueryGraph, stwigs: &[STwig], cluster: &ClusterGraph) -> HeadSelection {
+    assert!(
+        !stwigs.is_empty(),
+        "cannot select a head from an empty decomposition"
+    );
     let dist = query.all_pairs_distances();
     let roots: Vec<usize> = stwigs.iter().map(|t| t.root.index()).collect();
 
     let mut best: Option<(usize, u32, u64)> = None; // (index, ecc, cost)
     for (i, &ri) in roots.iter().enumerate() {
-        let ecc = roots
-            .iter()
-            .map(|&rj| dist[ri][rj])
-            .max()
-            .unwrap_or(0);
+        let ecc = roots.iter().map(|&rj| dist[ri][rj]).max().unwrap_or(0);
         let cost = communication_cost(cluster, ecc);
         let better = match best {
             None => true,
@@ -160,10 +155,7 @@ mod tests {
         let q1 = b.vertex(l(4));
         b.edge(x, p1).edge(x, p2).edge(x, p3).edge(p1, q1);
         let q = b.build().unwrap();
-        let stwigs = vec![
-            STwig::new(q1, vec![p1]),
-            STwig::new(x, vec![p1, p2, p3]),
-        ];
+        let stwigs = vec![STwig::new(q1, vec![p1]), STwig::new(x, vec![p1, p2, p3])];
         let cluster = chain_cluster(6);
         let sel = select_head(&q, &stwigs, &cluster);
         // ecc(root=q1) = dist(q1, x) = 2; ecc(root=x) = dist(x, q1) = 2.

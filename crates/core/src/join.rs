@@ -141,14 +141,11 @@ pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usiz
                 .any(|c| joined_columns.contains(c));
             // Estimate against the actual table; scale by how much the
             // accumulated result has grown relative to the starting table.
-            let est = estimate_join_size(&tables[order[0]], &tables[ti], sample_size)
-                .max(1.0)
+            let est = estimate_join_size(&tables[order[0]], &tables[ti], sample_size).max(1.0)
                 * (current_size.max(1.0) / tables[order[0]].num_rows().max(1) as f64);
             let better = match best {
                 None => true,
-                Some((_, be, bshares)) => {
-                    (shares && !bshares) || (shares == bshares && est < be)
-                }
+                Some((_, be, bshares)) => (shares && !bshares) || (shares == bshares && est < be),
             };
             if better {
                 best = Some((pos, est, shares));

@@ -85,7 +85,9 @@ pub use table::ResultTable;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::config::MatchConfig;
-    pub use crate::decompose::{decompose_ordered, decompose_random, LabelStatistics, UniformStats};
+    pub use crate::decompose::{
+        decompose_ordered, decompose_random, LabelStatistics, UniformStats,
+    };
     pub use crate::distributed::{match_query_distributed, plan_query, QueryPlan};
     pub use crate::error::StwigError;
     pub use crate::executor::{match_query, MatchOutput};

@@ -25,6 +25,7 @@ use trinity_sim::MemoryCloud;
 ///    is injective).
 ///
 /// The output table's columns are `[root, child_1, .., child_k]`.
+#[allow(clippy::too_many_arguments)]
 pub fn match_stwig(
     cloud: &MemoryCloud,
     machine: MachineId,

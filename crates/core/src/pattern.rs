@@ -38,7 +38,10 @@ pub fn parse_pattern(cloud: &MemoryCloud, text: &str) -> Result<QueryGraph, Stwi
         let a = resolve_vertex(cloud, &mut builder, &mut vars, &left, term_index)?;
         let b = resolve_vertex(cloud, &mut builder, &mut vars, &right, term_index)?;
         if a == b {
-            return Err(syntax(term_index, "self-loop edges are not allowed in patterns"));
+            return Err(syntax(
+                term_index,
+                "self-loop edges are not allowed in patterns",
+            ));
         }
         builder.edge(a, b);
     }
@@ -102,7 +105,10 @@ fn split_edge(term: &str, term_index: usize) -> Result<(VertexRef, VertexRef), S
         connector == "-" || connector == "--" || connector.is_empty()
     };
     if !connector_ok {
-        return Err(syntax(term_index, "vertex references must be connected with '-'"));
+        return Err(syntax(
+            term_index,
+            "vertex references must be connected with '-'",
+        ));
     }
     let mut it = parts.into_iter();
     Ok((it.next().unwrap(), it.next().unwrap()))
@@ -118,7 +124,10 @@ fn parse_vertex_ref(inner: &str, term_index: usize) -> Result<VertexRef, StwigEr
         None => (inner, None),
     };
     if name.is_empty() {
-        return Err(syntax(term_index, "vertex reference is missing a variable name"));
+        return Err(syntax(
+            term_index,
+            "vertex reference is missing a variable name",
+        ));
     }
     if !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
         return Err(syntax(
@@ -197,11 +206,7 @@ mod tests {
     #[test]
     fn parses_triangle_pattern() {
         let cloud = cloud();
-        let q = parse_pattern(
-            &cloud,
-            "(p1:person)-(p2:person), (p1)-(c:city), (p2)-(c)",
-        )
-        .unwrap();
+        let q = parse_pattern(&cloud, "(p1:person)-(p2:person), (p1)-(c:city), (p2)-(c)").unwrap();
         assert_eq!(q.num_vertices(), 3);
         assert_eq!(q.num_edges(), 3);
         let out = crate::executor::match_query(&cloud, &q, &MatchConfig::default()).unwrap();
@@ -234,16 +239,16 @@ mod tests {
     fn malformed_terms_are_errors() {
         let cloud = cloud();
         for bad in [
-            "(a:person)",                       // only one vertex reference
-            "(a:person)-(b:person)-(c:city)",   // three references
-            "(a:person)=(b:person)",            // wrong connector
-            "(a:person)-(a)",                   // self loop
-            "(:person)-(b:person)",             // missing variable name
-            "(a person)-(b:person)",            // bad variable characters
-            "(a:person)-(b:)",                  // empty label
-            "(a:person-(b:person)",             // unclosed paren
-            "()-(b:person)",                    // empty reference
-            "",                                 // empty pattern
+            "(a:person)",                     // only one vertex reference
+            "(a:person)-(b:person)-(c:city)", // three references
+            "(a:person)=(b:person)",          // wrong connector
+            "(a:person)-(a)",                 // self loop
+            "(:person)-(b:person)",           // missing variable name
+            "(a person)-(b:person)",          // bad variable characters
+            "(a:person)-(b:)",                // empty label
+            "(a:person-(b:person)",           // unclosed paren
+            "()-(b:person)",                  // empty reference
+            "",                               // empty pattern
         ] {
             assert!(
                 parse_pattern(&cloud, bad).is_err(),

@@ -133,7 +133,9 @@ mod tests {
     fn chain_tables(pairs: usize) -> Vec<ResultTable> {
         // q0-q1 and q1-q2 tables with `pairs` matching chains.
         let rows_a: Vec<Vec<u64>> = (0..pairs as u64).map(|i| vec![i, 1000 + i]).collect();
-        let rows_b: Vec<Vec<u64>> = (0..pairs as u64).map(|i| vec![1000 + i, 2000 + i]).collect();
+        let rows_b: Vec<Vec<u64>> = (0..pairs as u64)
+            .map(|i| vec![1000 + i, 2000 + i])
+            .collect();
         let a = {
             let refs: Vec<&[u64]> = rows_a.iter().map(|r| r.as_slice()).collect();
             table(&[0, 1], &refs)

@@ -126,7 +126,10 @@ mod tests {
         // 0-1, 1-2, 2-3, 3-0
         let mut b = QueryGraph::builder();
         let v: Vec<QVid> = (0..4).map(|i| b.vertex(l(i))).collect();
-        b.edge(v[0], v[1]).edge(v[1], v[2]).edge(v[2], v[3]).edge(v[3], v[0]);
+        b.edge(v[0], v[1])
+            .edge(v[1], v[2])
+            .edge(v[2], v[3])
+            .edge(v[3], v[0]);
         b.build().unwrap()
     }
 

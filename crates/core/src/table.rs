@@ -21,7 +21,10 @@ pub struct ResultTable {
 impl ResultTable {
     /// Creates an empty table with the given columns.
     pub fn new(columns: Vec<QVid>) -> Self {
-        debug_assert!(!columns.is_empty(), "a result table needs at least one column");
+        debug_assert!(
+            !columns.is_empty(),
+            "a result table needs at least one column"
+        );
         ResultTable {
             columns,
             data: Vec::new(),

@@ -63,10 +63,7 @@ impl LabelModel {
                 (0..num_vertices)
                     .map(|_| {
                         let r: f64 = rng.gen();
-                        cumulative
-                            .iter()
-                            .position(|&c| r <= c)
-                            .unwrap_or(k - 1) as u32
+                        cumulative.iter().position(|&c| r <= c).unwrap_or(k - 1) as u32
                     })
                     .collect()
             }
@@ -106,7 +103,10 @@ mod tests {
         for &l in &labels {
             counts[l as usize] += 1;
         }
-        assert!(counts[0] > counts[10] * 2, "rank-0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[10] * 2,
+            "rank-0 should dominate: {counts:?}"
+        );
     }
 
     #[test]

@@ -29,9 +29,7 @@ pub fn dfs_query(cloud: &MemoryCloud, num_nodes: usize, seed: u64) -> Option<Que
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut best: Option<Vec<VertexId>> = None;
     for _attempt in 0..16 {
-        let Some(start) = random_vertex(cloud, &mut rng) else {
-            return None;
-        };
+        let start = random_vertex(cloud, &mut rng)?;
         let visited = dfs_collect(cloud, start, num_nodes);
         if visited.len() >= num_nodes {
             best = Some(visited);

@@ -98,11 +98,7 @@ impl GraphBuilder {
 
     /// Partitions the graph over `num_machines` logical machines and builds
     /// the memory cloud.
-    pub fn build(
-        self,
-        num_machines: usize,
-        cost: CostModel,
-    ) -> MemoryCloud {
+    pub fn build(self, num_machines: usize, cost: CostModel) -> MemoryCloud {
         self.try_build(num_machines, cost)
             .expect("graph construction failed")
     }
@@ -169,10 +165,7 @@ impl GraphBuilder {
             .collect();
         let mut catalog = LabelPairCatalog::new(num_machines);
         for &(u, v) in &edges {
-            let (mu, mv) = (
-                machine_for(u, num_machines),
-                machine_for(v, num_machines),
-            );
+            let (mu, mv) = (machine_for(u, num_machines), machine_for(v, num_machines));
             let (lu, lv) = (labels[&u], labels[&v]);
             per_machine_adj[mu.index()][local_pos[&u] as usize].push(v);
             per_machine_adj[mv.index()][local_pos[&v] as usize].push(u);

@@ -130,14 +130,20 @@ impl MemoryCloud {
     /// Number of vertices in the whole cloud carrying `label` (the `freq(l)`
     /// statistic used by the f-value ranking in §5.2).
     pub fn label_frequency(&self, label: LabelId) -> u64 {
-        self.label_frequency.get(label.index()).copied().unwrap_or(0)
+        self.label_frequency
+            .get(label.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Approximate total memory footprint of the stored graph (all partitions
     /// plus the label frequency table), in bytes. This is the quantity the
     /// paper's Table 1 reports as "index size + graph size" for STwig.
     pub fn memory_bytes(&self) -> usize {
-        self.partitions.iter().map(|p| p.memory_bytes()).sum::<usize>()
+        self.partitions
+            .iter()
+            .map(|p| p.memory_bytes())
+            .sum::<usize>()
             + self.label_frequency.len() * std::mem::size_of::<u64>()
     }
 

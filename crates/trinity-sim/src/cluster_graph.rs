@@ -319,8 +319,8 @@ mod tests {
         let c = chain_catalog();
         let cg = ClusterGraph::build(&c, &[(l(0), l(1))]);
         let map = adjacency_map(&cg);
-        assert_eq!(map[&(0, 1)], true);
-        assert_eq!(map[&(0, 3)], false);
+        assert!(map[&(0, 1)]);
+        assert!(!map[&(0, 3)]);
     }
 
     #[test]

@@ -16,7 +16,10 @@ use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// Parses a label file from a reader, adding vertices to the builder.
-pub fn read_labels<R: BufRead>(reader: R, builder: &mut GraphBuilder) -> Result<usize, TrinityError> {
+pub fn read_labels<R: BufRead>(
+    reader: R,
+    builder: &mut GraphBuilder,
+) -> Result<usize, TrinityError> {
     let mut count = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -37,7 +40,10 @@ pub fn read_labels<R: BufRead>(reader: R, builder: &mut GraphBuilder) -> Result<
 }
 
 /// Parses an edge file from a reader, adding edges to the builder.
-pub fn read_edges<R: BufRead>(reader: R, builder: &mut GraphBuilder) -> Result<usize, TrinityError> {
+pub fn read_edges<R: BufRead>(
+    reader: R,
+    builder: &mut GraphBuilder,
+) -> Result<usize, TrinityError> {
     let mut count = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;

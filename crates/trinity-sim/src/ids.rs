@@ -194,7 +194,11 @@ mod tests {
         let collected: Vec<_> = i.iter().map(|(id, n)| (id.raw(), n.to_string())).collect();
         assert_eq!(
             collected,
-            vec![(0, "a".to_string()), (1, "b".to_string()), (2, "c".to_string())]
+            vec![
+                (0, "a".to_string()),
+                (1, "b".to_string()),
+                (2, "c".to_string())
+            ]
         );
     }
 

@@ -82,10 +82,7 @@ mod tests {
 
     #[test]
     fn build_and_lookup() {
-        let idx = LabelIndex::build(
-            vec![(v(5), l(0)), (v(1), l(0)), (v(2), l(1))],
-            3,
-        );
+        let idx = LabelIndex::build(vec![(v(5), l(0)), (v(1), l(0)), (v(2), l(1))], 3);
         assert_eq!(idx.get(l(0)), &[v(1), v(5)]);
         assert_eq!(idx.get(l(1)), &[v(2)]);
         assert_eq!(idx.get(l(2)), &[] as &[VertexId]);

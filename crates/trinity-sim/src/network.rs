@@ -206,8 +206,16 @@ impl Network {
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
             machines: self.machines,
-            messages: self.messages.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-            bytes: self.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            messages: self
+                .messages
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            bytes: self
+                .bytes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 

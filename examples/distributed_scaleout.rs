@@ -49,7 +49,11 @@ fn main() {
     let plan = plan_query(&cloud, &query).unwrap();
     println!("\nquery plan on 4 machines ({} STwigs):", plan.stwigs.len());
     for (i, t) in plan.stwigs.iter().enumerate() {
-        let marker = if i == plan.head.head_index { " [head]" } else { "" };
+        let marker = if i == plan.head.head_index {
+            " [head]"
+        } else {
+            ""
+        };
         println!(
             "  STwig {i}: root {} with {} children, d(head root, root) = {}{marker}",
             query.name(t.root),

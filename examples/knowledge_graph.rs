@@ -34,7 +34,10 @@ fn build_knowledge_graph(persons: u64, companies: u64, cities: u64, products: u6
     }
     // works_at: each person works at one company
     for p in 0..persons {
-        gb.add_edge(VertexId(p), VertexId(COMPANY_BASE + rng.gen_range(0..companies)));
+        gb.add_edge(
+            VertexId(p),
+            VertexId(COMPANY_BASE + rng.gen_range(0..companies)),
+        );
     }
     // lives_in: each person lives in one city
     for p in 0..persons {
@@ -42,11 +45,17 @@ fn build_knowledge_graph(persons: u64, companies: u64, cities: u64, products: u6
     }
     // headquartered_in: each company sits in a city
     for c in 0..companies {
-        gb.add_edge(VertexId(COMPANY_BASE + c), VertexId(CITY_BASE + rng.gen_range(0..cities)));
+        gb.add_edge(
+            VertexId(COMPANY_BASE + c),
+            VertexId(CITY_BASE + rng.gen_range(0..cities)),
+        );
     }
     // makes: each product is made by a company
     for p in 0..products {
-        gb.add_edge(VertexId(PRODUCT_BASE + p), VertexId(COMPANY_BASE + rng.gen_range(0..companies)));
+        gb.add_edge(
+            VertexId(PRODUCT_BASE + p),
+            VertexId(COMPANY_BASE + rng.gen_range(0..companies)),
+        );
     }
     // knows: a sprinkling of person-person edges
     for _ in 0..persons * 2 {
@@ -74,7 +83,10 @@ fn main() {
     let p2 = qb.vertex_by_name(&cloud, "person").unwrap();
     let company = qb.vertex_by_name(&cloud, "company").unwrap();
     let city = qb.vertex_by_name(&cloud, "city").unwrap();
-    qb.edge(p1, company).edge(p2, company).edge(p1, city).edge(p2, city);
+    qb.edge(p1, company)
+        .edge(p2, company)
+        .edge(p1, city)
+        .edge(p2, city);
     let colleagues = qb.build().unwrap();
 
     // Pattern 2: "local product" — a product made by a company headquartered
@@ -91,14 +103,29 @@ fn main() {
     let local_product = qb.build().unwrap();
 
     let config = MatchConfig::paper_default();
-    for (name, query) in [("colleagues-in-city", colleagues), ("local-product", local_product)] {
+    for (name, query) in [
+        ("colleagues-in-city", colleagues),
+        ("local-product", local_product),
+    ] {
         // Show the query plan the proxy would broadcast.
         let plan = stwig::plan_query(&cloud, &query).unwrap();
-        println!("\npattern `{name}`: {} vertices / {} edges", query.num_vertices(), query.num_edges());
+        println!(
+            "\npattern `{name}`: {} vertices / {} edges",
+            query.num_vertices(),
+            query.num_edges()
+        );
         println!("  decomposition ({} STwigs):", plan.stwigs.len());
         for (i, t) in plan.stwigs.iter().enumerate() {
-            let head = if i == plan.head.head_index { "  [head]" } else { "" };
-            println!("    {i}: root {} children {:?}{head}", query.name(t.root), t.children.len());
+            let head = if i == plan.head.head_index {
+                "  [head]"
+            } else {
+                ""
+            };
+            println!(
+                "    {i}: root {} children {:?}{head}",
+                query.name(t.root),
+                t.children.len()
+            );
         }
 
         let out = stwig::match_query_distributed(&cloud, &query, &config).unwrap();

@@ -19,7 +19,9 @@ fn main() {
         exponent: 0.9,
     }
     .assign(proteins, 0x60);
-    let cloud = graph.with_labels(labels, 12).build_cloud(4, CostModel::default());
+    let cloud = graph
+        .with_labels(labels, 12)
+        .build_cloud(4, CostModel::default());
 
     let stats = graph_stats(&cloud);
     println!(
@@ -60,7 +62,11 @@ fn main() {
     qb.edge(hub, a).edge(hub, b).edge(hub, c);
     let fork = qb.build().unwrap();
 
-    for (name, query) in [("triangle", triangle), ("bi-fan", bifan), ("hub-fork", fork)] {
+    for (name, query) in [
+        ("triangle", triangle),
+        ("bi-fan", bifan),
+        ("hub-fork", fork),
+    ] {
         let out = stwig::match_query_distributed(&cloud, &query, &config).unwrap();
         // Cross-check a small sample against the VF2 baseline for confidence.
         let sample_ok = verify_all(&cloud, &query, &out.table).is_ok();

@@ -69,13 +69,21 @@ fn main() {
 
     // --- 4. Inspect what the engine did. ---
     let m = &out.metrics;
-    println!("decomposed into {} STwigs, rows per STwig: {:?}", m.num_stwigs, m.stwig_rows);
+    println!(
+        "decomposed into {} STwigs, rows per STwig: {:?}",
+        m.num_stwigs, m.stwig_rows
+    );
     println!(
         "exploration: {} cells loaded, {} label probes; join: {} joins, {} intermediate rows",
-        m.explore.cells_loaded, m.explore.label_probes, m.join.joins_performed, m.join.intermediate_rows
+        m.explore.cells_loaded,
+        m.explore.label_probes,
+        m.join.joins_performed,
+        m.join.intermediate_rows
     );
     println!(
         "cross-machine traffic: {} messages / {} bytes; wall {:.2} ms",
-        m.network_messages, m.network_bytes, m.wall_ms()
+        m.network_messages,
+        m.network_bytes,
+        m.wall_ms()
     );
 }

@@ -8,7 +8,9 @@ use stwig_match::prelude::*;
 fn rmat_cloud(n: u64, degree: f64, labels: usize, machines: usize, seed: u64) -> MemoryCloud {
     let graph = rmat(&RmatConfig::with_avg_degree(n, degree, seed));
     let l = LabelModel::Uniform { num_labels: labels }.assign(n, seed ^ 0x11);
-    graph.with_labels(l, labels).build_cloud(machines, CostModel::default())
+    graph
+        .with_labels(l, labels)
+        .build_cloud(machines, CostModel::default())
 }
 
 #[test]
@@ -37,7 +39,10 @@ fn stwig_matches_ullmann_on_random_queries() {
     for q in &queries {
         let ours = stwig::match_query(&cloud, q, &MatchConfig::exhaustive()).unwrap();
         let reference = ullmann(&cloud, q, None);
-        assert_eq!(canonical_rows(q, &ours.table), canonical_rows(q, &reference));
+        assert_eq!(
+            canonical_rows(q, &ours.table),
+            canonical_rows(q, &reference)
+        );
     }
 }
 
@@ -48,7 +53,10 @@ fn stwig_matches_edge_join_baseline() {
     for q in &queries {
         let ours = stwig::match_query(&cloud, q, &MatchConfig::exhaustive()).unwrap();
         let (reference, _stats) = edge_join(&cloud, q, None);
-        assert_eq!(canonical_rows(q, &ours.table), canonical_rows(q, &reference));
+        assert_eq!(
+            canonical_rows(q, &ours.table),
+            canonical_rows(q, &reference)
+        );
     }
 }
 
@@ -70,7 +78,8 @@ fn distributed_equals_single_machine_across_cluster_sizes() {
     for machines in [2usize, 3, 5, 8] {
         let cloud = graph.build_cloud(machines, CostModel::default());
         for (q, want) in queries.iter().zip(&expected) {
-            let got = stwig::match_query_distributed(&cloud, q, &MatchConfig::exhaustive()).unwrap();
+            let got =
+                stwig::match_query_distributed(&cloud, q, &MatchConfig::exhaustive()).unwrap();
             assert_eq!(&canonical_rows(q, &got.table), want, "machines={machines}");
             verify_all(&cloud, q, &got.table).unwrap();
         }
@@ -83,12 +92,8 @@ fn bindings_and_join_order_do_not_change_answers() {
     let queries = query_batch(&cloud, 6, 5, Some(7), 500);
     for q in &queries {
         let base = stwig::match_query(&cloud, q, &MatchConfig::exhaustive()).unwrap();
-        let no_bind = stwig::match_query(
-            &cloud,
-            q,
-            &MatchConfig::exhaustive().with_bindings(false),
-        )
-        .unwrap();
+        let no_bind =
+            stwig::match_query(&cloud, q, &MatchConfig::exhaustive().with_bindings(false)).unwrap();
         let no_order = stwig::match_query(
             &cloud,
             q,
@@ -127,8 +132,8 @@ fn dataset_profiles_answer_queries() {
         let queries = query_batch(&cloud, 5, 4, None, 600);
         assert!(!queries.is_empty(), "{name}: no queries generated");
         for q in &queries {
-            let out = stwig::match_query_distributed(&cloud, q, &MatchConfig::paper_default())
-                .unwrap();
+            let out =
+                stwig::match_query_distributed(&cloud, q, &MatchConfig::paper_default()).unwrap();
             // DFS queries are induced subgraphs, so at least one match exists.
             assert!(out.num_matches() >= 1, "{name}: query lost its own witness");
             verify_all(&cloud, q, &out.table).unwrap();
@@ -145,7 +150,11 @@ fn per_machine_answers_are_disjoint_and_complete() {
         let rows = canonical_rows(q, &out.table);
         // canonical_rows dedups: if per-machine answers overlapped, the
         // deduplicated count would be smaller than the reported matches.
-        assert_eq!(rows.len(), out.num_matches(), "duplicate answers across machines");
+        assert_eq!(
+            rows.len(),
+            out.num_matches(),
+            "duplicate answers across machines"
+        );
     }
 }
 

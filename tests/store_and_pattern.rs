@@ -25,7 +25,10 @@ fn pattern_text_equals_builder_query() {
 
     let a = stwig::match_query(&cloud, &parsed, &MatchConfig::exhaustive()).unwrap();
     let b = stwig::match_query(&cloud, &built, &MatchConfig::exhaustive()).unwrap();
-    assert_eq!(canonical_rows(&parsed, &a.table), canonical_rows(&built, &b.table));
+    assert_eq!(
+        canonical_rows(&parsed, &a.table),
+        canonical_rows(&built, &b.table)
+    );
 }
 
 #[test]
@@ -34,7 +37,10 @@ fn pattern_query_matches_vf2() {
     let query = stwig::parse_pattern(&cloud, "(a:L0)-(b:L1), (b)-(c:L0), (a)-(c)").unwrap();
     let ours = stwig::match_query(&cloud, &query, &MatchConfig::exhaustive()).unwrap();
     let reference = vf2(&cloud, &query, None);
-    assert_eq!(canonical_rows(&query, &ours.table), canonical_rows(&query, &reference));
+    assert_eq!(
+        canonical_rows(&query, &ours.table),
+        canonical_rows(&query, &reference)
+    );
 }
 
 #[test]
@@ -57,10 +63,14 @@ fn slower_networks_increase_simulated_time() {
     let query = dfs_query(&query_source, 6, 99).unwrap();
 
     let mut times = Vec::new();
-    for cost in [CostModel::free(), CostModel::infiniband(), CostModel::default()] {
+    for cost in [
+        CostModel::free(),
+        CostModel::infiniband(),
+        CostModel::default(),
+    ] {
         let cloud = graph.build_cloud(4, cost);
-        let out = stwig::match_query_distributed(&cloud, &query, &MatchConfig::paper_default())
-            .unwrap();
+        let out =
+            stwig::match_query_distributed(&cloud, &query, &MatchConfig::paper_default()).unwrap();
         // Communication volume is identical across cost models...
         let comm_us: f64 = out.metrics.machines.iter().map(|m| m.comm_us).sum();
         times.push((out.metrics.network_bytes, comm_us));
@@ -87,12 +97,15 @@ fn traffic_accounting_scales_with_partition_count() {
     let mut messages = Vec::new();
     for machines in [1usize, 2, 8] {
         let cloud = graph.build_cloud(machines, CostModel::default());
-        let out = stwig::match_query_distributed(&cloud, &query, &MatchConfig::paper_default())
-            .unwrap();
+        let out =
+            stwig::match_query_distributed(&cloud, &query, &MatchConfig::paper_default()).unwrap();
         messages.push(out.metrics.network_messages);
     }
     assert_eq!(messages[0], 0, "a single machine never communicates");
-    assert!(messages[2] >= messages[1], "more machines, at least as much traffic");
+    assert!(
+        messages[2] >= messages[1],
+        "more machines, at least as much traffic"
+    );
 }
 
 #[test]
@@ -105,7 +118,12 @@ fn edge_list_roundtrip_preserves_query_answers() {
 
     // Persist the generated graph as text files.
     let vertices: Vec<(VertexId, String)> = (0..graph.num_vertices)
-        .map(|v| (VertexId(v), SyntheticGraph::label_name(graph.labels[v as usize])))
+        .map(|v| {
+            (
+                VertexId(v),
+                SyntheticGraph::label_name(graph.labels[v as usize]),
+            )
+        })
         .collect();
     let edges: Vec<(VertexId, VertexId)> = graph
         .edges

@@ -1,0 +1,228 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Exposes the API subset the bench suite uses (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, `criterion_group!`, `criterion_main!`) so the
+//! benches compile with `harness = false` and `cargo bench --no-run` gates
+//! bit-rot in CI. Running a bench executes each body a handful of times and
+//! prints mean wall-clock — a quick sanity measurement, not a statistics
+//! engine; swap the `vendor/criterion` path dependency for crates.io
+//! `criterion` when a registry is reachable.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value (`name/param`).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Values accepted where criterion takes either a string or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts to the rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, printed with results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple variant kept for API parity.
+    BytesDecimal(u64),
+}
+
+/// Timing loop handed to each benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call, then a small fixed number of timed
+        // iterations — enough for a smoke signal without criterion's
+        // statistics machinery.
+        black_box(f());
+        let iters = 3u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<50} (no measurement)");
+            return;
+        }
+        let mean = self.elapsed.as_secs_f64() * 1e3 / self.iters as f64;
+        println!("{id:<50} time: [{mean:>10.4} ms] ({} iters)", self.iters);
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub warms up with a single call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub's measurement time is whatever the
+    /// fixed iterations take.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the group's throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, mirroring
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench`; the stub has no CLI options.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,180 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the property tests use with the same call-site API:
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range
+//! and tuple strategies, [`collection::vec`], the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, and `prop_assert*`. Cases are generated from a
+//! deterministic per-case seed; there is no shrinking — a failing case panics
+//! with its case index so it can be replayed.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the property tests import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property; panics (failing the case) when
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold. Rejected
+/// cases are counted; a property that rejects more than
+/// `ProptestConfig::max_global_rejects` cases panics instead of silently
+/// passing with no assertions executed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return $crate::test_runner::CaseOutcome::Rejected;
+        }
+    };
+}
+
+/// Defines property tests. Supports the forms used in-tree:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u64..10, v in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` into a loop over
+/// deterministically seeded cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rejected: u32 = 0;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    stringify!($name),
+                    __case,
+                );
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                // The case body runs in a closure so `prop_assume!` can
+                // reject the whole case (not a surrounding loop iteration)
+                // and so a failure can be labeled with its case index for
+                // replay via `TestRng::for_case`.
+                let __run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    #[allow(unused_mut)]
+                    move || -> $crate::test_runner::CaseOutcome {
+                        $body
+                        $crate::test_runner::CaseOutcome::Ran
+                    },
+                ));
+                match __run {
+                    Ok($crate::test_runner::CaseOutcome::Ran) => {}
+                    Ok($crate::test_runner::CaseOutcome::Rejected) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "property `{}` rejected {} cases (max_global_rejects = {})",
+                                stringify!($name),
+                                __rejected,
+                                __config.max_global_rejects,
+                            );
+                        }
+                    }
+                    Err(__panic) => {
+                        eprintln!(
+                            "property `{}` failed at case {} \
+                             (replay: TestRng::for_case({:?}, {}))",
+                            stringify!($name),
+                            __case,
+                            stringify!($name),
+                            __case,
+                        );
+                        std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_cases!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn generated_values_in_range(x in 5u64..10, y in 0u32..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y <= 3);
+        }
+    }
+
+    #[test]
+    fn always_false_assumption_fails_the_property() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, max_global_rejects: 2 })]
+            fn rejects_everything(_x in 0u64..10) {
+                prop_assume!(false);
+            }
+        }
+        let outcome = std::panic::catch_unwind(rejects_everything);
+        let msg = *outcome
+            .expect_err("property must fail once rejections exceed the cap")
+            .downcast::<String>()
+            .unwrap();
+        assert!(
+            msg.contains("rejected 3 cases"),
+            "unexpected message: {msg}"
+        );
+    }
+}

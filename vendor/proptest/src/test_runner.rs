@@ -1,0 +1,71 @@
+//! Case configuration and the deterministic per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// How one generated case ended: executed to completion, or rejected by
+/// `prop_assume!` before reaching the property's assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The case body ran (its assertions held, or it panicked — panics
+    /// propagate separately).
+    Ran,
+    /// `prop_assume!` rejected the generated inputs.
+    Rejected,
+}
+
+/// Configuration for a `proptest!` block. Only the fields the tests set are
+/// modeled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on cases `prop_assume!` may reject before the property
+    /// fails outright (guards against assumptions that filter out nearly
+    /// every generated case).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Deterministic RNG handed to strategies; a pure function of the property
+/// name and case index, so failures replay.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of property `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seed ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// RNG from an explicit seed.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The workspace builds without network access, so this crate provides just
+//! the surface the codebase uses: the [`Serialize`] / [`Deserialize`] marker
+//! traits and same-named no-op derive macros. No serializer ships in-tree
+//! today; when a real data format is needed, replace the `vendor/serde` path
+//! dependency with crates.io `serde` — the import sites are already written
+//! against the real API.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive does not emit an impl; nothing in-tree bounds on this
+/// trait yet.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

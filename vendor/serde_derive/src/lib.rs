@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! stand-in. They accept any item and emit nothing, so `#[derive(Serialize,
+//! Deserialize)]` compiles without pulling in real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
