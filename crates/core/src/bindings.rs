@@ -5,16 +5,16 @@
 //! these sets to restrict root candidates and filter children, which is the
 //! exploration-side pruning that replaces most of the join work.
 
+use crate::hash::VertexSet;
 use crate::query::QVid;
 use crate::table::ResultTable;
-use std::collections::HashSet;
 use trinity_sim::ids::VertexId;
 
 /// Per-query-vertex binding sets. `None` means the vertex is still unbound
 /// (any data vertex with the right label is eligible).
 #[derive(Debug, Clone, Default)]
 pub struct Bindings {
-    sets: Vec<Option<HashSet<VertexId>>>,
+    sets: Vec<Option<VertexSet>>,
 }
 
 impl Bindings {
@@ -31,7 +31,7 @@ impl Bindings {
     }
 
     /// The binding set of `q`, if bound.
-    pub fn get(&self, q: QVid) -> Option<&HashSet<VertexId>> {
+    pub fn get(&self, q: QVid) -> Option<&VertexSet> {
         self.sets[q.index()].as_ref()
     }
 
@@ -52,7 +52,7 @@ impl Bindings {
 
     /// Binds `q` to exactly `values` if unbound, or intersects the existing
     /// binding with `values` if already bound.
-    pub fn bind(&mut self, q: QVid, values: HashSet<VertexId>) {
+    pub fn bind(&mut self, q: QVid, values: VertexSet) {
         let slot = &mut self.sets[q.index()];
         match slot {
             None => *slot = Some(values),

@@ -24,6 +24,14 @@ pub struct MatchConfig {
     /// Maximum rows MatchSTwig may emit per machine per STwig (guard against
     /// pathological cross products). `None` is unbounded.
     pub max_stwig_rows: Option<usize>,
+    /// Worker threads the distributed executor fans logical machines out
+    /// over (each machine's exploration step and load-set join step run as
+    /// work items; see DESIGN.md). `None` uses the host's available
+    /// parallelism; `Some(1)` reproduces the serial execution bit-for-bit.
+    /// Result tables and algorithmic counters are identical for every
+    /// setting; only measured times (wall-clock, and the compute component
+    /// of the simulated makespan) change.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for MatchConfig {
@@ -35,6 +43,7 @@ impl Default for MatchConfig {
             join_sample_size: 64,
             optimize_join_order: true,
             max_stwig_rows: None,
+            num_threads: None,
         }
     }
 }
@@ -77,6 +86,25 @@ impl MatchConfig {
         self.optimize_join_order = on;
         self
     }
+
+    /// Sets the distributed executor's worker-thread count (`None` =
+    /// available parallelism, `Some(1)` = serial).
+    pub fn with_num_threads(mut self, threads: Option<usize>) -> Self {
+        self.num_threads = threads;
+        self
+    }
+
+    /// The worker-thread count this configuration resolves to on the current
+    /// host.
+    pub fn resolved_num_threads(&self) -> usize {
+        self.num_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
 }
 
 #[cfg(test)]
@@ -101,9 +129,25 @@ mod tests {
         let c = MatchConfig::default()
             .with_max_results(Some(7))
             .with_bindings(false)
-            .with_join_order_optimization(false);
+            .with_join_order_optimization(false)
+            .with_num_threads(Some(3));
         assert_eq!(c.max_results, Some(7));
         assert!(!c.use_bindings);
         assert!(!c.optimize_join_order);
+        assert_eq!(c.num_threads, Some(3));
+        assert_eq!(c.resolved_num_threads(), 3);
+    }
+
+    #[test]
+    fn num_threads_resolution() {
+        // Explicit settings resolve verbatim (floored at 1); the default
+        // resolves to the host's available parallelism, which is ≥ 1.
+        assert_eq!(
+            MatchConfig::default()
+                .with_num_threads(Some(8))
+                .resolved_num_threads(),
+            8
+        );
+        assert!(MatchConfig::default().resolved_num_threads() >= 1);
     }
 }

@@ -23,6 +23,17 @@
 //!
 //! The simulated time of the run is the makespan over machines of
 //! (measured per-machine compute time + simulated communication time).
+//!
+//! **Threading model.** Logical machines really run in parallel: each
+//! machine's exploration step (per STwig) and its load-set join step are work
+//! items fanned out over `MatchConfig::num_threads` worker threads via
+//! [`std::thread::scope`], with dynamic work-stealing over the machine list.
+//! Binding synchronization stays a barrier between STwigs, as the algorithm
+//! requires. Per-machine counters and tables are produced thread-locally and
+//! merged on the coordinating thread in machine order, so results and
+//! metrics totals are identical for every thread count — `num_threads = 1`
+//! reproduces the serial execution bit-for-bit. See DESIGN.md for the full
+//! determinism argument.
 
 use crate::bindings::Bindings;
 use crate::config::MatchConfig;
@@ -37,10 +48,78 @@ use crate::query::QueryGraph;
 use crate::stwig::STwig;
 use crate::table::ResultTable;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use trinity_sim::cluster_graph::ClusterGraph;
 use trinity_sim::ids::{MachineId, VertexId};
 use trinity_sim::MemoryCloud;
+
+/// Runs `work` once per machine index, fanning the machines out over
+/// `threads` worker threads with dynamic work-stealing (an atomic cursor over
+/// the machine list, so unevenly-loaded machines balance). Results are
+/// returned in machine order regardless of scheduling, which is what lets
+/// callers merge them deterministically. `threads <= 1` runs inline on the
+/// calling thread — the exact serial execution.
+///
+/// A panic on any worker propagates to the caller.
+fn run_per_machine<R, F>(num_machines: usize, threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || num_machines <= 1 {
+        return (0..num_machines).map(work).collect();
+    }
+    let workers = threads.min(num_machines);
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_machines);
+    slots.resize_with(num_machines, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let work = &work;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_machines {
+                            break;
+                        }
+                        done.push((i, work(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("machine worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every machine index was processed"))
+        .collect()
+}
+
+/// Per-machine output of one exploration step.
+struct MachineExplore {
+    table: ResultTable,
+    counters: ExploreCounters,
+    compute_us: f64,
+}
+
+/// Per-machine output of the load-set join step.
+struct MachineJoin {
+    /// `None` when the machine had no head-STwig results (it contributes
+    /// nothing, per §5.3).
+    joined: Option<ResultTable>,
+    counters: JoinCounters,
+    compute_us: f64,
+    rows_received: u64,
+}
 
 /// The centrally-computed query plan broadcast to every machine.
 #[derive(Debug, Clone)]
@@ -121,13 +200,17 @@ pub fn match_query_distributed(
         vec![Vec::with_capacity(plan.stwigs.len()); num_machines];
     let mut bindings = Bindings::new(query.num_vertices());
     let mut explore = ExploreCounters::default();
+    let threads = config.resolved_num_threads();
 
     for stwig in plan.stwigs.iter() {
-        let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
-        for k in cloud.machines() {
+        // Every machine explores this STwig in parallel against the bindings
+        // snapshot from the previous barrier; counters and tables come back
+        // thread-locally and are merged in machine order.
+        let results = run_per_machine(num_machines, threads, |ki| {
+            let k = MachineId(ki as u16);
             let t0 = Instant::now();
             let roots = local_roots(cloud, k, query, stwig, &bindings, config);
-            let mut local_counters = ExploreCounters::default();
+            let mut counters = ExploreCounters::default();
             let table = match_stwig(
                 cloud,
                 k,
@@ -136,23 +219,32 @@ pub fn match_query_distributed(
                 &roots,
                 &bindings,
                 config,
-                &mut local_counters,
+                &mut counters,
             );
-            explore.merge(&local_counters);
-            let mm = &mut machine_metrics[k.index()];
-            mm.compute_us += t0.elapsed().as_secs_f64() * 1e6;
-            mm.rows_produced += table.num_rows() as u64;
-            new_tables.push(table);
+            MachineExplore {
+                table,
+                counters,
+                compute_us: t0.elapsed().as_secs_f64() * 1e6,
+            }
+        });
+        let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
+        for (ki, result) in results.into_iter().enumerate() {
+            explore.merge(&result.counters);
+            let mm = &mut machine_metrics[ki];
+            mm.compute_us += result.compute_us;
+            mm.rows_produced += result.table.num_rows() as u64;
+            new_tables.push(result.table);
         }
 
-        // Synchronize bindings: the global binding of each STwig vertex is the
-        // union of what every machine discovered. Charge the broadcast.
+        // Synchronize bindings (barrier): the global binding of each STwig
+        // vertex is the union of what every machine discovered. Charge the
+        // broadcast.
         if config.use_bindings {
             let mut stwig_bindings = Bindings::new(query.num_vertices());
-            for table in &new_tables {
+            for (ki, table) in new_tables.iter().enumerate() {
                 let mut local = Bindings::new(query.num_vertices());
                 local.update_from_table(table);
-                if std::ptr::eq(table, &new_tables[0]) {
+                if ki == 0 {
                     stwig_bindings = local;
                 } else {
                     stwig_bindings.union_in_place(&local);
@@ -194,18 +286,17 @@ pub fn match_query_distributed(
     metrics.explore = explore;
 
     // ---- 3. Per-machine join over load sets ----
-    let mut join_counters = JoinCounters::default();
-    let mut final_table: Option<ResultTable> = None;
-    // Rows each machine appended to the final table, in append order; used to
-    // re-attribute per-machine match counts after global truncation.
-    let mut contributions: Vec<(usize, u64)> = Vec::new();
-    for k in cloud.machines() {
+    // Each machine assembles its R_k tables and joins them independently, so
+    // the whole step fans out in parallel; the union below runs on the
+    // coordinating thread in machine order.
+    let join_results = run_per_machine(num_machines, threads, |ki| {
+        let k = MachineId(ki as u16);
         let t0 = Instant::now();
         // Assemble R_k(q_t) for every STwig t.
         let mut rk_tables: Vec<ResultTable> = Vec::with_capacity(plan.stwigs.len());
         let mut received = 0u64;
         for (t, _stwig) in plan.stwigs.iter().enumerate() {
-            let mut rk = per_machine_tables[k.index()][t].clone();
+            let mut rk = per_machine_tables[ki][t].clone();
             for j in load_set(&plan.cluster, &plan.head, k, t) {
                 let remote = &per_machine_tables[j.index()][t];
                 if remote.is_empty() {
@@ -218,19 +309,41 @@ pub fn match_query_distributed(
             rk.dedup_rows();
             rk_tables.push(rk);
         }
-        machine_metrics[k.index()].rows_received += received;
 
         // If this machine has no head-STwig results it contributes nothing.
         if rk_tables[plan.head.head_index].is_empty() {
-            machine_metrics[k.index()].compute_us += t0.elapsed().as_secs_f64() * 1e6;
-            continue;
+            return MachineJoin {
+                joined: None,
+                counters: JoinCounters::default(),
+                compute_us: t0.elapsed().as_secs_f64() * 1e6,
+                rows_received: received,
+            };
         }
-        let mut local_counters = JoinCounters::default();
-        let joined = pipelined_join(&rk_tables, config, &mut local_counters);
-        join_counters.merge(&local_counters);
-        machine_metrics[k.index()].compute_us += t0.elapsed().as_secs_f64() * 1e6;
-        machine_metrics[k.index()].matches_found = joined.num_rows() as u64;
-        contributions.push((k.index(), joined.num_rows() as u64));
+        let mut counters = JoinCounters::default();
+        let joined = pipelined_join(&rk_tables, config, &mut counters);
+        MachineJoin {
+            joined: Some(joined),
+            counters,
+            compute_us: t0.elapsed().as_secs_f64() * 1e6,
+            rows_received: received,
+        }
+    });
+
+    let mut join_counters = JoinCounters::default();
+    let mut final_table: Option<ResultTable> = None;
+    // Rows each machine appended to the final table, in append order; used to
+    // re-attribute per-machine match counts after global truncation.
+    let mut contributions: Vec<(usize, u64)> = Vec::new();
+    for (ki, result) in join_results.into_iter().enumerate() {
+        join_counters.merge(&result.counters);
+        let mm = &mut machine_metrics[ki];
+        mm.rows_received += result.rows_received;
+        mm.compute_us += result.compute_us;
+        let Some(joined) = result.joined else {
+            continue;
+        };
+        mm.matches_found = joined.num_rows() as u64;
+        contributions.push((ki, joined.num_rows() as u64));
 
         match &mut final_table {
             None => final_table = Some(joined),
@@ -463,6 +576,78 @@ mod tests {
         let out = match_query_distributed(&cloud, &query, &cfg).unwrap();
         assert_eq!(out.num_matches(), 3);
         verify_all(&cloud, &query, &out.table).unwrap();
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // Any worker-thread count must return the exact table the serial
+        // executor returns — same rows, same order, same per-machine totals.
+        for machines in [1usize, 3, 4, 8] {
+            let cloud = sample_cloud(machines);
+            let query = triangle_query(&cloud);
+            let serial_cfg = MatchConfig::default().with_num_threads(Some(1));
+            let serial = match_query_distributed(&cloud, &query, &serial_cfg).unwrap();
+            for threads in [2usize, 4, 7] {
+                let cfg = MatchConfig::default().with_num_threads(Some(threads));
+                let parallel = match_query_distributed(&cloud, &query, &cfg).unwrap();
+                assert_eq!(
+                    serial.table, parallel.table,
+                    "machines = {machines}, threads = {threads}"
+                );
+                assert_eq!(
+                    serial.metrics.matches_found, parallel.metrics.matches_found,
+                    "machines = {machines}, threads = {threads}"
+                );
+                assert_eq!(
+                    serial.metrics.stwig_rows, parallel.metrics.stwig_rows,
+                    "machines = {machines}, threads = {threads}"
+                );
+                assert_eq!(serial.metrics.explore, parallel.metrics.explore);
+                assert_eq!(serial.metrics.join, parallel.metrics.join);
+                assert_eq!(
+                    serial.metrics.network_bytes, parallel.metrics.network_bytes,
+                    "traffic totals are order-independent atomic sums"
+                );
+                for (s, p) in serial
+                    .metrics
+                    .machines
+                    .iter()
+                    .zip(parallel.metrics.machines.iter())
+                {
+                    assert_eq!(s.machine, p.machine);
+                    assert_eq!(s.rows_produced, p.rows_produced);
+                    assert_eq!(s.rows_received, p.rows_received);
+                    assert_eq!(s.matches_found, p.matches_found);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_thread_count_matches_serial() {
+        // The default config resolves num_threads to the host parallelism;
+        // results must still be identical to the serial run.
+        let cloud = sample_cloud(7);
+        let query = triangle_query(&cloud);
+        let auto = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        let serial_cfg = MatchConfig::default().with_num_threads(Some(1));
+        let serial = match_query_distributed(&cloud, &query, &serial_cfg).unwrap();
+        assert_eq!(auto.table, serial.table);
+    }
+
+    #[test]
+    fn run_per_machine_orders_results_and_balances() {
+        // Results come back in machine order for any thread count, even with
+        // skewed per-machine work.
+        for threads in [1usize, 2, 3, 8] {
+            let out = run_per_machine(13, threads, |i| {
+                if i % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                i * 10
+            });
+            assert_eq!(out, (0..13).map(|i| i * 10).collect::<Vec<_>>());
+        }
     }
 
     #[test]

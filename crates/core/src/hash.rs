@@ -1,0 +1,183 @@
+//! Fast non-cryptographic hashing for the join hot path.
+//!
+//! The join step (§4.2 step 3) probes a hash index once per intermediate row,
+//! so hasher throughput directly bounds join throughput. SipHash — the
+//! DoS-resistant default of `std::collections::HashMap` — costs tens of
+//! cycles per key; the keys here are vertex ids produced by graph
+//! exploration, not attacker-controlled input, so we use an Fx-style
+//! multiplicative hash (the scheme used by rustc's `FxHasher`): one rotate,
+//! one xor and one multiply per 8-byte word.
+//!
+//! The module also provides [`InlineKey`], a fixed-width stack-allocated join
+//! key for the 2–4 shared-column case, so neither side of a hash join has to
+//! heap-allocate a `Vec` per row (see [`crate::join`]).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use trinity_sim::ids::VertexId;
+
+/// Multiplier of the Fx hash: the 64-bit golden-ratio constant, which spreads
+/// consecutive integers (the common shape of vertex ids) across buckets.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An Fx-style multiplicative hasher: fast, deterministic and *not*
+/// DoS-resistant. Use only for keys that are not attacker-controlled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// A set of data vertices, as stored in binding sets and used to filter
+/// candidates on the exploration hot path.
+pub type VertexSet = FxHashSet<VertexId>;
+
+/// Maximum number of shared columns an [`InlineKey`] can hold before the join
+/// falls back to a heap-allocated key.
+pub const INLINE_KEY_COLUMNS: usize = 4;
+
+/// A fixed-width, stack-allocated join key for up to [`INLINE_KEY_COLUMNS`]
+/// shared columns.
+///
+/// Unused slots are padded with a fixed filler value; within one join every
+/// key has the same number of live slots, so padded positions always compare
+/// equal and never affect the join result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InlineKey([u64; INLINE_KEY_COLUMNS]);
+
+impl InlineKey {
+    /// Padding for unused slots. The value is irrelevant for correctness (all
+    /// keys of one join pad the same positions); an improbable vertex id
+    /// keeps padded and live slots visually distinct when debugging.
+    const FILLER: u64 = u64::MAX;
+
+    /// Builds a key from the values of `row` at `columns.len()` (≤ 4) column
+    /// positions.
+    #[inline]
+    pub fn from_row(row: &[VertexId], columns: &[usize]) -> Self {
+        debug_assert!(columns.len() <= INLINE_KEY_COLUMNS);
+        let mut slots = [Self::FILLER; INLINE_KEY_COLUMNS];
+        for (slot, &c) in slots.iter_mut().zip(columns.iter()) {
+            *slot = row[c].0;
+        }
+        InlineKey(slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(fx_hash_of(&42u64), fx_hash_of(&42u64));
+        assert_eq!(fx_hash_of(&"stwig"), fx_hash_of(&"stwig"));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Consecutive ids (the common case for generated graphs) must not
+        // collapse into the same bucket pattern.
+        let hashes: FxHashSet<u64> = (0u64..1000).map(|i| fx_hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Streams differing only in a sub-word tail must hash differently.
+        assert_ne!(fx_hash_of(&[1u8, 2, 3]), fx_hash_of(&[1u8, 2, 4]));
+        assert_ne!(fx_hash_of(&[0u8; 9]), fx_hash_of(&[0u8; 10]));
+    }
+
+    #[test]
+    fn fx_map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let s: VertexSet = [VertexId(1), VertexId(2)].into_iter().collect();
+        assert!(s.contains(&VertexId(1)));
+        assert!(!s.contains(&VertexId(3)));
+    }
+
+    #[test]
+    fn inline_key_compares_on_selected_columns() {
+        let v = |x: u64| VertexId(x);
+        let row_a = [v(1), v(2), v(3)];
+        let row_b = [v(9), v(2), v(3)];
+        // Keyed on columns 1 and 2 the rows agree; keyed on 0 they differ.
+        assert_eq!(
+            InlineKey::from_row(&row_a, &[1, 2]),
+            InlineKey::from_row(&row_b, &[1, 2])
+        );
+        assert_ne!(
+            InlineKey::from_row(&row_a, &[0]),
+            InlineKey::from_row(&row_b, &[0])
+        );
+    }
+}

@@ -1,10 +1,97 @@
 //! Join processing (§4.2 step 3): hash joins over STwig result tables,
 //! sample-based join-cardinality estimation and greedy join-order selection.
+//!
+//! The join is the per-row hot path of the whole matcher, so the build and
+//! probe sides avoid heap allocation: the shared-column key is a bare `u64`
+//! when one column is shared (the common case for STwig decompositions), a
+//! stack-allocated [`InlineKey`] for 2–4 shared columns, and only degrades to
+//! a `Vec` key beyond that. The build index is a chained hash index —
+//! one pre-sized map from key to chain head/tail plus one pre-sized `next`
+//! array — so building it performs no per-row allocation either.
 
+use crate::hash::{FxHashMap, InlineKey, INLINE_KEY_COLUMNS};
 use crate::metrics::JoinCounters;
+use crate::query::QVid;
 use crate::table::ResultTable;
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::hash::Hash;
 use trinity_sim::ids::VertexId;
+
+/// Sentinel terminating a row chain in [`ChainedIndex`].
+const NO_ROW: u32 = u32::MAX;
+
+/// A chained hash index over the rows of a build-side table: `map` points at
+/// the first and last row of each key's chain and `next` links rows with the
+/// same key in insertion (ascending) order. Both structures are pre-sized
+/// from the row count, so inserting performs no per-row allocation.
+struct ChainedIndex<K> {
+    map: FxHashMap<K, (u32, u32)>,
+    next: Vec<u32>,
+}
+
+impl<K: Hash + Eq> ChainedIndex<K> {
+    fn with_rows(rows: usize) -> Self {
+        assert!(
+            rows < NO_ROW as usize,
+            "build side exceeds u32 row indexing"
+        );
+        ChainedIndex {
+            map: FxHashMap::with_capacity_and_hasher(rows, Default::default()),
+            next: vec![NO_ROW; rows],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: K, row: u32) {
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                let (_, tail) = e.get_mut();
+                self.next[*tail as usize] = row;
+                *tail = row;
+            }
+            Entry::Vacant(e) => {
+                e.insert((row, row));
+            }
+        }
+    }
+
+    /// Iterates the rows stored under `key` in insertion order.
+    #[inline]
+    fn probe(&self, key: &K) -> ChainIter<'_> {
+        ChainIter {
+            next: &self.next,
+            cur: self.map.get(key).map_or(NO_ROW, |&(head, _)| head),
+        }
+    }
+}
+
+struct ChainIter<'a> {
+    next: &'a [u32],
+    cur: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == NO_ROW {
+            return None;
+        }
+        let row = self.cur as usize;
+        self.cur = self.next[row];
+        Some(row)
+    }
+}
+
+/// The shared columns of two tables as `(left_index, right_index)` pairs.
+fn shared_columns(left: &ResultTable, right: &ResultTable) -> Vec<(usize, usize)> {
+    left.columns()
+        .iter()
+        .enumerate()
+        .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
+        .collect()
+}
 
 /// Hash-joins two tables on their shared columns (natural join).
 ///
@@ -15,6 +102,10 @@ use trinity_sim::ids::VertexId;
 /// * If the tables share no column the result is the (injectivity-filtered)
 ///   cartesian product.
 /// * `limit` caps the number of output rows.
+///
+/// With exactly one shared column the key is a bare `u64` and neither side
+/// allocates per row; 2–4 shared columns use a stack [`InlineKey`]; only a
+/// wider overlap falls back to `Vec` keys.
 pub fn hash_join(
     left: &ResultTable,
     right: &ResultTable,
@@ -23,12 +114,7 @@ pub fn hash_join(
 ) -> ResultTable {
     counters.joins_performed += 1;
 
-    let shared: Vec<(usize, usize)> = left
-        .columns()
-        .iter()
-        .enumerate()
-        .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
-        .collect();
+    let shared = shared_columns(left, right);
     let right_extra: Vec<usize> = (0..right.width())
         .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
         .collect();
@@ -37,20 +123,86 @@ pub fn hash_join(
     columns.extend(right_extra.iter().map(|&ri| right.columns()[ri]));
     let mut out = ResultTable::new(columns);
 
-    // Build a hash index on the right table keyed by the shared columns.
-    let mut index: HashMap<Vec<VertexId>, Vec<usize>> = HashMap::new();
+    match shared.len() {
+        0 => cross_join_into(left, right, &right_extra, limit, counters, &mut out),
+        1 => {
+            let (lc, rc) = shared[0];
+            join_keyed_into(
+                left,
+                right,
+                &right_extra,
+                limit,
+                counters,
+                &mut out,
+                |row| row[lc].0,
+                |row| row[rc].0,
+            );
+        }
+        2..=INLINE_KEY_COLUMNS => {
+            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
+            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
+            join_keyed_into(
+                left,
+                right,
+                &right_extra,
+                limit,
+                counters,
+                &mut out,
+                |row| InlineKey::from_row(row, &left_cols),
+                |row| InlineKey::from_row(row, &right_cols),
+            );
+        }
+        _ => {
+            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
+            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
+            join_keyed_into(
+                left,
+                right,
+                &right_extra,
+                limit,
+                counters,
+                &mut out,
+                |row| left_cols.iter().map(|&c| row[c]).collect::<Vec<VertexId>>(),
+                |row| {
+                    right_cols
+                        .iter()
+                        .map(|&c| row[c])
+                        .collect::<Vec<VertexId>>()
+                },
+            );
+        }
+    }
+    out
+}
+
+/// The keyed join core, generic over the key type so each shared-column
+/// arity monomorphizes to its own allocation-free loop.
+#[allow(clippy::too_many_arguments)]
+fn join_keyed_into<K, LK, RK>(
+    left: &ResultTable,
+    right: &ResultTable,
+    right_extra: &[usize],
+    limit: Option<usize>,
+    counters: &mut JoinCounters,
+    out: &mut ResultTable,
+    left_key: LK,
+    right_key: RK,
+) where
+    K: Hash + Eq,
+    LK: Fn(&[VertexId]) -> K,
+    RK: Fn(&[VertexId]) -> K,
+{
+    // Build a chained hash index on the right table keyed by the shared
+    // columns, pre-sized from the row count.
+    let mut index = ChainedIndex::with_rows(right.num_rows());
     for (ri, row) in right.rows().enumerate() {
-        let key: Vec<VertexId> = shared.iter().map(|&(_, rc)| row[rc]).collect();
-        index.entry(key).or_default().push(ri);
+        index.insert(right_key(row), ri as u32);
     }
 
     let mut row_buf: Vec<VertexId> = Vec::with_capacity(out.width());
     'outer: for lrow in left.rows() {
-        let key: Vec<VertexId> = shared.iter().map(|&(lc, _)| lrow[lc]).collect();
-        let Some(matches) = index.get(&key) else {
-            continue;
-        };
-        for &ri in matches {
+        let key = left_key(lrow);
+        for ri in index.probe(&key) {
             let rrow = right.row(ri);
             row_buf.clear();
             row_buf.extend_from_slice(lrow);
@@ -68,31 +220,104 @@ pub fn hash_join(
             }
         }
     }
-    out
+}
+
+/// Cartesian product (no shared column), with the same injectivity filter and
+/// limit handling as the keyed paths.
+fn cross_join_into(
+    left: &ResultTable,
+    right: &ResultTable,
+    right_extra: &[usize],
+    limit: Option<usize>,
+    counters: &mut JoinCounters,
+    out: &mut ResultTable,
+) {
+    let mut row_buf: Vec<VertexId> = Vec::with_capacity(out.width());
+    'outer: for lrow in left.rows() {
+        for rrow in right.rows() {
+            row_buf.clear();
+            row_buf.extend_from_slice(lrow);
+            row_buf.extend(right_extra.iter().map(|&rc| rrow[rc]));
+            if ResultTable::row_has_duplicates(&row_buf) {
+                counters.rows_pruned_injective += 1;
+                continue;
+            }
+            out.push_row(&row_buf);
+            counters.intermediate_rows += 1;
+            if let Some(l) = limit {
+                if out.num_rows() >= l {
+                    break 'outer;
+                }
+            }
+        }
+    }
 }
 
 /// Estimates the number of rows `left ⨝ right` would produce, by sampling up
-/// to `sample_size` rows of `left` and probing a hash index of `right` built
-/// on the shared columns (the sample-based method of [Garcia-Molina et al.]).
+/// to `sample_size` rows of `left` and probing a per-key count table of
+/// `right` built on the shared columns (the sample-based method of
+/// [Garcia-Molina et al.]). Uses the same fixed-width keys as [`hash_join`].
 pub fn estimate_join_size(left: &ResultTable, right: &ResultTable, sample_size: usize) -> f64 {
     if left.is_empty() || right.is_empty() {
         return 0.0;
     }
-    let shared: Vec<(usize, usize)> = left
-        .columns()
-        .iter()
-        .enumerate()
-        .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
-        .collect();
-    if shared.is_empty() {
-        // Cartesian product.
-        return left.num_rows() as f64 * right.num_rows() as f64;
+    let shared = shared_columns(left, right);
+    match shared.len() {
+        0 => {
+            // Cartesian product.
+            left.num_rows() as f64 * right.num_rows() as f64
+        }
+        1 => {
+            let (lc, rc) = shared[0];
+            estimate_keyed(left, right, sample_size, |row| row[lc].0, |row| row[rc].0)
+        }
+        2..=INLINE_KEY_COLUMNS => {
+            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
+            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
+            estimate_keyed(
+                left,
+                right,
+                sample_size,
+                |row| InlineKey::from_row(row, &left_cols),
+                |row| InlineKey::from_row(row, &right_cols),
+            )
+        }
+        _ => {
+            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
+            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
+            estimate_keyed(
+                left,
+                right,
+                sample_size,
+                |row| left_cols.iter().map(|&c| row[c]).collect::<Vec<VertexId>>(),
+                |row| {
+                    right_cols
+                        .iter()
+                        .map(|&c| row[c])
+                        .collect::<Vec<VertexId>>()
+                },
+            )
+        }
     }
+}
+
+fn estimate_keyed<K, LK, RK>(
+    left: &ResultTable,
+    right: &ResultTable,
+    sample_size: usize,
+    left_key: LK,
+    right_key: RK,
+) -> f64
+where
+    K: Hash + Eq,
+    LK: Fn(&[VertexId]) -> K,
+    RK: Fn(&[VertexId]) -> K,
+{
     // Count right rows per key.
-    let mut key_counts: HashMap<Vec<VertexId>, u64> = HashMap::new();
+    let mut key_counts: FxHashMap<K, u64> =
+        FxHashMap::with_capacity_and_hasher(right.num_rows(), Default::default());
     for row in right.rows() {
-        let key: Vec<VertexId> = shared.iter().map(|&(_, rc)| row[rc]).collect();
-        *key_counts.entry(key).or_insert(0) += 1;
+        *key_counts.entry(right_key(row)).or_insert(0) += 1;
     }
     let n = left.num_rows();
     let sample = sample_size.max(1).min(n);
@@ -102,8 +327,7 @@ pub fn estimate_join_size(left: &ResultTable, right: &ResultTable, sample_size: 
     let mut sampled = 0u64;
     let mut i = 0usize;
     while i < n && sampled < sample as u64 {
-        let row = left.row(i);
-        let key: Vec<VertexId> = shared.iter().map(|&(lc, _)| row[lc]).collect();
+        let key = left_key(left.row(i));
         total_matches += key_counts.get(&key).copied().unwrap_or(0);
         sampled += 1;
         i += step;
@@ -115,8 +339,15 @@ pub fn estimate_join_size(left: &ResultTable, right: &ResultTable, sample_size: 
 }
 
 /// Greedy left-deep join-order selection: start from the smallest table, then
-/// repeatedly pick the table whose estimated join with the accumulated result
-/// is cheapest, preferring tables that share at least one column with it.
+/// repeatedly pick the table whose estimated join with the accumulated
+/// intermediate result is cheapest, preferring tables that share at least one
+/// column with it.
+///
+/// The intermediate is never materialized here, so each candidate is
+/// estimated against the *joined-columns set*: the per-key fanout is measured
+/// from the already-ordered table sharing the most columns with the
+/// candidate, then scaled to the current intermediate-size estimate (see
+/// [`estimate_step`]).
 ///
 /// Returns a permutation of `0..tables.len()`.
 pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usize> {
@@ -129,7 +360,7 @@ pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usiz
     remaining.sort_by_key(|&i| tables[i].num_rows());
     let first = remaining.remove(0);
     let mut order = vec![first];
-    let mut joined_columns: Vec<_> = tables[first].columns().to_vec();
+    let mut joined_columns: Vec<QVid> = tables[first].columns().to_vec();
     let mut current_size = tables[first].num_rows() as f64;
 
     while !remaining.is_empty() {
@@ -139,10 +370,7 @@ pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usiz
                 .columns()
                 .iter()
                 .any(|c| joined_columns.contains(c));
-            // Estimate against the actual table; scale by how much the
-            // accumulated result has grown relative to the starting table.
-            let est = estimate_join_size(&tables[order[0]], &tables[ti], sample_size).max(1.0)
-                * (current_size.max(1.0) / tables[order[0]].num_rows().max(1) as f64);
+            let est = estimate_step(tables, &order, ti, current_size, shares, sample_size);
             let better = match best {
                 None => true,
                 Some((_, be, bshares)) => (shares && !bshares) || (shares == bshares && est < be),
@@ -162,6 +390,46 @@ pub fn select_join_order(tables: &[ResultTable], sample_size: usize) -> Vec<usiz
         order.push(ti);
     }
     order
+}
+
+/// Estimates `|acc ⨝ tables[ti]|` where `acc` is the (unmaterialized)
+/// intermediate of the tables already in `order`, holding an estimated
+/// `current_size` rows over the union of their columns.
+///
+/// `shares` says whether `ti` shares any column with that union. If not, the
+/// join is a cartesian product of the intermediate with `ti`. Otherwise the
+/// per-row fanout of `acc ⨝ ti` is approximated by the fanout of
+/// `tables[base] ⨝ ti` for the already-ordered table `base` sharing the most
+/// columns with `ti` (the best available proxy for the intermediate on the
+/// join key), scaled from `|base|` rows to `current_size` rows.
+fn estimate_step(
+    tables: &[ResultTable],
+    order: &[usize],
+    ti: usize,
+    current_size: f64,
+    shares: bool,
+    sample_size: usize,
+) -> f64 {
+    if !shares {
+        return current_size.max(1.0) * tables[ti].num_rows() as f64;
+    }
+    // The already-ordered table sharing the most columns with the candidate;
+    // earliest ordered table wins ties for determinism.
+    let mut base = order[0];
+    let mut base_shared = 0usize;
+    for &tj in order {
+        let cnt = tables[tj]
+            .columns()
+            .iter()
+            .filter(|c| tables[ti].column_index(**c).is_some())
+            .count();
+        if cnt > base_shared {
+            base = tj;
+            base_shared = cnt;
+        }
+    }
+    let pair = estimate_join_size(&tables[base], &tables[ti], sample_size).max(1.0);
+    pair * (current_size.max(1.0) / tables[base].num_rows().max(1) as f64)
 }
 
 /// Joins all tables in the given order, applying a result limit.
@@ -230,6 +498,56 @@ mod tests {
     }
 
     #[test]
+    fn single_key_fast_path_preserves_row_order() {
+        // Multiple build rows per key: the chained index must yield them in
+        // insertion order, so the output matches a nested-loop join.
+        let a = table(&[0, 1], &[&[1, 10], &[2, 10], &[3, 30]]);
+        let b = table(&[1, 2], &[&[10, 100], &[10, 101], &[10, 102], &[30, 300]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.num_rows(), 7);
+        // Probe row (1, 10) matches build rows in build order: 100, 101, 102.
+        assert_eq!(joined.row(0), &[v(1), v(10), v(100)]);
+        assert_eq!(joined.row(1), &[v(1), v(10), v(101)]);
+        assert_eq!(joined.row(2), &[v(1), v(10), v(102)]);
+        assert_eq!(joined.row(3), &[v(2), v(10), v(100)]);
+        assert_eq!(joined.row(6), &[v(3), v(30), v(300)]);
+    }
+
+    #[test]
+    fn multi_column_inline_key_join() {
+        // Two shared columns (1 and 2) exercise the InlineKey path.
+        let a = table(&[0, 1, 2], &[&[1, 10, 20], &[2, 10, 21], &[3, 11, 20]]);
+        let b = table(&[1, 2, 3], &[&[10, 20, 90], &[11, 20, 91], &[10, 22, 92]]);
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.columns(), &[q(0), q(1), q(2), q(3)]);
+        assert_eq!(joined.num_rows(), 2);
+        assert_eq!(joined.row(0), &[v(1), v(10), v(20), v(90)]);
+        assert_eq!(joined.row(1), &[v(3), v(11), v(20), v(91)]);
+    }
+
+    #[test]
+    fn wide_key_join_falls_back_to_vec_keys() {
+        // Five shared columns exceed INLINE_KEY_COLUMNS.
+        let a = table(
+            &[0, 1, 2, 3, 4, 5],
+            &[&[1, 2, 3, 4, 5, 100], &[1, 2, 3, 4, 6, 101]],
+        );
+        let b = table(
+            &[0, 1, 2, 3, 4, 6],
+            &[&[1, 2, 3, 4, 5, 200], &[9, 2, 3, 4, 5, 201]],
+        );
+        let mut c = JoinCounters::default();
+        let joined = hash_join(&a, &b, None, &mut c);
+        assert_eq!(joined.num_rows(), 1);
+        assert_eq!(
+            joined.row(0),
+            &[v(1), v(2), v(3), v(4), v(5), v(100), v(200)]
+        );
+    }
+
+    #[test]
     fn join_enforces_injectivity() {
         // Row would map q0 and q2 to the same data vertex 10.
         let a = table(&[0, 1], &[&[10, 5]]);
@@ -270,6 +588,16 @@ mod tests {
     }
 
     #[test]
+    fn estimate_multi_column_key() {
+        let a = table(&[0, 1, 2], &[&[1, 10, 20], &[2, 10, 21]]);
+        let b = table(&[1, 2, 3], &[&[10, 20, 90], &[10, 20, 91], &[10, 21, 92]]);
+        let est = estimate_join_size(&a, &b, 100);
+        let mut c = JoinCounters::default();
+        let exact = hash_join(&a, &b, None, &mut c).num_rows();
+        assert!((est - exact as f64).abs() < 1.0, "est={est}, exact={exact}");
+    }
+
+    #[test]
     fn estimate_empty_tables_is_zero() {
         let a = table(&[0], &[]);
         let b = table(&[0], &[&[1]]);
@@ -286,6 +614,53 @@ mod tests {
         assert_eq!(order.len(), 3);
         assert_eq!(order[0], 1, "smallest table first");
         assert_eq!(order[1], 2, "then the table sharing a column");
+    }
+
+    #[test]
+    fn order_selection_estimates_against_accumulated_columns() {
+        // Regression for the old behaviour of estimating every candidate
+        // against tables[order[0]] instead of the accumulated intermediate:
+        //
+        //   t0 [0]    : 1 row   (smallest → picked first)
+        //   t1 [0, 1] : 1 row   (selective against t0 → picked second)
+        //   t2 [1, 2] : 100 rows, exactly 1 matching the intermediate's col 1
+        //   t3 [0, 3] : 50 rows, ALL matching the intermediate's col 0
+        //
+        // After [t0, t1] the intermediate has columns {0, 1}. Joining t2 next
+        // keeps it at 1 row; joining t3 next blows it up to 50 rows. The old
+        // code estimated both candidates against t0 only: t2 shares no column
+        // with t0, so it was scored as a 100-row cartesian product and t3
+        // (estimate 50) won — the provably worse order.
+        let t0 = table(&[0], &[&[1]]);
+        let t1 = table(&[0, 1], &[&[1, 10]]);
+        let t2_rows: Vec<Vec<u64>> = std::iter::once(vec![10u64, 200])
+            .chain((0..99u64).map(|i| vec![300 + i, 500 + i]))
+            .collect();
+        let t2 = {
+            let refs: Vec<&[u64]> = t2_rows.iter().map(|r| r.as_slice()).collect();
+            table(&[1, 2], &refs)
+        };
+        let t3_rows: Vec<Vec<u64>> = (0..50u64).map(|i| vec![1, 1000 + i]).collect();
+        let t3 = {
+            let refs: Vec<&[u64]> = t3_rows.iter().map(|r| r.as_slice()).collect();
+            table(&[0, 3], &refs)
+        };
+        let tables = vec![t0, t1, t2, t3];
+
+        let order = select_join_order(&tables, 256);
+        assert_eq!(order, vec![0, 1, 2, 3], "selective table must come third");
+
+        // The fixed order is provably cheaper: count intermediate rows.
+        let mut c_good = JoinCounters::default();
+        multiway_join(&tables, &order, None, &mut c_good);
+        let mut c_bad = JoinCounters::default();
+        multiway_join(&tables, &[0, 1, 3, 2], None, &mut c_bad);
+        assert!(
+            c_good.intermediate_rows < c_bad.intermediate_rows,
+            "good = {}, bad = {}",
+            c_good.intermediate_rows,
+            c_bad.intermediate_rows
+        );
     }
 
     #[test]

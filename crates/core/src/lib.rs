@@ -23,7 +23,7 @@
 //! | §5.1–5.2 decomposition + ordering (Algorithm 2) | [`decompose`] |
 //! | §5.3 head STwig & load sets | [`head`] |
 //! | §4.3 distributed execution | [`distributed`] |
-//! | — | [`config`], [`metrics`], [`verify`], [`error`] |
+//! | — | [`config`], [`hash`], [`metrics`], [`verify`], [`error`] |
 //!
 //! ## Quick start
 //!
@@ -61,6 +61,7 @@ pub mod decompose;
 pub mod distributed;
 pub mod error;
 pub mod executor;
+pub mod hash;
 pub mod head;
 pub mod join;
 pub mod matcher;

@@ -4,9 +4,9 @@
 //! vertices and whose rows are data vertices. The join step (§4.2 step 3)
 //! combines these tables into full embeddings.
 
+use crate::hash::VertexSet;
 use crate::query::QVid;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 use trinity_sim::ids::VertexId;
 
 /// A table of partial matches: `columns[i]` names the query vertex whose data
@@ -100,26 +100,35 @@ impl ResultTable {
     }
 
     /// Distinct values appearing in the column for query vertex `q`.
-    pub fn distinct_values(&self, q: QVid) -> HashSet<VertexId> {
+    pub fn distinct_values(&self, q: QVid) -> VertexSet {
         match self.column_index(q) {
-            None => HashSet::new(),
+            None => VertexSet::default(),
             Some(c) => self.rows().map(|r| r[c]).collect(),
         }
     }
 
-    /// Removes duplicate rows (order is not preserved).
+    /// Removes duplicate rows, leaving the survivors in sorted row order.
+    ///
+    /// Sorts row *indices* over the flat buffer instead of materializing one
+    /// `Vec` per row — this sits on the distributed join path for every
+    /// load-set union, where per-row allocation would dominate.
     pub fn dedup_rows(&mut self) {
         let w = self.width();
         if w == 0 || self.data.is_empty() {
             return;
         }
-        let mut rows: Vec<Vec<VertexId>> = self.rows().map(|r| r.to_vec()).collect();
-        rows.sort_unstable();
-        rows.dedup();
-        self.data.clear();
-        for r in rows {
-            self.data.extend_from_slice(&r);
+        let n = self.num_rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
+        let mut out: Vec<VertexId> = Vec::with_capacity(self.data.len());
+        for (pos, &i) in order.iter().enumerate() {
+            let row = self.row(i as usize);
+            if pos > 0 && self.row(order[pos - 1] as usize) == row {
+                continue;
+            }
+            out.extend_from_slice(row);
         }
+        self.data = out;
     }
 
     /// Keeps only rows for which `keep` returns true.

@@ -44,6 +44,21 @@ pub struct MemoryCloud {
     directed: bool,
 }
 
+// The distributed executor shares one `&MemoryCloud` across worker threads:
+// every component is either plain owned data (partitions, interner, catalog,
+// frequency table) or atomics (the network counters), so the cloud is
+// `Send + Sync` by construction. These assertions turn an accidental
+// introduction of non-thread-safe interior mutability (`Cell`, `Rc`, ...)
+// into a compile error instead of a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MemoryCloud>();
+    assert_send_sync::<Partition>();
+    assert_send_sync::<Network>();
+    assert_send_sync::<LabelInterner>();
+    assert_send_sync::<LabelPairCatalog>();
+};
+
 impl MemoryCloud {
     /// Assembles a cloud from already-partitioned data. Intended to be called
     /// by [`crate::builder::GraphBuilder`].

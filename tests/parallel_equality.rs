@@ -1,0 +1,72 @@
+//! `parallel_matches_serial`: the multi-threaded distributed executor must
+//! return canonical rows identical to the serial executor — and identical
+//! `matches_found` — across machine counts, generated query families
+//! (DFS-induced and random, from `graph_gen::query_gen`), result-limit
+//! configurations and both network cost models.
+
+use graph_gen::prelude::*;
+use stwig::prelude::*;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+const MACHINES: [usize; 4] = [1, 2, 4, 7];
+const PARALLEL_THREADS: usize = 4;
+
+fn test_cloud(machines: usize, cost: CostModel) -> MemoryCloud {
+    synthetic_experiment_graph(1_500, 6.0, 5e-2, 0xBEEF).build_cloud(machines, cost)
+}
+
+/// DFS-induced queries (guaranteed ≥ 1 match) plus random queries.
+fn workload(cloud: &MemoryCloud) -> Vec<QueryGraph> {
+    let mut queries = query_batch(cloud, 3, 5, None, 0xA0);
+    queries.extend(query_batch(cloud, 3, 5, Some(7), 0xB0));
+    assert!(queries.len() >= 4, "workload generation degenerated");
+    queries
+}
+
+fn assert_parallel_matches_serial(cost_name: &str, cost: CostModel) {
+    for machines in MACHINES {
+        let cloud = test_cloud(machines, cost);
+        for (qi, query) in workload(&cloud).iter().enumerate() {
+            for (cfg_name, base) in [
+                ("exhaustive", MatchConfig::default()),
+                ("paper", MatchConfig::paper_default()),
+            ] {
+                let ctx = format!(
+                    "cost = {cost_name}, machines = {machines}, query = {qi}, config = {cfg_name}"
+                );
+                let serial =
+                    match_query_distributed(&cloud, query, &base.clone().with_num_threads(Some(1)))
+                        .unwrap();
+                let parallel = match_query_distributed(
+                    &cloud,
+                    query,
+                    &base.clone().with_num_threads(Some(PARALLEL_THREADS)),
+                )
+                .unwrap();
+                assert_eq!(
+                    canonical_rows(query, &serial.table),
+                    canonical_rows(query, &parallel.table),
+                    "canonical rows diverged: {ctx}"
+                );
+                assert_eq!(
+                    serial.metrics.matches_found, parallel.metrics.matches_found,
+                    "matches_found diverged: {ctx}"
+                );
+                verify_all(&cloud, query, &parallel.table).unwrap_or_else(|e| {
+                    panic!("parallel result failed verification ({ctx}): {e:?}")
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_gigabit() {
+    assert_parallel_matches_serial("gigabit", CostModel::default());
+}
+
+#[test]
+fn parallel_matches_serial_infiniband() {
+    assert_parallel_matches_serial("infiniband", CostModel::infiniband());
+}
