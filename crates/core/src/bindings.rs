@@ -70,26 +70,6 @@ impl Bindings {
         }
     }
 
-    /// Merges another machine's bindings into this one by set *union* per
-    /// query vertex (used when synchronizing bindings across machines: the
-    /// global binding of a vertex is the union of what every machine saw).
-    ///
-    /// An unbound (`None`) entry on either side makes the merged entry
-    /// unbound: "no constraint" is the weaker — and therefore always sound —
-    /// piece of knowledge.
-    pub fn union_in_place(&mut self, other: &Bindings) {
-        assert_eq!(self.sets.len(), other.sets.len());
-        for (mine, theirs) in self.sets.iter_mut().zip(other.sets.iter()) {
-            match (mine.take(), theirs) {
-                (Some(mut m), Some(t)) => {
-                    m.extend(t.iter().copied());
-                    *mine = Some(m);
-                }
-                _ => *mine = None,
-            }
-        }
-    }
-
     /// Total number of vertex ids stored across all binding sets (used to
     /// charge binding-synchronization traffic).
     pub fn total_entries(&self) -> usize {
@@ -150,28 +130,6 @@ mod tests {
         assert_eq!(b.get(q(0)).unwrap().len(), 2);
         assert_eq!(b.get(q(1)).unwrap().len(), 1);
         assert!(!b.is_bound(q(2)));
-    }
-
-    #[test]
-    fn union_merges_sets() {
-        let mut a = Bindings::new(2);
-        a.bind(q(0), [v(1)].into_iter().collect());
-        let mut b = Bindings::new(2);
-        b.bind(q(0), [v(2)].into_iter().collect());
-        b.bind(q(1), [v(9)].into_iter().collect());
-        a.union_in_place(&b);
-        assert_eq!(a.get(q(0)).unwrap().len(), 2);
-        // q(1) is unbound on `a`; "no constraint" dominates the union.
-        assert!(!a.is_bound(q(1)));
-    }
-
-    #[test]
-    fn union_with_unbound_other_unbinds() {
-        let mut a = Bindings::new(1);
-        a.bind(q(0), [v(1)].into_iter().collect());
-        let b = Bindings::new(1);
-        a.union_in_place(&b);
-        assert!(!a.is_bound(q(0)));
     }
 
     #[test]

@@ -1,0 +1,857 @@
+//! Cross-query STwig-result caching.
+//!
+//! The paper's setting is a *static* billion-node graph answering a heavy
+//! stream of queries. STwigs are tiny two-level trees, so distinct queries
+//! constantly share them: every query containing an `a → {b, c}` STwig
+//! explores exactly the same per-machine candidate tables. This module
+//! caches those tables across queries — the same insight that makes
+//! label-pair neighborhood indexes pay off in CNI (Nabti & Seba 2017) and
+//! l2Match (Cheng et al. 2023), applied to the exploration output instead of
+//! a precomputed index.
+//!
+//! ## Key canonicalization
+//!
+//! An STwig's *unbound* exploration output is fully determined by
+//! `(root label, multiset of child labels)` and the (static) graph
+//! partitioning:
+//!
+//! * root candidates come from the per-machine label postings, which are
+//!   sorted by vertex id;
+//! * child candidates are the root's neighbors with the child label, also
+//!   sorted by vertex id;
+//! * the emitted cross product is therefore in ascending lexicographic row
+//!   order, and the *data* is invariant under renaming the query vertices.
+//!
+//! The cache key is the canonical shape — root label plus **sorted** child
+//! labels — and the stored value is the per-machine table in canonical
+//! column order. A query whose STwig lists the same child labels in a
+//! different order recovers its exact exploration table by permuting the
+//! columns and re-sorting the rows ([`decanonicalize_table`]): because the
+//! exploration output is lexicographically sorted, the permuted rows sorted
+//! lexicographically *are* the exploration order.
+//!
+//! Binding-based pruning (§4.2) and the per-STwig row cap are pure
+//! order-preserving row filters of the unbound output, so
+//! [`apply_bindings_and_cap`] derives, from a cached table, a table
+//! bit-identical to what bound exploration would have produced. The graph is
+//! static, so entries never need invalidation; a fingerprint of the cloud
+//! guards against a cache being reused across clouds.
+//!
+//! ## Concurrency and eviction
+//!
+//! The cache is sharded by key hash; each shard is an LRU map under its own
+//! mutex with a per-shard slice of the byte budget. Entries hand out
+//! `Arc<Vec<ResultTable>>`, so eviction never invalidates a table a
+//! concurrent query is still reading — the reader's `Arc` keeps the data
+//! alive and the shard simply drops its reference.
+
+use crate::bindings::Bindings;
+use crate::config::MatchConfig;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::metrics::CacheStats;
+use crate::query::{QVid, QueryGraph};
+use crate::stwig::STwig;
+use crate::table::ResultTable;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use trinity_sim::ids::LabelId;
+use trinity_sim::MemoryCloud;
+
+/// Tuning knobs of the [`StwigCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total byte budget across all shards (table payloads). When an insert
+    /// pushes a shard over its slice of the budget, least-recently-used
+    /// entries are evicted.
+    pub budget_bytes: usize,
+    /// Number of independently-locked shards.
+    pub shards: usize,
+    /// Row cap per machine when populating an entry: an unbound exploration
+    /// that reaches this many rows is considered pathological, is *not*
+    /// cached, and the query falls back to plain (bound) exploration for
+    /// that STwig. `None` removes the guard.
+    pub populate_row_cap: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            budget_bytes: 64 << 20,
+            shards: 8,
+            // Matches the paper config's per-STwig exploration cap: shapes
+            // whose *unbound* table exceeds it (hub-rooted cross products on
+            // skewed graphs) are marked uncacheable instead of churning the
+            // budget with multi-MB entries.
+            populate_row_cap: Some(1 << 16),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets the byte budget.
+    pub fn with_budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget_bytes = bytes;
+        self
+    }
+}
+
+/// The canonical shape of an STwig: root label plus sorted child labels.
+/// Two STwigs with the same shape have identical unbound exploration output
+/// up to a column permutation (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StwigShape {
+    root_label: LabelId,
+    /// Child labels, sorted ascending.
+    child_labels: Vec<LabelId>,
+}
+
+impl StwigShape {
+    /// The canonical shape of `stwig` within `query`.
+    pub fn of(query: &QueryGraph, stwig: &STwig) -> StwigShape {
+        let (root_label, mut child_labels) = stwig.labels(query);
+        child_labels.sort_unstable();
+        StwigShape {
+            root_label,
+            child_labels,
+        }
+    }
+
+    /// Payload bytes attributed to the key itself.
+    fn key_bytes(&self) -> usize {
+        std::mem::size_of::<LabelId>() * (1 + self.child_labels.len())
+    }
+}
+
+/// The three outcomes of a cache probe.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// The canonical per-machine tables are resident.
+    Hit(Arc<Vec<ResultTable>>),
+    /// Nothing is known about this shape; the caller should populate.
+    Miss,
+    /// The shape is marked uncacheable (its unbound exploration exceeded the
+    /// populate row cap); the caller should run plain bound exploration and
+    /// not attempt to populate again.
+    Bypass,
+}
+
+/// One cached entry: the canonical per-machine tables — or an uncacheable
+/// tombstone — plus bookkeeping.
+struct Entry {
+    /// `None` marks an uncacheable shape (negative entry). Tombstones are
+    /// tiny but participate in LRU so a budget squeeze can reclaim them.
+    tables: Option<Arc<Vec<ResultTable>>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<StwigShape, Entry>,
+    /// LRU side index: `last_used` stamp → key. Stamps are globally unique
+    /// (one `tick` per lookup/insert), so eviction pops the smallest stamp
+    /// in O(log n) instead of scanning the map.
+    lru: std::collections::BTreeMap<u64, StwigShape>,
+    bytes: usize,
+}
+
+/// A sharded, byte-budgeted LRU cache of per-machine STwig result tables,
+/// shared read-mostly across the concurrent queries of a
+/// [`crate::engine::QueryEngine`].
+///
+/// The cache borrows the cloud it was built for, so the cloud provably
+/// outlives it — which is what makes the pointer fast path in
+/// [`StwigCache::matches_cloud`] sound.
+pub struct StwigCache<'c> {
+    cloud: &'c MemoryCloud,
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    populate_row_cap: Option<usize>,
+    /// Fingerprint of the cloud this cache serves (graph + partitioning).
+    fingerprint: u64,
+    num_machines: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for StwigCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StwigCache")
+            .field("shards", &self.shards.len())
+            .field("shard_budget", &self.shard_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'c> StwigCache<'c> {
+    /// Creates a cache bound to `cloud` (borrowed for the cache's lifetime)
+    /// and its fingerprint.
+    pub fn new(cloud: &'c MemoryCloud, config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        let mut shard_vec = Vec::with_capacity(shards);
+        shard_vec.resize_with(shards, || Mutex::new(Shard::default()));
+        StwigCache {
+            cloud,
+            shards: shard_vec,
+            shard_budget: (config.budget_bytes / shards).max(1),
+            populate_row_cap: config.populate_row_cap,
+            fingerprint: graph_fingerprint(cloud),
+            num_machines: cloud.num_machines(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this cache serves `cloud` (same graph content, partitioning
+    /// and machine count). The cloud the cache was built from is recognized
+    /// by pointer identity (sound: the borrow keeps it alive, so no other
+    /// cloud can occupy its address); any other instance pays the full
+    /// O(V + E) fingerprint comparison — build the cache from the cloud you
+    /// intend to query.
+    pub fn matches_cloud(&self, cloud: &MemoryCloud) -> bool {
+        if std::ptr::eq(self.cloud, cloud) {
+            return true;
+        }
+        self.num_machines == cloud.num_machines() && graph_fingerprint(cloud) == self.fingerprint
+    }
+
+    /// The populate-time row cap per machine (see [`CacheConfig`]).
+    pub fn populate_row_cap(&self) -> Option<usize> {
+        self.populate_row_cap
+    }
+
+    /// Probes the cache for `shape`, counting a hit, miss or bypass.
+    pub fn lookup(&self, shape: &StwigShape) -> CacheLookup {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(shape).lock().expect("cache shard poisoned");
+        let Some(entry) = shard.map.get_mut(shape) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss;
+        };
+        let previous = std::mem::replace(&mut entry.last_used, stamp);
+        let result = match &entry.tables {
+            Some(tables) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Hit(Arc::clone(tables))
+            }
+            None => {
+                self.bypasses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Bypass
+            }
+        };
+        let key = shard.lru.remove(&previous).expect("LRU index out of sync");
+        shard.lru.insert(stamp, key);
+        result
+    }
+
+    /// Inserts the canonical per-machine tables for `shape`, evicting
+    /// least-recently-used entries if the shard exceeds its byte budget.
+    /// If another query populated the same shape first, the resident entry
+    /// wins (both were derived from identical exploration) and is returned.
+    ///
+    /// An entry that could never fit its shard's budget is recorded as an
+    /// uncacheable tombstone instead: re-populating it on every occurrence
+    /// (unbound exploration + canonicalization, instantly evicted) would be
+    /// strictly slower than running without the cache.
+    pub fn insert(&self, shape: StwigShape, tables: Vec<ResultTable>) -> Arc<Vec<ResultTable>> {
+        assert_eq!(
+            tables.len(),
+            self.num_machines,
+            "cache entries hold one table per machine"
+        );
+        let bytes = tables.iter().map(ResultTable::memory_bytes).sum::<usize>() + shape.key_bytes();
+        let tables = Arc::new(tables);
+        if bytes > self.shard_budget {
+            self.mark_uncacheable(shape);
+            return tables;
+        }
+        self.insert_entry(shape, Some(Arc::clone(&tables)), bytes);
+        tables
+    }
+
+    /// Marks `shape` uncacheable: its unbound exploration exceeded the
+    /// populate row cap, so future queries skip straight to plain bound
+    /// exploration instead of re-attempting (and re-paying) the populate.
+    pub fn mark_uncacheable(&self, shape: StwigShape) {
+        let bytes = shape.key_bytes() + std::mem::size_of::<Entry>();
+        self.insert_entry(shape, None, bytes);
+    }
+
+    fn insert_entry(&self, shape: StwigShape, tables: Option<Arc<Vec<ResultTable>>>, bytes: usize) {
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(&shape).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&shape) {
+            return;
+        }
+        shard.bytes += bytes;
+        shard.lru.insert(stamp, shape.clone());
+        shard.map.insert(
+            shape,
+            Entry {
+                tables,
+                bytes,
+                last_used: stamp,
+            },
+        );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        // Evict LRU-first (smallest stamp) until the shard fits its budget.
+        // `insert` tombstones data entries larger than the whole shard
+        // budget up front, so the entry just inserted is only its own victim
+        // in the degenerate case of a budget smaller than a tombstone.
+        while shard.bytes > self.shard_budget {
+            let Some((&oldest, _)) = shard.lru.iter().next() else {
+                break;
+            };
+            let victim = shard.lru.remove(&oldest).expect("just observed");
+            let evicted = shard.map.remove(&victim).expect("LRU index out of sync");
+            shard.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes_resident = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries += shard.map.len() as u64;
+            bytes_resident += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes_resident,
+        }
+    }
+
+    fn shard_for(&self, shape: &StwigShape) -> &Mutex<Shard> {
+        let mut hasher = FxHasher::default();
+        shape.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+}
+
+/// A deterministic fingerprint of a cloud's graph content and partitioning,
+/// used to reject a cache built for a different cloud.
+///
+/// Beyond the global counts and label statistics, every partition's cell
+/// data — vertex id, label, degree and the full neighbor run — is folded
+/// in. Two clouds with identical sizes and label frequencies but different
+/// edges (e.g. two `gnm` draws with different seeds) therefore fingerprint
+/// differently. Construction is O(V + E), the same order as building the
+/// cloud itself, and runs once per cache.
+pub fn graph_fingerprint(cloud: &MemoryCloud) -> u64 {
+    let mut hasher = FxHasher::default();
+    cloud.num_machines().hash(&mut hasher);
+    cloud.num_vertices().hash(&mut hasher);
+    cloud.num_edges().hash(&mut hasher);
+    for (label, name) in cloud.labels().iter() {
+        name.hash(&mut hasher);
+        cloud.label_frequency(label).hash(&mut hasher);
+    }
+    for m in cloud.machines() {
+        let partition = cloud.partition(m);
+        partition.num_vertices().hash(&mut hasher);
+        partition.num_edge_entries().hash(&mut hasher);
+        for cell in partition.iter_cells() {
+            cell.id.hash(&mut hasher);
+            cell.label.hash(&mut hasher);
+            cell.neighbors.len().hash(&mut hasher);
+            for &n in cell.neighbors {
+                n.hash(&mut hasher);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+/// The permutation taking the STwig's children (in their query-vertex order)
+/// to canonical (label-sorted) positions: `perm[j]` is the index within
+/// `stwig.children` of the child occupying canonical child position `j`.
+/// Ties between equal labels keep query-vertex order; same-label columns are
+/// content-symmetric, so any stable choice yields the same canonical data.
+fn canonical_child_order(query: &QueryGraph, stwig: &STwig) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..stwig.children.len()).collect();
+    perm.sort_by_key(|&i| (query.label(stwig.children[i]), i));
+    perm
+}
+
+/// Converts one machine's *unbound, untruncated* exploration table for
+/// `stwig` into canonical form: columns permuted to (root, label-sorted
+/// children) with placeholder names, rows re-sorted lexicographically.
+pub fn canonicalize_table(table: &ResultTable, query: &QueryGraph, stwig: &STwig) -> ResultTable {
+    debug_assert!(
+        table.rows_are_sorted(),
+        "unbound exploration must emit lexicographically sorted rows"
+    );
+    let placeholder: Vec<QVid> = (0..table.width() as u16).map(QVid).collect();
+    let perm = canonical_child_order(query, stwig);
+    if perm.iter().enumerate().all(|(j, &i)| j == i) {
+        // Identity permutation: one bulk buffer clone under new names.
+        return table.cloned_with_columns(placeholder);
+    }
+    let mut out = ResultTable::with_capacity(placeholder, table.num_rows());
+    let mut row_buf = Vec::with_capacity(table.width());
+    for row in table.rows() {
+        row_buf.clear();
+        row_buf.push(row[0]);
+        row_buf.extend(perm.iter().map(|&i| row[1 + i]));
+        out.push_row(&row_buf);
+    }
+    out.sort_rows();
+    out
+}
+
+/// Reconstructs the exact unbound exploration table of `stwig` from a
+/// canonical cached table: columns are renamed to the STwig's query
+/// vertices, permuted back from label-sorted to query-vertex order, and rows
+/// re-sorted into the lexicographic order exploration emits.
+pub fn decanonicalize_table(
+    canonical: &ResultTable,
+    query: &QueryGraph,
+    stwig: &STwig,
+) -> ResultTable {
+    let mut columns = Vec::with_capacity(1 + stwig.children.len());
+    columns.push(stwig.root);
+    columns.extend(stwig.children.iter().copied());
+    debug_assert_eq!(columns.len(), canonical.width());
+    let perm = canonical_child_order(query, stwig);
+    if perm.iter().enumerate().all(|(j, &i)| j == i) {
+        // Identity permutation: one bulk buffer clone under new names.
+        return canonical.cloned_with_columns(columns);
+    }
+    let mut out = ResultTable::with_capacity(columns, canonical.num_rows());
+    let mut row_buf = vec![trinity_sim::ids::VertexId(0); canonical.width()];
+    for row in canonical.rows() {
+        row_buf[0] = row[0];
+        for (j, &i) in perm.iter().enumerate() {
+            row_buf[1 + i] = row[1 + j];
+        }
+        out.push_row(&row_buf);
+    }
+    out.sort_rows();
+    out
+}
+
+/// The cache-hit derivation, fused into the minimum number of passes:
+/// produces, directly from a canonical cached table, the table that bound
+/// exploration of `stwig` under `bindings` and `config` would emit —
+/// equivalent to [`decanonicalize_table`] followed by
+/// [`apply_bindings_and_cap`], without materializing the intermediate full
+/// table. (Binding filtering is per-row, so it commutes with the column
+/// permutation and the row re-sort; the row cap is applied last — after the
+/// sort when one is needed — because it must keep a prefix of the
+/// exploration order.)
+pub fn derive_bound_table(
+    canonical: &ResultTable,
+    query: &QueryGraph,
+    stwig: &STwig,
+    bindings: &Bindings,
+    config: &MatchConfig,
+) -> ResultTable {
+    let mut columns = Vec::with_capacity(1 + stwig.children.len());
+    columns.push(stwig.root);
+    columns.extend(stwig.children.iter().copied());
+    debug_assert_eq!(columns.len(), canonical.width());
+    let perm = canonical_child_order(query, stwig);
+    let identity = perm.iter().enumerate().all(|(j, &i)| j == i);
+
+    // In canonical-column space, `col_sets[j]` is the binding set (if any)
+    // of the query vertex occupying canonical position `j` — resolved once,
+    // so the per-row filter is a plain set probe per bound column.
+    let col_sets: Vec<Option<&crate::hash::VertexSet>> = if config.use_bindings {
+        std::iter::once(bindings.get(stwig.root))
+            .chain(perm.iter().map(|&i| bindings.get(stwig.children[i])))
+            .collect()
+    } else {
+        vec![None; canonical.width()]
+    };
+    let filtering = col_sets.iter().any(Option::is_some);
+    let admits = |row: &[trinity_sim::ids::VertexId]| -> bool {
+        col_sets
+            .iter()
+            .zip(row.iter())
+            .all(|(set, v)| set.is_none_or(|s| s.contains(v)))
+    };
+
+    if identity && !filtering {
+        // Pure copy (plus cap): the canonical data is the exploration
+        // output verbatim.
+        let mut out = canonical.cloned_with_columns(columns);
+        if let Some(cap) = config.max_stwig_rows {
+            out.truncate(cap);
+        }
+        return out;
+    }
+    let mut out = ResultTable::with_capacity(columns, canonical.num_rows());
+    if identity {
+        // Already in exploration order: one filtered pass with the cap.
+        let cap = config.max_stwig_rows.unwrap_or(usize::MAX);
+        for row in canonical.rows() {
+            if out.num_rows() >= cap {
+                break;
+            }
+            if admits(row) {
+                out.push_row(row);
+            }
+        }
+        return out;
+    }
+    // Permute (and filter) every row, re-sort into exploration order, then
+    // cap — the cap must keep a prefix of the *sorted* order.
+    let mut row_buf = vec![trinity_sim::ids::VertexId(0); canonical.width()];
+    for row in canonical.rows() {
+        if !admits(row) {
+            continue;
+        }
+        row_buf[0] = row[0];
+        for (j, &i) in perm.iter().enumerate() {
+            row_buf[1 + i] = row[1 + j];
+        }
+        out.push_row(&row_buf);
+    }
+    out.sort_rows();
+    if let Some(cap) = config.max_stwig_rows {
+        out.truncate(cap);
+    }
+    out
+}
+
+/// Derives, from the full unbound exploration table, the table that *bound*
+/// exploration under `bindings` and `config` would have produced: binding
+/// pruning is an order-preserving per-row filter and the per-STwig row cap
+/// stops after that many surviving rows, so filter-then-cap reproduces the
+/// exploration output bit for bit.
+pub fn apply_bindings_and_cap(
+    mut table: ResultTable,
+    bindings: &Bindings,
+    config: &MatchConfig,
+) -> ResultTable {
+    let columns = table.columns().to_vec();
+    if config.use_bindings {
+        table.retain_rows_with_limit(config.max_stwig_rows, |row| {
+            columns
+                .iter()
+                .zip(row.iter())
+                .all(|(&q, &v)| bindings.admits(q, v))
+        });
+    } else if let Some(cap) = config.max_stwig_rows {
+        table.truncate(cap);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QVid;
+    use trinity_sim::builder::GraphBuilder;
+    use trinity_sim::ids::VertexId;
+    use trinity_sim::network::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn q(x: u16) -> QVid {
+        QVid(x)
+    }
+
+    fn table(cols: &[u16], rows: &[&[u64]]) -> ResultTable {
+        let mut t = ResultTable::new(cols.iter().map(|&c| q(c)).collect());
+        for r in rows {
+            let row: Vec<VertexId> = r.iter().map(|&x| v(x)).collect();
+            t.push_row(&row);
+        }
+        t
+    }
+
+    fn small_cloud() -> MemoryCloud {
+        let mut gb = GraphBuilder::new_undirected();
+        gb.add_vertex(v(0), "a");
+        gb.add_vertex(v(1), "b");
+        gb.add_vertex(v(2), "c");
+        gb.add_edge(v(0), v(1));
+        gb.add_edge(v(0), v(2));
+        gb.build(2, CostModel::free())
+    }
+
+    /// A query whose STwig children are *not* in label-sorted order: q0
+    /// labeled "a" with children q1 ("c") and q2 ("b").
+    fn unsorted_query() -> (QueryGraph, STwig) {
+        let cloud = small_cloud();
+        let mut qb = QueryGraph::builder();
+        let r = qb.vertex_by_name(&cloud, "a").unwrap();
+        let c1 = qb.vertex_by_name(&cloud, "c").unwrap();
+        let c2 = qb.vertex_by_name(&cloud, "b").unwrap();
+        qb.edge(r, c1).edge(r, c2);
+        let query = qb.build().unwrap();
+        let stwig = STwig::new(r, vec![c1, c2]);
+        (query, stwig)
+    }
+
+    #[test]
+    fn shape_sorts_child_labels() {
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig);
+        let mut sorted = shape.child_labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(shape.child_labels, sorted);
+        assert_eq!(shape.root_label, query.label(stwig.root));
+    }
+
+    #[test]
+    fn canonicalize_roundtrips_through_decanonicalize() {
+        let (query, stwig) = unsorted_query();
+        // Exploration table for (root=a, children=[c, b]) with rows in the
+        // lexicographic order exploration emits.
+        let exploration = table(&[0, 1, 2], &[&[10, 31, 20], &[10, 31, 21], &[11, 30, 22]]);
+        let canonical = canonicalize_table(&exploration, &query, &stwig);
+        assert!(canonical.rows_are_sorted());
+        // Canonical column 1 holds the "b" child values (label-sorted).
+        assert_eq!(canonical.row(0), &[v(10), v(20), v(31)]);
+        let back = decanonicalize_table(&canonical, &query, &stwig);
+        assert_eq!(back, exploration, "round trip must be bit-identical");
+    }
+
+    #[test]
+    fn canonicalize_identity_when_labels_already_sorted() {
+        let cloud = small_cloud();
+        let mut qb = QueryGraph::builder();
+        let r = qb.vertex_by_name(&cloud, "a").unwrap();
+        let c1 = qb.vertex_by_name(&cloud, "b").unwrap();
+        let c2 = qb.vertex_by_name(&cloud, "c").unwrap();
+        qb.edge(r, c1).edge(r, c2);
+        let query = qb.build().unwrap();
+        let stwig = STwig::new(r, vec![c1, c2]);
+        let exploration = table(&[0, 1, 2], &[&[1, 2, 3], &[1, 2, 4]]);
+        let canonical = canonicalize_table(&exploration, &query, &stwig);
+        assert_eq!(canonical.row(0), exploration.row(0));
+        let back = decanonicalize_table(&canonical, &query, &stwig);
+        assert_eq!(back, exploration);
+    }
+
+    #[test]
+    fn apply_bindings_filters_and_caps_in_order() {
+        let full = table(&[0, 1], &[&[1, 10], &[2, 11], &[3, 12], &[4, 13]]);
+        let mut bindings = Bindings::new(2);
+        bindings.bind(q(0), [v(1), v(3), v(4)].into_iter().collect());
+        let cfg = MatchConfig {
+            max_stwig_rows: Some(2),
+            ..MatchConfig::default()
+        };
+        let derived = apply_bindings_and_cap(full.clone(), &bindings, &cfg);
+        assert_eq!(derived.num_rows(), 2);
+        assert_eq!(derived.row(0), &[v(1), v(10)]);
+        assert_eq!(derived.row(1), &[v(3), v(12)]);
+        // With bindings disabled the cap is a plain prefix truncation.
+        let cfg_nb = MatchConfig {
+            max_stwig_rows: Some(3),
+            use_bindings: false,
+            ..MatchConfig::default()
+        };
+        let derived_nb = apply_bindings_and_cap(full, &bindings, &cfg_nb);
+        assert_eq!(derived_nb.num_rows(), 3);
+        assert_eq!(derived_nb.row(2), &[v(3), v(12)]);
+    }
+
+    #[test]
+    fn lookup_insert_and_stats() {
+        let cloud = small_cloud();
+        let cache = StwigCache::new(&cloud, CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig);
+        assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
+        let tables = vec![table(&[0, 1, 2], &[&[1, 2, 3]]), table(&[0, 1, 2], &[])];
+        let arc = cache.insert(shape.clone(), tables);
+        assert_eq!(arc.len(), 2);
+        let CacheLookup::Hit(hit) = cache.lookup(&shape) else {
+            panic!("entry must be resident after insert");
+        };
+        assert!(Arc::ptr_eq(&arc, &hit));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes_resident > 0);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_insert_keeps_the_resident_entry() {
+        let cloud = small_cloud();
+        let cache = StwigCache::new(&cloud, CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig);
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+        );
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+        );
+        assert_eq!(cache.stats().insertions, 1, "resident entry wins the race");
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn uncacheable_shapes_bypass() {
+        let cloud = small_cloud();
+        let cache = StwigCache::new(&cloud, CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig);
+        assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
+        cache.mark_uncacheable(shape.clone());
+        assert!(matches!(cache.lookup(&shape), CacheLookup::Bypass));
+        let stats = cache.stats();
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn derive_bound_table_equals_decanonicalize_then_filter() {
+        let (query, stwig) = unsorted_query();
+        // Full unbound exploration table in exploration (lexicographic) order
+        // for children [c ("c"), b ("b")]; canonical order swaps the columns.
+        let exploration = table(
+            &[0, 1, 2],
+            &[
+                &[10, 30, 20],
+                &[10, 30, 21],
+                &[10, 31, 20],
+                &[11, 30, 22],
+                &[11, 32, 20],
+            ],
+        );
+        let canonical = canonicalize_table(&exploration, &query, &stwig);
+        let mut bindings = Bindings::new(3);
+        bindings.bind(q(2), [v(20), v(22)].into_iter().collect());
+        for config in [
+            MatchConfig::default(),
+            MatchConfig::default().with_max_stwig_rows(Some(2)),
+            MatchConfig::default().with_bindings(false),
+            MatchConfig::default()
+                .with_bindings(false)
+                .with_max_stwig_rows(Some(3)),
+        ] {
+            let fused = derive_bound_table(&canonical, &query, &stwig, &bindings, &config);
+            let two_pass = apply_bindings_and_cap(
+                decanonicalize_table(&canonical, &query, &stwig),
+                &bindings,
+                &config,
+            );
+            assert_eq!(fused, two_pass, "config = {config:?}");
+        }
+        // Identity-permutation shape: root "a" with sorted-label children.
+        let cloud = small_cloud();
+        let mut qb = QueryGraph::builder();
+        let r = qb.vertex_by_name(&cloud, "a").unwrap();
+        let c1 = qb.vertex_by_name(&cloud, "b").unwrap();
+        let c2 = qb.vertex_by_name(&cloud, "c").unwrap();
+        qb.edge(r, c1).edge(r, c2);
+        let query2 = qb.build().unwrap();
+        let stwig2 = STwig::new(r, vec![c1, c2]);
+        let canonical2 = canonicalize_table(&exploration, &query2, &stwig2);
+        let cfg = MatchConfig::default().with_max_stwig_rows(Some(2));
+        let fused = derive_bound_table(&canonical2, &query2, &stwig2, &bindings, &cfg);
+        let two_pass = apply_bindings_and_cap(
+            decanonicalize_table(&canonical2, &query2, &stwig2),
+            &bindings,
+            &cfg,
+        );
+        assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_readers_keep_their_tables() {
+        let cloud = small_cloud();
+        // A budget small enough that a handful of entries forces eviction.
+        let config = CacheConfig {
+            budget_bytes: 600,
+            shards: 1,
+            populate_row_cap: None,
+        };
+        let cache = StwigCache::new(&cloud, config);
+        let mut held = Vec::new();
+        for i in 0..8u32 {
+            let shape = StwigShape {
+                root_label: LabelId(i),
+                child_labels: vec![LabelId(i + 100)],
+            };
+            let rows: Vec<Vec<u64>> = (0..10u64).map(|r| vec![r, r + 1]).collect();
+            let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let t = table(&[0, 1], &refs);
+            held.push(cache.insert(shape, vec![t.clone(), t]));
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "tiny budget must evict");
+        assert!(
+            stats.bytes_resident <= 600,
+            "resident bytes {} exceed the budget",
+            stats.bytes_resident
+        );
+        // Evicted or not, every Arc handed out remains fully readable.
+        for tables in &held {
+            assert_eq!(tables[0].num_rows(), 10);
+            assert_eq!(tables[0].row(9), &[v(9), v(10)]);
+        }
+    }
+
+    #[test]
+    fn fingerprint_detects_same_sized_graph_with_different_edges() {
+        // Identical machine count, vertex count, edge count and label
+        // frequencies — only the edge set differs. The structural part of
+        // the fingerprint must tell them apart, or a foreign cache would
+        // silently serve wrong exploration tables.
+        let build = |edges: [(u64, u64); 2]| {
+            let mut gb = GraphBuilder::new_undirected();
+            gb.add_vertex(v(0), "a");
+            gb.add_vertex(v(1), "b");
+            gb.add_vertex(v(2), "b");
+            gb.add_vertex(v(3), "c");
+            for (a, b) in edges {
+                gb.add_edge(v(a), v(b));
+            }
+            gb.build(2, CostModel::free())
+        };
+        let cloud_a = build([(0, 1), (2, 3)]);
+        let cloud_b = build([(0, 2), (1, 3)]);
+        assert_ne!(graph_fingerprint(&cloud_a), graph_fingerprint(&cloud_b));
+        let cache = StwigCache::new(&cloud_a, CacheConfig::default());
+        assert!(cache.matches_cloud(&cloud_a));
+        assert!(!cache.matches_cloud(&cloud_b));
+        // Re-validation is memoized per instance but stays exact: the same
+        // cache accepts cloud A again after probing cloud B.
+        assert!(cache.matches_cloud(&cloud_a));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_clouds() {
+        let cloud = small_cloud();
+        let cache = StwigCache::new(&cloud, CacheConfig::default());
+        assert!(cache.matches_cloud(&cloud));
+        let mut gb = GraphBuilder::new_undirected();
+        gb.add_vertex(v(0), "a");
+        gb.add_vertex(v(1), "b");
+        gb.add_edge(v(0), v(1));
+        let other = gb.build(2, CostModel::free());
+        assert!(!cache.matches_cloud(&other));
+    }
+}

@@ -87,6 +87,17 @@ impl MatchConfig {
         self
     }
 
+    /// Sets the per-machine, per-STwig exploration row cap.
+    ///
+    /// The cap interacts cleanly with the STwig-result cache: bound
+    /// exploration truncated at `n` rows equals the binding-filtered unbound
+    /// table truncated at `n` rows, so cached entries (stored unbound and
+    /// untruncated) reproduce capped runs exactly (see `crate::cache`).
+    pub fn with_max_stwig_rows(mut self, rows: Option<usize>) -> Self {
+        self.max_stwig_rows = rows;
+        self
+    }
+
     /// Sets the distributed executor's worker-thread count (`None` =
     /// available parallelism, `Some(1)` = serial).
     pub fn with_num_threads(mut self, threads: Option<usize>) -> Self {
@@ -130,10 +141,12 @@ mod tests {
             .with_max_results(Some(7))
             .with_bindings(false)
             .with_join_order_optimization(false)
+            .with_max_stwig_rows(Some(99))
             .with_num_threads(Some(3));
         assert_eq!(c.max_results, Some(7));
         assert!(!c.use_bindings);
         assert!(!c.optimize_join_order);
+        assert_eq!(c.max_stwig_rows, Some(99));
         assert_eq!(c.num_threads, Some(3));
         assert_eq!(c.resolved_num_threads(), 3);
     }

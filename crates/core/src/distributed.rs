@@ -34,8 +34,20 @@
 //! metrics totals are identical for every thread count — `num_threads = 1`
 //! reproduces the serial execution bit-for-bit. See DESIGN.md for the full
 //! determinism argument.
+//!
+//! **Split API.** The execution is factored into two public phases so that
+//! the multi-query [`crate::engine::QueryEngine`] and the single-query entry
+//! point share one code path: [`produce_stwig_tables`] runs exploration with
+//! binding synchronization (optionally consulting a [`StwigCache`], which is
+//! transparent — a hit yields tables bit-identical to exploration), and
+//! [`join_stwig_tables`] runs the per-machine load-set joins and the final
+//! union. [`match_query_distributed`] is the composition with no cache.
 
 use crate::bindings::Bindings;
+use crate::cache::{
+    apply_bindings_and_cap, canonicalize_table, derive_bound_table, CacheLookup, StwigCache,
+    StwigShape,
+};
 use crate::config::MatchConfig;
 use crate::decompose::decompose_ordered;
 use crate::error::StwigError;
@@ -54,26 +66,29 @@ use trinity_sim::cluster_graph::ClusterGraph;
 use trinity_sim::ids::{MachineId, VertexId};
 use trinity_sim::MemoryCloud;
 
-/// Runs `work` once per machine index, fanning the machines out over
+/// Runs `work` once per index in `0..num_items`, fanning the items out over
 /// `threads` worker threads with dynamic work-stealing (an atomic cursor over
-/// the machine list, so unevenly-loaded machines balance). Results are
-/// returned in machine order regardless of scheduling, which is what lets
-/// callers merge them deterministically. `threads <= 1` runs inline on the
-/// calling thread — the exact serial execution.
+/// the item list, so unevenly-sized items balance). Results are returned in
+/// item order regardless of scheduling, which is what lets callers merge
+/// them deterministically. `threads <= 1` runs inline on the calling thread —
+/// the exact serial execution.
+///
+/// Used at machine granularity by this module and at query granularity by
+/// the [`crate::engine::QueryEngine`] worker pool.
 ///
 /// A panic on any worker propagates to the caller.
-fn run_per_machine<R, F>(num_machines: usize, threads: usize, work: F) -> Vec<R>
+pub(crate) fn run_work_stealing<R, F>(num_items: usize, threads: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if threads <= 1 || num_machines <= 1 {
-        return (0..num_machines).map(work).collect();
+    if threads <= 1 || num_items <= 1 {
+        return (0..num_items).map(work).collect();
     }
-    let workers = threads.min(num_machines);
+    let workers = threads.min(num_items);
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_machines);
-    slots.resize_with(num_machines, || None);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(num_items);
+    slots.resize_with(num_items, || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -83,7 +98,7 @@ where
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_machines {
+                        if i >= num_items {
                             break;
                         }
                         done.push((i, work(i)));
@@ -93,14 +108,14 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("machine worker panicked") {
+            for (i, r) in handle.join().expect("worker panicked") {
                 slots[i] = Some(r);
             }
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("every machine index was processed"))
+        .map(|s| s.expect("every index was processed"))
         .collect()
 }
 
@@ -158,6 +173,22 @@ pub fn match_query_distributed(
     query: &QueryGraph,
     config: &MatchConfig,
 ) -> Result<MatchOutput, StwigError> {
+    match_query_distributed_with_cache(cloud, query, config, None)
+}
+
+/// [`match_query_distributed`] with an optional cross-query [`StwigCache`].
+///
+/// The cache is transparent: for every STwig, the per-machine tables fed
+/// into the join are bit-identical to what exploration would produce, so the
+/// result table — including row order and truncation behavior — is
+/// independent of the cache's presence and state. Only exploration-side
+/// counters and simulated traffic differ (a hit performs no graph accesses).
+pub fn match_query_distributed_with_cache(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    config: &MatchConfig,
+    cache: Option<&StwigCache>,
+) -> Result<MatchOutput, StwigError> {
     let started = Instant::now();
     cloud.reset_traffic();
     let num_machines = cloud.num_machines();
@@ -168,6 +199,13 @@ pub fn match_query_distributed(
             ..Default::default()
         })
         .collect();
+    if let Some(cache) = cache {
+        if !cache.matches_cloud(cloud) {
+            return Err(StwigError::Internal(
+                "STwig cache was built for a different memory cloud".into(),
+            ));
+        }
+    }
 
     // Single-vertex queries: a per-machine label scan.
     if query.num_edges() == 0 {
@@ -194,39 +232,93 @@ pub fn match_query_distributed(
     let plan = plan_query(cloud, query)?;
     metrics.num_stwigs = plan.stwigs.len();
 
-    // ---- 2. Exploration with global binding synchronization ----
-    // per_machine_tables[k][t] = G_k(q_t)
+    // ---- 2 + 3. Exploration, then per-machine joins ----
+    let tables = produce_stwig_tables(
+        cloud,
+        query,
+        &plan,
+        config,
+        cache,
+        &mut metrics,
+        &mut machine_metrics,
+    )?;
+    let table = match tables {
+        // Some STwig matched nowhere: the query provably has no answer.
+        None => ResultTable::new(query.vertices().collect()),
+        Some(tables) => join_stwig_tables(
+            cloud,
+            query,
+            &plan,
+            &tables,
+            config,
+            &mut metrics,
+            &mut machine_metrics,
+        ),
+    };
+    metrics.matches_found = table.num_rows() as u64;
+    metrics.machines = machine_metrics;
+    finalize(&mut metrics, cloud, started);
+    Ok(MatchOutput { table, metrics })
+}
+
+/// The per-machine STwig result tables of the exploration phase:
+/// `per_machine[k][t]` is G_k(q_t), machine `k`'s matches of STwig `t`.
+#[derive(Debug, Clone)]
+pub struct StwigTableSet {
+    /// Outer index: machine; inner index: STwig (in plan order).
+    pub per_machine: Vec<Vec<ResultTable>>,
+}
+
+/// Phase 1 of the distributed execution: every machine matches every STwig
+/// in plan order with binding synchronization between STwigs (§4.2/§4.3),
+/// optionally consulting a cross-query [`StwigCache`].
+///
+/// Returns `Ok(None)` when some STwig matched nowhere, which proves the
+/// query has no answer (exploration counters and the partial `stwig_rows`
+/// are still recorded in `metrics`).
+pub fn produce_stwig_tables(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    plan: &QueryPlan,
+    config: &MatchConfig,
+    cache: Option<&StwigCache>,
+    metrics: &mut QueryMetrics,
+    machine_metrics: &mut [MachineMetrics],
+) -> Result<Option<StwigTableSet>, StwigError> {
+    if let Some(cache) = cache {
+        // Guard here too, not only in the composed entry point: this phase
+        // is public, and a foreign cache would serve another cloud's tables.
+        if !cache.matches_cloud(cloud) {
+            return Err(StwigError::Internal(
+                "STwig cache was built for a different memory cloud".into(),
+            ));
+        }
+    }
+    let num_machines = cloud.num_machines();
+    let threads = config.resolved_num_threads();
     let mut per_machine_tables: Vec<Vec<ResultTable>> =
         vec![Vec::with_capacity(plan.stwigs.len()); num_machines];
     let mut bindings = Bindings::new(query.num_vertices());
     let mut explore = ExploreCounters::default();
-    let threads = config.resolved_num_threads();
 
-    for stwig in plan.stwigs.iter() {
-        // Every machine explores this STwig in parallel against the bindings
-        // snapshot from the previous barrier; counters and tables come back
+    // A binding set is only ever read while exploring a *later* STwig, so
+    // vertices that never appear again need no set built (and no broadcast):
+    // `needed_after[t]` is the union of the vertices of stwigs t+1.. — for
+    // the last STwig the whole synchronization barrier is skipped.
+    let mut needed_after: Vec<HashSet<crate::query::QVid>> =
+        vec![HashSet::new(); plan.stwigs.len()];
+    for t in (0..plan.stwigs.len().saturating_sub(1)).rev() {
+        let mut needed = needed_after[t + 1].clone();
+        needed.extend(plan.stwigs[t + 1].vertices());
+        needed_after[t] = needed;
+    }
+
+    for (t, stwig) in plan.stwigs.iter().enumerate() {
+        // Every machine produces this STwig's table in parallel against the
+        // bindings snapshot from the previous barrier — by exploration, or
+        // from the cache when one is supplied; counters and tables come back
         // thread-locally and are merged in machine order.
-        let results = run_per_machine(num_machines, threads, |ki| {
-            let k = MachineId(ki as u16);
-            let t0 = Instant::now();
-            let roots = local_roots(cloud, k, query, stwig, &bindings, config);
-            let mut counters = ExploreCounters::default();
-            let table = match_stwig(
-                cloud,
-                k,
-                query,
-                stwig,
-                &roots,
-                &bindings,
-                config,
-                &mut counters,
-            );
-            MachineExplore {
-                table,
-                counters,
-                compute_us: t0.elapsed().as_secs_f64() * 1e6,
-            }
-        });
+        let results = explore_one_stwig(cloud, query, stwig, &bindings, config, cache, threads);
         let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
         for (ki, result) in results.into_iter().enumerate() {
             explore.merge(&result.counters);
@@ -237,34 +329,40 @@ pub fn match_query_distributed(
         }
 
         // Synchronize bindings (barrier): the global binding of each STwig
-        // vertex is the union of what every machine discovered. Charge the
-        // broadcast.
-        if config.use_bindings {
-            let mut stwig_bindings = Bindings::new(query.num_vertices());
-            for (ki, table) in new_tables.iter().enumerate() {
-                let mut local = Bindings::new(query.num_vertices());
-                local.update_from_table(table);
-                if ki == 0 {
-                    stwig_bindings = local;
-                } else {
-                    stwig_bindings.union_in_place(&local);
+        // vertex that a later STwig will read is the union of what every
+        // machine discovered. The union set per vertex is filled directly,
+        // machine by machine in machine order — equivalent to building
+        // per-machine bindings and unioning them, without the intermediate
+        // sets — then *moved* into the running bindings (which intersect
+        // with what previous STwigs already established for shared
+        // vertices). Charge the broadcast of the synced columns.
+        let synced_cols: Vec<crate::query::QVid> = if config.use_bindings {
+            stwig_vertices(stwig)
+                .into_iter()
+                .filter(|v| needed_after[t].contains(v))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if !synced_cols.is_empty() {
+            for &col in &synced_cols {
+                let mut set = crate::hash::VertexSet::default();
+                for table in new_tables.iter() {
+                    if let Some(ci) = table.columns().iter().position(|&c| c == col) {
+                        set.extend(table.rows().map(|r| r[ci]));
+                    }
                 }
+                bindings.bind(col, set);
             }
             // Broadcast volume: each machine ships its newly-discovered
-            // binding entries to every other machine.
+            // binding entries (one column value per row per synced column)
+            // to every other machine.
             for (k, table) in new_tables.iter().enumerate() {
-                let entries = table.num_rows() as u64 * table.width() as u64;
+                let entries = table.num_rows() as u64 * synced_cols.len() as u64;
                 for j in cloud.machines() {
                     if j.index() != k {
                         cloud.ship_rows(MachineId(k as u16), j, entries, 1);
                     }
-                }
-            }
-            // Merge into the running bindings (intersecting with what previous
-            // STwigs already established for shared vertices).
-            for &col in stwig_vertices(stwig).iter() {
-                if let Some(set) = stwig_bindings.get(col) {
-                    bindings.bind(col, set.clone());
                 }
             }
         }
@@ -277,19 +375,161 @@ pub fn match_query_distributed(
         if total_rows == 0 {
             // No machine found a match for this STwig: the query has no answer.
             metrics.explore = explore;
-            metrics.machines = machine_metrics;
-            let table = ResultTable::new(query.vertices().collect());
-            finalize(&mut metrics, cloud, started);
-            return Ok(MatchOutput { table, metrics });
+            return Ok(None);
         }
     }
     metrics.explore = explore;
+    Ok(Some(StwigTableSet {
+        per_machine: per_machine_tables,
+    }))
+}
 
-    // ---- 3. Per-machine join over load sets ----
-    // Each machine assembles its R_k tables and joins them independently, so
-    // the whole step fans out in parallel; the union below runs on the
-    // coordinating thread in machine order.
-    let join_results = run_per_machine(num_machines, threads, |ki| {
+/// Produces one STwig's per-machine tables: from the cache when it holds the
+/// canonical shape, by cache-populating unbound exploration on a miss, or by
+/// plain bound exploration when no cache is in play (or the populate row cap
+/// was hit). All three paths return bit-identical tables — see
+/// [`crate::cache`] for the argument.
+fn explore_one_stwig(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    stwig: &STwig,
+    bindings: &Bindings,
+    config: &MatchConfig,
+    cache: Option<&StwigCache>,
+    threads: usize,
+) -> Vec<MachineExplore> {
+    let num_machines = cloud.num_machines();
+    if let Some(cache) = cache {
+        let shape = StwigShape::of(query, stwig);
+        match cache.lookup(&shape) {
+            CacheLookup::Hit(entry) => {
+                // Hit: derive each machine's exploration table from the
+                // canonical entry under the current bindings and row cap
+                // (one fused pass; see `derive_bound_table`).
+                return run_work_stealing(num_machines, threads, |ki| {
+                    let t0 = Instant::now();
+                    let table = derive_bound_table(&entry[ki], query, stwig, bindings, config);
+                    MachineExplore {
+                        table,
+                        counters: ExploreCounters::default(),
+                        compute_us: t0.elapsed().as_secs_f64() * 1e6,
+                    }
+                });
+            }
+            CacheLookup::Bypass => {
+                // Known-uncacheable shape: go straight to bound exploration.
+            }
+            CacheLookup::Miss => {
+                // Explore unbound and untruncated (up to the populate row
+                // cap), so the result is reusable under any binding context.
+                let populate_cfg = MatchConfig {
+                    max_stwig_rows: cache.populate_row_cap(),
+                    ..config.clone()
+                };
+                let unbound_bindings = Bindings::new(query.num_vertices());
+                let unbound = run_work_stealing(num_machines, threads, |ki| {
+                    let k = MachineId(ki as u16);
+                    let t0 = Instant::now();
+                    let roots = cloud.get_ids(k, query.label(stwig.root));
+                    let mut counters = ExploreCounters::default();
+                    let table = match_stwig(
+                        cloud,
+                        k,
+                        query,
+                        stwig,
+                        roots,
+                        &unbound_bindings,
+                        &populate_cfg,
+                        &mut counters,
+                    );
+                    MachineExplore {
+                        table,
+                        counters,
+                        compute_us: t0.elapsed().as_secs_f64() * 1e6,
+                    }
+                });
+                let capped = cache
+                    .populate_row_cap()
+                    .is_some_and(|cap| unbound.iter().any(|r| r.table.num_rows() >= cap));
+                if !capped {
+                    let canonical: Vec<ResultTable> = unbound
+                        .iter()
+                        .map(|r| canonicalize_table(&r.table, query, stwig))
+                        .collect();
+                    cache.insert(shape, canonical);
+                    // Derive this query's tables from the full unbound
+                    // tables — the exact derivation a future hit performs.
+                    return unbound
+                        .into_iter()
+                        .map(|mut r| {
+                            let t0 = Instant::now();
+                            r.table = apply_bindings_and_cap(r.table, bindings, config);
+                            r.compute_us += t0.elapsed().as_secs_f64() * 1e6;
+                            r
+                        })
+                        .collect();
+                }
+                // The unbound exploration hit the populate cap (a
+                // potentially pathological cross product): remember the
+                // shape as uncacheable so future queries skip the populate
+                // attempt entirely.
+                cache.mark_uncacheable(shape);
+                // When nothing distinguishes this run from bound exploration
+                // — no binding constrains the STwig's vertices and the
+                // config's own row cap matches the populate cap — the capped
+                // result *is* the bound exploration output; reuse it instead
+                // of exploring again.
+                let bindings_unused =
+                    !config.use_bindings || stwig.vertices().all(|v| bindings.get(v).is_none());
+                if bindings_unused && config.max_stwig_rows == cache.populate_row_cap() {
+                    return unbound;
+                }
+                // Otherwise fall through to plain bound exploration.
+            }
+        }
+    }
+    run_work_stealing(num_machines, threads, |ki| {
+        let k = MachineId(ki as u16);
+        let t0 = Instant::now();
+        let roots = local_roots(cloud, k, query, stwig, bindings, config);
+        let mut counters = ExploreCounters::default();
+        let table = match_stwig(
+            cloud,
+            k,
+            query,
+            stwig,
+            &roots,
+            bindings,
+            config,
+            &mut counters,
+        );
+        MachineExplore {
+            table,
+            counters,
+            compute_us: t0.elapsed().as_secs_f64() * 1e6,
+        }
+    })
+}
+
+/// Phase 2 of the distributed execution: each machine fetches its load-set
+/// tables (Theorem 4), joins them with the block-based pipeline, and the
+/// per-machine answers — disjoint by construction — are unioned on the
+/// coordinating thread in machine order. Applies `config.max_results` and
+/// records join counters, per-machine receive/match counts and the
+/// truncation flag in the supplied metrics.
+pub fn join_stwig_tables(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    plan: &QueryPlan,
+    tables: &StwigTableSet,
+    config: &MatchConfig,
+    metrics: &mut QueryMetrics,
+    machine_metrics: &mut [MachineMetrics],
+) -> ResultTable {
+    let num_machines = cloud.num_machines();
+    let threads = config.resolved_num_threads();
+    let per_machine_tables = &tables.per_machine;
+    let join_results = run_work_stealing(num_machines, threads, |ki| {
         let k = MachineId(ki as u16);
         let t0 = Instant::now();
         // Assemble R_k(q_t) for every STwig t.
@@ -306,7 +546,11 @@ pub fn match_query_distributed(
                 received += remote.num_rows() as u64;
                 rk.append(remote);
             }
-            rk.dedup_rows();
+            // No dedup pass: rows within one machine's table are distinct
+            // (the cross product emits each assignment once), and tables
+            // from different machines are root-disjoint because STwig roots
+            // are restricted to locally-owned vertices — so R_k is
+            // duplicate-free by construction.
             rk_tables.push(rk);
         }
 
@@ -347,21 +591,8 @@ pub fn match_query_distributed(
 
         match &mut final_table {
             None => final_table = Some(joined),
-            Some(acc) => {
-                // Columns may differ in order across machines; re-project.
-                if acc.columns() == joined.columns() {
-                    acc.append(&joined);
-                } else {
-                    let mut row_buf = Vec::with_capacity(acc.width());
-                    for r in 0..joined.num_rows() {
-                        row_buf.clear();
-                        for &c in acc.columns() {
-                            row_buf.push(joined.value(r, c));
-                        }
-                        acc.push_row(&row_buf);
-                    }
-                }
-            }
+            // Columns may differ in order across machines; re-project.
+            Some(acc) => acc.append_projected(&joined),
         }
     }
     metrics.join = join_counters;
@@ -381,10 +612,7 @@ pub fn match_query_distributed(
             remaining -= kept;
         }
     }
-    metrics.matches_found = table.num_rows() as u64;
-    metrics.machines = machine_metrics;
-    finalize(&mut metrics, cloud, started);
-    Ok(MatchOutput { table, metrics })
+    table
 }
 
 /// Root candidates for `stwig` on machine `k`: locally-owned vertices with
@@ -636,11 +864,11 @@ mod tests {
     }
 
     #[test]
-    fn run_per_machine_orders_results_and_balances() {
-        // Results come back in machine order for any thread count, even with
-        // skewed per-machine work.
+    fn run_work_stealing_orders_results_and_balances() {
+        // Results come back in item order for any thread count, even with
+        // skewed per-item work.
         for threads in [1usize, 2, 3, 8] {
-            let out = run_per_machine(13, threads, |i| {
+            let out = run_work_stealing(13, threads, |i| {
                 if i % 3 == 0 {
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
@@ -648,6 +876,62 @@ mod tests {
             });
             assert_eq!(out, (0..13).map(|i| i * 10).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn cache_hit_and_miss_paths_are_bit_identical_to_exploration() {
+        use crate::cache::{CacheConfig, StwigCache};
+        for machines in [1usize, 3, 4] {
+            let cloud = sample_cloud(machines);
+            for (name, config) in [
+                ("exhaustive", MatchConfig::default()),
+                ("paper", MatchConfig::paper_default()),
+                ("no-bindings", MatchConfig::default().with_bindings(false)),
+            ] {
+                let query = triangle_query(&cloud);
+                let cache = StwigCache::new(&cloud, CacheConfig::default());
+                let plain = match_query_distributed(&cloud, &query, &config).unwrap();
+                // First run populates (all misses), second run hits.
+                let miss =
+                    match_query_distributed_with_cache(&cloud, &query, &config, Some(&cache))
+                        .unwrap();
+                let hit = match_query_distributed_with_cache(&cloud, &query, &config, Some(&cache))
+                    .unwrap();
+                let stats = cache.stats();
+                assert!(stats.insertions > 0, "first run must populate ({name})");
+                assert!(
+                    stats.hits >= stats.insertions,
+                    "second run must hit ({name})"
+                );
+                assert_eq!(
+                    plain.table, miss.table,
+                    "miss path diverged (machines = {machines}, {name})"
+                );
+                assert_eq!(
+                    plain.table, hit.table,
+                    "hit path diverged (machines = {machines}, {name})"
+                );
+                assert_eq!(plain.metrics.stwig_rows, hit.metrics.stwig_rows);
+                assert_eq!(plain.metrics.join, hit.metrics.join);
+                assert_eq!(plain.metrics.matches_found, hit.metrics.matches_found);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_for_a_different_cloud_is_rejected() {
+        use crate::cache::{CacheConfig, StwigCache};
+        let cloud = sample_cloud(2);
+        let other = sample_cloud(3);
+        let cache = StwigCache::new(&other, CacheConfig::default());
+        let query = triangle_query(&cloud);
+        let err = match_query_distributed_with_cache(
+            &cloud,
+            &query,
+            &MatchConfig::default(),
+            Some(&cache),
+        );
+        assert!(err.is_err(), "mismatched fingerprint must be rejected");
     }
 
     #[test]

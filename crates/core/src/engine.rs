@@ -1,0 +1,354 @@
+//! Concurrent multi-query execution over one shared memory cloud.
+//!
+//! The paper's deployment target is a shared-memory cloud serving *many*
+//! subgraph queries over one static graph ("heavy traffic" in the ROADMAP's
+//! words). The executor in [`crate::distributed`] answers one query at a
+//! time; this module adds the serving layer:
+//!
+//! * a [`QueryEngine`] admits a batch of queries and fans them out over a
+//!   bounded worker pool (the same atomic-cursor work-stealing used for
+//!   machine fan-out, applied at query granularity);
+//! * all workers share one read-only [`MemoryCloud`] (`&MemoryCloud` is
+//!   `Sync`; trinity-sim pins that with compile-time assertions) and one
+//!   [`StwigCache`], so STwig tables explored for one query are reused by
+//!   every later query with the same STwig shape;
+//! * per-query [`crate::metrics::QueryMetrics`] are returned in input order,
+//!   and engine-level counters ([`EngineStats`]) aggregate throughput and
+//!   cache behavior.
+//!
+//! ## Determinism
+//!
+//! Batched execution is deterministic in its *results*: the cache is
+//! transparent (hit, miss and cache-free paths produce bit-identical STwig
+//! tables — see [`crate::cache`]), so each query's result table is a pure
+//! function of the cloud, the query and the `MatchConfig`, regardless of
+//! scheduling, interleaving or eviction. Timing-derived metrics and the
+//! shared simulated-traffic counters are best-effort under concurrency:
+//! queries running in parallel reset and read the cloud's global traffic
+//! accounting concurrently, so per-query `network_*`/`comm_us` numbers are
+//! only meaningful for serial batches (`workers == 1`).
+
+use crate::cache::{CacheConfig, StwigCache};
+use crate::config::MatchConfig;
+use crate::distributed::{match_query_distributed_with_cache, run_work_stealing};
+use crate::error::StwigError;
+use crate::executor::MatchOutput;
+use crate::metrics::{CacheStats, EngineStats};
+use crate::query::QueryGraph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use trinity_sim::MemoryCloud;
+
+/// Configuration of a [`QueryEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads queries are fanned out over. `None` uses the host's
+    /// available parallelism; `Some(1)` executes batches serially (in input
+    /// order).
+    pub workers: Option<usize>,
+    /// STwig-result cache configuration; `None` disables caching.
+    pub cache: Option<CacheConfig>,
+    /// Per-query matching configuration. The default pins
+    /// `num_threads = Some(1)` so parallelism comes from query fan-out
+    /// rather than nested machine fan-out; override it for latency-oriented
+    /// single-query workloads.
+    pub match_config: MatchConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: None,
+            cache: Some(CacheConfig::default()),
+            match_config: MatchConfig::default().with_num_threads(Some(1)),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: Option<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets (or disables) the cache configuration.
+    pub fn with_cache(mut self, cache: Option<CacheConfig>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the per-query matching configuration.
+    pub fn with_match_config(mut self, config: MatchConfig) -> Self {
+        self.match_config = config;
+        self
+    }
+
+    fn resolved_workers(&self) -> usize {
+        self.workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+}
+
+/// A multi-query execution engine over one shared, read-only memory cloud.
+///
+/// ```
+/// use trinity_sim::prelude::*;
+/// use stwig::prelude::*;
+///
+/// let mut gb = GraphBuilder::new_undirected();
+/// gb.add_vertex(VertexId(1), "person");
+/// gb.add_vertex(VertexId(2), "person");
+/// gb.add_vertex(VertexId(3), "city");
+/// gb.add_edge(VertexId(1), VertexId(2));
+/// gb.add_edge(VertexId(1), VertexId(3));
+/// gb.add_edge(VertexId(2), VertexId(3));
+/// let cloud = gb.build(2, CostModel::default());
+///
+/// let mut qb = QueryGraph::builder();
+/// let p1 = qb.vertex_by_name(&cloud, "person").unwrap();
+/// let p2 = qb.vertex_by_name(&cloud, "person").unwrap();
+/// let c = qb.vertex_by_name(&cloud, "city").unwrap();
+/// qb.edge(p1, p2).edge(p1, c).edge(p2, c);
+/// let query = qb.build().unwrap();
+///
+/// let engine = QueryEngine::new(&cloud, EngineConfig::default());
+/// let batch = vec![query.clone(), query];
+/// let outputs = engine.run_batch(&batch);
+/// assert!(outputs.iter().all(|o| o.as_ref().unwrap().num_matches() == 2));
+/// let stats = engine.stats();
+/// assert_eq!(stats.queries_executed, 2);
+/// ```
+pub struct QueryEngine<'c> {
+    cloud: &'c MemoryCloud,
+    config: EngineConfig,
+    cache: Option<StwigCache<'c>>,
+    queries_run: AtomicU64,
+    batches_run: AtomicU64,
+    /// Accumulated batch wall-clock, in integer µs.
+    busy_us: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("workers", &self.config.resolved_workers())
+            .field("cache", &self.cache.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'c> QueryEngine<'c> {
+    /// Creates an engine serving queries over `cloud`.
+    pub fn new(cloud: &'c MemoryCloud, config: EngineConfig) -> Self {
+        let cache = config
+            .cache
+            .clone()
+            .map(|cache_config| StwigCache::new(cloud, cache_config));
+        QueryEngine {
+            cloud,
+            config,
+            cache,
+            queries_run: AtomicU64::new(0),
+            batches_run: AtomicU64::new(0),
+            busy_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The cloud this engine serves.
+    pub fn cloud(&self) -> &MemoryCloud {
+        self.cloud
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs one query through the engine (cache-aware, counted in the
+    /// engine stats as a batch of one).
+    pub fn run_one(&self, query: &QueryGraph) -> Result<MatchOutput, StwigError> {
+        let mut outputs = self.run_batch(std::slice::from_ref(query));
+        outputs.pop().expect("batch of one yields one output")
+    }
+
+    /// Runs a batch of queries concurrently over the shared cloud, returning
+    /// one output per query **in input order**. Worker threads pull queries
+    /// off an atomic cursor (work-stealing), so long-running queries don't
+    /// starve the rest of the batch. A per-query error (e.g. an empty query)
+    /// fails that slot only.
+    pub fn run_batch(&self, queries: &[QueryGraph]) -> Vec<Result<MatchOutput, StwigError>> {
+        let started = Instant::now();
+        let workers = self.config.resolved_workers().min(queries.len().max(1));
+        let outputs = run_work_stealing(queries.len(), workers, |i| {
+            match_query_distributed_with_cache(
+                self.cloud,
+                &queries[i],
+                &self.config.match_config,
+                self.cache.as_ref(),
+            )
+        });
+        self.queries_run
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.batches_run.fetch_add(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(
+            (started.elapsed().as_secs_f64() * 1e6) as u64,
+            Ordering::Relaxed,
+        );
+        outputs
+    }
+
+    /// Snapshot of the cache counters, when caching is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(StwigCache::stats)
+    }
+
+    /// Snapshot of the engine-level counters.
+    pub fn stats(&self) -> EngineStats {
+        let queries = self.queries_run.load(Ordering::Relaxed);
+        let busy_us = self.busy_us.load(Ordering::Relaxed) as f64;
+        EngineStats {
+            queries_executed: queries,
+            batches_executed: self.batches_run.load(Ordering::Relaxed),
+            busy_us,
+            queries_per_sec: if busy_us > 0.0 {
+                queries as f64 / (busy_us / 1e6)
+            } else {
+                0.0
+            },
+            cache: self.cache_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::match_query_distributed;
+    use trinity_sim::builder::GraphBuilder;
+    use trinity_sim::ids::VertexId;
+    use trinity_sim::network::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    fn sample_cloud(machines: usize) -> MemoryCloud {
+        let mut gb = GraphBuilder::new_undirected();
+        for i in 0..12u64 {
+            gb.add_vertex(v(i), "a");
+        }
+        for i in 12..36u64 {
+            gb.add_vertex(v(i), "b");
+        }
+        for i in 36..60u64 {
+            gb.add_vertex(v(i), "c");
+        }
+        for i in 0..12u64 {
+            gb.add_edge(v(i), v(12 + 2 * i));
+            gb.add_edge(v(12 + 2 * i), v(36 + 2 * i));
+            gb.add_edge(v(36 + 2 * i), v(i));
+        }
+        gb.build(machines, CostModel::default())
+    }
+
+    fn triangle_query(cloud: &MemoryCloud) -> QueryGraph {
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(cloud, "a").unwrap();
+        let b = qb.vertex_by_name(cloud, "b").unwrap();
+        let c = qb.vertex_by_name(cloud, "c").unwrap();
+        qb.edge(a, b).edge(b, c).edge(c, a);
+        qb.build().unwrap()
+    }
+
+    fn chain_query(cloud: &MemoryCloud) -> QueryGraph {
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(cloud, "a").unwrap();
+        let b = qb.vertex_by_name(cloud, "b").unwrap();
+        let c = qb.vertex_by_name(cloud, "c").unwrap();
+        qb.edge(a, b).edge(b, c);
+        qb.build().unwrap()
+    }
+
+    #[test]
+    fn batch_outputs_match_the_serial_executor_in_input_order() {
+        let cloud = sample_cloud(4);
+        let queries = vec![
+            triangle_query(&cloud),
+            chain_query(&cloud),
+            triangle_query(&cloud),
+            chain_query(&cloud),
+        ];
+        let engine = QueryEngine::new(&cloud, EngineConfig::default().with_workers(Some(4)));
+        let outputs = engine.run_batch(&queries);
+        assert_eq!(outputs.len(), queries.len());
+        for (q, out) in queries.iter().zip(&outputs) {
+            let expected = match_query_distributed(
+                &cloud,
+                q,
+                &MatchConfig::default().with_num_threads(Some(1)),
+            )
+            .unwrap();
+            let out = out.as_ref().expect("query succeeds");
+            assert_eq!(out.table, expected.table, "engine result diverged");
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let cloud = sample_cloud(3);
+        let queries: Vec<QueryGraph> = (0..6).map(|_| triangle_query(&cloud)).collect();
+        let engine = QueryEngine::new(&cloud, EngineConfig::default().with_workers(Some(2)));
+        let outputs = engine.run_batch(&queries);
+        assert!(outputs.iter().all(|o| o.is_ok()));
+        let cache = engine.cache_stats().expect("cache enabled by default");
+        assert!(cache.insertions > 0);
+        assert!(
+            cache.hits > 0,
+            "identical queries must share cached STwig tables: {cache:?}"
+        );
+    }
+
+    #[test]
+    fn engine_without_cache_still_answers() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(
+            &cloud,
+            EngineConfig::default()
+                .with_cache(None)
+                .with_workers(Some(2)),
+        );
+        let out = engine.run_one(&triangle_query(&cloud)).unwrap();
+        assert_eq!(out.num_matches(), 12);
+        assert!(engine.stats().cache.is_none());
+    }
+
+    #[test]
+    fn stats_track_queries_batches_and_throughput() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default().with_workers(Some(1)));
+        let queries = vec![triangle_query(&cloud), chain_query(&cloud)];
+        engine.run_batch(&queries);
+        engine.run_one(&triangle_query(&cloud)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.queries_executed, 3);
+        assert_eq!(stats.batches_executed, 2);
+        assert!(stats.busy_us > 0.0);
+        assert!(stats.queries_per_sec > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let cloud = sample_cloud(1);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let outputs = engine.run_batch(&[]);
+        assert!(outputs.is_empty());
+        assert_eq!(engine.stats().queries_executed, 0);
+    }
+}

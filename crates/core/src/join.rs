@@ -84,13 +84,194 @@ impl Iterator for ChainIter<'_> {
     }
 }
 
-/// The shared columns of two tables as `(left_index, right_index)` pairs.
-fn shared_columns(left: &ResultTable, right: &ResultTable) -> Vec<(usize, usize)> {
-    left.columns()
+/// The shared columns of a left schema and a right table as
+/// `(left_index, right_index)` pairs.
+fn shared_columns(left_columns: &[QVid], right: &ResultTable) -> Vec<(usize, usize)> {
+    left_columns
         .iter()
         .enumerate()
         .filter_map(|(li, lc)| right.column_index(*lc).map(|ri| (li, ri)))
         .collect()
+}
+
+/// The build-side hash index, pre-built over the shared columns at one of
+/// the three key widths [`hash_join`] monomorphizes over.
+enum BuildIndex {
+    /// No shared column: cartesian product, nothing to index.
+    Cross,
+    Single(ChainedIndex<u64>),
+    Inline(ChainedIndex<InlineKey>),
+    Wide(ChainedIndex<Vec<VertexId>>),
+}
+
+/// A hash join whose build side has been indexed once and can be probed by
+/// many left tables sharing one column schema.
+///
+/// This is the shape of the block-based pipelined join (§4.2 step 3): every
+/// round probes the *same* rest tables with a different driver block, so
+/// rebuilding (or worse, cloning) the build side per round would make
+/// per-round work proportional to the rest tables instead of the block.
+/// Prepare once against the left schema, then [`PreparedJoin::join`] each
+/// block.
+pub struct PreparedJoin<'a> {
+    right: &'a ResultTable,
+    /// Shared columns as `(left_index, right_index)` pairs, in left-schema
+    /// order.
+    shared: Vec<(usize, usize)>,
+    /// Right-side columns that are not shared (appended to the output).
+    right_extra: Vec<usize>,
+    index: BuildIndex,
+}
+
+impl<'a> PreparedJoin<'a> {
+    /// Indexes `right` for natural joins against left tables whose columns
+    /// are exactly `left_columns`.
+    pub fn new(left_columns: &[QVid], right: &'a ResultTable) -> Self {
+        let shared = shared_columns(left_columns, right);
+        let right_extra: Vec<usize> = (0..right.width())
+            .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
+            .collect();
+        let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
+        let index = match shared.len() {
+            0 => BuildIndex::Cross,
+            1 => {
+                let rc = right_cols[0];
+                BuildIndex::Single(build_index(right, |row| row[rc].0))
+            }
+            2..=INLINE_KEY_COLUMNS => BuildIndex::Inline(build_index(right, |row| {
+                InlineKey::from_row(row, &right_cols)
+            })),
+            _ => BuildIndex::Wide(build_index(right, |row| {
+                right_cols
+                    .iter()
+                    .map(|&c| row[c])
+                    .collect::<Vec<VertexId>>()
+            })),
+        };
+        PreparedJoin {
+            right,
+            shared,
+            right_extra,
+            index,
+        }
+    }
+
+    /// The columns the join output will have for a left table with
+    /// `left_columns`: the left columns followed by the right table's
+    /// non-shared columns.
+    pub fn output_columns(&self, left_columns: &[QVid]) -> Vec<QVid> {
+        let mut columns = left_columns.to_vec();
+        columns.extend(self.right_extra.iter().map(|&ri| self.right.columns()[ri]));
+        columns
+    }
+
+    /// Probes the prepared index with every row of `left`. Semantics are
+    /// identical to [`hash_join`]; `left` must have the column schema this
+    /// join was prepared for.
+    pub fn join(
+        &self,
+        left: &ResultTable,
+        limit: Option<usize>,
+        counters: &mut JoinCounters,
+    ) -> ResultTable {
+        debug_assert!(
+            self.shared
+                .iter()
+                .all(|&(lc, rc)| left.columns()[lc] == self.right.columns()[rc]),
+            "left table does not match the schema this join was prepared for"
+        );
+        counters.joins_performed += 1;
+        let mut out = ResultTable::new(self.output_columns(left.columns()));
+        match &self.index {
+            BuildIndex::Cross => {
+                cross_join_into(
+                    left,
+                    self.right,
+                    &self.right_extra,
+                    limit,
+                    counters,
+                    &mut out,
+                );
+            }
+            BuildIndex::Single(index) => {
+                let lc = self.shared[0].0;
+                self.probe_into(left, index, |row| row[lc].0, limit, counters, &mut out);
+            }
+            BuildIndex::Inline(index) => {
+                let left_cols: Vec<usize> = self.shared.iter().map(|&(lc, _)| lc).collect();
+                self.probe_into(
+                    left,
+                    index,
+                    |row| InlineKey::from_row(row, &left_cols),
+                    limit,
+                    counters,
+                    &mut out,
+                );
+            }
+            BuildIndex::Wide(index) => {
+                let left_cols: Vec<usize> = self.shared.iter().map(|&(lc, _)| lc).collect();
+                self.probe_into(
+                    left,
+                    index,
+                    |row| left_cols.iter().map(|&c| row[c]).collect::<Vec<VertexId>>(),
+                    limit,
+                    counters,
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    /// The keyed probe core, generic over the key type so each shared-column
+    /// arity monomorphizes to its own allocation-free loop.
+    fn probe_into<K, LK>(
+        &self,
+        left: &ResultTable,
+        index: &ChainedIndex<K>,
+        left_key: LK,
+        limit: Option<usize>,
+        counters: &mut JoinCounters,
+        out: &mut ResultTable,
+    ) where
+        K: Hash + Eq,
+        LK: Fn(&[VertexId]) -> K,
+    {
+        let mut row_buf: Vec<VertexId> = Vec::with_capacity(out.width());
+        'outer: for lrow in left.rows() {
+            let key = left_key(lrow);
+            for ri in index.probe(&key) {
+                let rrow = self.right.row(ri);
+                row_buf.clear();
+                row_buf.extend_from_slice(lrow);
+                row_buf.extend(self.right_extra.iter().map(|&rc| rrow[rc]));
+                if ResultTable::row_has_duplicates(&row_buf) {
+                    counters.rows_pruned_injective += 1;
+                    continue;
+                }
+                out.push_row(&row_buf);
+                counters.intermediate_rows += 1;
+                if let Some(l) = limit {
+                    if out.num_rows() >= l {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds a chained hash index over `right`, pre-sized from its row count.
+fn build_index<K, F>(right: &ResultTable, key: F) -> ChainedIndex<K>
+where
+    K: Hash + Eq,
+    F: Fn(&[VertexId]) -> K,
+{
+    let mut index = ChainedIndex::with_rows(right.num_rows());
+    for (ri, row) in right.rows().enumerate() {
+        index.insert(key(row), ri as u32);
+    }
+    index
 }
 
 /// Hash-joins two tables on their shared columns (natural join).
@@ -105,121 +286,15 @@ fn shared_columns(left: &ResultTable, right: &ResultTable) -> Vec<(usize, usize)
 ///
 /// With exactly one shared column the key is a bare `u64` and neither side
 /// allocates per row; 2–4 shared columns use a stack [`InlineKey`]; only a
-/// wider overlap falls back to `Vec` keys.
+/// wider overlap falls back to `Vec` keys. Callers that probe the same build
+/// side repeatedly should hold a [`PreparedJoin`] instead.
 pub fn hash_join(
     left: &ResultTable,
     right: &ResultTable,
     limit: Option<usize>,
     counters: &mut JoinCounters,
 ) -> ResultTable {
-    counters.joins_performed += 1;
-
-    let shared = shared_columns(left, right);
-    let right_extra: Vec<usize> = (0..right.width())
-        .filter(|ri| !shared.iter().any(|&(_, r)| r == *ri))
-        .collect();
-
-    let mut columns = left.columns().to_vec();
-    columns.extend(right_extra.iter().map(|&ri| right.columns()[ri]));
-    let mut out = ResultTable::new(columns);
-
-    match shared.len() {
-        0 => cross_join_into(left, right, &right_extra, limit, counters, &mut out),
-        1 => {
-            let (lc, rc) = shared[0];
-            join_keyed_into(
-                left,
-                right,
-                &right_extra,
-                limit,
-                counters,
-                &mut out,
-                |row| row[lc].0,
-                |row| row[rc].0,
-            );
-        }
-        2..=INLINE_KEY_COLUMNS => {
-            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
-            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
-            join_keyed_into(
-                left,
-                right,
-                &right_extra,
-                limit,
-                counters,
-                &mut out,
-                |row| InlineKey::from_row(row, &left_cols),
-                |row| InlineKey::from_row(row, &right_cols),
-            );
-        }
-        _ => {
-            let left_cols: Vec<usize> = shared.iter().map(|&(lc, _)| lc).collect();
-            let right_cols: Vec<usize> = shared.iter().map(|&(_, rc)| rc).collect();
-            join_keyed_into(
-                left,
-                right,
-                &right_extra,
-                limit,
-                counters,
-                &mut out,
-                |row| left_cols.iter().map(|&c| row[c]).collect::<Vec<VertexId>>(),
-                |row| {
-                    right_cols
-                        .iter()
-                        .map(|&c| row[c])
-                        .collect::<Vec<VertexId>>()
-                },
-            );
-        }
-    }
-    out
-}
-
-/// The keyed join core, generic over the key type so each shared-column
-/// arity monomorphizes to its own allocation-free loop.
-#[allow(clippy::too_many_arguments)]
-fn join_keyed_into<K, LK, RK>(
-    left: &ResultTable,
-    right: &ResultTable,
-    right_extra: &[usize],
-    limit: Option<usize>,
-    counters: &mut JoinCounters,
-    out: &mut ResultTable,
-    left_key: LK,
-    right_key: RK,
-) where
-    K: Hash + Eq,
-    LK: Fn(&[VertexId]) -> K,
-    RK: Fn(&[VertexId]) -> K,
-{
-    // Build a chained hash index on the right table keyed by the shared
-    // columns, pre-sized from the row count.
-    let mut index = ChainedIndex::with_rows(right.num_rows());
-    for (ri, row) in right.rows().enumerate() {
-        index.insert(right_key(row), ri as u32);
-    }
-
-    let mut row_buf: Vec<VertexId> = Vec::with_capacity(out.width());
-    'outer: for lrow in left.rows() {
-        let key = left_key(lrow);
-        for ri in index.probe(&key) {
-            let rrow = right.row(ri);
-            row_buf.clear();
-            row_buf.extend_from_slice(lrow);
-            row_buf.extend(right_extra.iter().map(|&rc| rrow[rc]));
-            if ResultTable::row_has_duplicates(&row_buf) {
-                counters.rows_pruned_injective += 1;
-                continue;
-            }
-            out.push_row(&row_buf);
-            counters.intermediate_rows += 1;
-            if let Some(l) = limit {
-                if out.num_rows() >= l {
-                    break 'outer;
-                }
-            }
-        }
-    }
+    PreparedJoin::new(left.columns(), right).join(left, limit, counters)
 }
 
 /// Cartesian product (no shared column), with the same injectivity filter and
@@ -261,7 +336,7 @@ pub fn estimate_join_size(left: &ResultTable, right: &ResultTable, sample_size: 
     if left.is_empty() || right.is_empty() {
         return 0.0;
     }
-    let shared = shared_columns(left, right);
+    let shared = shared_columns(left.columns(), right);
     match shared.len() {
         0 => {
             // Cartesian product.
@@ -313,12 +388,27 @@ where
     LK: Fn(&[VertexId]) -> K,
     RK: Fn(&[VertexId]) -> K,
 {
-    // Count right rows per key.
+    // Count right rows per key — over a stratified sample of the right side
+    // when it is large (estimation sits on the per-machine join path of
+    // every query, so a full build per candidate pair would cost more than
+    // the joins it orders). Sampled counts are scaled back up by the
+    // sampling fraction.
+    let rn = right.num_rows();
+    let build_cap = sample_size.max(1).saturating_mul(8).max(512);
+    let rstep = (rn / build_cap).max(1);
     let mut key_counts: FxHashMap<K, u64> =
-        FxHashMap::with_capacity_and_hasher(right.num_rows(), Default::default());
-    for row in right.rows() {
-        *key_counts.entry(right_key(row)).or_insert(0) += 1;
+        FxHashMap::with_capacity_and_hasher(rn.min(build_cap) + 1, Default::default());
+    let mut rsampled = 0u64;
+    let mut ri = 0usize;
+    while ri < rn {
+        *key_counts.entry(right_key(right.row(ri))).or_insert(0) += 1;
+        rsampled += 1;
+        ri += rstep;
     }
+    if rsampled == 0 {
+        return 0.0;
+    }
+    let rscale = rn as f64 / rsampled as f64;
     let n = left.num_rows();
     let sample = sample_size.max(1).min(n);
     // Deterministic stratified sample: every (n / sample)-th row.
@@ -335,7 +425,7 @@ where
     if sampled == 0 {
         return 0.0;
     }
-    (total_matches as f64 / sampled as f64) * n as f64
+    (total_matches as f64 / sampled as f64) * n as f64 * rscale
 }
 
 /// Greedy left-deep join-order selection: start from the smallest table, then

@@ -56,9 +56,11 @@
 #![warn(missing_docs)]
 
 pub mod bindings;
+pub mod cache;
 pub mod config;
 pub mod decompose;
 pub mod distributed;
+pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod hash;
@@ -73,11 +75,16 @@ pub mod stwig;
 pub mod table;
 pub mod verify;
 
+pub use cache::{CacheConfig, CacheLookup, StwigCache};
 pub use config::MatchConfig;
-pub use distributed::{match_query_distributed, plan_query, QueryPlan};
+pub use distributed::{
+    join_stwig_tables, match_query_distributed, match_query_distributed_with_cache, plan_query,
+    produce_stwig_tables, QueryPlan, StwigTableSet,
+};
+pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
 pub use executor::{match_query, MatchOutput};
-pub use metrics::QueryMetrics;
+pub use metrics::{CacheStats, EngineStats, QueryMetrics};
 pub use pattern::parse_pattern;
 pub use query::{QVid, QueryGraph, QueryGraphBuilder};
 pub use stwig::STwig;
@@ -85,15 +92,20 @@ pub use table::ResultTable;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::{CacheConfig, StwigCache, StwigShape};
     pub use crate::config::MatchConfig;
     pub use crate::decompose::{
         decompose_ordered, decompose_random, LabelStatistics, UniformStats,
     };
-    pub use crate::distributed::{match_query_distributed, plan_query, QueryPlan};
+    pub use crate::distributed::{
+        join_stwig_tables, match_query_distributed, match_query_distributed_with_cache, plan_query,
+        produce_stwig_tables, QueryPlan, StwigTableSet,
+    };
+    pub use crate::engine::{EngineConfig, QueryEngine};
     pub use crate::error::StwigError;
     pub use crate::executor::{match_query, MatchOutput};
     pub use crate::head::{load_set, select_head, HeadSelection};
-    pub use crate::metrics::QueryMetrics;
+    pub use crate::metrics::{CacheStats, EngineStats, QueryMetrics};
     pub use crate::pattern::parse_pattern;
     pub use crate::query::{QVid, QueryGraph, QueryGraphBuilder};
     pub use crate::stwig::STwig;

@@ -57,6 +57,58 @@ impl JoinCounters {
     }
 }
 
+/// Snapshot of the STwig-result cache counters (see [`crate::cache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found an *uncacheable* marker (the shape's unbound
+    /// exploration exceeded the populate row cap) and fell back to plain
+    /// exploration.
+    pub bypasses: u64,
+    /// Entries stored, including uncacheable markers.
+    pub insertions: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently resident (table payloads).
+    pub bytes_resident: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups — hits, misses *and* bypasses, so the
+    /// rate reflects the true fraction of probes served from cache even when
+    /// uncacheable shapes fall back to plain exploration. 0 when the cache
+    /// was never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.bypasses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Engine-level counters for a [`crate::engine::QueryEngine`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Queries completed across all batches.
+    pub queries_executed: u64,
+    /// Batches completed.
+    pub batches_executed: u64,
+    /// Wall-clock time spent inside `run_batch`, in µs (batches are timed
+    /// end to end, so concurrent per-query work is not double-counted).
+    pub busy_us: f64,
+    /// Completed queries per second of batch wall-clock.
+    pub queries_per_sec: f64,
+    /// Cache counters, when the engine runs with a cache.
+    pub cache: Option<CacheStats>,
+}
+
 /// Per-machine accounting of a distributed run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MachineMetrics {

@@ -9,8 +9,9 @@
 //! experiments) has been produced.
 
 use crate::config::MatchConfig;
-use crate::join::{hash_join, multiway_join, select_join_order};
+use crate::join::{select_join_order, PreparedJoin};
 use crate::metrics::JoinCounters;
+use crate::query::QVid;
 use crate::table::ResultTable;
 
 /// Joins the STwig result tables into final embeddings using the block-based
@@ -20,9 +21,13 @@ use crate::table::ResultTable;
 ///   the config, in which case the given table order is used).
 /// * The first table in the join order becomes the *driver*; it is processed
 ///   in blocks of `config.block_rows` rows.
-/// * Each round joins one driver block against the remaining tables and
-///   appends the surviving rows to the output, stopping as soon as
-///   `config.max_results` rows have been produced.
+/// * The non-driver tables are indexed **once**, before the block loop
+///   ([`PreparedJoin`]); each round probes those prepared indexes with one
+///   driver block, so per-round memory stays bounded by the block and its
+///   join output, as §4.2 intends — the rest tables are never copied or
+///   re-indexed.
+/// * Each round appends the surviving rows to the output, stopping as soon
+///   as `config.max_results` rows have been produced.
 pub fn pipelined_join(
     tables: &[ResultTable],
     config: &MatchConfig,
@@ -47,17 +52,18 @@ pub fn pipelined_join(
     let driver = &tables[order[0]];
     let rest: Vec<&ResultTable> = order[1..].iter().map(|&i| &tables[i]).collect();
 
-    // Pre-compute the output schema by a zero-row join so that an empty
-    // driver still yields a table with the right columns.
-    let mut output = {
-        let empty_driver = driver.take_block(0, 0);
-        let mut schema = empty_driver;
-        let mut scratch = JoinCounters::default();
-        for t in &rest {
-            schema = hash_join(&schema, &t.take_block(0, 0), None, &mut scratch);
-        }
-        schema
-    };
+    // Index every rest table once against the schema the accumulated join
+    // has when it reaches that table. The schemas are data-independent, so
+    // this also yields the output schema (an empty driver then still
+    // produces a table with the right columns).
+    let mut schema: Vec<QVid> = driver.columns().to_vec();
+    let mut prepared: Vec<PreparedJoin<'_>> = Vec::with_capacity(rest.len());
+    for t in &rest {
+        let join = PreparedJoin::new(&schema, t);
+        schema = join.output_columns(&schema);
+        prepared.push(join);
+    }
+    let mut output = ResultTable::new(schema);
 
     let block_rows = config.block_rows.max(1);
     let mut start = 0usize;
@@ -73,30 +79,25 @@ pub fn pipelined_join(
             break;
         }
 
-        // Join this block against all remaining tables (in order).
-        let mut round_tables: Vec<ResultTable> = Vec::with_capacity(1 + rest.len());
-        round_tables.push(block);
-        for t in &rest {
-            round_tables.push((*t).clone());
-        }
-        let round_order: Vec<usize> = (0..round_tables.len()).collect();
-        let round_result = multiway_join(&round_tables, &round_order, remaining_limit, counters);
-        if !round_result.is_empty() {
-            // Columns can come out in a different order than the schema if the
-            // driver block was empty; they are identical otherwise.
-            if round_result.columns() == output.columns() {
-                output.append(&round_result);
+        // Probe the prepared rest-table indexes with this block (in order).
+        // A limit is only safe on the last join: earlier truncation could
+        // drop rows that would survive the remaining joins.
+        let mut acc = block;
+        for (i, join) in prepared.iter().enumerate() {
+            let step_limit = if i + 1 == prepared.len() {
+                remaining_limit
             } else {
-                // Re-project to the schema order.
-                let mut row_buf = Vec::with_capacity(output.width());
-                for r in 0..round_result.num_rows() {
-                    row_buf.clear();
-                    for &c in output.columns() {
-                        row_buf.push(round_result.value(r, c));
-                    }
-                    output.push_row(&row_buf);
-                }
+                None
+            };
+            acc = join.join(&acc, step_limit, counters);
+            if acc.is_empty() {
+                break;
             }
+        }
+        if !acc.is_empty() {
+            // Column orders are identical by construction; append_projected
+            // re-projects defensively if they ever diverge.
+            output.append_projected(&acc);
         }
         if let Some(limit) = config.max_results {
             if output.num_rows() >= limit {
@@ -111,7 +112,7 @@ pub fn pipelined_join(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::QVid;
+    use crate::join::multiway_join;
     use trinity_sim::ids::VertexId;
 
     fn v(x: u64) -> VertexId {
@@ -212,5 +213,51 @@ mod tests {
         let mut c = JoinCounters::default();
         let out = pipelined_join(&tables, &cfg, &mut c);
         assert_eq!(out.num_rows(), 10);
+    }
+
+    #[test]
+    fn round_result_reprojection_matches_schema_order() {
+        // The re-projection branch of the round append: per-round results and
+        // the output schema are produced by the same data-independent chain,
+        // so their column orders only diverge if that invariant is ever
+        // broken — the append is routed through `append_projected`, which
+        // re-projects instead of corrupting rows. Exercise exactly the
+        // mismatch the pipeline would hit: a round result carrying the same
+        // column set in a different order.
+        let mut output = ResultTable::new(vec![q(0), q(1), q(2)]);
+        output.push_row(&[v(1), v(1001), v(2001)]);
+        let mut round_result = ResultTable::new(vec![q(1), q(2), q(0)]);
+        round_result.push_row(&[v(1002), v(2002), v(2)]);
+        round_result.push_row(&[v(1003), v(2003), v(3)]);
+        assert_ne!(round_result.columns(), output.columns());
+        output.append_projected(&round_result);
+        assert_eq!(output.num_rows(), 3);
+        assert_eq!(output.row(1), &[v(2), v(1002), v(2002)]);
+        assert_eq!(output.row(2), &[v(3), v(1003), v(2003)]);
+        // The re-projected rows agree with a value() lookup by column name.
+        for r in 0..output.num_rows() {
+            for &c in output.columns() {
+                assert_eq!(
+                    output.value(r, c),
+                    output.row(r)[output.column_index(c).unwrap()]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_join_counters_stay_proportional_to_rounds() {
+        // Each round performs exactly `rest.len()` binary joins against the
+        // prepared indexes — no extra joins (or table copies) per round.
+        let tables = chain_tables(100);
+        let cfg = MatchConfig {
+            block_rows: 10,
+            ..MatchConfig::default()
+        };
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&tables, &cfg, &mut c);
+        assert_eq!(out.num_rows(), 100);
+        assert_eq!(c.pipeline_rounds, 10);
+        assert_eq!(c.joins_performed, 10, "one rest table joined per round");
     }
 }

@@ -155,6 +155,112 @@ impl ResultTable {
         self.data.extend_from_slice(&other.data);
     }
 
+    /// Appends all rows of `other`, re-projecting each row into this table's
+    /// column order when the orders differ. Panics if `other` is missing one
+    /// of this table's columns.
+    ///
+    /// This is the append used when unioning results whose producers chose
+    /// different column orders (per-machine join outputs, pipeline rounds).
+    pub fn append_projected(&mut self, other: &ResultTable) {
+        if self.columns == other.columns {
+            self.append(other);
+            return;
+        }
+        let projection: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|&c| {
+                other
+                    .column_index(c)
+                    .expect("append_projected requires identical column sets")
+            })
+            .collect();
+        let mut row_buf: Vec<VertexId> = Vec::with_capacity(self.width());
+        for row in other.rows() {
+            row_buf.clear();
+            row_buf.extend(projection.iter().map(|&p| row[p]));
+            self.data.extend_from_slice(&row_buf);
+        }
+    }
+
+    /// Sorts the rows lexicographically (ascending), keeping duplicates.
+    ///
+    /// Sorting operates on row indices over the flat buffer, like
+    /// [`ResultTable::dedup_rows`]. Used by the STwig-result cache to restore
+    /// exploration order after a column permutation.
+    pub fn sort_rows(&mut self) {
+        let w = self.width();
+        if w == 0 || self.data.is_empty() {
+            return;
+        }
+        let n = self.num_rows();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.row(a as usize).cmp(self.row(b as usize)));
+        if order.windows(2).all(|pair| pair[0] < pair[1]) {
+            return; // already sorted
+        }
+        let mut out: Vec<VertexId> = Vec::with_capacity(self.data.len());
+        for &i in &order {
+            out.extend_from_slice(self.row(i as usize));
+        }
+        self.data = out;
+    }
+
+    /// Whether the rows are in ascending lexicographic order (duplicates
+    /// allowed). Exploration emits rows in this order (sorted postings ×
+    /// sorted adjacency); the STwig-result cache relies on it.
+    pub fn rows_are_sorted(&self) -> bool {
+        let mut prev: Option<&[VertexId]> = None;
+        for row in self.rows() {
+            if let Some(p) = prev {
+                if p > row {
+                    return false;
+                }
+            }
+            prev = Some(row);
+        }
+        true
+    }
+
+    /// Keeps only rows for which `keep` returns true, with access to the row
+    /// index (used by the cache's binding filter to stop at a row budget).
+    pub fn retain_rows_with_limit<F: FnMut(&[VertexId]) -> bool>(
+        &mut self,
+        limit: Option<usize>,
+        mut keep: F,
+    ) {
+        let w = self.width();
+        let mut out = Vec::with_capacity(
+            self.data
+                .len()
+                .min(limit.unwrap_or(usize::MAX).saturating_mul(w)),
+        );
+        let mut kept = 0usize;
+        for r in self.data.chunks_exact(w) {
+            if let Some(l) = limit {
+                if kept >= l {
+                    break;
+                }
+            }
+            if keep(r) {
+                out.extend_from_slice(r);
+                kept += 1;
+            }
+        }
+        self.data = out;
+    }
+
+    /// Returns a copy of this table carrying different column names (same
+    /// width) — one bulk buffer clone. Used by the STwig-result cache to
+    /// rebrand canonical placeholder columns as the query's vertices.
+    pub fn cloned_with_columns(&self, columns: Vec<QVid>) -> ResultTable {
+        debug_assert_eq!(columns.len(), self.width());
+        ResultTable {
+            columns,
+            data: self.data.clone(),
+        }
+    }
+
     /// Splits off the first `rows` rows into a new table (used by the
     /// block-based pipeline join).
     pub fn take_block(&self, start_row: usize, rows: usize) -> ResultTable {
@@ -277,5 +383,70 @@ mod tests {
         let mut t = ResultTable::new(vec![q(0)]);
         let t2 = ResultTable::new(vec![q(1)]);
         t.append(&t2);
+    }
+
+    #[test]
+    fn append_projected_same_columns_is_plain_append() {
+        let mut t = sample();
+        t.append_projected(&sample());
+        assert_eq!(t.num_rows(), 6);
+        assert_eq!(t.row(3), &[v(1), v(2)]);
+    }
+
+    #[test]
+    fn append_projected_reorders_columns() {
+        // Re-projection branch: same column set, different order.
+        let mut t = ResultTable::new(vec![q(0), q(1), q(2)]);
+        t.push_row(&[v(1), v(2), v(3)]);
+        let mut other = ResultTable::new(vec![q(2), q(0), q(1)]);
+        other.push_row(&[v(30), v(10), v(20)]);
+        other.push_row(&[v(31), v(11), v(21)]);
+        t.append_projected(&other);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(1), &[v(10), v(20), v(30)]);
+        assert_eq!(t.row(2), &[v(11), v(21), v(31)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_projected_missing_column_panics() {
+        let mut t = ResultTable::new(vec![q(0), q(1)]);
+        let mut other = ResultTable::new(vec![q(0), q(9)]);
+        other.push_row(&[v(1), v(2)]);
+        t.append_projected(&other);
+    }
+
+    #[test]
+    fn sort_rows_orders_lexicographically_and_keeps_duplicates() {
+        let mut t = ResultTable::new(vec![q(0), q(1)]);
+        t.push_row(&[v(3), v(4)]);
+        t.push_row(&[v(1), v(9)]);
+        t.push_row(&[v(1), v(2)]);
+        t.push_row(&[v(1), v(2)]);
+        assert!(!t.rows_are_sorted());
+        t.sort_rows();
+        assert!(t.rows_are_sorted());
+        assert_eq!(t.num_rows(), 4, "sort_rows must not dedup");
+        assert_eq!(t.row(0), &[v(1), v(2)]);
+        assert_eq!(t.row(1), &[v(1), v(2)]);
+        assert_eq!(t.row(2), &[v(1), v(9)]);
+        assert_eq!(t.row(3), &[v(3), v(4)]);
+    }
+
+    #[test]
+    fn retain_rows_with_limit_stops_at_budget() {
+        let mut t = ResultTable::new(vec![q(0)]);
+        for i in 0..10u64 {
+            t.push_row(&[v(i)]);
+        }
+        t.retain_rows_with_limit(Some(3), |r| r[0].0 % 2 == 0);
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(2), &[v(4)]);
+        let mut u = ResultTable::new(vec![q(0)]);
+        for i in 0..4u64 {
+            u.push_row(&[v(i)]);
+        }
+        u.retain_rows_with_limit(None, |r| r[0].0 > 1);
+        assert_eq!(u.num_rows(), 2);
     }
 }

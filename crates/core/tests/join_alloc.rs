@@ -10,17 +10,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use stwig::join::hash_join;
 use stwig::metrics::JoinCounters;
+use stwig::pipeline::pipelined_join;
 use stwig::query::QVid;
 use stwig::table::ResultTable;
+use stwig::MatchConfig;
 use trinity_sim::ids::VertexId;
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -30,6 +34,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -41,6 +46,12 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let result = f();
     (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+fn allocated_bytes_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATED_BYTES.load(Ordering::Relaxed) - before, result)
 }
 
 /// `rows`-row tables sharing exactly column 1, joining 1:1.
@@ -67,6 +78,37 @@ fn single_shared_column_join_does_not_allocate_per_row() {
     assert!(
         allocs < 100,
         "expected O(1) + O(log rows) allocations for {ROWS} rows, got {allocs}"
+    );
+}
+
+#[test]
+fn pipelined_join_memory_is_bounded_by_the_block() {
+    // §4.2: pipeline memory must stay bounded by the driver block. The
+    // regression this pins down: the pipeline used to clone every rest table
+    // and rebuild its hash index on every round, which over `rounds` rounds
+    // allocates `rounds × |rest|` bytes — here 64 rounds × ~1.5 MB of rest
+    // table (plus its rebuilt index) ≈ 200+ MB. With the indexes prepared
+    // once outside the block loop, total allocation is one index build plus
+    // per-round blocks and outputs: a few MB.
+    const ROWS: u64 = 65_536;
+    let (left, right) = single_key_tables(ROWS);
+    let tables = vec![left, right];
+    let cfg = MatchConfig {
+        block_rows: 1024,
+        // Keep the measured figure about the pipeline itself.
+        optimize_join_order: false,
+        ..MatchConfig::default()
+    };
+    let mut counters = JoinCounters::default();
+    let (bytes, joined) = allocated_bytes_during(|| pipelined_join(&tables, &cfg, &mut counters));
+    assert_eq!(joined.num_rows() as u64, ROWS);
+    assert_eq!(counters.pipeline_rounds, 64);
+    const MB: u64 = 1 << 20;
+    assert!(
+        bytes < 32 * MB,
+        "pipelined join allocated {bytes} bytes over {} rounds — rest tables \
+         are being copied or re-indexed per round",
+        counters.pipeline_rounds
     );
 }
 

@@ -19,7 +19,7 @@ pub mod synthetic;
 
 pub use datasets::{facebook_like, patents_like, synthetic_experiment_graph, wordnet_like};
 pub use labels::{labels_for_density, LabelModel};
-pub use query_gen::{dfs_query, query_batch, random_query};
+pub use query_gen::{dfs_query, query_batch, random_query, zipf_indices, zipf_workload};
 pub use rmat::{rmat, RmatConfig};
 pub use synthetic::SyntheticGraph;
 
@@ -31,7 +31,7 @@ pub mod prelude {
     pub use crate::erdos_renyi::{gnm, gnp};
     pub use crate::labels::{labels_for_density, LabelModel};
     pub use crate::power_law::preferential_attachment;
-    pub use crate::query_gen::{dfs_query, query_batch, random_query};
+    pub use crate::query_gen::{dfs_query, query_batch, random_query, zipf_indices, zipf_workload};
     pub use crate::rmat::{rmat, RmatConfig};
     pub use crate::synthetic::SyntheticGraph;
 }

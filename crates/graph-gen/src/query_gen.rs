@@ -117,6 +117,73 @@ pub fn query_batch(
     out
 }
 
+/// Draws `count` indices from `0..pool` under a Zipf distribution with the
+/// given `exponent` (`1.0` is the classic rank⁻¹ law): index `i` is drawn
+/// with probability proportional to `1 / (i + 1)^exponent`. Deterministic
+/// per seed. Used to build skewed multi-query workloads, where a small set
+/// of popular queries dominates the traffic — the regime in which
+/// cross-query STwig caching pays off.
+pub fn zipf_indices(pool: usize, count: usize, exponent: f64, seed: u64) -> Vec<usize> {
+    assert!(pool > 0, "Zipf needs a non-empty pool");
+    assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Cumulative weights; inverse-CDF sampling by binary search.
+    let mut cumulative = Vec::with_capacity(pool);
+    let mut total = 0.0f64;
+    for i in 0..pool {
+        total += 1.0 / ((i + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    (0..count)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..total);
+            cumulative.partition_point(|&c| c <= x).min(pool - 1)
+        })
+        .collect()
+}
+
+/// A Zipf-skewed query workload: a pool of `pool` distinct queries (DFS and
+/// random families interleaved, so shapes overlap but are not identical)
+/// sampled `count` times with skew `exponent`. Queries in the returned
+/// stream repeat according to their popularity rank. Deterministic per seed.
+pub fn zipf_workload(
+    cloud: &MemoryCloud,
+    pool: usize,
+    count: usize,
+    num_nodes: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<QueryGraph> {
+    assert!(pool > 0 && count > 0, "workload must be non-empty");
+    // Half DFS queries (guaranteed ≥ 1 match), half random queries.
+    let dfs = query_batch(cloud, pool.div_ceil(2), num_nodes, None, seed);
+    let random = query_batch(
+        cloud,
+        pool / 2,
+        num_nodes,
+        Some(num_nodes + 1),
+        seed ^ 0x5EED,
+    );
+    let mut distinct: Vec<QueryGraph> = Vec::with_capacity(pool);
+    let mut dfs_iter = dfs.into_iter();
+    let mut random_iter = random.into_iter();
+    // Interleave the families so popularity ranks mix both.
+    loop {
+        match (dfs_iter.next(), random_iter.next()) {
+            (None, None) => break,
+            (a, b) => {
+                distinct.extend(a);
+                distinct.extend(b);
+            }
+        }
+    }
+    assert!(!distinct.is_empty(), "query generation degenerated");
+    zipf_indices(distinct.len(), count, exponent, seed ^ 0x21F)
+        .into_iter()
+        .map(|i| distinct[i].clone())
+        .collect()
+}
+
 fn ordered(a: QVid, b: QVid) -> (u16, u16) {
     if a.0 < b.0 {
         (a.0, b.0)
@@ -294,6 +361,48 @@ mod tests {
         assert!(dfs.len() >= 8);
         let random = query_batch(&cloud, 10, 6, Some(9), 100);
         assert_eq!(random.len(), 10);
+    }
+
+    #[test]
+    fn zipf_indices_are_skewed_and_deterministic() {
+        let a = zipf_indices(20, 2_000, 1.0, 7);
+        let b = zipf_indices(20, 2_000, 1.0, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 20));
+        let count_of = |v: &[usize], i: usize| v.iter().filter(|&&x| x == i).count();
+        // Rank 0 must dominate rank 10 by roughly 11× under s = 1; allow
+        // generous slack for sampling noise.
+        assert!(
+            count_of(&a, 0) > 3 * count_of(&a, 10).max(1),
+            "rank 0: {}, rank 10: {}",
+            count_of(&a, 0),
+            count_of(&a, 10)
+        );
+        // Exponent 0 is uniform: the head must not dominate 10× anymore.
+        let u = zipf_indices(20, 2_000, 0.0, 7);
+        assert!(count_of(&u, 0) < 10 * count_of(&u, 10).max(1));
+    }
+
+    #[test]
+    fn zipf_workload_repeats_popular_queries() {
+        let cloud = test_cloud();
+        let workload = zipf_workload(&cloud, 10, 50, 5, 1.2, 99);
+        assert_eq!(workload.len(), 50);
+        // Skew means far fewer distinct queries than stream entries.
+        let mut distinct: Vec<&QueryGraph> = Vec::new();
+        for q in &workload {
+            if !distinct.contains(&q) {
+                distinct.push(q);
+            }
+        }
+        assert!(distinct.len() <= 10);
+        assert!(
+            distinct.len() < workload.len() / 2,
+            "workload is not skewed: {} distinct of {}",
+            distinct.len(),
+            workload.len()
+        );
+        assert_eq!(workload, zipf_workload(&cloud, 10, 50, 5, 1.2, 99));
     }
 
     #[test]

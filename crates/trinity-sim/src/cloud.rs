@@ -44,19 +44,23 @@ pub struct MemoryCloud {
     directed: bool,
 }
 
-// The distributed executor shares one `&MemoryCloud` across worker threads:
-// every component is either plain owned data (partitions, interner, catalog,
+// The distributed executor — and, one level up, the multi-query engine's
+// worker pool — shares one `&MemoryCloud` across worker threads: every
+// component is either plain owned data (partitions, interner, catalog,
 // frequency table) or atomics (the network counters), so the cloud is
 // `Send + Sync` by construction. These assertions turn an accidental
 // introduction of non-thread-safe interior mutability (`Cell`, `Rc`, ...)
-// into a compile error instead of a runtime surprise.
+// into a compile error instead of a runtime surprise. `Cell<'_>` (the value
+// `Cloud.Load` hands out, borrowing a partition's adjacency) is asserted
+// too: concurrent queries hold cells across worker threads.
 const _: () = {
-    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
     assert_send_sync::<MemoryCloud>();
     assert_send_sync::<Partition>();
     assert_send_sync::<Network>();
     assert_send_sync::<LabelInterner>();
     assert_send_sync::<LabelPairCatalog>();
+    assert_send_sync::<Cell<'static>>();
 };
 
 impl MemoryCloud {
@@ -389,6 +393,85 @@ mod tests {
         // local shipping is free
         cloud.ship_rows(MachineId(0), MachineId(0), 10, 3);
         assert_eq!(cloud.traffic().total_bytes(), 10 * 3 * VERTEX_ID_BYTES);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_data() {
+        // The multi-query engine drives many queries over one `&MemoryCloud`
+        // at once: every read operator must return the same answers under
+        // concurrent access as serially, and the traffic counters (atomics)
+        // must account every charged access without losing updates.
+        let cloud = small_cloud(4);
+        let labels: Vec<_> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| cloud.labels().get(n).unwrap())
+            .collect();
+        // Serial baseline: per-vertex (label, degree) plus local posting counts.
+        let baseline: Vec<(Option<crate::ids::LabelId>, usize)> = (0..4u64)
+            .map(|i| (cloud.label_of_global(v(i)), cloud.degree_global(v(i))))
+            .collect();
+        cloud.reset_traffic();
+        let rounds = 64usize;
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let cloud = &cloud;
+                let labels = &labels;
+                let baseline = &baseline;
+                scope.spawn(move || {
+                    let caller = MachineId(t % 4);
+                    for _ in 0..rounds {
+                        for i in 0..4u64 {
+                            let id = v(i);
+                            assert_eq!(cloud.label_of_global(id), baseline[i as usize].0);
+                            if let Some(cell) = cloud.load(caller, id) {
+                                assert_eq!(cell.neighbors.len(), baseline[i as usize].1);
+                            }
+                            assert!(cloud.has_label(caller, id, baseline[i as usize].0.unwrap()));
+                        }
+                        let mut found = 0;
+                        for m in cloud.machines() {
+                            for &l in labels.iter() {
+                                found += cloud.get_ids(m, l).len();
+                            }
+                        }
+                        assert_eq!(found, 4);
+                    }
+                });
+            }
+        });
+        // Each thread charges a deterministic number of remote accesses per
+        // round; the atomic counters must have lost none of them.
+        let per_round: u64 = {
+            cloud.reset_traffic();
+            let caller = MachineId(0);
+            for i in 0..4u64 {
+                let id = v(i);
+                let _ = cloud.load(caller, id);
+                let _ = cloud.has_label(caller, id, cloud.label_of_global(id).unwrap());
+            }
+            cloud.traffic().total_messages()
+        };
+        cloud.reset_traffic();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cloud = &cloud;
+                scope.spawn(move || {
+                    let caller = MachineId(0);
+                    for _ in 0..rounds {
+                        for i in 0..4u64 {
+                            let id = v(i);
+                            let _ = cloud.load(caller, id);
+                            let _ = cloud.has_label(caller, id, cloud.label_of_global(id).unwrap());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            cloud.traffic().total_messages(),
+            per_round * 4 * rounds as u64,
+            "traffic accounting dropped updates under concurrency"
+        );
     }
 
     #[test]

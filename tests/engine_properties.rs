@@ -1,0 +1,143 @@
+//! Property tests (vendored proptest) for the multi-query engine and its
+//! STwig-result cache: on randomly generated graphs and query batches,
+//! interleaved concurrent cached execution must produce results — tables,
+//! not just embedding sets — identical to the uncached serial executor, and
+//! a byte budget small enough to evict on every insert must never corrupt a
+//! table a concurrent query is reading.
+
+use proptest::prelude::*;
+use stwig_match::prelude::*;
+
+/// A randomly generated small labeled graph described by value.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    num_vertices: u64,
+    labels: Vec<u32>,
+    edges: Vec<(u64, u64)>,
+    num_labels: usize,
+}
+
+fn random_graph(max_vertices: u64, max_labels: u32) -> impl Strategy<Value = RandomGraph> {
+    (8..=max_vertices, 2..=max_labels).prop_flat_map(move |(n, l)| {
+        let labels = proptest::collection::vec(0..l, n as usize);
+        let edges = proptest::collection::vec((0..n, 0..n), 8..(n as usize * 3));
+        (labels, edges).prop_map(move |(labels, edges)| RandomGraph {
+            num_vertices: n,
+            labels,
+            edges,
+            num_labels: l as usize,
+        })
+    })
+}
+
+fn build_cloud(g: &RandomGraph, machines: usize) -> MemoryCloud {
+    SyntheticGraph::unlabeled(g.num_vertices, g.edges.clone())
+        .with_labels(g.labels.clone(), g.num_labels)
+        .build_cloud(machines, CostModel::default())
+}
+
+/// An interleaved batch with duplicates: DFS queries (≥ 1 match each) and
+/// random queries, each repeated so concurrent workers race on the same
+/// cache entries.
+fn batch(cloud: &MemoryCloud, seed: u64) -> Vec<QueryGraph> {
+    let mut distinct = query_batch(cloud, 3, 4, None, seed);
+    distinct.extend(query_batch(cloud, 2, 4, Some(5), seed ^ 0xF00));
+    let mut out = Vec::new();
+    for round in 0..3 {
+        for (i, q) in distinct.iter().enumerate() {
+            // Vary the interleaving across rounds.
+            if (round + i) % 2 == 0 {
+                out.push(q.clone());
+            } else {
+                out.insert(out.len() / 2, q.clone());
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Interleaved concurrent cached queries return tables bit-identical to
+    /// the uncached serial executor — same rows, same order, same
+    /// `matches_found` — for exhaustive and truncating configs alike.
+    #[test]
+    fn concurrent_cached_batches_equal_uncached_serial(
+        g in random_graph(200, 6),
+        machines in 1usize..=4,
+        seed in 0u64..1_000,
+    ) {
+        let cloud = build_cloud(&g, machines);
+        prop_assume!(cloud.num_edges() > 0);
+        let queries = batch(&cloud, seed);
+        prop_assume!(!queries.is_empty());
+        for base in [MatchConfig::exhaustive(), MatchConfig::paper_default()] {
+            let config = base.with_num_threads(Some(1));
+            let expected: Vec<_> = queries
+                .iter()
+                .map(|q| stwig::match_query_distributed(&cloud, q, &config).unwrap())
+                .collect();
+            let engine = QueryEngine::new(
+                &cloud,
+                EngineConfig::default()
+                    .with_workers(Some(4))
+                    .with_match_config(config.clone()),
+            );
+            let outputs = engine.run_batch(&queries);
+            for (i, (out, want)) in outputs.iter().zip(&expected).enumerate() {
+                let out = out.as_ref().expect("query succeeds");
+                prop_assert_eq!(&out.table, &want.table, "query {} diverged", i);
+                prop_assert_eq!(out.metrics.matches_found, want.metrics.matches_found);
+            }
+        }
+    }
+
+    /// A budget so small that almost every insert evicts: results stay
+    /// bit-identical and every handed-out table stays readable (evictions
+    /// drop the cache's reference, never the reader's).
+    #[test]
+    fn evictions_never_corrupt_concurrently_read_tables(
+        g in random_graph(150, 5),
+        machines in 1usize..=3,
+        seed in 0u64..1_000,
+    ) {
+        let cloud = build_cloud(&g, machines);
+        prop_assume!(cloud.num_edges() > 0);
+        let queries = batch(&cloud, seed);
+        prop_assume!(!queries.is_empty());
+        let config = MatchConfig::exhaustive().with_num_threads(Some(1));
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| stwig::match_query_distributed(&cloud, q, &config).unwrap())
+            .collect();
+        let engine = QueryEngine::new(
+            &cloud,
+            EngineConfig::default()
+                .with_workers(Some(4))
+                .with_cache(Some(CacheConfig::default().with_budget_bytes(2_048)))
+                .with_match_config(config),
+        );
+        // Two passes so later lookups race against earlier entries being
+        // evicted by concurrent inserts.
+        for _ in 0..2 {
+            let outputs = engine.run_batch(&queries);
+            for (i, (out, want)) in outputs.iter().zip(&expected).enumerate() {
+                let out = out.as_ref().expect("query succeeds");
+                prop_assert_eq!(&out.table, &want.table, "query {} diverged", i);
+            }
+        }
+        let stats = engine.cache_stats().expect("cache enabled");
+        // The accounting must balance: every lookup is a hit, miss or bypass.
+        prop_assert_eq!(
+            stats.hits + stats.misses + stats.bypasses > 0,
+            true,
+            "cache was never consulted"
+        );
+        prop_assert!(
+            stats.bytes_resident <= 2_048,
+            "resident bytes {} exceed the budget",
+            stats.bytes_resident
+        );
+    }
+}
