@@ -133,6 +133,22 @@ fn report_speedup(c: &mut Criterion) {
             budget_label(budget),
             qps.last().unwrap()
         );
+        // Per-phase traffic of one more steady-state batch: which part of
+        // the algorithm the remaining simulated traffic belongs to (a cache
+        // hit skips exploration entirely, so the cache-on line shifts toward
+        // binding sync and join shipping).
+        let outputs = engine.run_batch(&workload);
+        let mut phases = stwig::PhaseTraffic::default();
+        for out in outputs.iter().flatten() {
+            phases.merge(&out.metrics.phase_traffic);
+        }
+        eprintln!(
+            "  phase traffic (last batch): explore {} KiB, binding sync {} KiB, \
+             join ship {} KiB",
+            phases.explore_bytes >> 10,
+            phases.binding_sync_bytes >> 10,
+            phases.join_ship_bytes >> 10,
+        );
     }
     eprintln!(
         "cache speedup on Zipf workload (batch = {batch}): {:.2}x queries/sec",

@@ -194,6 +194,7 @@ pub fn fig8a(scale: Scale) -> Vec<Row> {
                 "matches",
                 res.avg_matches,
             ));
+            rows.extend(res.phase_rows("fig8a", name, n as f64));
         }
     }
     rows
@@ -230,6 +231,7 @@ pub fn fig8b(scale: Scale) -> Vec<Row> {
                 "matches",
                 res.avg_matches,
             ));
+            rows.extend(res.phase_rows("fig8b", name, n as f64));
         }
     }
     rows
@@ -259,6 +261,7 @@ pub fn fig8c(scale: Scale) -> Vec<Row> {
                 "run_time_ms",
                 res.avg_simulated_ms,
             ));
+            rows.extend(res.phase_rows("fig8c", name, e as f64));
         }
     }
     rows
@@ -410,6 +413,7 @@ fn synthetic_point(experiment: &str, cloud: &MemoryCloud, x: f64, scale: Scale) 
         "run_time_ms",
         res.avg_simulated_ms,
     ));
+    rows.extend(res.phase_rows(experiment, "dfs", x));
     let random = query_batch(
         cloud,
         scale.queries_per_point(),
@@ -425,6 +429,7 @@ fn synthetic_point(experiment: &str, cloud: &MemoryCloud, x: f64, scale: Scale) 
         "run_time_ms",
         res.avg_simulated_ms,
     ));
+    rows.extend(res.phase_rows(experiment, "random", x));
     rows
 }
 
@@ -501,12 +506,21 @@ mod tests {
     }
 
     #[test]
-    fn synthetic_point_emits_both_series() {
+    fn synthetic_point_emits_both_series_with_phase_breakdown() {
         let graph = synthetic_experiment_graph(800, 8.0, 1e-2, 1);
         let cloud = graph.build_cloud(4, CostModel::default());
         let rows = synthetic_point("fig10a", &cloud, 800.0, Scale::Small);
-        assert_eq!(rows.len(), 2);
+        // Per series: run_time_ms + {explore, sync, join_ship} bytes.
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows[0].series, "dfs");
-        assert_eq!(rows[1].series, "random");
+        assert_eq!(rows[4].series, "random");
+        let metrics: Vec<&str> = rows.iter().map(|r| r.metric.as_str()).collect();
+        for phase in ["explore_bytes", "sync_bytes", "join_ship_bytes"] {
+            assert_eq!(
+                metrics.iter().filter(|&&m| m == phase).count(),
+                2,
+                "{phase} must be reported for both series"
+            );
+        }
     }
 }

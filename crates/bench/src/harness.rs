@@ -109,6 +109,37 @@ pub struct SuiteResult {
     pub avg_bytes: f64,
     /// Mean STwig result rows (exploration output) per query.
     pub avg_stwig_rows: f64,
+    /// Mean cross-machine bytes spent in STwig exploration per query.
+    pub avg_explore_bytes: f64,
+    /// Mean cross-machine bytes spent synchronizing bindings per query.
+    pub avg_sync_bytes: f64,
+    /// Mean cross-machine bytes spent shipping join tables per query.
+    pub avg_join_bytes: f64,
+}
+
+impl SuiteResult {
+    /// CSV rows for the per-phase traffic breakdown (exploration vs.
+    /// binding sync vs. join shipping), alongside the run-time rows the
+    /// experiments already emit.
+    pub fn phase_rows(&self, experiment: &str, series: &str, x: f64) -> Vec<Row> {
+        vec![
+            Row::new(
+                experiment,
+                series,
+                x,
+                "explore_bytes",
+                self.avg_explore_bytes,
+            ),
+            Row::new(experiment, series, x, "sync_bytes", self.avg_sync_bytes),
+            Row::new(
+                experiment,
+                series,
+                x,
+                "join_ship_bytes",
+                self.avg_join_bytes,
+            ),
+        ]
+    }
 }
 
 /// Runs a suite of queries with the single-machine or distributed executor
@@ -140,6 +171,9 @@ pub fn run_suite(
         out.avg_messages += m.network_messages as f64;
         out.avg_bytes += m.network_bytes as f64;
         out.avg_stwig_rows += m.stwig_rows.iter().sum::<u64>() as f64;
+        out.avg_explore_bytes += m.phase_traffic.explore_bytes as f64;
+        out.avg_sync_bytes += m.phase_traffic.binding_sync_bytes as f64;
+        out.avg_join_bytes += m.phase_traffic.join_ship_bytes as f64;
     }
     let n = queries.len() as f64;
     out.avg_wall_ms /= n;
@@ -148,6 +182,9 @@ pub fn run_suite(
     out.avg_messages /= n;
     out.avg_bytes /= n;
     out.avg_stwig_rows /= n;
+    out.avg_explore_bytes /= n;
+    out.avg_sync_bytes /= n;
+    out.avg_join_bytes /= n;
     out
 }
 
@@ -192,6 +229,25 @@ mod tests {
         assert!(res.avg_matches >= 1.0);
         let dist = run_suite(&cloud, &queries, &MatchConfig::paper_default(), true);
         assert_eq!(dist.queries, queries.len());
+    }
+
+    #[test]
+    fn suite_runner_breaks_traffic_down_by_phase() {
+        let g = wordnet_like(500, 1);
+        let cloud = g.build_cloud(4, CostModel::default());
+        let queries = query_batch(&cloud, 3, 4, None, 11);
+        let res = run_suite(&cloud, &queries, &MatchConfig::paper_default(), true);
+        // The phases partition the totals (serial suite, one query at a
+        // time), so their sum can never exceed the average total bytes.
+        let phase_sum = res.avg_explore_bytes + res.avg_sync_bytes + res.avg_join_bytes;
+        assert!(phase_sum > 0.0, "a 4-machine run must cross machines");
+        assert!(phase_sum <= res.avg_bytes + 1e-6);
+        let rows = res.phase_rows("fig8a", "wordnet", 4.0);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.experiment == "fig8a"));
+        assert_eq!(rows[0].metric, "explore_bytes");
+        assert_eq!(rows[1].metric, "sync_bytes");
+        assert_eq!(rows[2].metric, "join_ship_bytes");
     }
 
     #[test]

@@ -2,6 +2,65 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How the distributed executor moves data between logical machines.
+///
+/// Result tables and `matches_found` are **bit-identical** across modes (the
+/// differential and parallel-equality suites sweep both); the modes differ
+/// only in how remote data travels and therefore in what the simulated
+/// network is charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// Legacy simulation shortcut: machines dereference remote partitions in
+    /// place (`Cloud.Load` / `Index.hasLabel` on foreign vertices) and the
+    /// network matrix is charged a per-access estimate. Every such access is
+    /// tallied by `MemoryCloud::direct_remote_reads`.
+    DirectRead,
+    /// Partition-local execution over an explicit batched transport
+    /// (`trinity_sim::transport`): exploration runs frontier/superstep style
+    /// — collect remote vertex ids per owner, flush one batched `Load`
+    /// request per destination per round, continue on owned `CellBuf`
+    /// replies — and binding sync + load-set shipping are actual messages.
+    /// The cost model charges the envelopes really sent. Performs **zero**
+    /// direct cross-partition reads.
+    Messages,
+}
+
+impl TransportMode {
+    /// Parses a mode name (`"direct"`/`"direct-read"` or `"messages"`),
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<TransportMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "direct" | "direct-read" | "direct_read" | "directread" => {
+                Some(TransportMode::DirectRead)
+            }
+            "messages" | "message" | "msg" => Some(TransportMode::Messages),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default mode: `DirectRead`, overridable by setting
+    /// the `STWIG_TRANSPORT` environment variable (read once) — this is how
+    /// CI runs the whole test suite with `Messages` as the default without
+    /// touching every call site.
+    pub fn from_env() -> TransportMode {
+        static MODE: std::sync::OnceLock<TransportMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| {
+            std::env::var("STWIG_TRANSPORT")
+                .ok()
+                .and_then(|s| TransportMode::parse(&s))
+                .unwrap_or(TransportMode::DirectRead)
+        })
+    }
+}
+
+impl Default for TransportMode {
+    /// [`TransportMode::from_env`]: `DirectRead` unless `STWIG_TRANSPORT`
+    /// says otherwise.
+    fn default() -> Self {
+        TransportMode::from_env()
+    }
+}
+
 /// Configuration of a subgraph-matching run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatchConfig {
@@ -32,6 +91,14 @@ pub struct MatchConfig {
     /// setting; only measured times (wall-clock, and the compute component
     /// of the simulated makespan) change.
     pub num_threads: Option<usize>,
+    /// How the distributed executor moves data between machines (see
+    /// [`TransportMode`]). Results are identical across modes.
+    pub transport_mode: TransportMode,
+    /// Maximum vertex ids per batched `Load` request envelope in
+    /// [`TransportMode::Messages`] (a destination's frontier larger than
+    /// this is split into several envelopes). Affects message counts and
+    /// therefore simulated time, never results.
+    pub transport_batch_ids: usize,
 }
 
 impl Default for MatchConfig {
@@ -44,6 +111,8 @@ impl Default for MatchConfig {
             optimize_join_order: true,
             max_stwig_rows: None,
             num_threads: None,
+            transport_mode: TransportMode::default(),
+            transport_batch_ids: 4096,
         }
     }
 }
@@ -105,6 +174,19 @@ impl MatchConfig {
         self
     }
 
+    /// Sets the transport mode of the distributed executor.
+    pub fn with_transport_mode(mut self, mode: TransportMode) -> Self {
+        self.transport_mode = mode;
+        self
+    }
+
+    /// Sets the per-envelope id cap for batched `Load` requests
+    /// (floored at 1).
+    pub fn with_transport_batch_ids(mut self, ids: usize) -> Self {
+        self.transport_batch_ids = ids.max(1);
+        self
+    }
+
     /// The worker-thread count this configuration resolves to on the current
     /// host.
     pub fn resolved_num_threads(&self) -> usize {
@@ -149,6 +231,25 @@ mod tests {
         assert_eq!(c.max_stwig_rows, Some(99));
         assert_eq!(c.num_threads, Some(3));
         assert_eq!(c.resolved_num_threads(), 3);
+    }
+
+    #[test]
+    fn transport_mode_parsing_and_setters() {
+        assert_eq!(
+            TransportMode::parse("messages"),
+            Some(TransportMode::Messages)
+        );
+        assert_eq!(TransportMode::parse("MSG"), Some(TransportMode::Messages));
+        assert_eq!(
+            TransportMode::parse("direct-read"),
+            Some(TransportMode::DirectRead)
+        );
+        assert_eq!(TransportMode::parse("carrier-pigeon"), None);
+        let c = MatchConfig::default()
+            .with_transport_mode(TransportMode::Messages)
+            .with_transport_batch_ids(0);
+        assert_eq!(c.transport_mode, TransportMode::Messages);
+        assert_eq!(c.transport_batch_ids, 1, "batch cap is floored at 1");
     }
 
     #[test]

@@ -24,6 +24,20 @@
 //! The simulated time of the run is the makespan over machines of
 //! (measured per-machine compute time + simulated communication time).
 //!
+//! **Transport modes.** Under [`TransportMode::DirectRead`] a machine may
+//! dereference remote partitions in place (the legacy simulation shortcut;
+//! traffic is a per-access estimate). Under [`TransportMode::Messages`] every
+//! machine is strictly partition-local: exploration runs frontier/superstep
+//! style over a [`trinity_sim::transport::Transport`] (batched `Load`
+//! requests → owned cell replies), binding synchronization posts
+//! `BindingDelta` messages, the join phase ships load-set tables as
+//! `JoinRows` messages, and single-vertex queries gather postings with
+//! `GetIds` exchanges. Result tables and `matches_found` are bit-identical
+//! across modes (swept by `tests/parallel_equality.rs` and the VF2
+//! differential); only the traffic recorded on the simulated network — now
+//! the envelopes actually sent — differs, and `Messages` performs **zero**
+//! direct cross-partition reads (`MemoryCloud::direct_remote_reads`).
+//!
 //! **Threading model.** Logical machines really run in parallel: each
 //! machine's exploration step (per STwig) and its load-set join step are work
 //! items fanned out over `MatchConfig::num_threads` worker threads via
@@ -48,12 +62,12 @@ use crate::cache::{
     apply_bindings_and_cap, canonicalize_table, derive_bound_table, CacheLookup, StwigCache,
     StwigShape,
 };
-use crate::config::MatchConfig;
+use crate::config::{MatchConfig, TransportMode};
 use crate::decompose::decompose_ordered;
 use crate::error::StwigError;
 use crate::executor::MatchOutput;
 use crate::head::{load_set, select_head, HeadSelection};
-use crate::matcher::match_stwig;
+use crate::matcher::{match_stwig, match_stwig_batched};
 use crate::metrics::{ExploreCounters, JoinCounters, MachineMetrics, QueryMetrics};
 use crate::pipeline::pipelined_join;
 use crate::query::QueryGraph;
@@ -64,6 +78,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use trinity_sim::cluster_graph::ClusterGraph;
 use trinity_sim::ids::{MachineId, VertexId};
+use trinity_sim::network::TrafficSnapshot;
+use trinity_sim::transport::{ChannelTransport, Message, Transport};
 use trinity_sim::MemoryCloud;
 
 /// Runs `work` once per index in `0..num_items`, fanning the items out over
@@ -207,13 +223,48 @@ pub fn match_query_distributed_with_cache(
         }
     }
 
-    // Single-vertex queries: a per-machine label scan.
+    // Single-vertex queries: a per-machine label scan. In `Messages` mode
+    // the proxy (machine 0) gathers every other machine's postings with one
+    // `GetIds` exchange each instead of reading their string indexes in
+    // place; the table is identical (postings in machine order).
     if query.num_edges() == 0 {
         let v0 = query.vertices().next().ok_or(StwigError::EmptyQuery)?;
+        let label = query.label(v0);
         let mut table = ResultTable::new(vec![v0]);
-        for k in cloud.machines() {
-            for &id in cloud.get_ids(k, query.label(v0)) {
-                table.push_row(&[id]);
+        if config.transport_mode == TransportMode::Messages {
+            // The posting gather is the query's whole exploration; attribute
+            // its envelopes to the explore phase so the breakdown still
+            // partitions the totals.
+            let before = cloud.traffic();
+            let transport = ChannelTransport::new(cloud);
+            let proxy = MachineId(0);
+            for k in cloud.machines() {
+                if k == proxy {
+                    for &id in cloud.get_ids(k, label) {
+                        table.push_row(&[id]);
+                    }
+                    continue;
+                }
+                let reply = transport.exchange(proxy, k, Message::GetIdsRequest { label });
+                let Message::GetIdsReply { ids } = reply else {
+                    unreachable!("GetIdsRequest must be answered with GetIdsReply");
+                };
+                for id in ids {
+                    table.push_row(&[id]);
+                }
+            }
+            let after = cloud.traffic();
+            record_phase(
+                &before,
+                &after,
+                &mut metrics.phase_traffic.explore_messages,
+                &mut metrics.phase_traffic.explore_bytes,
+            );
+        } else {
+            for k in cloud.machines() {
+                for &id in cloud.get_ids(k, label) {
+                    table.push_row(&[id]);
+                }
             }
         }
         if let Some(limit) = config.max_results {
@@ -296,6 +347,11 @@ pub fn produce_stwig_tables(
     }
     let num_machines = cloud.num_machines();
     let threads = config.resolved_num_threads();
+    // In `Messages` mode all exploration-phase communication — batched cell
+    // loads and binding deltas — travels over this transport; machines never
+    // dereference each other's partitions.
+    let transport =
+        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
     let mut per_machine_tables: Vec<Vec<ResultTable>> =
         vec![Vec::with_capacity(plan.stwigs.len()); num_machines];
     let mut bindings = Bindings::new(query.num_vertices());
@@ -318,7 +374,24 @@ pub fn produce_stwig_tables(
         // bindings snapshot from the previous barrier — by exploration, or
         // from the cache when one is supplied; counters and tables come back
         // thread-locally and are merged in machine order.
-        let results = explore_one_stwig(cloud, query, stwig, &bindings, config, cache, threads);
+        let before_explore = cloud.traffic();
+        let results = explore_one_stwig(
+            cloud,
+            transport.as_ref(),
+            query,
+            stwig,
+            &bindings,
+            config,
+            cache,
+            threads,
+        );
+        let after_explore = cloud.traffic();
+        record_phase(
+            &before_explore,
+            &after_explore,
+            &mut metrics.phase_traffic.explore_messages,
+            &mut metrics.phase_traffic.explore_bytes,
+        );
         let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
         for (ki, result) in results.into_iter().enumerate() {
             explore.merge(&result.counters);
@@ -330,12 +403,8 @@ pub fn produce_stwig_tables(
 
         // Synchronize bindings (barrier): the global binding of each STwig
         // vertex that a later STwig will read is the union of what every
-        // machine discovered. The union set per vertex is filled directly,
-        // machine by machine in machine order — equivalent to building
-        // per-machine bindings and unioning them, without the intermediate
-        // sets — then *moved* into the running bindings (which intersect
-        // with what previous STwigs already established for shared
-        // vertices). Charge the broadcast of the synced columns.
+        // machine discovered, intersected (by `bind`) with what previous
+        // STwigs already established for shared vertices.
         let synced_cols: Vec<crate::query::QVid> = if config.use_bindings {
             stwig_vertices(stwig)
                 .into_iter()
@@ -345,27 +414,93 @@ pub fn produce_stwig_tables(
             Vec::new()
         };
         if !synced_cols.is_empty() {
-            for &col in &synced_cols {
-                let mut set = crate::hash::VertexSet::default();
-                for table in new_tables.iter() {
-                    if let Some(ci) = table.columns().iter().position(|&c| c == col) {
-                        set.extend(table.rows().map(|r| r[ci]));
+            match &transport {
+                // `Messages`: every machine posts one `BindingDelta` — its
+                // *distinct* newly-discovered values per synced column — to
+                // every other machine, and the union is assembled from
+                // machine 0's view (its own delta plus its inbox). Every
+                // machine's view is the same union; building it once keeps
+                // the in-process run cheap without changing what traveled.
+                Some(tp) => {
+                    let deltas: Vec<Vec<(u16, Vec<VertexId>)>> = new_tables
+                        .iter()
+                        .map(|table| {
+                            synced_cols
+                                .iter()
+                                .map(|&col| {
+                                    let mut vals: Vec<VertexId> = if table.columns().contains(&col)
+                                    {
+                                        table.distinct_values(col).into_iter().collect()
+                                    } else {
+                                        Vec::new()
+                                    };
+                                    // Sorted payloads make the envelope
+                                    // deterministic byte for byte.
+                                    vals.sort_unstable();
+                                    (col.0, vals)
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    for (k, cols) in deltas.iter().enumerate() {
+                        for j in cloud.machines() {
+                            if j.index() != k {
+                                tp.post(
+                                    MachineId(k as u16),
+                                    j,
+                                    Message::BindingDelta { cols: cols.clone() },
+                                );
+                            }
+                        }
+                    }
+                    // Drain every mailbox (each machine consumes its inbox);
+                    // machine 0's is the one we materialize the union from.
+                    let inboxes: Vec<Vec<(MachineId, Message)>> =
+                        cloud.machines().map(|m| tp.drain(m)).collect();
+                    for (ci, &col) in synced_cols.iter().enumerate() {
+                        let mut set = crate::hash::VertexSet::default();
+                        set.extend(deltas[0][ci].1.iter().copied());
+                        for (_, msg) in &inboxes[0] {
+                            let Message::BindingDelta { cols } = msg else {
+                                unreachable!("sync barrier only posts binding deltas");
+                            };
+                            set.extend(cols[ci].1.iter().copied());
+                        }
+                        bindings.bind(col, set);
                     }
                 }
-                bindings.bind(col, set);
-            }
-            // Broadcast volume: each machine ships its newly-discovered
-            // binding entries (one column value per row per synced column)
-            // to every other machine.
-            for (k, table) in new_tables.iter().enumerate() {
-                let entries = table.num_rows() as u64 * synced_cols.len() as u64;
-                for j in cloud.machines() {
-                    if j.index() != k {
-                        cloud.ship_rows(MachineId(k as u16), j, entries, 1);
+                // `DirectRead`: fill the union set per vertex directly,
+                // machine by machine in machine order, and charge the
+                // broadcast as a per-entry estimate (each machine ships its
+                // newly-discovered entries to every other machine).
+                None => {
+                    for &col in &synced_cols {
+                        let mut set = crate::hash::VertexSet::default();
+                        for table in new_tables.iter() {
+                            if let Some(ci) = table.columns().iter().position(|&c| c == col) {
+                                set.extend(table.rows().map(|r| r[ci]));
+                            }
+                        }
+                        bindings.bind(col, set);
+                    }
+                    for (k, table) in new_tables.iter().enumerate() {
+                        let entries = table.num_rows() as u64 * synced_cols.len() as u64;
+                        for j in cloud.machines() {
+                            if j.index() != k {
+                                cloud.ship_rows(MachineId(k as u16), j, entries, 1);
+                            }
+                        }
                     }
                 }
             }
         }
+        let after_sync = cloud.traffic();
+        record_phase(
+            &after_explore,
+            &after_sync,
+            &mut metrics.phase_traffic.binding_sync_messages,
+            &mut metrics.phase_traffic.binding_sync_bytes,
+        );
 
         let total_rows: usize = new_tables.iter().map(|t| t.num_rows()).sum();
         metrics.stwig_rows.push(total_rows as u64);
@@ -384,13 +519,55 @@ pub fn produce_stwig_tables(
     }))
 }
 
+/// Accumulates the traffic-total delta between two snapshots into a phase's
+/// message/byte counters. Saturating: under concurrent multi-query batches
+/// another query may reset the shared counters mid-phase, in which case the
+/// attribution is best-effort (like every traffic-derived per-query metric).
+fn record_phase(
+    before: &TrafficSnapshot,
+    after: &TrafficSnapshot,
+    messages: &mut u64,
+    bytes: &mut u64,
+) {
+    *messages += after
+        .total_messages()
+        .saturating_sub(before.total_messages());
+    *bytes += after.total_bytes().saturating_sub(before.total_bytes());
+}
+
+/// One machine's bound exploration of one STwig, dispatched on the transport
+/// mode: partition-local batched matching over the transport when one is in
+/// play, the direct-read matcher otherwise. Both emit bit-identical tables
+/// and counters.
+#[allow(clippy::too_many_arguments)]
+fn explore_machine(
+    cloud: &MemoryCloud,
+    transport: Option<&ChannelTransport<'_>>,
+    k: MachineId,
+    query: &QueryGraph,
+    stwig: &STwig,
+    roots: &[VertexId],
+    bindings: &Bindings,
+    config: &MatchConfig,
+    counters: &mut ExploreCounters,
+) -> ResultTable {
+    match transport {
+        Some(tp) => match_stwig_batched(
+            cloud, tp, k, query, stwig, roots, bindings, config, counters,
+        ),
+        None => match_stwig(cloud, k, query, stwig, roots, bindings, config, counters),
+    }
+}
+
 /// Produces one STwig's per-machine tables: from the cache when it holds the
 /// canonical shape, by cache-populating unbound exploration on a miss, or by
 /// plain bound exploration when no cache is in play (or the populate row cap
 /// was hit). All three paths return bit-identical tables — see
 /// [`crate::cache`] for the argument.
+#[allow(clippy::too_many_arguments)]
 fn explore_one_stwig(
     cloud: &MemoryCloud,
+    transport: Option<&ChannelTransport<'_>>,
     query: &QueryGraph,
     stwig: &STwig,
     bindings: &Bindings,
@@ -432,8 +609,9 @@ fn explore_one_stwig(
                     let t0 = Instant::now();
                     let roots = cloud.get_ids(k, query.label(stwig.root));
                     let mut counters = ExploreCounters::default();
-                    let table = match_stwig(
+                    let table = explore_machine(
                         cloud,
+                        transport,
                         k,
                         query,
                         stwig,
@@ -493,8 +671,9 @@ fn explore_one_stwig(
         let t0 = Instant::now();
         let roots = local_roots(cloud, k, query, stwig, bindings, config);
         let mut counters = ExploreCounters::default();
-        let table = match_stwig(
+        let table = explore_machine(
             cloud,
+            transport,
             k,
             query,
             stwig,
@@ -529,29 +708,86 @@ pub fn join_stwig_tables(
     let num_machines = cloud.num_machines();
     let threads = config.resolved_num_threads();
     let per_machine_tables = &tables.per_machine;
+    let before_join = cloud.traffic();
+    // `Messages`: ship every load-set table as an explicit `JoinRows`
+    // message before the per-machine join work items run — machine `j`
+    // pushes its STwig-`t` rows to every machine whose load set names it
+    // (Theorem 4 bounds the destinations). Each machine then assembles its
+    // R_k from its own tables plus its inbox; the mailbox preserves the
+    // (STwig, sender) posting order, so R_k is row-for-row identical to the
+    // direct-read assembly below.
+    let transport =
+        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
+    if let Some(tp) = &transport {
+        for ki in 0..num_machines {
+            let k = MachineId(ki as u16);
+            for (t, _stwig) in plan.stwigs.iter().enumerate() {
+                for j in load_set(&plan.cluster, &plan.head, k, t) {
+                    let remote = &per_machine_tables[j.index()][t];
+                    if remote.is_empty() {
+                        continue;
+                    }
+                    tp.post(
+                        j,
+                        k,
+                        Message::JoinRows {
+                            stwig: t as u32,
+                            columns: remote.columns().iter().map(|c| c.0).collect(),
+                            rows: remote.rows().flatten().copied().collect(),
+                        },
+                    );
+                }
+            }
+        }
+    }
     let join_results = run_work_stealing(num_machines, threads, |ki| {
         let k = MachineId(ki as u16);
         let t0 = Instant::now();
         // Assemble R_k(q_t) for every STwig t.
         let mut rk_tables: Vec<ResultTable> = Vec::with_capacity(plan.stwigs.len());
         let mut received = 0u64;
-        for (t, _stwig) in plan.stwigs.iter().enumerate() {
-            let mut rk = per_machine_tables[ki][t].clone();
-            for j in load_set(&plan.cluster, &plan.head, k, t) {
-                let remote = &per_machine_tables[j.index()][t];
-                if remote.is_empty() {
-                    continue;
+        if let Some(tp) = &transport {
+            rk_tables.extend(per_machine_tables[ki].iter().cloned());
+            for (src, msg) in tp.drain(k) {
+                let Message::JoinRows {
+                    stwig,
+                    columns,
+                    rows,
+                } = msg
+                else {
+                    unreachable!("join phase only posts JoinRows");
+                };
+                let rk = &mut rk_tables[stwig as usize];
+                debug_assert_eq!(
+                    columns,
+                    rk.columns().iter().map(|c| c.0).collect::<Vec<_>>(),
+                    "machine {src} shipped a table with foreign columns"
+                );
+                let width = rk.width();
+                for row in rows.chunks(width) {
+                    rk.push_row(row);
                 }
-                cloud.ship_rows(j, k, remote.num_rows() as u64, remote.width() as u64);
-                received += remote.num_rows() as u64;
-                rk.append(remote);
+                received += (rows.len() / width) as u64;
             }
-            // No dedup pass: rows within one machine's table are distinct
-            // (the cross product emits each assignment once), and tables
-            // from different machines are root-disjoint because STwig roots
-            // are restricted to locally-owned vertices — so R_k is
-            // duplicate-free by construction.
-            rk_tables.push(rk);
+        } else {
+            for (t, _stwig) in plan.stwigs.iter().enumerate() {
+                let mut rk = per_machine_tables[ki][t].clone();
+                for j in load_set(&plan.cluster, &plan.head, k, t) {
+                    let remote = &per_machine_tables[j.index()][t];
+                    if remote.is_empty() {
+                        continue;
+                    }
+                    cloud.ship_rows(j, k, remote.num_rows() as u64, remote.width() as u64);
+                    received += remote.num_rows() as u64;
+                    rk.append(remote);
+                }
+                // No dedup pass: rows within one machine's table are
+                // distinct (the cross product emits each assignment once),
+                // and tables from different machines are root-disjoint
+                // because STwig roots are restricted to locally-owned
+                // vertices — so R_k is duplicate-free by construction.
+                rk_tables.push(rk);
+            }
         }
 
         // If this machine has no head-STwig results it contributes nothing.
@@ -572,6 +808,14 @@ pub fn join_stwig_tables(
             rows_received: received,
         }
     });
+
+    let after_join = cloud.traffic();
+    record_phase(
+        &before_join,
+        &after_join,
+        &mut metrics.phase_traffic.join_ship_messages,
+        &mut metrics.phase_traffic.join_ship_bytes,
+    );
 
     let mut join_counters = JoinCounters::default();
     let mut final_table: Option<ResultTable> = None;
@@ -932,6 +1176,155 @@ mod tests {
             Some(&cache),
         );
         assert!(err.is_err(), "mismatched fingerprint must be rejected");
+    }
+
+    #[test]
+    fn transport_modes_are_bit_identical_and_messages_reads_nothing_remote() {
+        use crate::config::TransportMode;
+        for machines in [1usize, 2, 4, 7] {
+            let cloud = sample_cloud(machines);
+            for (name, base) in [
+                ("exhaustive", MatchConfig::default()),
+                ("paper", MatchConfig::paper_default()),
+                ("no-bindings", MatchConfig::default().with_bindings(false)),
+            ] {
+                let query = triangle_query(&cloud);
+                let direct = match_query_distributed(
+                    &cloud,
+                    &query,
+                    &base.clone().with_transport_mode(TransportMode::DirectRead),
+                )
+                .unwrap();
+                let direct_remote = cloud.direct_remote_reads();
+                let messages = match_query_distributed(
+                    &cloud,
+                    &query,
+                    &base.clone().with_transport_mode(TransportMode::Messages),
+                )
+                .unwrap();
+                let ctx = format!("machines = {machines}, config = {name}");
+                assert_eq!(
+                    cloud.direct_remote_reads(),
+                    0,
+                    "Messages mode dereferenced a remote partition ({ctx})"
+                );
+                assert_eq!(direct.table, messages.table, "tables diverged ({ctx})");
+                assert_eq!(
+                    direct.metrics.matches_found, messages.metrics.matches_found,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    direct.metrics.stwig_rows, messages.metrics.stwig_rows,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    direct.metrics.explore, messages.metrics.explore,
+                    "exploration counters must match across modes ({ctx})"
+                );
+                assert_eq!(direct.metrics.join, messages.metrics.join, "{ctx}");
+                if machines > 1 {
+                    // The legacy mode really was reading foreign partitions —
+                    // which is exactly what this refactor eliminates.
+                    assert!(
+                        direct_remote > 0,
+                        "DirectRead should tally remote reads ({ctx})"
+                    );
+                    assert!(
+                        messages.metrics.network_messages > 0,
+                        "Messages mode must charge real envelopes ({ctx})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_query_is_mode_independent() {
+        use crate::config::TransportMode;
+        for machines in [1usize, 3, 4] {
+            let cloud = sample_cloud(machines);
+            let mut qb = QueryGraph::builder();
+            qb.vertex_by_name(&cloud, "d").unwrap();
+            let query = qb.build().unwrap();
+            let direct = match_query_distributed(
+                &cloud,
+                &query,
+                &MatchConfig::default().with_transport_mode(TransportMode::DirectRead),
+            )
+            .unwrap();
+            let messages = match_query_distributed(
+                &cloud,
+                &query,
+                &MatchConfig::default().with_transport_mode(TransportMode::Messages),
+            )
+            .unwrap();
+            assert_eq!(cloud.direct_remote_reads(), 0);
+            assert_eq!(direct.table, messages.table, "machines = {machines}");
+            assert_eq!(messages.metrics.matches_found, 5);
+            // The posting-gather envelopes belong to the explore phase, so
+            // the breakdown partitions the totals here too.
+            assert_eq!(
+                messages.metrics.phase_traffic.total_messages(),
+                messages.metrics.network_messages,
+                "machines = {machines}"
+            );
+            assert_eq!(
+                messages.metrics.phase_traffic.total_bytes(),
+                messages.metrics.network_bytes,
+                "machines = {machines}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_traffic_accounts_the_whole_query() {
+        use crate::config::TransportMode;
+        for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+            let cloud = sample_cloud(4);
+            let query = triangle_query(&cloud);
+            let cfg = MatchConfig::default().with_transport_mode(mode);
+            let out = match_query_distributed(&cloud, &query, &cfg).unwrap();
+            let pt = out.metrics.phase_traffic;
+            // Exploration and join shipping both cross machines on this
+            // graph; every message belongs to exactly one phase.
+            assert!(pt.explore_messages > 0, "mode = {mode:?}");
+            assert!(pt.join_ship_messages > 0, "mode = {mode:?}");
+            assert_eq!(
+                pt.total_messages(),
+                out.metrics.network_messages,
+                "phase breakdown must partition the totals (mode = {mode:?})"
+            );
+            assert_eq!(
+                pt.total_bytes(),
+                out.metrics.network_bytes,
+                "mode = {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn messages_mode_caching_stays_transparent() {
+        use crate::cache::{CacheConfig, StwigCache};
+        use crate::config::TransportMode;
+        for machines in [1usize, 4] {
+            let cloud = sample_cloud(machines);
+            let query = triangle_query(&cloud);
+            let config = MatchConfig::default().with_transport_mode(TransportMode::Messages);
+            let cache = StwigCache::new(&cloud, CacheConfig::default());
+            let plain = match_query_distributed(&cloud, &query, &config).unwrap();
+            let miss =
+                match_query_distributed_with_cache(&cloud, &query, &config, Some(&cache)).unwrap();
+            let hit =
+                match_query_distributed_with_cache(&cloud, &query, &config, Some(&cache)).unwrap();
+            assert!(cache.stats().hits > 0);
+            assert_eq!(plain.table, miss.table, "machines = {machines}");
+            assert_eq!(plain.table, hit.table, "machines = {machines}");
+            assert_eq!(
+                cloud.direct_remote_reads(),
+                0,
+                "cache populate path must stay partition-local"
+            );
+        }
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub mod table;
 pub mod verify;
 
 pub use cache::{CacheConfig, CacheLookup, StwigCache};
-pub use config::MatchConfig;
+pub use config::{MatchConfig, TransportMode};
 pub use distributed::{
     join_stwig_tables, match_query_distributed, match_query_distributed_with_cache, plan_query,
     produce_stwig_tables, QueryPlan, StwigTableSet,
@@ -84,7 +84,7 @@ pub use distributed::{
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
 pub use executor::{match_query, MatchOutput};
-pub use metrics::{CacheStats, EngineStats, QueryMetrics};
+pub use metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics};
 pub use pattern::parse_pattern;
 pub use query::{QVid, QueryGraph, QueryGraphBuilder};
 pub use stwig::STwig;
@@ -93,7 +93,7 @@ pub use table::ResultTable;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cache::{CacheConfig, StwigCache, StwigShape};
-    pub use crate::config::MatchConfig;
+    pub use crate::config::{MatchConfig, TransportMode};
     pub use crate::decompose::{
         decompose_ordered, decompose_random, LabelStatistics, UniformStats,
     };
@@ -105,7 +105,7 @@ pub mod prelude {
     pub use crate::error::StwigError;
     pub use crate::executor::{match_query, MatchOutput};
     pub use crate::head::{load_set, select_head, HeadSelection};
-    pub use crate::metrics::{CacheStats, EngineStats, QueryMetrics};
+    pub use crate::metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics};
     pub use crate::pattern::parse_pattern;
     pub use crate::query::{QVid, QueryGraph, QueryGraphBuilder};
     pub use crate::stwig::STwig;

@@ -1,14 +1,29 @@
 //! `MatchSTwig` (Algorithm 1): match one STwig against the memory cloud by
 //! graph exploration, optionally pruned by binding information from
 //! previously-processed STwigs.
+//!
+//! Two entry points share one emission core ([`explore_roots`]), so their
+//! output tables are bit-identical row for row:
+//!
+//! * [`match_stwig`] — the `DirectRead` path: candidate labels are checked
+//!   with `Index.hasLabel`, which may dereference a remote partition in
+//!   place (tallied as a direct remote read).
+//! * [`match_stwig_batched`] — the partition-local path: a frontier pass
+//!   collects every remote neighbor id, one batched `Load` request per
+//!   owning machine is exchanged over the [`Transport`], and matching then
+//!   runs entirely against the local partition plus the owned
+//!   [`trinity_sim::partition::CellBuf`] replies.
 
 use crate::bindings::Bindings;
 use crate::config::MatchConfig;
+use crate::hash::FxHashMap;
 use crate::metrics::ExploreCounters;
 use crate::query::QueryGraph;
 use crate::stwig::STwig;
 use crate::table::ResultTable;
-use trinity_sim::ids::{MachineId, VertexId};
+use trinity_sim::ids::{LabelId, MachineId, VertexId};
+use trinity_sim::partition::Cell;
+use trinity_sim::transport::{Message, Transport};
 use trinity_sim::MemoryCloud;
 
 /// Matches one STwig from the given root candidates.
@@ -36,6 +51,146 @@ pub fn match_stwig(
     config: &MatchConfig,
     counters: &mut ExploreCounters,
 ) -> ResultTable {
+    explore_roots(
+        query,
+        stwig,
+        roots,
+        bindings,
+        config,
+        counters,
+        |n| cloud.load(machine, n),
+        |m, label| cloud.has_label(machine, m, label),
+    )
+}
+
+/// [`match_stwig`] over the explicit message transport: frontier/superstep
+/// exploration that never dereferences a remote partition.
+///
+/// Differences from [`match_stwig`]:
+///
+/// * `roots` must be **owned by `machine`** (the distributed executor's root
+///   candidates always are — `Index.getID` is a local index); unowned roots
+///   are skipped exactly like nonexistent vertices.
+/// * Remote neighbor labels arrive as owned cells in batched `Load` replies
+///   (one request per owning machine, split at
+///   `config.transport_batch_ids` ids per envelope) instead of per-neighbor
+///   `Index.hasLabel` probes.
+///
+/// The emitted table — and every [`ExploreCounters`] field — is
+/// bit-identical to the `DirectRead` path; only the recorded network traffic
+/// differs (actual envelopes instead of per-access estimates).
+#[allow(clippy::too_many_arguments)]
+pub fn match_stwig_batched(
+    cloud: &MemoryCloud,
+    transport: &dyn Transport,
+    machine: MachineId,
+    query: &QueryGraph,
+    stwig: &STwig,
+    roots: &[VertexId],
+    bindings: &Bindings,
+    config: &MatchConfig,
+    counters: &mut ExploreCounters,
+) -> ResultTable {
+    // ---- Superstep 1: frontier collection (local-only reads) ----
+    // Visit every root that could emit rows and gather the neighbor ids
+    // whose labels live on other machines, deduplicated as they stream in
+    // (hubs are many roots' neighbor, so the set stays far smaller than the
+    // scan). The root-level binding/label filters mirror the emission pass;
+    // the `max_stwig_rows` early exit deliberately does not — a prefetch
+    // cannot know where the cap will land before the frontier labels
+    // arrive, so capped configs fetch labels for roots the emission pass
+    // may never reach (extra prefetch traffic only; rows stay identical).
+    let root_label = query.label(stwig.root);
+    let mut frontier: crate::hash::VertexSet = crate::hash::VertexSet::default();
+    for &n in roots {
+        if config.use_bindings && !bindings.admits(stwig.root, n) {
+            continue;
+        }
+        let Some(cell) = cloud.load_local(machine, n) else {
+            continue;
+        };
+        if cell.label != root_label {
+            continue;
+        }
+        for &m in cell.neighbors {
+            if m != n && !cloud.owns_local(machine, m) {
+                frontier.insert(m);
+            }
+        }
+    }
+
+    // ---- Superstep 2: one batched Load request per owning machine ----
+    // (split into `transport_batch_ids`-sized envelopes), replies are owned
+    // cells. STwig matching only consumes the frontier's *labels* (children
+    // are depth-1), so the cells are requested projected — the owners keep
+    // their adjacency at home. Ids are sorted per owner so the envelopes
+    // are deterministic byte for byte.
+    let mut remote_labels: FxHashMap<VertexId, LabelId> = FxHashMap::default();
+    remote_labels.reserve(frontier.len());
+    let mut per_owner: Vec<Vec<VertexId>> = vec![Vec::new(); cloud.num_machines()];
+    for id in frontier {
+        per_owner[cloud.machine_of(id).index()].push(id);
+    }
+    for (owner, mut ids) in per_owner.into_iter().enumerate() {
+        if ids.is_empty() {
+            continue;
+        }
+        ids.sort_unstable();
+        let owner = MachineId(owner as u16);
+        for chunk in ids.chunks(config.transport_batch_ids.max(1)) {
+            let reply = transport.exchange(
+                machine,
+                owner,
+                Message::LoadRequest {
+                    ids: chunk.to_vec(),
+                    with_neighbors: false,
+                },
+            );
+            let Message::LoadReply { cells } = reply else {
+                unreachable!("LoadRequest must be answered with LoadReply");
+            };
+            for cell in cells {
+                remote_labels.insert(cell.id, cell.label);
+            }
+        }
+    }
+
+    // ---- Superstep 3: emission, entirely partition-local ----
+    explore_roots(
+        query,
+        stwig,
+        roots,
+        bindings,
+        config,
+        counters,
+        |n| cloud.load_local(machine, n),
+        |m, label| {
+            if cloud.owns_local(machine, m) {
+                cloud.label_of_local(machine, m) == Some(label)
+            } else {
+                remote_labels.get(&m) == Some(&label)
+            }
+        },
+    )
+}
+
+/// The shared emission core of [`match_stwig`] / [`match_stwig_batched`]:
+/// the root loop, child-candidate construction and injective cross-product
+/// emission of Algorithm 1, parameterized over how a cell is loaded and how
+/// a neighbor's label is checked. Both callers must present the same data
+/// through `load` / `has_label` for the outputs to agree — which is exactly
+/// what the transport's owned replies guarantee.
+#[allow(clippy::too_many_arguments)]
+fn explore_roots<'a>(
+    query: &QueryGraph,
+    stwig: &STwig,
+    roots: &[VertexId],
+    bindings: &Bindings,
+    config: &MatchConfig,
+    counters: &mut ExploreCounters,
+    load: impl Fn(VertexId) -> Option<Cell<'a>>,
+    has_label: impl Fn(VertexId, LabelId) -> bool,
+) -> ResultTable {
     let mut columns = Vec::with_capacity(1 + stwig.children.len());
     columns.push(stwig.root);
     columns.extend(stwig.children.iter().copied());
@@ -60,7 +215,7 @@ pub fn match_stwig(
             counters.rows_pruned_by_bindings += 1;
             continue;
         }
-        let cell = match cloud.load(machine, n) {
+        let cell = match load(n) {
             Some(c) => c,
             None => continue,
         };
@@ -78,7 +233,7 @@ pub fn match_stwig(
                     continue;
                 }
                 counters.label_probes += 1;
-                if !cloud.has_label(machine, m, label) {
+                if !has_label(m, label) {
                     continue;
                 }
                 if config.use_bindings && !bindings.admits(child, m) {
@@ -337,6 +492,96 @@ mod tests {
         }
         assert_eq!(total_rows, 10);
         assert!(cloud.traffic().total_messages() > 0);
+    }
+
+    #[test]
+    fn batched_matcher_is_bit_identical_and_partition_local() {
+        use trinity_sim::transport::ChannelTransport;
+        for machines in [1usize, 2, 4] {
+            let cloud = fig5_like_cloud(machines);
+            let (query, a, b, c) = simple_query(&cloud);
+            let stwig = STwig::new(a, vec![b, c]);
+            let transport = ChannelTransport::new(&cloud);
+            // Sweep tiny batch caps so multi-envelope splitting is covered.
+            for batch in [1usize, 2, 4096] {
+                let cfg = MatchConfig::default().with_transport_batch_ids(batch);
+                let mut total = 0usize;
+                for k in cloud.machines() {
+                    let roots = cloud.get_ids(k, query.label(a)).to_vec();
+                    let bindings = Bindings::new(query.num_vertices());
+                    let mut direct_counters = ExploreCounters::default();
+                    let direct = match_stwig(
+                        &cloud,
+                        k,
+                        &query,
+                        &stwig,
+                        &roots,
+                        &bindings,
+                        &cfg,
+                        &mut direct_counters,
+                    );
+                    cloud.reset_traffic();
+                    let mut batched_counters = ExploreCounters::default();
+                    let batched = match_stwig_batched(
+                        &cloud,
+                        &transport,
+                        k,
+                        &query,
+                        &stwig,
+                        &roots,
+                        &bindings,
+                        &cfg,
+                        &mut batched_counters,
+                    );
+                    assert_eq!(direct, batched, "machine {k}, batch {batch}");
+                    assert_eq!(direct_counters, batched_counters);
+                    assert_eq!(
+                        cloud.direct_remote_reads(),
+                        0,
+                        "batched matching must never dereference a remote partition"
+                    );
+                    total += batched.num_rows();
+                }
+                assert_eq!(total, 10, "the G(q1) rows of the paper's Fig. 5");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_transport_batches_send_more_envelopes() {
+        use trinity_sim::transport::ChannelTransport;
+        let cloud = fig5_like_cloud(4);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let transport = ChannelTransport::new(&cloud);
+        let bindings = Bindings::new(query.num_vertices());
+        let mut messages = Vec::new();
+        for batch in [1usize, 64] {
+            let cfg = MatchConfig::default().with_transport_batch_ids(batch);
+            cloud.reset_traffic();
+            for k in cloud.machines() {
+                let roots = cloud.get_ids(k, query.label(a)).to_vec();
+                let mut counters = ExploreCounters::default();
+                let _ = match_stwig_batched(
+                    &cloud,
+                    &transport,
+                    k,
+                    &query,
+                    &stwig,
+                    &roots,
+                    &bindings,
+                    &cfg,
+                    &mut counters,
+                );
+            }
+            messages.push(cloud.traffic().total_messages());
+        }
+        assert!(
+            messages[0] > messages[1],
+            "1-id envelopes ({}) must outnumber 64-id envelopes ({})",
+            messages[0],
+            messages[1]
+        );
     }
 
     #[test]

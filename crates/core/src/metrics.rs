@@ -109,6 +109,54 @@ pub struct EngineStats {
     pub cache: Option<CacheStats>,
 }
 
+/// Cross-machine traffic of one query broken down by execution phase.
+///
+/// The totals (`QueryMetrics::network_messages` / `network_bytes`) answer
+/// "how much traveled"; this breakdown answers "which part of the algorithm
+/// sent it" — exploration (remote cell loads / label probes), binding
+/// synchronization between STwigs, and load-set result shipping for the
+/// distributed join. For a single query executed serially the three phases
+/// sum to the totals; under concurrent multi-query batches the shared
+/// counters make per-query attribution best-effort, like every other
+/// traffic-derived metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTraffic {
+    /// Cross-machine messages sent during STwig exploration.
+    pub explore_messages: u64,
+    /// Cross-machine bytes sent during STwig exploration.
+    pub explore_bytes: u64,
+    /// Messages sent synchronizing binding sets between STwigs.
+    pub binding_sync_messages: u64,
+    /// Bytes sent synchronizing binding sets between STwigs.
+    pub binding_sync_bytes: u64,
+    /// Messages sent shipping STwig result rows for the join (Theorem 4).
+    pub join_ship_messages: u64,
+    /// Bytes sent shipping STwig result rows for the join.
+    pub join_ship_bytes: u64,
+}
+
+impl PhaseTraffic {
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseTraffic) {
+        self.explore_messages += other.explore_messages;
+        self.explore_bytes += other.explore_bytes;
+        self.binding_sync_messages += other.binding_sync_messages;
+        self.binding_sync_bytes += other.binding_sync_bytes;
+        self.join_ship_messages += other.join_ship_messages;
+        self.join_ship_bytes += other.join_ship_bytes;
+    }
+
+    /// Total messages across the three phases.
+    pub fn total_messages(&self) -> u64 {
+        self.explore_messages + self.binding_sync_messages + self.join_ship_messages
+    }
+
+    /// Total bytes across the three phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.explore_bytes + self.binding_sync_bytes + self.join_ship_bytes
+    }
+}
+
 /// Per-machine accounting of a distributed run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MachineMetrics {
@@ -149,6 +197,9 @@ pub struct QueryMetrics {
     pub network_messages: u64,
     /// Total cross-machine bytes.
     pub network_bytes: u64,
+    /// Traffic broken down by phase (exploration, binding sync, join
+    /// shipping).
+    pub phase_traffic: PhaseTraffic,
     /// Per-machine breakdown (empty for the single-machine executor).
     pub machines: Vec<MachineMetrics>,
 }
@@ -192,6 +243,23 @@ mod tests {
         j.merge(&j.clone());
         assert_eq!(j.joins_performed, 2);
         assert_eq!(j.intermediate_rows, 20);
+    }
+
+    #[test]
+    fn phase_traffic_merges_and_totals() {
+        let mut a = PhaseTraffic {
+            explore_messages: 1,
+            explore_bytes: 10,
+            binding_sync_messages: 2,
+            binding_sync_bytes: 20,
+            join_ship_messages: 3,
+            join_ship_bytes: 30,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total_messages(), 12);
+        assert_eq!(a.total_bytes(), 120);
+        assert_eq!(a.explore_bytes, 20);
+        assert_eq!(a.join_ship_messages, 6);
     }
 
     #[test]

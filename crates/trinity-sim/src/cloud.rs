@@ -27,8 +27,30 @@ pub fn machine_for(id: VertexId, num_machines: usize) -> MachineId {
 ///
 /// All reads go through methods that take the *calling* machine so that
 /// cross-partition accesses can be charged to the simulated [`Network`].
-/// Methods suffixed `_local`/`_global` bypass traffic accounting and exist for
-/// construction, statistics and single-machine execution.
+///
+/// # Ownership invariant
+///
+/// Data crosses a partition boundary **by value only**: a machine that needs
+/// another machine's cells or postings sends a batched request over a
+/// [`crate::transport::Transport`] and receives owned
+/// [`crate::partition::CellBuf`]s / id vectors back. The remaining access
+/// surfaces fall into three tiers:
+///
+/// * **Partition-local** (`load_local`, `label_of_local`, `owns_local`,
+///   `get_ids`): only ever touch the calling machine's own partition — the
+///   operators a message-passing executor is allowed to use.
+/// * **Direct-read** (`load`, `has_label`): may dereference a *remote*
+///   partition in place, handing out borrows of foreign memory
+///   (`Cell<'_>` borrowing the owner's adjacency). They model Trinity's
+///   one-sided reads for the legacy `DirectRead` execution mode, charge
+///   estimated traffic, and tally every remote dereference via
+///   [`Network::direct_remote_reads`] so tests can prove an execution
+///   performed none.
+/// * **Global** (`*_global`, `all_ids_with_label`, `iter_vertices`,
+///   `contains_vertex`): bypass both accounting and ownership. They exist
+///   solely for graph construction, statistics, result verification and the
+///   single-machine baselines (Ullmann/VF2/edge-join assume a fully
+///   addressable graph); distributed execution must not call them.
 #[derive(Debug)]
 pub struct MemoryCloud {
     partitions: Vec<Partition>,
@@ -172,17 +194,47 @@ impl MemoryCloud {
 
     /// `Cloud.Load(id)`: locate the vertex `id` and return its cell (label +
     /// neighbor ids). `caller` is the machine performing the access; if the
-    /// vertex lives on another machine a round-trip is charged.
+    /// vertex lives on another machine a round-trip is charged **and the
+    /// access is tallied as a direct remote read** (see the ownership
+    /// invariant in the type docs) — message-passing execution uses
+    /// [`MemoryCloud::load_local`] plus transport batches instead.
     pub fn load(&self, caller: MachineId, id: VertexId) -> Option<Cell<'_>> {
         let owner = self.machine_of(id);
         let cell = self.partitions[owner.index()].load(id)?;
         if owner != caller {
             // Request + reply carrying the neighbor list.
+            self.network.record_direct_remote_read();
             self.network.record(caller, owner, PROBE_BYTES);
             self.network
                 .record(owner, caller, cell.neighbors.len() as u64 * VERTEX_ID_BYTES);
         }
         Some(cell)
+    }
+
+    // ------------------------------------------------------------------
+    // Partition-local operators (the message-passing executor's surface)
+    // ------------------------------------------------------------------
+
+    /// Loads the cell of a vertex **owned by `machine`**. Returns `None` when
+    /// the vertex lives elsewhere (or nowhere): a partition-local executor
+    /// must then request it over the transport rather than dereference the
+    /// remote partition.
+    #[inline]
+    pub fn load_local(&self, machine: MachineId, id: VertexId) -> Option<Cell<'_>> {
+        self.partitions[machine.index()].load(id)
+    }
+
+    /// Label of a vertex owned by `machine`; `None` when it lives elsewhere.
+    #[inline]
+    pub fn label_of_local(&self, machine: MachineId, id: VertexId) -> Option<LabelId> {
+        self.partitions[machine.index()].label_of(id)
+    }
+
+    /// Whether `machine` owns vertex `id` (a pure hash computation — owning
+    /// machines can answer this for any id without communication).
+    #[inline]
+    pub fn owns_local(&self, machine: MachineId, id: VertexId) -> bool {
+        self.machine_of(id) == machine
     }
 
     /// `Index.getID(label)`: ids of vertices with `label` that are local to
@@ -194,10 +246,12 @@ impl MemoryCloud {
     }
 
     /// `Index.hasLabel(id, label)`: whether vertex `id` carries `label`.
-    /// Charged as a small probe when `id` is remote to `caller`.
+    /// Charged as a small probe — and tallied as a direct remote read — when
+    /// `id` is remote to `caller`.
     pub fn has_label(&self, caller: MachineId, id: VertexId, label: LabelId) -> bool {
         let owner = self.machine_of(id);
         if owner != caller {
+            self.network.record_direct_remote_read();
             self.network.record(caller, owner, PROBE_BYTES);
             self.network.record(owner, caller, 1);
         }
@@ -220,14 +274,22 @@ impl MemoryCloud {
         self.network.snapshot()
     }
 
+    /// Number of accesses since the last [`MemoryCloud::reset_traffic`] that
+    /// dereferenced a remote partition in place instead of going through a
+    /// transport (see the ownership invariant in the type docs).
+    pub fn direct_remote_reads(&self) -> u64 {
+        self.network.direct_remote_reads()
+    }
+
     /// Resets the traffic counters (between queries).
     pub fn reset_traffic(&self) {
         self.network.reset();
     }
 
     // ------------------------------------------------------------------
-    // Accounting-free global accessors (construction, stats, baselines,
-    // single-machine execution)
+    // Accounting-free global accessors. Per the ownership invariant (type
+    // docs): construction, statistics, verification and the single-machine
+    // baselines only — never distributed execution.
     // ------------------------------------------------------------------
 
     /// Label of `id`, bypassing traffic accounting.
@@ -306,6 +368,76 @@ mod tests {
                 assert!(m.index() < n);
                 assert_eq!(m, machine_for(v(id), n));
             }
+        }
+    }
+
+    #[test]
+    fn machine_assignment_balances_partitions() {
+        // Partition-balance property: over both a consecutive and a
+        // pseudo-random id universe, the largest partition stays within 5%
+        // of the smallest for every machine count we deploy with. An
+        // unbalanced hash would skew per-machine exploration load and break
+        // the speed-up experiments' scaling assumption.
+        let universes: [(&str, Vec<u64>); 2] = [
+            ("consecutive", (0..100_000u64).collect()),
+            ("lcg", {
+                let mut x = 0x1234_5678_9ABC_DEF0u64;
+                (0..100_000)
+                    .map(|_| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        x
+                    })
+                    .collect()
+            }),
+        ];
+        for (name, ids) in &universes {
+            for n in [2usize, 4, 7, 16] {
+                let mut counts = vec![0u64; n];
+                for &id in ids {
+                    counts[machine_for(v(id), n).index()] += 1;
+                }
+                let max = *counts.iter().max().unwrap();
+                let min = *counts.iter().min().unwrap();
+                assert!(min > 0, "empty partition ({name}, {n} machines)");
+                let ratio = max as f64 / min as f64;
+                assert!(
+                    ratio <= 1.05,
+                    "partition imbalance {ratio:.4} ({name}, {n} machines)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_assignment_is_pinned() {
+        // Regression pin: `machine_for` is part of the on-disk/persistent
+        // contract — partition layouts, cached cloud fingerprints and the
+        // cache's per-machine canonical tables all assume this exact
+        // assignment. If the hash constant or reduction ever changes, this
+        // test must fail loudly rather than silently invalidating them.
+        let pins: [(u64, usize, u16); 12] = [
+            (0, 4, 0),
+            (1, 4, 1),
+            (2, 4, 2),
+            (42, 4, 2),
+            (1_000_000, 4, 0),
+            (0, 7, 0),
+            (1, 7, 4),
+            (12_345, 7, 4),
+            (987_654_321, 7, 2),
+            (1, 16, 5),
+            (255, 16, 11),
+            (1_000_000_007, 16, 3),
+        ];
+        for (id, machines, expected) in pins {
+            assert_eq!(
+                machine_for(v(id), machines),
+                MachineId(expected),
+                "machine_for({id}, {machines}) changed — cached fingerprints \
+                 and partition layouts would silently go stale"
+            );
         }
     }
 

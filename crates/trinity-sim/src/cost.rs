@@ -1,0 +1,115 @@
+//! Latency/bandwidth model converting message counts into simulated time.
+//!
+//! Split out of [`crate::network`] so the cost model is usable by both the
+//! passive traffic-accounting matrix ([`crate::network::Network`]) and the
+//! explicit message transport ([`crate::transport`]): the former estimates
+//! batches from byte totals, the latter records the *actual* envelopes sent.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth model used to convert message counts into simulated time.
+///
+/// Defaults approximate the paper's cluster 1 (Gigabit Ethernet): 0.1 ms
+/// per-message latency and 1 Gbit/s ≈ 125 MB/s bandwidth, with messages
+/// between co-located endpoints free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed per-message latency in microseconds.
+    pub latency_us: f64,
+    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    pub bytes_per_us: f64,
+    /// Messages smaller than this are merged into batches of this size before
+    /// the latency charge is applied (Trinity merges and batches messages).
+    pub batch_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            latency_us: 100.0,
+            bytes_per_us: 125.0,
+            batch_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CostModel {
+    /// An idealized infinitely-fast network (zero communication cost).
+    pub fn free() -> Self {
+        CostModel {
+            latency_us: 0.0,
+            bytes_per_us: f64::INFINITY,
+            batch_bytes: 1,
+        }
+    }
+
+    /// A model approximating the paper's 40 Gbps InfiniBand adapter on
+    /// cluster 2.
+    pub fn infiniband() -> Self {
+        CostModel {
+            latency_us: 2.0,
+            bytes_per_us: 5000.0,
+            batch_bytes: 64 * 1024,
+        }
+    }
+
+    /// Simulated time in microseconds to ship `bytes` in `messages` messages.
+    pub fn time_us(&self, messages: u64, bytes: u64) -> f64 {
+        if messages == 0 && bytes == 0 {
+            return 0.0;
+        }
+        // Message merging: latency is charged per batch, not per tiny message.
+        let batches = if self.batch_bytes <= 1 {
+            messages
+        } else {
+            let by_bytes = bytes.div_ceil(self.batch_bytes);
+            by_bytes.max(1).min(messages.max(1))
+        };
+        let transfer = if self.bytes_per_us.is_finite() && self.bytes_per_us > 0.0 {
+            bytes as f64 / self.bytes_per_us
+        } else {
+            0.0
+        };
+        batches as f64 * self.latency_us + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let model = CostModel::free();
+        assert_eq!(model.time_us(100, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn default_model_charges_latency_and_transfer() {
+        let model = CostModel::default();
+        // one batch of 64 KiB: 100us latency + 65536/125 us transfer
+        let t = model.time_us(1, 64 * 1024);
+        assert!(t > 100.0);
+        assert!(t < 1000.0);
+        // zero traffic is free
+        assert_eq!(model.time_us(0, 0), 0.0);
+    }
+
+    #[test]
+    fn batching_reduces_latency_charges() {
+        let model = CostModel {
+            latency_us: 100.0,
+            bytes_per_us: f64::INFINITY,
+            batch_bytes: 1000,
+        };
+        // 100 messages of 10 bytes each merge into one 1000-byte batch.
+        let merged = model.time_us(100, 1000);
+        let unmerged = CostModel {
+            batch_bytes: 1,
+            ..model
+        }
+        .time_us(100, 1000);
+        assert!(merged < unmerged);
+        assert_eq!(merged, 100.0);
+    }
+}

@@ -14,7 +14,13 @@
 //!   ([`label_index::LabelIndex`]) — the only index the approach uses;
 //! * the paper's three atomic operators `Cloud.Load`, `Index.getID`,
 //!   `Index.hasLabel` with **cross-machine traffic accounting**
-//!   ([`network::Network`], [`network::CostModel`]);
+//!   ([`network::Network`], [`cost::CostModel`]);
+//! * an explicit **batched message transport** between machines
+//!   ([`transport::Transport`], [`transport::ChannelTransport`]) carrying
+//!   typed messages — batched `Load` requests answered with owned
+//!   [`partition::CellBuf`]s, posting requests, binding deltas and shipped
+//!   join rows — so partition-local execution never dereferences foreign
+//!   memory (§4.2, §6.2);
 //! * the **label-pair catalog** and query-specific **cluster graph** of §5.3
 //!   used for head-STwig and load-set selection
 //!   ([`cluster_graph::LabelPairCatalog`], [`cluster_graph::ClusterGraph`]);
@@ -44,6 +50,7 @@
 pub mod builder;
 pub mod cloud;
 pub mod cluster_graph;
+pub mod cost;
 pub mod csr;
 pub mod edge_list;
 pub mod error;
@@ -52,6 +59,7 @@ pub mod label_index;
 pub mod network;
 pub mod partition;
 pub mod stats;
+pub mod transport;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -61,8 +69,9 @@ pub mod prelude {
     pub use crate::error::TrinityError;
     pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
     pub use crate::network::{CostModel, Network, TrafficSnapshot};
-    pub use crate::partition::{Cell, Partition};
+    pub use crate::partition::{Cell, CellBuf, Partition};
     pub use crate::stats::{graph_stats, GraphStats};
+    pub use crate::transport::{ChannelTransport, Message, Transport};
 }
 
 pub use builder::GraphBuilder;
@@ -70,3 +79,4 @@ pub use cloud::MemoryCloud;
 pub use error::TrinityError;
 pub use ids::{LabelId, MachineId, VertexId};
 pub use network::CostModel;
+pub use transport::{ChannelTransport, Message, Transport};

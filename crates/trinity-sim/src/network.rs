@@ -1,83 +1,26 @@
-//! Simulated cluster interconnect.
+//! Simulated cluster interconnect: per-machine-pair traffic counters.
 //!
 //! The paper runs on a real Gigabit / InfiniBand cluster; here the "network"
 //! is an accounting layer: every cross-machine access performed through the
-//! [`crate::cloud::MemoryCloud`] records a message (and its payload size) in a
-//! per-machine-pair counter matrix. A configurable [`CostModel`] converts
-//! these counters into simulated communication time, which the distributed
-//! executor combines with per-machine compute time to produce the
-//! simulated-wall-clock numbers reported by the speed-up experiments.
+//! [`crate::cloud::MemoryCloud`] — and every envelope sent over a
+//! [`crate::transport::Transport`] — records a message (and its payload size)
+//! in a per-machine-pair counter matrix. The [`CostModel`] (see
+//! [`crate::cost`]) converts these counters into simulated communication
+//! time, which the distributed executor combines with per-machine compute
+//! time to produce the simulated-wall-clock numbers reported by the speed-up
+//! experiments.
+//!
+//! The matrix additionally tallies **direct remote reads**: accesses where a
+//! caller dereferenced another machine's partition in place (`Cloud.Load` /
+//! `Index.hasLabel` with a remote owner) instead of going through a
+//! transport. Message-passing execution must keep this counter at zero — the
+//! distributed executor's tests enforce it.
 
 use crate::ids::MachineId;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Latency/bandwidth model used to convert message counts into simulated time.
-///
-/// Defaults approximate the paper's cluster 1 (Gigabit Ethernet): 0.1 ms
-/// per-message latency and 1 Gbit/s ≈ 125 MB/s bandwidth, with messages
-/// between co-located endpoints free.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct CostModel {
-    /// Fixed per-message latency in microseconds.
-    pub latency_us: f64,
-    /// Bandwidth in bytes per microsecond (i.e. MB/s).
-    pub bytes_per_us: f64,
-    /// Messages smaller than this are merged into batches of this size before
-    /// the latency charge is applied (Trinity merges and batches messages).
-    pub batch_bytes: u64,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            latency_us: 100.0,
-            bytes_per_us: 125.0,
-            batch_bytes: 64 * 1024,
-        }
-    }
-}
-
-impl CostModel {
-    /// An idealized infinitely-fast network (zero communication cost).
-    pub fn free() -> Self {
-        CostModel {
-            latency_us: 0.0,
-            bytes_per_us: f64::INFINITY,
-            batch_bytes: 1,
-        }
-    }
-
-    /// A model approximating the paper's 40 Gbps InfiniBand adapter on
-    /// cluster 2.
-    pub fn infiniband() -> Self {
-        CostModel {
-            latency_us: 2.0,
-            bytes_per_us: 5000.0,
-            batch_bytes: 64 * 1024,
-        }
-    }
-
-    /// Simulated time in microseconds to ship `bytes` in `messages` messages.
-    pub fn time_us(&self, messages: u64, bytes: u64) -> f64 {
-        if messages == 0 && bytes == 0 {
-            return 0.0;
-        }
-        // Message merging: latency is charged per batch, not per tiny message.
-        let batches = if self.batch_bytes <= 1 {
-            messages
-        } else {
-            let by_bytes = bytes.div_ceil(self.batch_bytes);
-            by_bytes.max(1).min(messages.max(1))
-        };
-        let transfer = if self.bytes_per_us.is_finite() && self.bytes_per_us > 0.0 {
-            bytes as f64 / self.bytes_per_us
-        } else {
-            0.0
-        };
-        batches as f64 * self.latency_us + transfer
-    }
-}
+pub use crate::cost::CostModel;
 
 /// Per-machine-pair traffic counters.
 ///
@@ -90,6 +33,8 @@ pub struct Network {
     messages: Vec<AtomicU64>,
     /// bytes[src * machines + dst]
     bytes: Vec<AtomicU64>,
+    /// Cross-partition accesses that bypassed the transport (see module docs).
+    direct_remote_reads: AtomicU64,
     cost: CostModel,
 }
 
@@ -154,6 +99,7 @@ impl Network {
             machines,
             messages: (0..cells).map(|_| AtomicU64::new(0)).collect(),
             bytes: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            direct_remote_reads: AtomicU64::new(0),
             cost,
         }
     }
@@ -192,6 +138,20 @@ impl Network {
         self.bytes[cell].fetch_add(payload_bytes, Ordering::Relaxed);
     }
 
+    /// Tallies one access that dereferenced a remote partition in place
+    /// (without a transport round-trip). Called by the cloud's
+    /// `DirectRead`-style operators; message-passing execution must never
+    /// trigger it.
+    #[inline]
+    pub fn record_direct_remote_read(&self) {
+        self.direct_remote_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of direct remote reads since the last [`Network::reset`].
+    pub fn direct_remote_reads(&self) -> u64 {
+        self.direct_remote_reads.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         for c in &self.messages {
@@ -200,6 +160,7 @@ impl Network {
         for c in &self.bytes {
             c.store(0, Ordering::Relaxed);
         }
+        self.direct_remote_reads.store(0, Ordering::Relaxed);
     }
 
     /// Takes a snapshot of all counters.
@@ -272,43 +233,21 @@ mod tests {
     fn reset_clears_counters() {
         let net = Network::new(2, CostModel::default());
         net.record(m(0), m(1), 10);
+        net.record_direct_remote_read();
         net.reset();
         assert_eq!(net.snapshot().total_messages(), 0);
+        assert_eq!(net.direct_remote_reads(), 0);
     }
 
     #[test]
-    fn free_model_costs_nothing() {
-        let model = CostModel::free();
-        assert_eq!(model.time_us(100, 1_000_000), 0.0);
-    }
-
-    #[test]
-    fn default_model_charges_latency_and_transfer() {
-        let model = CostModel::default();
-        // one batch of 64 KiB: 100us latency + 65536/125 us transfer
-        let t = model.time_us(1, 64 * 1024);
-        assert!(t > 100.0);
-        assert!(t < 1000.0);
-        // zero traffic is free
-        assert_eq!(model.time_us(0, 0), 0.0);
-    }
-
-    #[test]
-    fn batching_reduces_latency_charges() {
-        let model = CostModel {
-            latency_us: 100.0,
-            bytes_per_us: f64::INFINITY,
-            batch_bytes: 1000,
-        };
-        // 100 messages of 10 bytes each merge into one 1000-byte batch.
-        let merged = model.time_us(100, 1000);
-        let unmerged = CostModel {
-            batch_bytes: 1,
-            ..model
-        }
-        .time_us(100, 1000);
-        assert!(merged < unmerged);
-        assert_eq!(merged, 100.0);
+    fn direct_remote_reads_tally() {
+        let net = Network::new(2, CostModel::default());
+        assert_eq!(net.direct_remote_reads(), 0);
+        net.record_direct_remote_read();
+        net.record_direct_remote_read();
+        assert_eq!(net.direct_remote_reads(), 2);
+        // The tally is separate from the message matrix.
+        assert_eq!(net.snapshot().total_messages(), 0);
     }
 
     #[test]

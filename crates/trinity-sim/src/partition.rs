@@ -19,6 +19,42 @@ pub struct Cell<'a> {
     pub neighbors: &'a [VertexId],
 }
 
+impl Cell<'_> {
+    /// Copies this cell into an owned [`CellBuf`], detaching it from the
+    /// partition it borrows. This is what crosses machine boundaries in a
+    /// [`crate::transport::Transport`] reply: the requester receives a copy
+    /// of the cell, never a borrow of the remote partition.
+    pub fn to_owned(&self) -> CellBuf {
+        CellBuf {
+            id: self.id,
+            label: self.label,
+            neighbors: self.neighbors.to_vec(),
+        }
+    }
+}
+
+/// An owned vertex record: the payload of a `Cloud.Load` reply shipped over
+/// the transport. Unlike [`Cell`], it borrows nothing from the owning
+/// partition, so a machine can keep it across supersteps and the sender's
+/// partition stays private.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellBuf {
+    /// The vertex this cell describes.
+    pub id: VertexId,
+    /// The vertex's label.
+    pub label: LabelId,
+    /// Global IDs of all neighbors, sorted ascending.
+    pub neighbors: Vec<VertexId>,
+}
+
+impl CellBuf {
+    /// Payload size of this cell on the wire, in bytes: the vertex id, the
+    /// label, and one id per neighbor.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + 4 + self.neighbors.len() as u64 * 8
+    }
+}
+
 /// The data owned by a single logical machine.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Partition {

@@ -2,7 +2,8 @@
 //! Erdős–Rényi and R-MAT graphs, `match_query_distributed` (through the
 //! `QueryEngine`, cache on and off) must return exactly the VF2 baseline's
 //! embedding set for generated DFS-family and random-family queries, across
-//! machines {1, 4} × worker threads {1, 4}.
+//! machines {1, 4} × worker threads {1, 4} × transport mode
+//! {DirectRead, Messages}.
 //!
 //! VF2 is a completely independent implementation (state-space search, no
 //! decomposition, no joins, no cache), so agreement here certifies the whole
@@ -79,45 +80,51 @@ fn engine_matches_vf2_across_machines_threads_and_cache() {
                 .build_cloud(machines, trinity_sim::network::CostModel::default());
             for threads in THREADS {
                 for cache_on in [false, true] {
-                    let config = EngineConfig::default()
-                        .with_workers(Some(threads))
-                        .with_cache(cache_on.then(CacheConfig::default))
-                        .with_match_config(MatchConfig::exhaustive().with_num_threads(Some(1)));
-                    let engine = QueryEngine::new(&cloud, config);
-                    // Run the batch twice: the first pass populates the
-                    // cache, the second is all hits — both must agree with
-                    // VF2.
-                    for pass in 0..2 {
-                        let outputs = engine.run_batch(&queries);
-                        for ((q, out), want) in queries.iter().zip(&outputs).zip(&expected) {
-                            let out = out.as_ref().expect("query succeeds");
-                            let ctx = format!(
-                                "graph = {}, machines = {machines}, threads = {threads}, \
-                                 cache = {cache_on}, pass = {pass}",
+                    for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+                        let config = EngineConfig::default()
+                            .with_workers(Some(threads))
+                            .with_cache(cache_on.then(CacheConfig::default))
+                            .with_match_config(
+                                MatchConfig::exhaustive()
+                                    .with_num_threads(Some(1))
+                                    .with_transport_mode(mode),
+                            );
+                        let engine = QueryEngine::new(&cloud, config);
+                        // Run the batch twice: the first pass populates the
+                        // cache, the second is all hits — both must agree
+                        // with VF2.
+                        for pass in 0..2 {
+                            let outputs = engine.run_batch(&queries);
+                            for ((q, out), want) in queries.iter().zip(&outputs).zip(&expected) {
+                                let out = out.as_ref().expect("query succeeds");
+                                let ctx = format!(
+                                    "graph = {}, machines = {machines}, threads = {threads}, \
+                                     cache = {cache_on}, mode = {mode:?}, pass = {pass}",
+                                    case.name
+                                );
+                                assert_eq!(
+                                    &canonical_rows(q, &out.table),
+                                    want,
+                                    "embedding set diverged from VF2: {ctx}"
+                                );
+                                assert_eq!(
+                                    out.metrics.matches_found,
+                                    out.table.num_rows() as u64,
+                                    "metrics out of sync: {ctx}"
+                                );
+                                verify_all(&cloud, q, &out.table)
+                                    .unwrap_or_else(|r| panic!("invalid row {r}: {ctx}"));
+                            }
+                        }
+                        if cache_on {
+                            let stats = engine.cache_stats().expect("cache enabled");
+                            assert!(
+                                stats.hits > 0,
+                                "second pass must hit the cache (graph = {}, \
+                                 machines = {machines}, mode = {mode:?})",
                                 case.name
                             );
-                            assert_eq!(
-                                &canonical_rows(q, &out.table),
-                                want,
-                                "embedding set diverged from VF2: {ctx}"
-                            );
-                            assert_eq!(
-                                out.metrics.matches_found,
-                                out.table.num_rows() as u64,
-                                "metrics out of sync: {ctx}"
-                            );
-                            verify_all(&cloud, q, &out.table)
-                                .unwrap_or_else(|r| panic!("invalid row {r}: {ctx}"));
                         }
-                    }
-                    if cache_on {
-                        let stats = engine.cache_stats().expect("cache enabled");
-                        assert!(
-                            stats.hits > 0,
-                            "second pass must hit the cache (graph = {}, \
-                             machines = {machines})",
-                            case.name
-                        );
                     }
                 }
             }
@@ -129,32 +136,47 @@ fn engine_matches_vf2_across_machines_threads_and_cache() {
 #[test]
 fn cached_engine_is_bit_identical_to_uncached_serial_run() {
     // Stronger than set equality: with a result limit in play, the exact
-    // table (row order included) must be independent of the cache, or
-    // truncation would silently select different witnesses.
+    // table (row order included) must be independent of the cache — and of
+    // the transport mode — or truncation would silently select different
+    // witnesses. The uncached serial DirectRead run is the single reference
+    // for both modes.
     for case in graph_cases() {
         let cloud = case
             .graph
             .clone()
             .build_cloud(4, trinity_sim::network::CostModel::default());
         let queries = workload(&cloud);
-        let config = MatchConfig::paper_default().with_num_threads(Some(1));
+        let reference_config = MatchConfig::paper_default()
+            .with_num_threads(Some(1))
+            .with_transport_mode(TransportMode::DirectRead);
         let plain: Vec<_> = queries
             .iter()
-            .map(|q| stwig::match_query_distributed(&cloud, q, &config).unwrap())
+            .map(|q| stwig::match_query_distributed(&cloud, q, &reference_config).unwrap())
             .collect();
-        let engine = QueryEngine::new(
-            &cloud,
-            EngineConfig::default()
-                .with_workers(Some(1))
-                .with_match_config(config),
-        );
-        for pass in 0..2 {
-            let outputs = engine.run_batch(&queries);
-            for (i, (out, want)) in outputs.iter().zip(&plain).enumerate() {
+        for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+            let engine = QueryEngine::new(
+                &cloud,
+                EngineConfig::default()
+                    .with_workers(Some(1))
+                    .with_match_config(reference_config.clone().with_transport_mode(mode)),
+            );
+            for pass in 0..2 {
+                let outputs = engine.run_batch(&queries);
+                for (i, (out, want)) in outputs.iter().zip(&plain).enumerate() {
+                    assert_eq!(
+                        out.as_ref().unwrap().table,
+                        want.table,
+                        "graph = {}, query = {i}, mode = {mode:?}, pass = {pass}",
+                        case.name
+                    );
+                }
+            }
+            if mode == TransportMode::Messages {
                 assert_eq!(
-                    out.as_ref().unwrap().table,
-                    want.table,
-                    "graph = {}, query = {i}, pass = {pass}",
+                    cloud.direct_remote_reads(),
+                    0,
+                    "Messages-mode engine batch dereferenced a remote partition \
+                     (graph = {})",
                     case.name
                 );
             }

@@ -2,7 +2,11 @@
 //! return canonical rows identical to the serial executor — and identical
 //! `matches_found` — across machine counts, generated query families
 //! (DFS-induced and random, from `graph_gen::query_gen`), result-limit
-//! configurations and both network cost models.
+//! configurations, both network cost models **and both transport modes**:
+//! the serial `DirectRead` run is the reference, and `DirectRead` × 4
+//! threads, `Messages` × 1 thread and `Messages` × 4 threads must all agree
+//! with it. `Messages` runs must additionally perform zero direct
+//! cross-partition reads.
 
 use graph_gen::prelude::*;
 use stwig::prelude::*;
@@ -32,30 +36,57 @@ fn assert_parallel_matches_serial(cost_name: &str, cost: CostModel) {
                 ("exhaustive", MatchConfig::default()),
                 ("paper", MatchConfig::paper_default()),
             ] {
-                let ctx = format!(
-                    "cost = {cost_name}, machines = {machines}, query = {qi}, config = {cfg_name}"
-                );
-                let serial =
-                    match_query_distributed(&cloud, query, &base.clone().with_num_threads(Some(1)))
-                        .unwrap();
-                let parallel = match_query_distributed(
+                let serial = match_query_distributed(
                     &cloud,
                     query,
-                    &base.clone().with_num_threads(Some(PARALLEL_THREADS)),
+                    &base
+                        .clone()
+                        .with_num_threads(Some(1))
+                        .with_transport_mode(TransportMode::DirectRead),
                 )
                 .unwrap();
-                assert_eq!(
-                    canonical_rows(query, &serial.table),
-                    canonical_rows(query, &parallel.table),
-                    "canonical rows diverged: {ctx}"
-                );
-                assert_eq!(
-                    serial.metrics.matches_found, parallel.metrics.matches_found,
-                    "matches_found diverged: {ctx}"
-                );
-                verify_all(&cloud, query, &parallel.table).unwrap_or_else(|e| {
-                    panic!("parallel result failed verification ({ctx}): {e:?}")
-                });
+                for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+                    for threads in [1usize, PARALLEL_THREADS] {
+                        if mode == TransportMode::DirectRead && threads == 1 {
+                            continue; // that's the reference itself
+                        }
+                        let ctx = format!(
+                            "cost = {cost_name}, machines = {machines}, query = {qi}, \
+                             config = {cfg_name}, mode = {mode:?}, threads = {threads}"
+                        );
+                        let run = match_query_distributed(
+                            &cloud,
+                            query,
+                            &base
+                                .clone()
+                                .with_num_threads(Some(threads))
+                                .with_transport_mode(mode),
+                        )
+                        .unwrap();
+                        if mode == TransportMode::Messages {
+                            assert_eq!(
+                                cloud.direct_remote_reads(),
+                                0,
+                                "Messages mode touched a remote partition: {ctx}"
+                            );
+                        }
+                        // Bit-identical, not just set-equal: same rows in the
+                        // same order, so truncating configs pick the same
+                        // witnesses in every mode and thread count.
+                        assert_eq!(serial.table, run.table, "tables diverged: {ctx}");
+                        assert_eq!(
+                            serial.metrics.matches_found, run.metrics.matches_found,
+                            "matches_found diverged: {ctx}"
+                        );
+                        assert_eq!(
+                            serial.metrics.stwig_rows, run.metrics.stwig_rows,
+                            "stwig_rows diverged: {ctx}"
+                        );
+                        verify_all(&cloud, query, &run.table).unwrap_or_else(|e| {
+                            panic!("result failed verification ({ctx}): {e:?}")
+                        });
+                    }
+                }
             }
         }
     }
