@@ -1,0 +1,220 @@
+//! First-k serving latency: time-to-first-result and peak intermediate
+//! table bytes of the streaming executor (`ResultMode::FirstK`) vs full
+//! enumeration (`ResultMode::All`) on the 100k-vertex R-MAT graph under the
+//! Zipf query workload, reported as p50/p99 over the workload. Also checks
+//! the deadline contract: a deadline-bounded query must return (partial
+//! rows + `DeadlineExceeded`) within 2x its deadline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_gen::prelude::*;
+use std::time::{Duration, Instant};
+use stwig::prelude::*;
+use stwig::stream::CollectSink;
+use trinity_sim::ids::VertexId;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+const MACHINES: usize = 4;
+const QUERY_POOL: usize = 12;
+const WORKLOAD: usize = 24;
+const QUERY_NODES: usize = 5;
+const ZIPF_EXPONENT: f64 = 1.1;
+
+fn latency_cloud() -> MemoryCloud {
+    synthetic_experiment_graph(100_000, 8.0, 3e-4, 0x9A11)
+        .build_cloud(MACHINES, CostModel::default())
+}
+
+fn queries(cloud: &MemoryCloud) -> Vec<QueryGraph> {
+    zipf_workload(
+        cloud,
+        QUERY_POOL,
+        WORKLOAD,
+        QUERY_NODES,
+        ZIPF_EXPONENT,
+        0xF1B5,
+    )
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Default)]
+struct ModeStats {
+    /// Wall-clock until the requested results were fully delivered, ms.
+    completion_ms: Vec<f64>,
+    /// Wall-clock until the *first* row reached the caller, ms (for `All`
+    /// that is completion — rows only exist once the table materializes).
+    first_row_ms: Vec<f64>,
+    peak_bytes: Vec<f64>,
+}
+
+impl ModeStats {
+    fn record(&mut self, completion_ms: f64, first_row_ms: f64, peak_bytes: u64) {
+        self.completion_ms.push(completion_ms);
+        self.first_row_ms.push(first_row_ms);
+        self.peak_bytes.push(peak_bytes as f64);
+    }
+
+    /// Prints p50/p99/mean and returns the mean completion time — the
+    /// aggregate serving metric (a Zipf workload's wall-clock is dominated
+    /// by its hub-heavy tail, which percentiles of per-query time hide).
+    fn report(&mut self, label: &str) -> f64 {
+        self.completion_ms.sort_by(f64::total_cmp);
+        self.first_row_ms.sort_by(f64::total_cmp);
+        self.peak_bytes.sort_by(f64::total_cmp);
+        let p50 = percentile(&self.completion_ms, 0.5);
+        let p99 = percentile(&self.completion_ms, 0.99);
+        let mean = self.completion_ms.iter().sum::<f64>() / self.completion_ms.len().max(1) as f64;
+        eprintln!(
+            "{label}: time-to-first-k p50 {p50:.2} ms / p99 {p99:.2} ms / mean {mean:.2} ms, \
+             first-row p50 {:.2} ms, peak table bytes p50 {:.0} KiB / max {:.0} KiB",
+            percentile(&self.first_row_ms, 0.5),
+            percentile(&self.peak_bytes, 0.5) / 1024.0,
+            percentile(&self.peak_bytes, 1.0) / 1024.0,
+        );
+        mean
+    }
+}
+
+fn run_mode(cloud: &MemoryCloud, queries: &[QueryGraph], mode: ResultMode) -> ModeStats {
+    let mut stats = ModeStats::default();
+    for query in queries {
+        let started = Instant::now();
+        match mode {
+            ResultMode::All => {
+                let out = match_query_distributed(cloud, query, &MatchConfig::default()).unwrap();
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                stats.record(ms, ms, out.metrics.peak_table_bytes);
+            }
+            _ => {
+                let config = MatchConfig::default().with_result_mode(mode);
+                let mut sink = CollectSink::new();
+                let metrics =
+                    match_query_streaming(cloud, query, &config, &QueryOptions::none(), &mut sink)
+                        .unwrap();
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                let first_ms = metrics.time_to_first_result_us.map_or(ms, |us| us / 1e3);
+                stats.record(ms, first_ms, metrics.peak_table_bytes);
+            }
+        }
+    }
+    stats
+}
+
+/// The acceptance measurement: p50/p99 time-to-first-k for k in {1, 1024}
+/// vs full enumeration, the >= 5x first-k speedup check, and the 2x-deadline
+/// bound.
+fn report_latency(c: &mut Criterion) {
+    let _ = c;
+    let cloud = latency_cloud();
+    let queries = queries(&cloud);
+    eprintln!(
+        "first-k latency sweep: {} queries over {} vertices, {} machines",
+        queries.len(),
+        100_000,
+        MACHINES
+    );
+
+    let all_mean = run_mode(&cloud, &queries, ResultMode::All).report("All            ");
+    let k1024_mean = run_mode(&cloud, &queries, ResultMode::FirstK(1024)).report("FirstK(1024)   ");
+    let k1_mean = run_mode(&cloud, &queries, ResultMode::FirstK(1)).report("FirstK(1)      ");
+
+    let speedup_1024 = all_mean / k1024_mean.max(1e-9);
+    let speedup_1 = all_mean / k1_mean.max(1e-9);
+    eprintln!(
+        "mean time-to-first-k speedup vs All: FirstK(1024) {speedup_1024:.1}x, \
+         FirstK(1) {speedup_1:.1}x (acceptance: FirstK(1024) >= 5x)"
+    );
+    assert!(
+        speedup_1024 >= 5.0,
+        "FirstK(1024) must serve >= 5x faster than full enumeration \
+         (got {speedup_1024:.1}x)"
+    );
+
+    // Deadline contract: pick the slowest query under full enumeration and
+    // bound it at a tight budget — the query must come back with partial
+    // rows + DeadlineExceeded within 2x the deadline.
+    let deadline = Duration::from_millis(10);
+    let mut worst: Option<(usize, f64)> = None;
+    for (i, query) in queries.iter().enumerate() {
+        let t0 = Instant::now();
+        let _ = match_query_distributed(&cloud, query, &MatchConfig::default()).unwrap();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if worst.is_none_or(|(_, w)| ms > w) {
+            worst = Some((i, ms));
+        }
+    }
+    let (wi, wms) = worst.expect("non-empty workload");
+    let mut rows = 0u64;
+    let mut sink = |_row: &[VertexId]| rows += 1;
+    let t0 = Instant::now();
+    let metrics = match_query_streaming(
+        &cloud,
+        &queries[wi],
+        &MatchConfig::default(),
+        &QueryOptions::none().with_deadline(deadline),
+        &mut sink,
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "deadline check: slowest query ({wms:.1} ms exhaustive) bounded at {:?} -> \
+         outcome {:?}, {} partial rows, returned in {:?} ({:.2}x deadline; acceptance <= 2x)",
+        deadline,
+        metrics.outcome,
+        rows,
+        elapsed,
+        elapsed.as_secs_f64() / deadline.as_secs_f64(),
+    );
+    assert!(
+        elapsed <= deadline * 2,
+        "deadline-bounded query must return within 2x its deadline \
+         (deadline {deadline:?}, elapsed {elapsed:?})"
+    );
+    if metrics.outcome == QueryOutcome::DeadlineExceeded {
+        assert_eq!(metrics.rows_streamed, rows);
+    }
+}
+
+/// Criterion sweep (kept small — the acceptance numbers come from
+/// `report_latency`): per-query serving latency by result mode.
+fn bench_latency(c: &mut Criterion) {
+    let cloud = latency_cloud();
+    let queries = queries(&cloud);
+    let mut group = c.benchmark_group("latency");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (label, mode) in [
+        ("first_1", ResultMode::FirstK(1)),
+        ("first_1024", ResultMode::FirstK(1024)),
+    ] {
+        let config = MatchConfig::default().with_result_mode(mode);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                let mut rows = 0u64;
+                let mut sink = |_row: &[VertexId]| rows += 1;
+                for query in &queries[..4] {
+                    let _ = match_query_streaming(
+                        &cloud,
+                        query,
+                        config,
+                        &QueryOptions::none(),
+                        &mut sink,
+                    )
+                    .unwrap();
+                }
+                rows
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency, report_latency);
+criterion_main!(benches);

@@ -117,6 +117,7 @@ fn explore_cost(
             &roots,
             &bindings,
             config,
+            None,
             &mut counters,
         );
         if config.use_bindings {

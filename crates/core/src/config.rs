@@ -61,12 +61,42 @@ impl Default for TransportMode {
     }
 }
 
+/// What the caller wants back from a query — and therefore how much work the
+/// executor is allowed to skip.
+///
+/// The paper's serving experiments (§7) deliver the *first 1024 matches* per
+/// query: a client-facing system is judged on time-to-first-k, not on
+/// exhaustive enumeration. `FirstK`/`Exists` let the distributed executor
+/// interleave exploration and join incrementally and stop as soon as enough
+/// *valid* embeddings exist — the delivered rows are genuine matches, but
+/// **not** a prefix of the canonical full-enumeration table (see DESIGN.md,
+/// "First-k early stop").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultMode {
+    /// Enumerate every match (subject to the legacy `max_results` tail
+    /// truncation). This is the default and keeps every execution path
+    /// bit-identical to the non-streaming executor.
+    #[default]
+    All,
+    /// Stop after `k` valid embeddings; exploration is bounded to slabs
+    /// sized for `k` and resumed only when the join undershoots.
+    FirstK(usize),
+    /// Only answer whether at least one embedding exists (equivalent to
+    /// `FirstK(1)` with a boolean read-out).
+    Exists,
+}
+
 /// Configuration of a subgraph-matching run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatchConfig {
     /// Stop after this many matches have been produced (the paper's pipeline
     /// join terminates after 1024 matches). `None` enumerates all matches.
     pub max_results: Option<usize>,
+    /// What to produce: everything, the first k valid embeddings, or a bare
+    /// existence check (see [`ResultMode`]). `All` reproduces the legacy
+    /// behavior exactly; `FirstK`/`Exists` additionally let the streaming
+    /// executor bound exploration.
+    pub result_mode: ResultMode,
     /// Number of rows of the driver table joined per pipeline round
     /// (derived from available memory in the paper; a fixed row budget here).
     pub block_rows: usize,
@@ -105,6 +135,7 @@ impl Default for MatchConfig {
     fn default() -> Self {
         MatchConfig {
             max_results: None,
+            result_mode: ResultMode::All,
             block_rows: 4096,
             use_bindings: true,
             join_sample_size: 64,
@@ -142,6 +173,24 @@ impl MatchConfig {
     pub fn with_max_results(mut self, max: Option<usize>) -> Self {
         self.max_results = max;
         self
+    }
+
+    /// Sets the result mode (see [`ResultMode`]).
+    pub fn with_result_mode(mut self, mode: ResultMode) -> Self {
+        self.result_mode = mode;
+        self
+    }
+
+    /// The effective row limit this configuration imposes on the final
+    /// result: `max_results` under [`ResultMode::All`] (bit-identical to the
+    /// legacy behavior), `k` (tightened by `max_results` when both are set)
+    /// under [`ResultMode::FirstK`], and `1` under [`ResultMode::Exists`].
+    pub fn result_limit(&self) -> Option<usize> {
+        match self.result_mode {
+            ResultMode::All => self.max_results,
+            ResultMode::FirstK(k) => Some(self.max_results.map_or(k, |m| m.min(k))),
+            ResultMode::Exists => Some(1),
+        }
     }
 
     /// Enables or disables binding-based pruning.
@@ -250,6 +299,26 @@ mod tests {
             .with_transport_batch_ids(0);
         assert_eq!(c.transport_mode, TransportMode::Messages);
         assert_eq!(c.transport_batch_ids, 1, "batch cap is floored at 1");
+    }
+
+    #[test]
+    fn result_mode_limits() {
+        assert_eq!(MatchConfig::default().result_limit(), None);
+        assert_eq!(MatchConfig::paper_default().result_limit(), Some(1024));
+        let first_k = MatchConfig::default().with_result_mode(ResultMode::FirstK(7));
+        assert_eq!(first_k.result_limit(), Some(7));
+        // max_results tightens FirstK but never loosens it.
+        assert_eq!(
+            first_k.clone().with_max_results(Some(3)).result_limit(),
+            Some(3)
+        );
+        assert_eq!(first_k.with_max_results(Some(100)).result_limit(), Some(7));
+        assert_eq!(
+            MatchConfig::default()
+                .with_result_mode(ResultMode::Exists)
+                .result_limit(),
+            Some(1)
+        );
     }
 
     #[test]

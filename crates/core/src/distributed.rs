@@ -68,9 +68,10 @@ use crate::error::StwigError;
 use crate::executor::MatchOutput;
 use crate::head::{load_set, select_head, HeadSelection};
 use crate::matcher::{match_stwig, match_stwig_batched};
-use crate::metrics::{ExploreCounters, JoinCounters, MachineMetrics, QueryMetrics};
-use crate::pipeline::pipelined_join;
-use crate::query::QueryGraph;
+use crate::metrics::{ExploreCounters, JoinCounters, MachineMetrics, QueryMetrics, QueryOutcome};
+use crate::pipeline::{pipelined_join, pipelined_join_streaming, RoundSink};
+use crate::query::{QVid, QueryGraph};
+use crate::stream::{Interrupt, QueryControl, QueryOptions, ResultSink};
 use crate::stwig::STwig;
 use crate::table::ResultTable;
 use std::collections::HashSet;
@@ -79,7 +80,7 @@ use std::time::Instant;
 use trinity_sim::cluster_graph::ClusterGraph;
 use trinity_sim::ids::{MachineId, VertexId};
 use trinity_sim::network::TrafficSnapshot;
-use trinity_sim::transport::{ChannelTransport, Message, Transport};
+use trinity_sim::transport::{ChannelTransport, Message, Transport, TransportError};
 use trinity_sim::MemoryCloud;
 
 /// Runs `work` once per index in `0..num_items`, fanning the items out over
@@ -150,6 +151,9 @@ struct MachineJoin {
     counters: JoinCounters,
     compute_us: f64,
     rows_received: u64,
+    /// Bytes resident on this machine during its join (assembled R_k tables
+    /// plus the join output) — feeds `QueryMetrics::peak_table_bytes`.
+    table_bytes: u64,
 }
 
 /// The centrally-computed query plan broadcast to every machine.
@@ -245,11 +249,7 @@ pub fn match_query_distributed_with_cache(
                     }
                     continue;
                 }
-                let reply = transport.exchange(proxy, k, Message::GetIdsRequest { label });
-                let Message::GetIdsReply { ids } = reply else {
-                    unreachable!("GetIdsRequest must be answered with GetIdsReply");
-                };
-                for id in ids {
+                for id in remote_postings(&transport, proxy, k, label)? {
                     table.push_row(&[id]);
                 }
             }
@@ -267,7 +267,7 @@ pub fn match_query_distributed_with_cache(
                 }
             }
         }
-        if let Some(limit) = config.max_results {
+        if let Some(limit) = config.result_limit() {
             if table.num_rows() > limit {
                 metrics.truncated = true;
             }
@@ -290,6 +290,7 @@ pub fn match_query_distributed_with_cache(
         &plan,
         config,
         cache,
+        None,
         &mut metrics,
         &mut machine_metrics,
     )?;
@@ -304,7 +305,7 @@ pub fn match_query_distributed_with_cache(
             config,
             &mut metrics,
             &mut machine_metrics,
-        ),
+        )?,
     };
     metrics.matches_found = table.num_rows() as u64;
     metrics.machines = machine_metrics;
@@ -326,13 +327,23 @@ pub struct StwigTableSet {
 ///
 /// Returns `Ok(None)` when some STwig matched nowhere, which proves the
 /// query has no answer (exploration counters and the partial `stwig_rows`
-/// are still recorded in `metrics`).
+/// are still recorded in `metrics`) — **unless** a `control` interrupt is
+/// pending, in which case an empty table may simply mean exploration was
+/// cut short; streaming callers check `control` before trusting the `None`.
+///
+/// `control` is the per-query deadline/cancellation handle: it is checked at
+/// every superstep flush inside exploration and at every STwig barrier, and
+/// a pending interrupt makes this phase return early with whatever tables it
+/// completed. Pass `None` (the materialized entry points do) for the exact
+/// legacy behavior.
+#[allow(clippy::too_many_arguments)]
 pub fn produce_stwig_tables(
     cloud: &MemoryCloud,
     query: &QueryGraph,
     plan: &QueryPlan,
     config: &MatchConfig,
     cache: Option<&StwigCache>,
+    control: Option<&QueryControl>,
     metrics: &mut QueryMetrics,
     machine_metrics: &mut [MachineMetrics],
 ) -> Result<Option<StwigTableSet>, StwigError> {
@@ -370,6 +381,15 @@ pub fn produce_stwig_tables(
     }
 
     for (t, stwig) in plan.stwigs.iter().enumerate() {
+        // Cooperative check at the STwig barrier: an interrupted query stops
+        // producing tables (the caller decides what to do with the partial
+        // set).
+        if control.is_some_and(QueryControl::interrupted) {
+            metrics.explore = explore;
+            return Ok(Some(StwigTableSet {
+                per_machine: per_machine_tables,
+            }));
+        }
         // Every machine produces this STwig's table in parallel against the
         // bindings snapshot from the previous barrier — by exploration, or
         // from the cache when one is supplied; counters and tables come back
@@ -383,8 +403,9 @@ pub fn produce_stwig_tables(
             &bindings,
             config,
             cache,
+            control,
             threads,
-        );
+        )?;
         let after_explore = cloud.traffic();
         record_phase(
             &before_explore,
@@ -462,9 +483,26 @@ pub fn produce_stwig_tables(
                         set.extend(deltas[0][ci].1.iter().copied());
                         for (_, msg) in &inboxes[0] {
                             let Message::BindingDelta { cols } = msg else {
-                                unreachable!("sync barrier only posts binding deltas");
+                                // A malformed peer degrades this query only.
+                                return Err(StwigError::Transport(
+                                    TransportError::UnexpectedMessage {
+                                        phase: "binding sync",
+                                        got: msg.kind(),
+                                    },
+                                ));
                             };
-                            set.extend(cols[ci].1.iter().copied());
+                            let Some((_, vals)) = cols.get(ci) else {
+                                return Err(StwigError::Transport(
+                                    TransportError::MalformedPayload {
+                                        detail: format!(
+                                            "binding delta carries {} columns, expected {}",
+                                            cols.len(),
+                                            synced_cols.len()
+                                        ),
+                                    },
+                                ));
+                            };
+                            set.extend(vals.iter().copied());
                         }
                         bindings.bind(col, set);
                     }
@@ -507,6 +545,12 @@ pub fn produce_stwig_tables(
         for (k, table) in new_tables.into_iter().enumerate() {
             per_machine_tables[k].push(table);
         }
+        let resident: u64 = per_machine_tables
+            .iter()
+            .flatten()
+            .map(|t| t.memory_bytes() as u64)
+            .sum();
+        metrics.peak_table_bytes = metrics.peak_table_bytes.max(resident);
         if total_rows == 0 {
             // No machine found a match for this STwig: the query has no answer.
             metrics.explore = explore;
@@ -538,7 +582,7 @@ fn record_phase(
 /// One machine's bound exploration of one STwig, dispatched on the transport
 /// mode: partition-local batched matching over the transport when one is in
 /// play, the direct-read matcher otherwise. Both emit bit-identical tables
-/// and counters.
+/// and counters. Only the transport path can fail (protocol violations).
 #[allow(clippy::too_many_arguments)]
 fn explore_machine(
     cloud: &MemoryCloud,
@@ -549,13 +593,16 @@ fn explore_machine(
     roots: &[VertexId],
     bindings: &Bindings,
     config: &MatchConfig,
+    control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
-) -> ResultTable {
+) -> Result<ResultTable, StwigError> {
     match transport {
         Some(tp) => match_stwig_batched(
-            cloud, tp, k, query, stwig, roots, bindings, config, counters,
+            cloud, tp, k, query, stwig, roots, bindings, config, control, counters,
         ),
-        None => match_stwig(cloud, k, query, stwig, roots, bindings, config, counters),
+        None => Ok(match_stwig(
+            cloud, k, query, stwig, roots, bindings, config, control, counters,
+        )),
     }
 }
 
@@ -573,8 +620,9 @@ fn explore_one_stwig(
     bindings: &Bindings,
     config: &MatchConfig,
     cache: Option<&StwigCache>,
+    control: Option<&QueryControl>,
     threads: usize,
-) -> Vec<MachineExplore> {
+) -> Result<Vec<MachineExplore>, StwigError> {
     let num_machines = cloud.num_machines();
     if let Some(cache) = cache {
         let shape = StwigShape::of(query, stwig);
@@ -583,7 +631,7 @@ fn explore_one_stwig(
                 // Hit: derive each machine's exploration table from the
                 // canonical entry under the current bindings and row cap
                 // (one fused pass; see `derive_bound_table`).
-                return run_work_stealing(num_machines, threads, |ki| {
+                return Ok(run_work_stealing(num_machines, threads, |ki| {
                     let t0 = Instant::now();
                     let table = derive_bound_table(&entry[ki], query, stwig, bindings, config);
                     MachineExplore {
@@ -591,7 +639,7 @@ fn explore_one_stwig(
                         counters: ExploreCounters::default(),
                         compute_us: t0.elapsed().as_secs_f64() * 1e6,
                     }
-                });
+                }));
             }
             CacheLookup::Bypass => {
                 // Known-uncacheable shape: go straight to bound exploration.
@@ -604,32 +652,40 @@ fn explore_one_stwig(
                     ..config.clone()
                 };
                 let unbound_bindings = Bindings::new(query.num_vertices());
-                let unbound = run_work_stealing(num_machines, threads, |ki| {
-                    let k = MachineId(ki as u16);
-                    let t0 = Instant::now();
-                    let roots = cloud.get_ids(k, query.label(stwig.root));
-                    let mut counters = ExploreCounters::default();
-                    let table = explore_machine(
-                        cloud,
-                        transport,
-                        k,
-                        query,
-                        stwig,
-                        roots,
-                        &unbound_bindings,
-                        &populate_cfg,
-                        &mut counters,
-                    );
-                    MachineExplore {
-                        table,
-                        counters,
-                        compute_us: t0.elapsed().as_secs_f64() * 1e6,
-                    }
-                });
+                let unbound =
+                    collect_explore_results(run_work_stealing(num_machines, threads, |ki| {
+                        let k = MachineId(ki as u16);
+                        let t0 = Instant::now();
+                        let roots = cloud.get_ids(k, query.label(stwig.root));
+                        let mut counters = ExploreCounters::default();
+                        let table = explore_machine(
+                            cloud,
+                            transport,
+                            k,
+                            query,
+                            stwig,
+                            roots,
+                            &unbound_bindings,
+                            &populate_cfg,
+                            control,
+                            &mut counters,
+                        )?;
+                        Ok(MachineExplore {
+                            table,
+                            counters,
+                            compute_us: t0.elapsed().as_secs_f64() * 1e6,
+                        })
+                    }))?;
+                // An interrupted populate run may hold truncated tables; do
+                // not let them into the cache (or stand in for bound
+                // exploration below) — fall through to plain exploration,
+                // which the interrupt will also cut short, and let the
+                // caller abort.
+                let interrupted = control.is_some_and(QueryControl::interrupted);
                 let capped = cache
                     .populate_row_cap()
                     .is_some_and(|cap| unbound.iter().any(|r| r.table.num_rows() >= cap));
-                if !capped {
+                if !capped && !interrupted {
                     let canonical: Vec<ResultTable> = unbound
                         .iter()
                         .map(|r| canonicalize_table(&r.table, query, stwig))
@@ -637,7 +693,7 @@ fn explore_one_stwig(
                     cache.insert(shape, canonical);
                     // Derive this query's tables from the full unbound
                     // tables — the exact derivation a future hit performs.
-                    return unbound
+                    return Ok(unbound
                         .into_iter()
                         .map(|mut r| {
                             let t0 = Instant::now();
@@ -645,28 +701,31 @@ fn explore_one_stwig(
                             r.compute_us += t0.elapsed().as_secs_f64() * 1e6;
                             r
                         })
-                        .collect();
+                        .collect());
                 }
-                // The unbound exploration hit the populate cap (a
-                // potentially pathological cross product): remember the
-                // shape as uncacheable so future queries skip the populate
-                // attempt entirely.
-                cache.mark_uncacheable(shape);
-                // When nothing distinguishes this run from bound exploration
-                // — no binding constrains the STwig's vertices and the
-                // config's own row cap matches the populate cap — the capped
-                // result *is* the bound exploration output; reuse it instead
-                // of exploring again.
-                let bindings_unused =
-                    !config.use_bindings || stwig.vertices().all(|v| bindings.get(v).is_none());
-                if bindings_unused && config.max_stwig_rows == cache.populate_row_cap() {
-                    return unbound;
+                if capped && !interrupted {
+                    // The unbound exploration hit the populate cap (a
+                    // potentially pathological cross product): remember the
+                    // shape as uncacheable so future queries skip the
+                    // populate attempt entirely.
+                    cache.mark_uncacheable(shape);
+                    // When nothing distinguishes this run from bound
+                    // exploration — no binding constrains the STwig's
+                    // vertices and the config's own row cap matches the
+                    // populate cap — the capped result *is* the bound
+                    // exploration output; reuse it instead of exploring
+                    // again.
+                    let bindings_unused =
+                        !config.use_bindings || stwig.vertices().all(|v| bindings.get(v).is_none());
+                    if bindings_unused && config.max_stwig_rows == cache.populate_row_cap() {
+                        return Ok(unbound);
+                    }
                 }
                 // Otherwise fall through to plain bound exploration.
             }
         }
     }
-    run_work_stealing(num_machines, threads, |ki| {
+    collect_explore_results(run_work_stealing(num_machines, threads, |ki| {
         let k = MachineId(ki as u16);
         let t0 = Instant::now();
         let roots = local_roots(cloud, k, query, stwig, bindings, config);
@@ -680,22 +739,33 @@ fn explore_one_stwig(
             &roots,
             bindings,
             config,
+            control,
             &mut counters,
-        );
-        MachineExplore {
+        )?;
+        Ok(MachineExplore {
             table,
             counters,
             compute_us: t0.elapsed().as_secs_f64() * 1e6,
-        }
-    })
+        })
+    }))
+}
+
+/// Collapses per-machine exploration results: the first transport error (in
+/// machine order, for determinism) fails the query.
+fn collect_explore_results(
+    results: Vec<Result<MachineExplore, StwigError>>,
+) -> Result<Vec<MachineExplore>, StwigError> {
+    results.into_iter().collect()
 }
 
 /// Phase 2 of the distributed execution: each machine fetches its load-set
 /// tables (Theorem 4), joins them with the block-based pipeline, and the
 /// per-machine answers — disjoint by construction — are unioned on the
-/// coordinating thread in machine order. Applies `config.max_results` and
-/// records join counters, per-machine receive/match counts and the
-/// truncation flag in the supplied metrics.
+/// coordinating thread in machine order. Applies the configured result
+/// limit (`MatchConfig::result_limit`) and records join counters,
+/// per-machine receive/match counts and the truncation flag in the supplied
+/// metrics. Fails with [`StwigError::Transport`] if a peer ships a
+/// malformed `JoinRows` message.
 pub fn join_stwig_tables(
     cloud: &MemoryCloud,
     query: &QueryGraph,
@@ -704,7 +774,7 @@ pub fn join_stwig_tables(
     config: &MatchConfig,
     metrics: &mut QueryMetrics,
     machine_metrics: &mut [MachineMetrics],
-) -> ResultTable {
+) -> Result<ResultTable, StwigError> {
     let num_machines = cloud.num_machines();
     let threads = config.resolved_num_threads();
     let per_machine_tables = &tables.per_machine;
@@ -720,94 +790,39 @@ pub fn join_stwig_tables(
         (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
     if let Some(tp) = &transport {
         for ki in 0..num_machines {
-            let k = MachineId(ki as u16);
-            for (t, _stwig) in plan.stwigs.iter().enumerate() {
-                for j in load_set(&plan.cluster, &plan.head, k, t) {
-                    let remote = &per_machine_tables[j.index()][t];
-                    if remote.is_empty() {
-                        continue;
-                    }
-                    tp.post(
-                        j,
-                        k,
-                        Message::JoinRows {
-                            stwig: t as u32,
-                            columns: remote.columns().iter().map(|c| c.0).collect(),
-                            rows: remote.rows().flatten().copied().collect(),
-                        },
-                    );
-                }
-            }
+            post_join_rows_to(tp, plan, per_machine_tables, MachineId(ki as u16));
         }
     }
-    let join_results = run_work_stealing(num_machines, threads, |ki| {
-        let k = MachineId(ki as u16);
-        let t0 = Instant::now();
-        // Assemble R_k(q_t) for every STwig t.
-        let mut rk_tables: Vec<ResultTable> = Vec::with_capacity(plan.stwigs.len());
-        let mut received = 0u64;
-        if let Some(tp) = &transport {
-            rk_tables.extend(per_machine_tables[ki].iter().cloned());
-            for (src, msg) in tp.drain(k) {
-                let Message::JoinRows {
-                    stwig,
-                    columns,
-                    rows,
-                } = msg
-                else {
-                    unreachable!("join phase only posts JoinRows");
-                };
-                let rk = &mut rk_tables[stwig as usize];
-                debug_assert_eq!(
-                    columns,
-                    rk.columns().iter().map(|c| c.0).collect::<Vec<_>>(),
-                    "machine {src} shipped a table with foreign columns"
-                );
-                let width = rk.width();
-                for row in rows.chunks(width) {
-                    rk.push_row(row);
-                }
-                received += (rows.len() / width) as u64;
-            }
-        } else {
-            for (t, _stwig) in plan.stwigs.iter().enumerate() {
-                let mut rk = per_machine_tables[ki][t].clone();
-                for j in load_set(&plan.cluster, &plan.head, k, t) {
-                    let remote = &per_machine_tables[j.index()][t];
-                    if remote.is_empty() {
-                        continue;
-                    }
-                    cloud.ship_rows(j, k, remote.num_rows() as u64, remote.width() as u64);
-                    received += remote.num_rows() as u64;
-                    rk.append(remote);
-                }
-                // No dedup pass: rows within one machine's table are
-                // distinct (the cross product emits each assignment once),
-                // and tables from different machines are root-disjoint
-                // because STwig roots are restricted to locally-owned
-                // vertices — so R_k is duplicate-free by construction.
-                rk_tables.push(rk);
-            }
-        }
+    let join_results: Vec<Result<MachineJoin, StwigError>> =
+        run_work_stealing(num_machines, threads, |ki| {
+            let t0 = Instant::now();
+            let (rk_tables, received) =
+                assemble_rk_tables(cloud, plan, per_machine_tables, transport.as_ref(), ki)?;
 
-        // If this machine has no head-STwig results it contributes nothing.
-        if rk_tables[plan.head.head_index].is_empty() {
-            return MachineJoin {
-                joined: None,
-                counters: JoinCounters::default(),
+            let rk_bytes: u64 = rk_tables.iter().map(|t| t.memory_bytes() as u64).sum();
+            // If this machine has no head-STwig results it contributes
+            // nothing.
+            if rk_tables[plan.head.head_index].is_empty() {
+                return Ok(MachineJoin {
+                    joined: None,
+                    counters: JoinCounters::default(),
+                    compute_us: t0.elapsed().as_secs_f64() * 1e6,
+                    rows_received: received,
+                    table_bytes: rk_bytes,
+                });
+            }
+            let mut counters = JoinCounters::default();
+            let joined = pipelined_join(&rk_tables, config, &mut counters);
+            let table_bytes = rk_bytes + joined.memory_bytes() as u64;
+            Ok(MachineJoin {
+                joined: Some(joined),
+                counters,
                 compute_us: t0.elapsed().as_secs_f64() * 1e6,
                 rows_received: received,
-            };
-        }
-        let mut counters = JoinCounters::default();
-        let joined = pipelined_join(&rk_tables, config, &mut counters);
-        MachineJoin {
-            joined: Some(joined),
-            counters,
-            compute_us: t0.elapsed().as_secs_f64() * 1e6,
-            rows_received: received,
-        }
-    });
+                table_bytes,
+            })
+        });
+    let join_results: Vec<MachineJoin> = join_results.into_iter().collect::<Result<_, _>>()?;
 
     let after_join = cloud.traffic();
     record_phase(
@@ -824,6 +839,7 @@ pub fn join_stwig_tables(
     let mut contributions: Vec<(usize, u64)> = Vec::new();
     for (ki, result) in join_results.into_iter().enumerate() {
         join_counters.merge(&result.counters);
+        metrics.peak_table_bytes = metrics.peak_table_bytes.max(result.table_bytes);
         let mm = &mut machine_metrics[ki];
         mm.rows_received += result.rows_received;
         mm.compute_us += result.compute_us;
@@ -842,7 +858,7 @@ pub fn join_stwig_tables(
     metrics.join = join_counters;
 
     let mut table = final_table.unwrap_or_else(|| ResultTable::new(query.vertices().collect()));
-    if let Some(limit) = config.max_results {
+    if let Some(limit) = config.result_limit() {
         if table.num_rows() > limit {
             metrics.truncated = true;
         }
@@ -856,7 +872,624 @@ pub fn join_stwig_tables(
             remaining -= kept;
         }
     }
-    table
+    Ok(table)
+}
+
+/// Fetches machine `k`'s postings for `label` over the transport (one
+/// `GetIds` exchange from the proxy), type-checking the reply. Shared by
+/// the materialized and streaming single-vertex paths.
+fn remote_postings(
+    tp: &ChannelTransport<'_>,
+    proxy: MachineId,
+    k: MachineId,
+    label: trinity_sim::ids::LabelId,
+) -> Result<Vec<VertexId>, StwigError> {
+    let reply = tp.exchange(proxy, k, Message::GetIdsRequest { label })?;
+    match reply {
+        Message::GetIdsReply { ids } => Ok(ids),
+        other => Err(StwigError::Transport(TransportError::UnexpectedReply {
+            expected: "GetIdsReply",
+            got: other.kind(),
+        })),
+    }
+}
+
+/// Ships every load-set table destined for machine `dest` as `JoinRows`
+/// posts (Theorem 4 bounds the senders): one envelope per non-empty
+/// (STwig, sender) pair, in (STwig, sender) order — the order
+/// [`assemble_rk_tables`] relies on for row-for-row determinism. Shared by
+/// the materialized join phase (which posts to every machine up front) and
+/// the streaming pass (which posts lazily per machine).
+fn post_join_rows_to(
+    tp: &ChannelTransport<'_>,
+    plan: &QueryPlan,
+    per_machine_tables: &[Vec<ResultTable>],
+    dest: MachineId,
+) {
+    for (t, _stwig) in plan.stwigs.iter().enumerate() {
+        for j in load_set(&plan.cluster, &plan.head, dest, t) {
+            let remote = &per_machine_tables[j.index()][t];
+            if remote.is_empty() {
+                continue;
+            }
+            tp.post(
+                j,
+                dest,
+                Message::JoinRows {
+                    stwig: t as u32,
+                    columns: remote.columns().iter().map(|c| c.0).collect(),
+                    rows: remote.rows().flatten().copied().collect(),
+                },
+            );
+        }
+    }
+}
+
+/// Assembles machine `ki`'s `R_k(q_t)` tables for every STwig `t`: its own
+/// exploration tables plus the load-set rows — drained from its transport
+/// mailbox in `Messages` mode, fetched (and charged) in place in
+/// `DirectRead` mode. Returns the tables and the number of rows received
+/// from other machines. A malformed `JoinRows` envelope (wrong variant,
+/// out-of-range STwig index, foreign columns, ragged row payload) fails with
+/// [`StwigError::Transport`].
+fn assemble_rk_tables(
+    cloud: &MemoryCloud,
+    plan: &QueryPlan,
+    per_machine_tables: &[Vec<ResultTable>],
+    transport: Option<&ChannelTransport<'_>>,
+    ki: usize,
+) -> Result<(Vec<ResultTable>, u64), StwigError> {
+    let k = MachineId(ki as u16);
+    let mut rk_tables: Vec<ResultTable> = Vec::with_capacity(plan.stwigs.len());
+    let mut received = 0u64;
+    if let Some(tp) = transport {
+        rk_tables.extend(per_machine_tables[ki].iter().cloned());
+        for (src, msg) in tp.drain(k) {
+            let Message::JoinRows {
+                stwig,
+                columns,
+                rows,
+            } = msg
+            else {
+                return Err(StwigError::Transport(TransportError::UnexpectedMessage {
+                    phase: "join shipping",
+                    got: msg.kind(),
+                }));
+            };
+            let Some(rk) = rk_tables.get_mut(stwig as usize) else {
+                return Err(StwigError::Transport(TransportError::MalformedPayload {
+                    detail: format!(
+                        "machine {src} shipped rows for STwig {stwig}, but the plan has {}",
+                        plan.stwigs.len()
+                    ),
+                }));
+            };
+            let expected: Vec<u16> = rk.columns().iter().map(|c| c.0).collect();
+            if columns != expected {
+                return Err(StwigError::Transport(TransportError::MalformedPayload {
+                    detail: format!(
+                        "machine {src} shipped STwig {stwig} with columns {columns:?}, \
+                         expected {expected:?}"
+                    ),
+                }));
+            }
+            let width = rk.width();
+            if width == 0 || rows.len() % width != 0 {
+                return Err(StwigError::Transport(TransportError::MalformedPayload {
+                    detail: format!(
+                        "machine {src} shipped {} ids for width-{width} STwig {stwig}",
+                        rows.len()
+                    ),
+                }));
+            }
+            for row in rows.chunks(width) {
+                rk.push_row(row);
+            }
+            received += (rows.len() / width) as u64;
+        }
+    } else {
+        for (t, _stwig) in plan.stwigs.iter().enumerate() {
+            let mut rk = per_machine_tables[ki][t].clone();
+            for j in load_set(&plan.cluster, &plan.head, k, t) {
+                let remote = &per_machine_tables[j.index()][t];
+                if remote.is_empty() {
+                    continue;
+                }
+                cloud.ship_rows(j, k, remote.num_rows() as u64, remote.width() as u64);
+                received += remote.num_rows() as u64;
+                rk.append(remote);
+            }
+            // No dedup pass: rows within one machine's table are
+            // distinct (the cross product emits each assignment once),
+            // and tables from different machines are root-disjoint
+            // because STwig roots are restricted to locally-owned
+            // vertices — so R_k is duplicate-free by construction.
+            rk_tables.push(rk);
+        }
+    }
+    Ok((rk_tables, received))
+}
+
+/// Initial per-machine, per-STwig exploration slab (in rows) for
+/// first-k/exists queries, before scaling by the requested `k`.
+const FIRST_K_MIN_SLAB: usize = 256;
+/// How much the exploration slab grows when a round undershoots `k`.
+/// Geometric growth bounds total re-exploration work by a constant factor
+/// of the final round.
+const SLAB_GROWTH: usize = 8;
+
+/// Tracks streamed delivery: rows handed to the sink, and when the first
+/// one left.
+struct StreamState<'s> {
+    sink: &'s mut dyn ResultSink,
+    started: Instant,
+    streamed: u64,
+    first_us: Option<f64>,
+}
+
+impl StreamState<'_> {
+    fn deliver(&mut self, row: &[VertexId]) {
+        if self.first_us.is_none() {
+            self.first_us = Some(self.started.elapsed().as_secs_f64() * 1e6);
+        }
+        self.streamed += 1;
+        self.sink.row(row);
+    }
+}
+
+/// [`RoundSink`] adapter: re-projects each machine's join output (whose
+/// column order depends on its join-order choice) into the canonical column
+/// order announced to the client, then forwards row by row — to the live
+/// stream for a committed round, or into a staging table for a slab round
+/// that may still be discarded and retried bigger (the caller's closure
+/// decides). Checks `control` before each forwarded row — an atomic load
+/// (the clock is only read while an untripped deadline is armed) — so a
+/// cancellation raised by the consumer mid-stream stops delivery without
+/// waiting for the round boundary.
+struct ProjectingSink<'a, 'c> {
+    canonical: &'c [QVid],
+    projection: Vec<usize>,
+    row_buf: Vec<VertexId>,
+    control: &'a QueryControl,
+    emit: &'a mut dyn FnMut(&[VertexId]),
+}
+
+impl RoundSink for ProjectingSink<'_, '_> {
+    fn on_schema(&mut self, columns: &[QVid]) {
+        self.projection = self
+            .canonical
+            .iter()
+            .map(|&c| {
+                columns
+                    .iter()
+                    .position(|&mc| mc == c)
+                    .expect("final join output covers every query vertex")
+            })
+            .collect();
+    }
+
+    fn on_rows(&mut self, rows: &ResultTable) {
+        for row in rows.rows() {
+            if self.control.interrupted() {
+                return;
+            }
+            self.row_buf.clear();
+            self.row_buf.extend(self.projection.iter().map(|&p| row[p]));
+            (self.emit)(&self.row_buf);
+        }
+    }
+}
+
+/// Outcome of one streamed join pass over all machines.
+struct StreamJoinPass {
+    /// Rows emitted (to the live sink or the staging table).
+    rows: u64,
+    /// Whether every contributing machine's join ran its driver dry — i.e.
+    /// the pass enumerated everything these tables contain.
+    exhausted: bool,
+    /// Whether a cooperative interrupt stopped the pass.
+    interrupted: bool,
+}
+
+/// Runs the per-machine load-set joins over `tables`, streaming surviving
+/// rows through `emit` up to `limit`. Machines run in machine order with a
+/// cooperative `control` check before each; in `Messages` mode each
+/// machine's incoming load-set rows are shipped as `JoinRows` posts
+/// **lazily, right before that machine joins** — a first-k query satisfied
+/// by machine 0 never pays the copy or the simulated traffic for envelopes
+/// no one would drain (per-destination posting order is identical to the
+/// materialized phase, so assembled tables match row for row).
+#[allow(clippy::too_many_arguments)]
+fn stream_join_pass(
+    cloud: &MemoryCloud,
+    plan: &QueryPlan,
+    tables: &StwigTableSet,
+    config: &MatchConfig,
+    limit: Option<usize>,
+    control: &QueryControl,
+    canonical: &[QVid],
+    metrics: &mut QueryMetrics,
+    machine_metrics: &mut [MachineMetrics],
+    emit: &mut dyn FnMut(&[VertexId]),
+) -> Result<StreamJoinPass, StwigError> {
+    let num_machines = cloud.num_machines();
+    let per_machine_tables = &tables.per_machine;
+    let before_join = cloud.traffic();
+    let transport =
+        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
+
+    let mut rows = 0u64;
+    let mut exhausted = true;
+    let mut interrupted = false;
+    // A discarded slab round must not leave stale per-machine match counts.
+    for mm in machine_metrics.iter_mut() {
+        mm.matches_found = 0;
+    }
+    // `ki` indexes `per_machine_tables` and the transport alongside
+    // `machine_metrics`, which needs two disjoint borrows per iteration.
+    #[allow(clippy::needless_range_loop)]
+    for ki in 0..num_machines {
+        if control.interrupted() {
+            interrupted = true;
+            exhausted = false;
+            break;
+        }
+        let remaining = limit.map(|l| (l as u64).saturating_sub(rows) as usize);
+        if remaining == Some(0) {
+            exhausted = false;
+            break;
+        }
+        let t0 = Instant::now();
+        if let Some(tp) = &transport {
+            post_join_rows_to(tp, plan, per_machine_tables, MachineId(ki as u16));
+        }
+        let (rk_tables, received) =
+            assemble_rk_tables(cloud, plan, per_machine_tables, transport.as_ref(), ki)?;
+        let rk_bytes: u64 = rk_tables.iter().map(|t| t.memory_bytes() as u64).sum();
+        metrics.peak_table_bytes = metrics.peak_table_bytes.max(rk_bytes);
+        let mm = &mut machine_metrics[ki];
+        mm.rows_received += received;
+        if rk_tables[plan.head.head_index].is_empty() {
+            mm.compute_us += t0.elapsed().as_secs_f64() * 1e6;
+            continue;
+        }
+        let mut counters = JoinCounters::default();
+        // Count what the sink actually accepted, not what the join produced:
+        // `ProjectingSink` drops rows once an interrupt latches, and the
+        // first-k "satisfied" decision must reflect delivered rows only.
+        let mut delivered = 0u64;
+        let run = {
+            let mut counted = |row: &[VertexId]| {
+                delivered += 1;
+                emit(row)
+            };
+            let mut sink = ProjectingSink {
+                canonical,
+                projection: Vec::new(),
+                row_buf: Vec::with_capacity(canonical.len()),
+                control,
+                emit: &mut counted,
+            };
+            pipelined_join_streaming(
+                &rk_tables,
+                config,
+                remaining,
+                Some(control),
+                &mut counters,
+                &mut sink,
+            )
+        };
+        if !run.exhausted {
+            exhausted = false;
+        }
+        if run.interrupted {
+            interrupted = true;
+        }
+        rows += delivered;
+        metrics.join.merge(&counters);
+        let mm = &mut machine_metrics[ki];
+        mm.compute_us += t0.elapsed().as_secs_f64() * 1e6;
+        mm.matches_found = delivered;
+        if interrupted {
+            break;
+        }
+    }
+    let after_join = cloud.traffic();
+    record_phase(
+        &before_join,
+        &after_join,
+        &mut metrics.phase_traffic.join_ship_messages,
+        &mut metrics.phase_traffic.join_ship_bytes,
+    );
+    Ok(StreamJoinPass {
+        rows,
+        exhausted,
+        interrupted,
+    })
+}
+
+/// [`match_query_streaming_with_cache`] without a cache.
+pub fn match_query_streaming(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    config: &MatchConfig,
+    options: &QueryOptions,
+    sink: &mut dyn ResultSink,
+) -> Result<QueryMetrics, StwigError> {
+    match_query_streaming_with_cache(cloud, query, config, options, None, sink)
+}
+
+/// The streaming entry point of the distributed executor: rows are delivered
+/// through `sink` (in canonical column order — query vertices ascending) as
+/// they are produced, under the per-query deadline/cancellation in
+/// `options`, instead of a materialized [`MatchOutput`].
+///
+/// Under [`crate::config::ResultMode::All`] exploration runs exactly once
+/// (uncapped) and the join streams every row. Under `FirstK(k)` / `Exists`
+/// the executor interleaves exploration and join incrementally:
+///
+/// 1. every machine explores each STwig with a bounded slab
+///    (`max_stwig_rows` capped at a multiple of `k`), with the usual binding
+///    synchronization between STwigs;
+/// 2. the pipelined join runs over what is available, counting valid
+///    embeddings;
+/// 3. only if fewer than `k` embeddings came out **and** some machine's slab
+///    was full does exploration resume with a geometrically larger slab —
+///    otherwise the joined rows are delivered and the query completes.
+///
+/// Early stop is legal because any row surviving the join of *truncated*
+/// exploration tables is a genuine embedding (each table holds only true
+/// STwig matches, and the join checks the same predicates as ever); what is
+/// sacrificed is only *which* k embeddings are returned — they are not a
+/// prefix of the canonical full-enumeration table. See DESIGN.md,
+/// "First-k early stop".
+///
+/// On a deadline or cancellation the query stops at the next cooperative
+/// check (superstep flush, STwig barrier, join round, machine boundary),
+/// delivers the valid rows of the round in progress, and reports
+/// [`QueryOutcome::Cancelled`] / [`QueryOutcome::DeadlineExceeded`] in the
+/// returned metrics. `rows_streamed`, `time_to_first_result_us`,
+/// `explore_rounds` and `peak_table_bytes` describe the streamed execution.
+pub fn match_query_streaming_with_cache(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    config: &MatchConfig,
+    options: &QueryOptions,
+    cache: Option<&StwigCache>,
+    sink: &mut dyn ResultSink,
+) -> Result<QueryMetrics, StwigError> {
+    let started = Instant::now();
+    let control = QueryControl::new(options, started);
+    cloud.reset_traffic();
+    let num_machines = cloud.num_machines();
+    let mut metrics = QueryMetrics::default();
+    let mut machine_metrics: Vec<MachineMetrics> = (0..num_machines)
+        .map(|k| MachineMetrics {
+            machine: k as u16,
+            ..Default::default()
+        })
+        .collect();
+    if let Some(cache) = cache {
+        if !cache.matches_cloud(cloud) {
+            return Err(StwigError::Internal(
+                "STwig cache was built for a different memory cloud".into(),
+            ));
+        }
+    }
+    let limit = config.result_limit();
+
+    // Single-vertex queries: stream the per-machine label postings directly,
+    // stopping at the limit, with a cooperative check per machine.
+    if query.num_edges() == 0 {
+        let v0 = query.vertices().next().ok_or(StwigError::EmptyQuery)?;
+        sink.begin(&[v0]);
+        let mut state = StreamState {
+            sink,
+            started,
+            streamed: 0,
+            first_us: None,
+        };
+        let label = query.label(v0);
+        let transport = (config.transport_mode == TransportMode::Messages)
+            .then(|| ChannelTransport::new(cloud));
+        let before = cloud.traffic();
+        let proxy = MachineId(0);
+        let mut limit_hit = false;
+        'scan: for k in cloud.machines() {
+            if control.interrupted() {
+                break;
+            }
+            let owned: Vec<VertexId> = match &transport {
+                Some(tp) if k != proxy => remote_postings(tp, proxy, k, label)?,
+                _ => cloud.get_ids(k, label).to_vec(),
+            };
+            for id in owned {
+                if limit.is_some_and(|l| state.streamed >= l as u64) {
+                    limit_hit = true;
+                    break 'scan;
+                }
+                state.deliver(&[id]);
+            }
+        }
+        metrics.truncated = limit_hit;
+        metrics.matches_found = state.streamed;
+        metrics.rows_streamed = state.streamed;
+        metrics.time_to_first_result_us = state.first_us;
+        metrics.explore_rounds = 1;
+        if let Some(interrupt) = control.check() {
+            metrics.outcome = match interrupt {
+                Interrupt::Cancelled => QueryOutcome::Cancelled,
+                Interrupt::DeadlineExceeded => QueryOutcome::DeadlineExceeded,
+            };
+        }
+        let after = cloud.traffic();
+        record_phase(
+            &before,
+            &after,
+            &mut metrics.phase_traffic.explore_messages,
+            &mut metrics.phase_traffic.explore_bytes,
+        );
+        metrics.machines = machine_metrics;
+        finalize(&mut metrics, cloud, started);
+        return Ok(metrics);
+    }
+
+    let plan = plan_query(cloud, query)?;
+    metrics.num_stwigs = plan.stwigs.len();
+    let canonical: Vec<QVid> = query.vertices().collect();
+    sink.begin(&canonical);
+    let mut state = StreamState {
+        sink,
+        started,
+        streamed: 0,
+        first_us: None,
+    };
+
+    // Slab schedule: `All` explores uncapped in one round; `FirstK`/`Exists`
+    // start from a slab sized for k and grow geometrically on undershoot.
+    // The user's own `max_stwig_rows` is always an upper bound — a slab
+    // capped by the *user's* limit is final, not resumable.
+    let user_cap = config.max_stwig_rows;
+    let mut slab: Option<usize> = match (config.result_mode, limit) {
+        (crate::config::ResultMode::All, _) | (_, None) => None,
+        (_, Some(k)) => Some(k.saturating_mul(4).max(FIRST_K_MIN_SLAB)),
+    };
+
+    let mut truncated = false;
+    let mut interrupt: Option<Interrupt> = None;
+    loop {
+        metrics.explore_rounds += 1;
+        let effective_cap = match (slab, user_cap) {
+            (None, u) => u,
+            (Some(s), None) => Some(s),
+            (Some(s), Some(u)) => Some(s.min(u)),
+        };
+        let can_grow = match (slab, user_cap) {
+            (None, _) => false,
+            (Some(s), Some(u)) => s < u,
+            (Some(_), None) => true,
+        };
+        let round_cfg = MatchConfig {
+            max_stwig_rows: effective_cap,
+            ..config.clone()
+        };
+        let mut round_metrics = QueryMetrics::default();
+        let produced = produce_stwig_tables(
+            cloud,
+            query,
+            &plan,
+            &round_cfg,
+            cache,
+            Some(&control),
+            &mut round_metrics,
+            &mut machine_metrics,
+        )?;
+        metrics.explore.merge(&round_metrics.explore);
+        metrics.stwig_rows = round_metrics.stwig_rows.clone();
+        metrics.phase_traffic.merge(&round_metrics.phase_traffic);
+        metrics.peak_table_bytes = metrics.peak_table_bytes.max(round_metrics.peak_table_bytes);
+
+        if let Some(i) = control.check() {
+            interrupt = Some(i);
+            break;
+        }
+
+        let Some(tables) = produced else {
+            // Some STwig matched nowhere. Under a resumable slab that only
+            // proves "no answer" if no slab could have truncated a table:
+            // per-STwig totals below the cap bound every machine's table
+            // below it too.
+            let maybe_capped = can_grow
+                && effective_cap
+                    .is_some_and(|c| round_metrics.stwig_rows.iter().any(|&r| r >= c as u64));
+            if !maybe_capped {
+                break; // provably no (further) answer
+            }
+            slab = slab.map(|s| s.saturating_mul(SLAB_GROWTH));
+            continue;
+        };
+
+        let capped = can_grow
+            && effective_cap.is_some_and(|c| {
+                tables
+                    .per_machine
+                    .iter()
+                    .flatten()
+                    .any(|t| t.num_rows() >= c)
+            });
+
+        if !capped {
+            // Final round: every row the join produces is part of the full
+            // answer — stream it live.
+            let remaining = limit.map(|l| (l as u64).saturating_sub(state.streamed) as usize);
+            let mut emit = |row: &[VertexId]| state.deliver(row);
+            let pass = stream_join_pass(
+                cloud,
+                &plan,
+                &tables,
+                config,
+                remaining,
+                &control,
+                &canonical,
+                &mut metrics,
+                &mut machine_metrics,
+                &mut emit,
+            )?;
+            truncated = limit.is_some() && !pass.exhausted && !pass.interrupted;
+            if pass.interrupted {
+                interrupt = control.check();
+            }
+            break;
+        }
+
+        // Slab round: join into staging; commit only if it satisfies k (or
+        // an interrupt forces partial delivery). Otherwise discard and
+        // re-explore with a bigger slab — rows must never be streamed twice,
+        // and a bigger slab's join output is not a superset of this one's.
+        let mut staging = ResultTable::new(canonical.clone());
+        let mut emit = |row: &[VertexId]| staging.push_row(row);
+        let pass = stream_join_pass(
+            cloud,
+            &plan,
+            &tables,
+            config,
+            limit,
+            &control,
+            &canonical,
+            &mut metrics,
+            &mut machine_metrics,
+            &mut emit,
+        )?;
+        metrics.peak_table_bytes = metrics.peak_table_bytes.max(staging.memory_bytes() as u64);
+        let satisfied = limit.is_some_and(|l| pass.rows >= l as u64);
+        if satisfied || pass.interrupted {
+            for row in staging.rows() {
+                state.deliver(row);
+            }
+            truncated = satisfied;
+            if pass.interrupted {
+                interrupt = control.check();
+            }
+            break;
+        }
+        slab = slab.map(|s| s.saturating_mul(SLAB_GROWTH));
+    }
+
+    if interrupt.is_none() {
+        interrupt = control.check();
+    }
+    metrics.outcome = match interrupt {
+        None => QueryOutcome::Complete,
+        Some(Interrupt::Cancelled) => QueryOutcome::Cancelled,
+        Some(Interrupt::DeadlineExceeded) => QueryOutcome::DeadlineExceeded,
+    };
+    metrics.truncated = truncated;
+    metrics.matches_found = state.streamed;
+    metrics.rows_streamed = state.streamed;
+    metrics.time_to_first_result_us = state.first_us;
+    metrics.machines = machine_metrics;
+    finalize(&mut metrics, cloud, started);
+    Ok(metrics)
 }
 
 /// Root candidates for `stwig` on machine `k`: locally-owned vertices with
@@ -1325,6 +1958,245 @@ mod tests {
                 "cache populate path must stay partition-local"
             );
         }
+    }
+
+    #[test]
+    fn streaming_all_mode_delivers_every_match_in_canonical_order() {
+        use crate::stream::CollectSink;
+        for machines in [1usize, 3, 4] {
+            let cloud = sample_cloud(machines);
+            let query = triangle_query(&cloud);
+            let config = MatchConfig::default();
+            let materialized = match_query_distributed(&cloud, &query, &config).unwrap();
+            let mut sink = CollectSink::new();
+            let metrics = match_query_streaming(
+                &cloud,
+                &query,
+                &config,
+                &crate::stream::QueryOptions::none(),
+                &mut sink,
+            )
+            .unwrap();
+            let table = sink.into_table().unwrap();
+            assert_eq!(
+                table.columns(),
+                query.vertices().collect::<Vec<_>>(),
+                "streamed rows use canonical column order"
+            );
+            assert_eq!(table.num_rows(), materialized.num_matches());
+            assert_eq!(
+                canonical_rows(&query, &table),
+                canonical_rows(&query, &materialized.table),
+                "machines = {machines}"
+            );
+            assert_eq!(metrics.outcome, crate::metrics::QueryOutcome::Complete);
+            assert_eq!(metrics.rows_streamed, table.num_rows() as u64);
+            assert_eq!(metrics.matches_found, table.num_rows() as u64);
+            assert!(metrics.time_to_first_result_us.is_some());
+            assert_eq!(metrics.explore_rounds, 1, "All mode explores once");
+            assert!(metrics.peak_table_bytes > 0);
+            verify_all(&cloud, &query, &table).unwrap();
+        }
+    }
+
+    #[test]
+    fn streaming_first_k_returns_exactly_k_valid_embeddings() {
+        use crate::config::ResultMode;
+        use crate::stream::CollectSink;
+        for machines in [1usize, 4] {
+            let cloud = sample_cloud(machines);
+            let query = triangle_query(&cloud);
+            let full = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+            let full_rows: std::collections::HashSet<Vec<VertexId>> =
+                canonical_rows(&query, &full.table).into_iter().collect();
+            assert_eq!(full_rows.len(), 10);
+            for k in [1usize, 3, 10, 25] {
+                let config = MatchConfig::default().with_result_mode(ResultMode::FirstK(k));
+                let mut sink = CollectSink::new();
+                let metrics = match_query_streaming(
+                    &cloud,
+                    &query,
+                    &config,
+                    &crate::stream::QueryOptions::none(),
+                    &mut sink,
+                )
+                .unwrap();
+                let table = sink.into_table().unwrap();
+                assert_eq!(
+                    table.num_rows(),
+                    k.min(10),
+                    "machines = {machines}, k = {k}"
+                );
+                assert_eq!(metrics.rows_streamed, k.min(10) as u64);
+                assert_eq!(metrics.outcome, crate::metrics::QueryOutcome::Complete);
+                let rows = canonical_rows(&query, &table);
+                let distinct: std::collections::HashSet<_> = rows.iter().cloned().collect();
+                assert_eq!(distinct.len(), rows.len(), "no duplicate embeddings");
+                for row in &rows {
+                    assert!(
+                        full_rows.contains(row),
+                        "streamed row must be a genuine embedding"
+                    );
+                }
+                verify_all(&cloud, &query, &table).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_exists_mode_answers_with_one_row_or_none() {
+        use crate::config::ResultMode;
+        let cloud = sample_cloud(3);
+        let config = MatchConfig::default().with_result_mode(ResultMode::Exists);
+        // Positive: the triangle query has matches; exactly one row streams.
+        let mut rows = 0u64;
+        let mut sink = |_row: &[VertexId]| rows += 1;
+        let metrics = match_query_streaming(
+            &cloud,
+            &triangle_query(&cloud),
+            &config,
+            &crate::stream::QueryOptions::none(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(rows, 1);
+        assert_eq!(metrics.rows_streamed, 1);
+        // Negative: d-d edges do not exist; zero rows, Complete outcome.
+        let mut qb = QueryGraph::builder();
+        let d1 = qb.vertex_by_name(&cloud, "d").unwrap();
+        let d2 = qb.vertex_by_name(&cloud, "d").unwrap();
+        qb.edge(d1, d2);
+        let none_query = qb.build().unwrap();
+        let mut rows = 0u64;
+        let mut sink = |_row: &[VertexId]| rows += 1;
+        let metrics = match_query_streaming(
+            &cloud,
+            &none_query,
+            &config,
+            &crate::stream::QueryOptions::none(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(rows, 0);
+        assert_eq!(metrics.outcome, crate::metrics::QueryOutcome::Complete);
+        assert_eq!(metrics.rows_streamed, 0);
+    }
+
+    #[test]
+    fn streaming_resumes_exploration_until_k_is_satisfied() {
+        use crate::config::ResultMode;
+        use crate::stream::CollectSink;
+        // One `a` hub fanning out to 300 b's and 300 c's: the (a, {b, c})
+        // STwig has 90_000 unconstrained rows, but only the lexicographically
+        // *last* (b, c) pair closes a triangle. The first slab (k = 1 → 256
+        // rows) provably misses it, so the executor must resume with bigger
+        // slabs and still deliver the single valid embedding.
+        let mut gb = GraphBuilder::new_undirected();
+        gb.add_vertex(v(0), "a");
+        for i in 0..300u64 {
+            gb.add_vertex(v(100 + i), "b");
+            gb.add_vertex(v(1000 + i), "c");
+            gb.add_edge(v(0), v(100 + i));
+            gb.add_edge(v(0), v(1000 + i));
+        }
+        gb.add_edge(v(399), v(1299)); // the only b-c edge: b_299 - c_299
+        let cloud = gb.build(1, CostModel::default());
+        let query = triangle_query(&cloud);
+        let full = match_query_distributed(&cloud, &query, &MatchConfig::default()).unwrap();
+        assert_eq!(full.num_matches(), 1, "exactly one triangle by design");
+        let config = MatchConfig::default().with_result_mode(ResultMode::FirstK(1));
+        let mut sink = CollectSink::new();
+        let metrics = match_query_streaming(
+            &cloud,
+            &query,
+            &config,
+            &crate::stream::QueryOptions::none(),
+            &mut sink,
+        )
+        .unwrap();
+        let table = sink.into_table().unwrap();
+        assert_eq!(table.num_rows(), 1);
+        assert_eq!(
+            canonical_rows(&query, &table),
+            canonical_rows(&query, &full.table)
+        );
+        assert!(
+            metrics.explore_rounds >= 2,
+            "the first slab must undershoot and resume (rounds = {})",
+            metrics.explore_rounds
+        );
+        assert_eq!(metrics.outcome, crate::metrics::QueryOutcome::Complete);
+    }
+
+    #[test]
+    fn streaming_honors_pre_set_cancellation_and_deadlines() {
+        use crate::metrics::QueryOutcome;
+        use crate::stream::{CancelToken, CollectSink, QueryOptions};
+        let cloud = sample_cloud(4);
+        let query = triangle_query(&cloud);
+        // Pre-cancelled token: the first cooperative check fires before any
+        // row is produced.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sink = CollectSink::new();
+        let metrics = match_query_streaming(
+            &cloud,
+            &query,
+            &MatchConfig::default(),
+            &QueryOptions::none().with_cancel(token),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(metrics.outcome, QueryOutcome::Cancelled);
+        assert_eq!(metrics.rows_streamed, 0);
+        // Already-expired deadline.
+        let mut sink = CollectSink::new();
+        let metrics = match_query_streaming(
+            &cloud,
+            &query,
+            &MatchConfig::default(),
+            &QueryOptions::none().with_deadline(std::time::Duration::ZERO),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(metrics.outcome, QueryOutcome::DeadlineExceeded);
+        assert_eq!(metrics.rows_streamed, 0);
+    }
+
+    #[test]
+    fn streaming_single_vertex_query_streams_postings() {
+        use crate::config::ResultMode;
+        let cloud = sample_cloud(3);
+        let mut qb = QueryGraph::builder();
+        qb.vertex_by_name(&cloud, "d").unwrap();
+        let query = qb.build().unwrap();
+        let mut rows: Vec<Vec<VertexId>> = Vec::new();
+        let mut sink = |row: &[VertexId]| rows.push(row.to_vec());
+        let metrics = match_query_streaming(
+            &cloud,
+            &query,
+            &MatchConfig::default(),
+            &crate::stream::QueryOptions::none(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(metrics.rows_streamed, 5);
+        assert!(!metrics.truncated);
+        // FirstK(2) on the same scan truncates the stream.
+        let config = MatchConfig::default().with_result_mode(ResultMode::FirstK(2));
+        let mut rows = 0u64;
+        let mut sink = |_row: &[VertexId]| rows += 1;
+        let metrics = match_query_streaming(
+            &cloud,
+            &query,
+            &config,
+            &crate::stream::QueryOptions::none(),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(rows, 2);
+        assert!(metrics.truncated);
     }
 
     #[test]

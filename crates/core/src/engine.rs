@@ -29,12 +29,15 @@
 //! only meaningful for serial batches (`workers == 1`).
 
 use crate::cache::{CacheConfig, StwigCache};
-use crate::config::MatchConfig;
-use crate::distributed::{match_query_distributed_with_cache, run_work_stealing};
+use crate::config::{MatchConfig, ResultMode};
+use crate::distributed::{
+    match_query_distributed_with_cache, match_query_streaming_with_cache, run_work_stealing,
+};
 use crate::error::StwigError;
 use crate::executor::MatchOutput;
-use crate::metrics::{CacheStats, EngineStats};
+use crate::metrics::{CacheStats, EngineStats, QueryMetrics, QueryOutcome};
 use crate::query::QueryGraph;
+use crate::stream::{CollectSink, QueryOptions, ResultSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use trinity_sim::MemoryCloud;
@@ -132,6 +135,8 @@ pub struct QueryEngine<'c> {
     batches_run: AtomicU64,
     /// Accumulated batch wall-clock, in integer µs.
     busy_us: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryEngine<'_> {
@@ -158,6 +163,8 @@ impl<'c> QueryEngine<'c> {
             queries_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
         }
     }
 
@@ -204,6 +211,105 @@ impl<'c> QueryEngine<'c> {
         outputs
     }
 
+    /// Runs one query in **streaming mode**: rows flow to `sink` (canonical
+    /// column order) as they are produced, under the deadline/cancellation
+    /// in `options`, honoring the engine config's
+    /// [`crate::config::ResultMode`]. Cache-aware like `run_one`; counted in
+    /// the engine stats as a batch of one, with interrupted outcomes tallied
+    /// in [`EngineStats::queries_cancelled`] /
+    /// [`EngineStats::queries_deadline_exceeded`].
+    pub fn run_streaming(
+        &self,
+        query: &QueryGraph,
+        options: &QueryOptions,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryMetrics, StwigError> {
+        self.run_streaming_with_config(query, &self.config.match_config, options, sink)
+    }
+
+    fn run_streaming_with_config(
+        &self,
+        query: &QueryGraph,
+        config: &MatchConfig,
+        options: &QueryOptions,
+        sink: &mut dyn ResultSink,
+    ) -> Result<QueryMetrics, StwigError> {
+        let started = Instant::now();
+        let result = match_query_streaming_with_cache(
+            self.cloud,
+            query,
+            config,
+            options,
+            self.cache.as_ref(),
+            sink,
+        );
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
+        self.batches_run.fetch_add(1, Ordering::Relaxed);
+        self.busy_us.fetch_add(
+            (started.elapsed().as_secs_f64() * 1e6) as u64,
+            Ordering::Relaxed,
+        );
+        if let Ok(metrics) = &result {
+            match metrics.outcome {
+                QueryOutcome::Cancelled => {
+                    self.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                QueryOutcome::DeadlineExceeded => {
+                    self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+                QueryOutcome::Complete => {}
+            }
+        }
+        result
+    }
+
+    /// Serves the first `k` valid embeddings of `query` as a materialized
+    /// table (a [`CollectSink`] over [`QueryEngine::run_streaming`] with
+    /// [`ResultMode::FirstK`]). The rows are genuine matches but not a
+    /// prefix of the full enumeration; an interrupted query returns the
+    /// rows produced before the interrupt (check `metrics.outcome`).
+    pub fn run_first_k(
+        &self,
+        query: &QueryGraph,
+        k: usize,
+        options: &QueryOptions,
+    ) -> Result<MatchOutput, StwigError> {
+        let config = self
+            .config
+            .match_config
+            .clone()
+            .with_result_mode(ResultMode::FirstK(k));
+        let mut sink = CollectSink::new();
+        let metrics = self.run_streaming_with_config(query, &config, options, &mut sink)?;
+        Ok(MatchOutput {
+            table: sink
+                .into_table()
+                .expect("streaming always announces a schema"),
+            metrics,
+        })
+    }
+
+    /// Answers whether `query` has at least one embedding
+    /// ([`ResultMode::Exists`]): the executor stops at the first valid row.
+    /// An interrupted existence check that produced no row reports `false`
+    /// with the interrupt recorded in the returned metrics — inspect
+    /// `metrics.outcome` before trusting a negative.
+    pub fn run_exists(
+        &self,
+        query: &QueryGraph,
+        options: &QueryOptions,
+    ) -> Result<(bool, QueryMetrics), StwigError> {
+        let config = self
+            .config
+            .match_config
+            .clone()
+            .with_result_mode(ResultMode::Exists);
+        let mut found = false;
+        let mut sink = |_row: &[trinity_sim::ids::VertexId]| found = true;
+        let metrics = self.run_streaming_with_config(query, &config, options, &mut sink)?;
+        Ok((found, metrics))
+    }
+
     /// Snapshot of the cache counters, when caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(StwigCache::stats)
@@ -216,6 +322,8 @@ impl<'c> QueryEngine<'c> {
         EngineStats {
             queries_executed: queries,
             batches_executed: self.batches_run.load(Ordering::Relaxed),
+            queries_cancelled: self.cancelled.load(Ordering::Relaxed),
+            queries_deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             busy_us,
             queries_per_sec: if busy_us > 0.0 {
                 queries as f64 / (busy_us / 1e6)
@@ -341,6 +449,65 @@ mod tests {
         assert_eq!(stats.batches_executed, 2);
         assert!(stats.busy_us > 0.0);
         assert!(stats.queries_per_sec > 0.0);
+    }
+
+    #[test]
+    fn engine_first_k_and_exists_serve_streamed_queries() {
+        use crate::stream::QueryOptions;
+        let cloud = sample_cloud(3);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let full = engine.run_one(&triangle_query(&cloud)).unwrap();
+        assert_eq!(full.num_matches(), 12);
+        let first = engine
+            .run_first_k(&triangle_query(&cloud), 5, &QueryOptions::none())
+            .unwrap();
+        assert_eq!(first.num_matches(), 5);
+        assert_eq!(first.metrics.rows_streamed, 5);
+        // Every first-k row is one of the full enumeration's embeddings.
+        let full_rows: std::collections::HashSet<Vec<_>> =
+            crate::verify::canonical_rows(&triangle_query(&cloud), &full.table)
+                .into_iter()
+                .collect();
+        for row in crate::verify::canonical_rows(&triangle_query(&cloud), &first.table) {
+            assert!(full_rows.contains(&row));
+        }
+        let (exists, metrics) = engine
+            .run_exists(&triangle_query(&cloud), &QueryOptions::none())
+            .unwrap();
+        assert!(exists);
+        assert_eq!(metrics.rows_streamed, 1);
+    }
+
+    #[test]
+    fn engine_streaming_outcomes_are_tallied() {
+        use crate::stream::{CancelToken, QueryOptions};
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let token = CancelToken::new();
+        token.cancel();
+        let mut rows = 0u64;
+        let mut sink = |_row: &[trinity_sim::ids::VertexId]| rows += 1;
+        let metrics = engine
+            .run_streaming(
+                &triangle_query(&cloud),
+                &QueryOptions::none().with_cancel(token),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(metrics.outcome, crate::metrics::QueryOutcome::Cancelled);
+        assert_eq!(rows, 0);
+        let mut sink = |_row: &[trinity_sim::ids::VertexId]| {};
+        engine
+            .run_streaming(
+                &triangle_query(&cloud),
+                &QueryOptions::none().with_deadline(std::time::Duration::ZERO),
+                &mut sink,
+            )
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.queries_cancelled, 1);
+        assert_eq!(stats.queries_deadline_exceeded, 1);
+        assert_eq!(stats.queries_executed, 2);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Error types for query construction and matching.
 
 use std::fmt;
+use trinity_sim::transport::TransportError;
 
 /// Errors produced while building or executing a subgraph query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +33,10 @@ pub enum StwigError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A protocol violation on the message transport (e.g. a peer answering
+    /// a request with the wrong variant). Fails the offending query only;
+    /// the serving process and every other in-flight query keep running.
+    Transport(TransportError),
     /// Internal invariant violation (a bug if ever observed).
     Internal(String),
 }
@@ -62,12 +67,19 @@ impl fmt::Display for StwigError {
             StwigError::PatternSyntax { term, message } => {
                 write!(f, "pattern syntax error in term {term}: {message}")
             }
+            StwigError::Transport(err) => write!(f, "transport protocol violation: {err}"),
             StwigError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StwigError {}
+
+impl From<TransportError> for StwigError {
+    fn from(err: TransportError) -> Self {
+        StwigError::Transport(err)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -90,6 +102,12 @@ mod tests {
         assert!(StwigError::Internal("oops".into())
             .to_string()
             .contains("oops"));
+        let transport: StwigError = TransportError::UnexpectedReply {
+            expected: "LoadReply",
+            got: "JoinRows",
+        }
+        .into();
+        assert!(transport.to_string().contains("JoinRows"));
         assert!(StwigError::PatternSyntax {
             term: 2,
             message: "bad connector".into()

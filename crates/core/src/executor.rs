@@ -55,7 +55,7 @@ pub fn match_query(
         let mut table = ResultTable::new(vec![v0]);
         for id in cloud.all_ids_with_label(query.label(v0)) {
             table.push_row(&[id]);
-            if let Some(limit) = config.max_results {
+            if let Some(limit) = config.result_limit() {
                 if table.num_rows() >= limit {
                     metrics.truncated = true;
                     break;
@@ -96,6 +96,7 @@ pub fn match_query(
             &roots,
             &bindings,
             config,
+            None,
             &mut explore,
         );
         metrics.stwig_rows.push(table.num_rows() as u64);
@@ -118,7 +119,7 @@ pub fn match_query(
     let mut join_counters = JoinCounters::default();
     let mut table = pipelined_join(&tables, config, &mut join_counters);
     metrics.join = join_counters;
-    if let Some(limit) = config.max_results {
+    if let Some(limit) = config.result_limit() {
         if table.num_rows() >= limit {
             metrics.truncated = true;
         }

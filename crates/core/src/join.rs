@@ -12,10 +12,18 @@
 use crate::hash::{FxHashMap, InlineKey, INLINE_KEY_COLUMNS};
 use crate::metrics::JoinCounters;
 use crate::query::QVid;
+use crate::stream::QueryControl;
 use crate::table::ResultTable;
 use std::collections::hash_map::Entry;
 use std::hash::Hash;
 use trinity_sim::ids::VertexId;
+
+/// Output rows between cooperative deadline/cancel checks inside one probe
+/// pass: a single block can fan out into millions of rows, so the join must
+/// observe interrupts without waiting for the round boundary. The check is
+/// an atomic load; with no control in play the cost is one predictable
+/// branch.
+const CONTROL_CHECK_JOIN_ROWS: u64 = 256;
 
 /// Sentinel terminating a row chain in [`ChainedIndex`].
 const NO_ROW: u32 = u32::MAX;
@@ -174,6 +182,20 @@ impl<'a> PreparedJoin<'a> {
         limit: Option<usize>,
         counters: &mut JoinCounters,
     ) -> ResultTable {
+        self.join_with_control(left, limit, None, counters)
+    }
+
+    /// [`PreparedJoin::join`] with a cooperative interrupt check every
+    /// [`CONTROL_CHECK_JOIN_ROWS`] output rows: an interrupted probe stops
+    /// early and returns the (valid) rows produced so far. With
+    /// `control = None` the output is identical to `join`.
+    pub fn join_with_control(
+        &self,
+        left: &ResultTable,
+        limit: Option<usize>,
+        control: Option<&QueryControl>,
+        counters: &mut JoinCounters,
+    ) -> ResultTable {
         debug_assert!(
             self.shared
                 .iter()
@@ -189,13 +211,22 @@ impl<'a> PreparedJoin<'a> {
                     self.right,
                     &self.right_extra,
                     limit,
+                    control,
                     counters,
                     &mut out,
                 );
             }
             BuildIndex::Single(index) => {
                 let lc = self.shared[0].0;
-                self.probe_into(left, index, |row| row[lc].0, limit, counters, &mut out);
+                self.probe_into(
+                    left,
+                    index,
+                    |row| row[lc].0,
+                    limit,
+                    control,
+                    counters,
+                    &mut out,
+                );
             }
             BuildIndex::Inline(index) => {
                 let left_cols: Vec<usize> = self.shared.iter().map(|&(lc, _)| lc).collect();
@@ -204,6 +235,7 @@ impl<'a> PreparedJoin<'a> {
                     index,
                     |row| InlineKey::from_row(row, &left_cols),
                     limit,
+                    control,
                     counters,
                     &mut out,
                 );
@@ -215,6 +247,7 @@ impl<'a> PreparedJoin<'a> {
                     index,
                     |row| left_cols.iter().map(|&c| row[c]).collect::<Vec<VertexId>>(),
                     limit,
+                    control,
                     counters,
                     &mut out,
                 );
@@ -225,12 +258,14 @@ impl<'a> PreparedJoin<'a> {
 
     /// The keyed probe core, generic over the key type so each shared-column
     /// arity monomorphizes to its own allocation-free loop.
+    #[allow(clippy::too_many_arguments)]
     fn probe_into<K, LK>(
         &self,
         left: &ResultTable,
         index: &ChainedIndex<K>,
         left_key: LK,
         limit: Option<usize>,
+        control: Option<&QueryControl>,
         counters: &mut JoinCounters,
         out: &mut ResultTable,
     ) where
@@ -248,6 +283,13 @@ impl<'a> PreparedJoin<'a> {
                 if ResultTable::row_has_duplicates(&row_buf) {
                     counters.rows_pruned_injective += 1;
                     continue;
+                }
+                if counters
+                    .intermediate_rows
+                    .is_multiple_of(CONTROL_CHECK_JOIN_ROWS)
+                    && control.is_some_and(QueryControl::interrupted)
+                {
+                    break 'outer;
                 }
                 out.push_row(&row_buf);
                 counters.intermediate_rows += 1;
@@ -297,13 +339,14 @@ pub fn hash_join(
     PreparedJoin::new(left.columns(), right).join(left, limit, counters)
 }
 
-/// Cartesian product (no shared column), with the same injectivity filter and
-/// limit handling as the keyed paths.
+/// Cartesian product (no shared column), with the same injectivity filter,
+/// limit handling and interrupt checks as the keyed paths.
 fn cross_join_into(
     left: &ResultTable,
     right: &ResultTable,
     right_extra: &[usize],
     limit: Option<usize>,
+    control: Option<&QueryControl>,
     counters: &mut JoinCounters,
     out: &mut ResultTable,
 ) {
@@ -316,6 +359,13 @@ fn cross_join_into(
             if ResultTable::row_has_duplicates(&row_buf) {
                 counters.rows_pruned_injective += 1;
                 continue;
+            }
+            if counters
+                .intermediate_rows
+                .is_multiple_of(CONTROL_CHECK_JOIN_ROWS)
+                && control.is_some_and(QueryControl::interrupted)
+            {
+                break 'outer;
             }
             out.push_row(&row_buf);
             counters.intermediate_rows += 1;
@@ -393,9 +443,16 @@ where
     // every query, so a full build per candidate pair would cost more than
     // the joins it orders). Sampled counts are scaled back up by the
     // sampling fraction.
+    //
+    // Strides are computed with a *ceiling* division so the sampled rows
+    // span the whole table: a floored `n / sample` stride with a
+    // sampled-count stop reads only the first `sample` rows whenever
+    // `n < 2 * sample` — a pure prefix, which is systematically biased
+    // because exploration tables are lexicographically sorted (low-id
+    // vertices first, and on power-law graphs id correlates with degree).
     let rn = right.num_rows();
     let build_cap = sample_size.max(1).saturating_mul(8).max(512);
-    let rstep = (rn / build_cap).max(1);
+    let rstep = rn.div_ceil(build_cap).max(1);
     let mut key_counts: FxHashMap<K, u64> =
         FxHashMap::with_capacity_and_hasher(rn.min(build_cap) + 1, Default::default());
     let mut rsampled = 0u64;
@@ -411,12 +468,13 @@ where
     let rscale = rn as f64 / rsampled as f64;
     let n = left.num_rows();
     let sample = sample_size.max(1).min(n);
-    // Deterministic stratified sample: every (n / sample)-th row.
-    let step = (n / sample).max(1);
+    // Deterministic stratified sample: every ceil(n / sample)-th row, first
+    // to last — at most `sample` rows by construction, no prefix clustering.
+    let step = n.div_ceil(sample).max(1);
     let mut total_matches = 0u64;
     let mut sampled = 0u64;
     let mut i = 0usize;
-    while i < n && sampled < sample as u64 {
+    while i < n {
         let key = left_key(left.row(i));
         total_matches += key_counts.get(&key).copied().unwrap_or(0);
         sampled += 1;
@@ -685,6 +743,72 @@ mod tests {
         let mut c = JoinCounters::default();
         let exact = hash_join(&a, &b, None, &mut c).num_rows();
         assert!((est - exact as f64).abs() < 1.0, "est={est}, exact={exact}");
+    }
+
+    #[test]
+    fn estimate_sample_spans_the_whole_table() {
+        // Regression for the floored-stride prefix bias: with `sample = 8`
+        // and `n = 15` (i.e. `sample <= n < 2 * sample`), the old
+        // `step = n / sample = 1` with a `sampled < sample` stop read rows
+        // 0..8 only. Here the first 8 left rows match nothing and all the
+        // join fanout hides in the tail — exactly the layout sorted
+        // exploration tables produce — so the old estimate was 0.0 while
+        // the true join yields 7 rows. The ceil stride (step = 2, rows
+        // 0,2,..,14) must see the tail.
+        let sample = 8usize;
+        let left_rows: Vec<Vec<u64>> = (0..15u64)
+            .map(|i| {
+                if i < 8 {
+                    vec![i, 500 + i]
+                } else {
+                    vec![100, 500 + i]
+                }
+            })
+            .collect();
+        let left = {
+            let refs: Vec<&[u64]> = left_rows.iter().map(|r| r.as_slice()).collect();
+            table(&[0, 1], &refs)
+        };
+        let right = table(&[0, 2], &[&[100, 900]]);
+        let est = estimate_join_size(&left, &right, sample);
+        assert!(est > 0.0, "tail matches must be sampled, got {est}");
+        let mut c = JoinCounters::default();
+        let exact = hash_join(&left, &right, None, &mut c).num_rows() as f64;
+        // The stratified estimate cannot be exact, but it must be the right
+        // order of magnitude instead of a systematic zero.
+        assert!(
+            est >= exact / 4.0 && est <= exact * 4.0,
+            "est = {est}, exact = {exact}"
+        );
+    }
+
+    #[test]
+    fn estimate_right_side_stride_spans_the_build_table() {
+        // The right side had the same flooring: for `rn` up to
+        // `2 * build_cap - 1` the floored stride stayed 1 and the "sample"
+        // silently built counts for *every* row (up to 2x the cap). The
+        // ceil stride keeps the build sample within its cap — and this
+        // pins that striding still spans the table: keys that appear only
+        // in the build tail must contribute to the estimate.
+        let sample = 1usize; // build_cap = 512
+        let build_cap = 512usize;
+        let rn = build_cap + build_cap / 2;
+        let right_rows: Vec<Vec<u64>> = (0..rn as u64)
+            .map(|i| {
+                if (i as usize) < build_cap {
+                    vec![i + 10_000, 900] // keys matching nothing
+                } else {
+                    vec![7, 900 + i] // the joinable key, tail only
+                }
+            })
+            .collect();
+        let right = {
+            let refs: Vec<&[u64]> = right_rows.iter().map(|r| r.as_slice()).collect();
+            table(&[0, 2], &refs)
+        };
+        let left = table(&[0, 1], &[&[7, 1]]);
+        let est = estimate_join_size(&left, &right, sample);
+        assert!(est > 0.0, "build-side tail keys must be sampled, got {est}");
     }
 
     #[test]

@@ -71,43 +71,48 @@ pub mod metrics;
 pub mod pattern;
 pub mod pipeline;
 pub mod query;
+pub mod stream;
 pub mod stwig;
 pub mod table;
 pub mod verify;
 
 pub use cache::{CacheConfig, CacheLookup, StwigCache};
-pub use config::{MatchConfig, TransportMode};
+pub use config::{MatchConfig, ResultMode, TransportMode};
 pub use distributed::{
-    join_stwig_tables, match_query_distributed, match_query_distributed_with_cache, plan_query,
-    produce_stwig_tables, QueryPlan, StwigTableSet,
+    join_stwig_tables, match_query_distributed, match_query_distributed_with_cache,
+    match_query_streaming, match_query_streaming_with_cache, plan_query, produce_stwig_tables,
+    QueryPlan, StwigTableSet,
 };
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
 pub use executor::{match_query, MatchOutput};
-pub use metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics};
+pub use metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics, QueryOutcome};
 pub use pattern::parse_pattern;
 pub use query::{QVid, QueryGraph, QueryGraphBuilder};
+pub use stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
 pub use stwig::STwig;
 pub use table::ResultTable;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cache::{CacheConfig, StwigCache, StwigShape};
-    pub use crate::config::{MatchConfig, TransportMode};
+    pub use crate::config::{MatchConfig, ResultMode, TransportMode};
     pub use crate::decompose::{
         decompose_ordered, decompose_random, LabelStatistics, UniformStats,
     };
     pub use crate::distributed::{
-        join_stwig_tables, match_query_distributed, match_query_distributed_with_cache, plan_query,
-        produce_stwig_tables, QueryPlan, StwigTableSet,
+        join_stwig_tables, match_query_distributed, match_query_distributed_with_cache,
+        match_query_streaming, match_query_streaming_with_cache, plan_query, produce_stwig_tables,
+        QueryPlan, StwigTableSet,
     };
     pub use crate::engine::{EngineConfig, QueryEngine};
     pub use crate::error::StwigError;
     pub use crate::executor::{match_query, MatchOutput};
     pub use crate::head::{load_set, select_head, HeadSelection};
-    pub use crate::metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics};
+    pub use crate::metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics, QueryOutcome};
     pub use crate::pattern::parse_pattern;
     pub use crate::query::{QVid, QueryGraph, QueryGraphBuilder};
+    pub use crate::stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
     pub use crate::stwig::STwig;
     pub use crate::table::ResultTable;
     pub use crate::verify::{canonical_rows, is_valid_embedding, verify_all};

@@ -16,9 +16,11 @@
 
 use crate::bindings::Bindings;
 use crate::config::MatchConfig;
+use crate::error::StwigError;
 use crate::hash::FxHashMap;
 use crate::metrics::ExploreCounters;
 use crate::query::QueryGraph;
+use crate::stream::QueryControl;
 use crate::stwig::STwig;
 use crate::table::ResultTable;
 use trinity_sim::ids::{LabelId, MachineId, VertexId};
@@ -49,6 +51,7 @@ pub fn match_stwig(
     roots: &[VertexId],
     bindings: &Bindings,
     config: &MatchConfig,
+    control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
 ) -> ResultTable {
     explore_roots(
@@ -57,6 +60,7 @@ pub fn match_stwig(
         roots,
         bindings,
         config,
+        control,
         counters,
         |n| cloud.load(machine, n),
         |m, label| cloud.has_label(machine, m, label),
@@ -79,6 +83,14 @@ pub fn match_stwig(
 /// The emitted table — and every [`ExploreCounters`] field — is
 /// bit-identical to the `DirectRead` path; only the recorded network traffic
 /// differs (actual envelopes instead of per-access estimates).
+///
+/// A transport protocol violation (a peer answering `LoadRequest` with the
+/// wrong variant) fails this exploration with [`StwigError::Transport`] —
+/// the malformed peer degrades one query, never the process. A pending
+/// `control` interrupt is honored at every superstep flush: outstanding
+/// envelopes are skipped and the emission pass runs against whatever labels
+/// already arrived (missing labels only suppress rows, so every emitted row
+/// stays a valid partial match).
 #[allow(clippy::too_many_arguments)]
 pub fn match_stwig_batched(
     cloud: &MemoryCloud,
@@ -89,8 +101,9 @@ pub fn match_stwig_batched(
     roots: &[VertexId],
     bindings: &Bindings,
     config: &MatchConfig,
+    control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
-) -> ResultTable {
+) -> Result<ResultTable, StwigError> {
     // ---- Superstep 1: frontier collection (local-only reads) ----
     // Visit every root that could emit rows and gather the neighbor ids
     // whose labels live on other machines, deduplicated as they stream in
@@ -102,7 +115,12 @@ pub fn match_stwig_batched(
     // may never reach (extra prefetch traffic only; rows stay identical).
     let root_label = query.label(stwig.root);
     let mut frontier: crate::hash::VertexSet = crate::hash::VertexSet::default();
-    for &n in roots {
+    for (root_idx, &n) in roots.iter().enumerate() {
+        if root_idx % CONTROL_CHECK_ROOTS == 0 && control.is_some_and(QueryControl::interrupted) {
+            // Ship only what was collected; the emission pass (and the
+            // caller) observe the same interrupt.
+            break;
+        }
         if config.use_bindings && !bindings.admits(stwig.root, n) {
             continue;
         }
@@ -131,23 +149,38 @@ pub fn match_stwig_batched(
     for id in frontier {
         per_owner[cloud.machine_of(id).index()].push(id);
     }
-    for (owner, mut ids) in per_owner.into_iter().enumerate() {
+    'flush: for (owner, mut ids) in per_owner.into_iter().enumerate() {
         if ids.is_empty() {
             continue;
         }
         ids.sort_unstable();
         let owner = MachineId(owner as u16);
         for chunk in ids.chunks(config.transport_batch_ids.max(1)) {
-            let reply = transport.exchange(
-                machine,
-                owner,
-                Message::LoadRequest {
-                    ids: chunk.to_vec(),
-                    with_neighbors: false,
-                },
-            );
-            let Message::LoadReply { cells } = reply else {
-                unreachable!("LoadRequest must be answered with LoadReply");
+            // Cooperative check at every superstep flush: a cancelled or
+            // deadline-expired query stops issuing envelopes immediately.
+            if control.is_some_and(QueryControl::interrupted) {
+                break 'flush;
+            }
+            let reply = transport
+                .exchange(
+                    machine,
+                    owner,
+                    Message::LoadRequest {
+                        ids: chunk.to_vec(),
+                        with_neighbors: false,
+                    },
+                )
+                .map_err(StwigError::Transport)?;
+            let cells = match reply {
+                Message::LoadReply { cells } => cells,
+                other => {
+                    return Err(StwigError::Transport(
+                        trinity_sim::transport::TransportError::UnexpectedReply {
+                            expected: "LoadReply",
+                            got: other.kind(),
+                        },
+                    ))
+                }
             };
             for cell in cells {
                 remote_labels.insert(cell.id, cell.label);
@@ -156,12 +189,13 @@ pub fn match_stwig_batched(
     }
 
     // ---- Superstep 3: emission, entirely partition-local ----
-    explore_roots(
+    Ok(explore_roots(
         query,
         stwig,
         roots,
         bindings,
         config,
+        control,
         counters,
         |n| cloud.load_local(machine, n),
         |m, label| {
@@ -171,8 +205,19 @@ pub fn match_stwig_batched(
                 remote_labels.get(&m) == Some(&label)
             }
         },
-    )
+    ))
 }
+
+/// How many roots are processed between cooperative `control` checks: small
+/// enough to stay responsive, large enough that the clock read disappears
+/// next to the per-root cell load.
+const CONTROL_CHECK_ROOTS: usize = 32;
+
+/// How many emitted rows between cooperative `control` checks *inside* the
+/// cross-product emission — one hub root can emit millions of rows, so the
+/// root-granularity check alone would let a single root blow through a
+/// deadline.
+const CONTROL_CHECK_ROWS: u64 = 256;
 
 /// The shared emission core of [`match_stwig`] / [`match_stwig_batched`]:
 /// the root loop, child-candidate construction and injective cross-product
@@ -187,6 +232,7 @@ fn explore_roots<'a>(
     roots: &[VertexId],
     bindings: &Bindings,
     config: &MatchConfig,
+    control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
     load: impl Fn(VertexId) -> Option<Cell<'a>>,
     has_label: impl Fn(VertexId, LabelId) -> bool,
@@ -202,11 +248,16 @@ fn explore_roots<'a>(
     let mut row_buf: Vec<VertexId> = Vec::with_capacity(1 + stwig.children.len());
     let mut child_candidates: Vec<Vec<VertexId>> = vec![Vec::new(); stwig.children.len()];
 
-    'roots: for &n in roots {
+    'roots: for (root_idx, &n) in roots.iter().enumerate() {
         if let Some(limit) = config.max_stwig_rows {
             if table.num_rows() >= limit {
                 break;
             }
+        }
+        if root_idx % CONTROL_CHECK_ROOTS == 0 && control.is_some_and(QueryControl::interrupted) {
+            // Stop exploring; every row already emitted is a valid partial
+            // match, and the caller aborts the query at its next check.
+            break;
         }
         counters.roots_scanned += 1;
         // The root itself must be admitted by its own binding (when the
@@ -256,6 +307,7 @@ fn explore_roots<'a>(
             &mut row_buf,
             &mut table,
             config.max_stwig_rows,
+            control,
             counters,
         );
     }
@@ -264,32 +316,54 @@ fn explore_roots<'a>(
 
 /// Recursively enumerates the cross product of child candidate lists,
 /// skipping assignments that reuse a data vertex already in the row.
+/// Returns `false` when emission must stop entirely — the row cap was
+/// reached, or an interrupt was observed (a hub root mid-emission must not
+/// outlive the deadline; rows already emitted remain valid partial matches).
+#[allow(clippy::too_many_arguments)]
 fn emit_rows(
     child_candidates: &[Vec<VertexId>],
     depth: usize,
     row: &mut Vec<VertexId>,
     table: &mut ResultTable,
     limit: Option<usize>,
+    control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
-) {
+) -> bool {
     if let Some(l) = limit {
         if table.num_rows() >= l {
-            return;
+            return false;
         }
     }
     if depth == child_candidates.len() {
+        if counters.rows_emitted.is_multiple_of(CONTROL_CHECK_ROWS)
+            && control.is_some_and(QueryControl::interrupted)
+        {
+            return false;
+        }
         table.push_row(row);
         counters.rows_emitted += 1;
-        return;
+        return true;
     }
     for &cand in &child_candidates[depth] {
         if row.contains(&cand) {
             continue;
         }
         row.push(cand);
-        emit_rows(child_candidates, depth + 1, row, table, limit, counters);
+        let keep_going = emit_rows(
+            child_candidates,
+            depth + 1,
+            row,
+            table,
+            limit,
+            control,
+            counters,
+        );
         row.pop();
+        if !keep_going {
+            return false;
+        }
     }
+    true
 }
 
 #[cfg(test)]
@@ -361,6 +435,7 @@ mod tests {
             &roots,
             &bindings,
             &MatchConfig::default(),
+            None,
             &mut counters,
         );
         // a1 pairs: (b1|b4) x (c1) = 2; a2: (b1|b2) x (c1|c2|c3) = 6;
@@ -390,6 +465,7 @@ mod tests {
             &roots,
             &bindings,
             &MatchConfig::default(),
+            None,
             &mut counters,
         );
         // a1 with b1: c1 → 1; a2 with b1: c1,c2,c3 → 3; a3 has no b1 → 0.
@@ -415,6 +491,7 @@ mod tests {
             &roots,
             &bindings,
             &cfg,
+            None,
             &mut counters,
         );
         assert_eq!(table.num_rows(), 10);
@@ -440,6 +517,7 @@ mod tests {
             &roots,
             &bindings,
             &cfg,
+            None,
             &mut counters,
         );
         assert_eq!(table.num_rows(), 3);
@@ -462,6 +540,7 @@ mod tests {
             &roots,
             &bindings,
             &MatchConfig::default(),
+            None,
             &mut counters,
         );
         assert!(table.is_empty());
@@ -486,6 +565,7 @@ mod tests {
                 &roots,
                 &bindings,
                 &MatchConfig::default(),
+                None,
                 &mut counters,
             );
             total_rows += t.num_rows();
@@ -518,6 +598,7 @@ mod tests {
                         &roots,
                         &bindings,
                         &cfg,
+                        None,
                         &mut direct_counters,
                     );
                     cloud.reset_traffic();
@@ -531,8 +612,10 @@ mod tests {
                         &roots,
                         &bindings,
                         &cfg,
+                        None,
                         &mut batched_counters,
-                    );
+                    )
+                    .unwrap();
                     assert_eq!(direct, batched, "machine {k}, batch {batch}");
                     assert_eq!(direct_counters, batched_counters);
                     assert_eq!(
@@ -571,8 +654,10 @@ mod tests {
                     &roots,
                     &bindings,
                     &cfg,
+                    None,
                     &mut counters,
-                );
+                )
+                .unwrap();
             }
             messages.push(cloud.traffic().total_messages());
         }
@@ -582,6 +667,64 @@ mod tests {
             messages[0],
             messages[1]
         );
+    }
+
+    #[test]
+    fn malformed_peer_reply_degrades_the_query_not_the_process() {
+        use trinity_sim::transport::TransportError;
+        // A peer that answers every request with the wrong variant: the
+        // batched matcher must surface a typed `StwigError::Transport`
+        // instead of panicking the worker.
+        struct LyingTransport;
+        impl Transport for LyingTransport {
+            fn exchange(
+                &self,
+                _src: MachineId,
+                _dst: MachineId,
+                _msg: Message,
+            ) -> Result<Message, TransportError> {
+                Ok(Message::GetIdsReply { ids: vec![] })
+            }
+            fn post(&self, _src: MachineId, _dst: MachineId, _msg: Message) {}
+            fn drain(&self, _dst: MachineId) -> Vec<(MachineId, Message)> {
+                Vec::new()
+            }
+        }
+        let cloud = fig5_like_cloud(4);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let bindings = Bindings::new(query.num_vertices());
+        // Find a machine whose frontier actually crosses partitions so an
+        // exchange happens.
+        let mut saw_error = false;
+        for k in cloud.machines() {
+            let roots = cloud.get_ids(k, query.label(a)).to_vec();
+            let mut counters = ExploreCounters::default();
+            match match_stwig_batched(
+                &cloud,
+                &LyingTransport,
+                k,
+                &query,
+                &stwig,
+                &roots,
+                &bindings,
+                &MatchConfig::default(),
+                None,
+                &mut counters,
+            ) {
+                Err(crate::error::StwigError::Transport(TransportError::UnexpectedReply {
+                    expected,
+                    got,
+                })) => {
+                    assert_eq!(expected, "LoadReply");
+                    assert_eq!(got, "GetIdsReply");
+                    saw_error = true;
+                }
+                Err(other) => panic!("unexpected error kind: {other}"),
+                Ok(_) => {} // machine had no remote frontier
+            }
+        }
+        assert!(saw_error, "some machine must need a remote exchange");
     }
 
     #[test]
@@ -611,6 +754,7 @@ mod tests {
             &[v(1)],
             &bindings,
             &MatchConfig::default(),
+            None,
             &mut counters,
         );
         assert!(table.is_empty());

@@ -8,6 +8,30 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How a query execution ended.
+///
+/// `Complete` covers both exhaustive enumeration and a satisfied
+/// `FirstK`/`Exists` request; the interrupted outcomes mean the query
+/// stopped at a cooperative check — rows streamed before the interrupt are
+/// valid embeddings and remain delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryOutcome {
+    /// The query ran to its natural end (all results, or the requested k).
+    #[default]
+    Complete,
+    /// The query's [`crate::stream::CancelToken`] fired mid-execution.
+    Cancelled,
+    /// The query's deadline expired mid-execution.
+    DeadlineExceeded,
+}
+
+impl QueryOutcome {
+    /// Whether the query was stopped by a deadline or cancellation.
+    pub fn is_interrupted(&self) -> bool {
+        !matches!(self, QueryOutcome::Complete)
+    }
+}
+
 /// Counters collected while exploring (matching STwigs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExploreCounters {
@@ -100,6 +124,10 @@ pub struct EngineStats {
     pub queries_executed: u64,
     /// Batches completed.
     pub batches_executed: u64,
+    /// Streamed queries that ended [`QueryOutcome::Cancelled`].
+    pub queries_cancelled: u64,
+    /// Streamed queries that ended [`QueryOutcome::DeadlineExceeded`].
+    pub queries_deadline_exceeded: u64,
     /// Wall-clock time spent inside `run_batch`, in µs (batches are timed
     /// end to end, so concurrent per-query work is not double-counted).
     pub busy_us: f64,
@@ -189,6 +217,23 @@ pub struct QueryMetrics {
     pub matches_found: u64,
     /// Whether the result limit truncated the output.
     pub truncated: bool,
+    /// How the execution ended (complete / cancelled / deadline exceeded).
+    pub outcome: QueryOutcome,
+    /// Rows delivered through the streaming sink (0 for the materialized
+    /// entry points, which return a table instead of streaming).
+    pub rows_streamed: u64,
+    /// Wall-clock from admission to the first row reaching the sink, in µs.
+    /// `None` when no row was ever streamed.
+    pub time_to_first_result_us: Option<f64>,
+    /// Exploration passes the streaming executor ran: 1 for `All` and for
+    /// first-k requests satisfied by the initial slab, +1 per resume (each
+    /// resume grows the slab geometrically — 8x). 0 for the materialized
+    /// entry points, which do not slab.
+    pub explore_rounds: u64,
+    /// High-water mark of resident intermediate-table bytes (per-machine
+    /// STwig tables during exploration; assembled load-set tables plus the
+    /// join output during the join). The number first-k serving bounds.
+    pub peak_table_bytes: u64,
     /// Measured wall-clock time of the whole query, in µs.
     pub wall_us: f64,
     /// Simulated time (makespan over machines of compute + communication), in µs.
@@ -260,6 +305,17 @@ mod tests {
         assert_eq!(a.total_bytes(), 120);
         assert_eq!(a.explore_bytes, 20);
         assert_eq!(a.join_ship_messages, 6);
+    }
+
+    #[test]
+    fn outcome_defaults_to_complete() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.outcome, QueryOutcome::Complete);
+        assert!(!m.outcome.is_interrupted());
+        assert!(QueryOutcome::Cancelled.is_interrupted());
+        assert!(QueryOutcome::DeadlineExceeded.is_interrupted());
+        assert_eq!(m.rows_streamed, 0);
+        assert_eq!(m.time_to_first_result_us, None);
     }
 
     #[test]

@@ -12,7 +12,32 @@ use crate::config::MatchConfig;
 use crate::join::{select_join_order, PreparedJoin};
 use crate::metrics::JoinCounters;
 use crate::query::QVid;
+use crate::stream::QueryControl;
 use crate::table::ResultTable;
+
+/// Receives the pipeline's output incrementally: the schema once, then each
+/// round's surviving rows as the round completes. This is what lets the
+/// streaming executor deliver first-k rows while later rounds (or later
+/// machines) are still pending.
+pub(crate) trait RoundSink {
+    /// The column order of every subsequent `on_rows` table.
+    fn on_schema(&mut self, columns: &[QVid]);
+    /// One round's surviving rows (already limit-capped).
+    fn on_rows(&mut self, rows: &ResultTable);
+}
+
+/// Report of one (possibly streamed) pipelined join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JoinRun {
+    /// Rows handed to the sink.
+    pub rows_emitted: usize,
+    /// Whether the driver table was fully consumed with no limit cut — i.e.
+    /// the emitted rows are *all* the embeddings these tables contain.
+    /// Conservative: a limit reached on the final block reports `false`.
+    pub exhausted: bool,
+    /// Whether a cooperative deadline/cancel check stopped the join.
+    pub interrupted: bool,
+}
 
 /// Joins the STwig result tables into final embeddings using the block-based
 /// pipeline strategy.
@@ -27,12 +52,56 @@ use crate::table::ResultTable;
 ///   join output, as §4.2 intends — the rest tables are never copied or
 ///   re-indexed.
 /// * Each round appends the surviving rows to the output, stopping as soon
-///   as `config.max_results` rows have been produced.
+///   as the configured result limit (`MatchConfig::result_limit`) has been
+///   produced. The limit is checked *before* a round starts, so a satisfied
+///   limit costs neither a phantom `pipeline_rounds` increment nor a wasted
+///   driver-block copy.
 pub fn pipelined_join(
     tables: &[ResultTable],
     config: &MatchConfig,
     counters: &mut JoinCounters,
 ) -> ResultTable {
+    struct Collect {
+        output: Option<ResultTable>,
+    }
+    impl RoundSink for Collect {
+        fn on_schema(&mut self, columns: &[QVid]) {
+            self.output = Some(ResultTable::new(columns.to_vec()));
+        }
+        fn on_rows(&mut self, rows: &ResultTable) {
+            // Column orders are identical by construction; append_projected
+            // re-projects defensively if they ever diverge.
+            self.output
+                .as_mut()
+                .expect("schema precedes rows")
+                .append_projected(rows);
+        }
+    }
+    let mut collect = Collect { output: None };
+    pipelined_join_streaming(
+        tables,
+        config,
+        config.result_limit(),
+        None,
+        counters,
+        &mut collect,
+    );
+    collect.output.expect("join always announces a schema")
+}
+
+/// The streaming core behind [`pipelined_join`]: identical join semantics,
+/// but rows flow to `sink` round by round, the row budget is an explicit
+/// `limit` (the caller's *remaining* first-k budget rather than the config's
+/// own), and an optional [`QueryControl`] is checked at every round boundary
+/// so a deadline or cancellation stops the join between blocks.
+pub(crate) fn pipelined_join_streaming(
+    tables: &[ResultTable],
+    config: &MatchConfig,
+    limit: Option<usize>,
+    control: Option<&QueryControl>,
+    counters: &mut JoinCounters,
+    sink: &mut dyn RoundSink,
+) -> JoinRun {
     assert!(!tables.is_empty(), "cannot join zero tables");
     let order: Vec<usize> = if config.optimize_join_order {
         select_join_order(tables, config.join_sample_size)
@@ -41,12 +110,23 @@ pub fn pipelined_join(
     };
 
     if tables.len() == 1 {
-        let mut out = tables[0].clone();
+        // Single-table fast path: copy at most `limit` rows — cloning a
+        // 1M-row table to then truncate it to one row would allocate the
+        // whole buffer for nothing.
+        sink.on_schema(tables[0].columns());
         counters.pipeline_rounds += 1;
-        if let Some(limit) = config.max_results {
-            out.truncate(limit);
-        }
-        return out;
+        let out = match limit {
+            Some(l) if l < tables[0].num_rows() => tables[0].take_block(0, l),
+            _ => tables[0].clone(),
+        };
+        let rows_emitted = out.num_rows();
+        let exhausted = limit.is_none_or(|l| tables[0].num_rows() <= l);
+        sink.on_rows(&out);
+        return JoinRun {
+            rows_emitted,
+            exhausted,
+            interrupted: false,
+        };
     }
 
     let driver = &tables[order[0]];
@@ -63,25 +143,32 @@ pub fn pipelined_join(
         schema = join.output_columns(&schema);
         prepared.push(join);
     }
-    let mut output = ResultTable::new(schema);
+    sink.on_schema(&schema);
 
     let block_rows = config.block_rows.max(1);
     let mut start = 0usize;
+    let mut emitted = 0usize;
+    let mut interrupted = false;
     while start < driver.num_rows() {
+        // Both stop conditions come *before* the round is counted and the
+        // driver block copied.
+        let remaining_limit = limit.map(|l| l.saturating_sub(emitted));
+        if remaining_limit == Some(0) {
+            break;
+        }
+        if control.is_some_and(QueryControl::interrupted) {
+            interrupted = true;
+            break;
+        }
         counters.pipeline_rounds += 1;
         let block = driver.take_block(start, block_rows);
         start += block_rows;
 
-        let remaining_limit = config
-            .max_results
-            .map(|limit| limit.saturating_sub(output.num_rows()));
-        if remaining_limit == Some(0) {
-            break;
-        }
-
         // Probe the prepared rest-table indexes with this block (in order).
         // A limit is only safe on the last join: earlier truncation could
-        // drop rows that would survive the remaining joins.
+        // drop rows that would survive the remaining joins. The control
+        // handle reaches into each probe pass so even one fat block cannot
+        // blow through a deadline.
         let mut acc = block;
         for (i, join) in prepared.iter().enumerate() {
             let step_limit = if i + 1 == prepared.len() {
@@ -89,24 +176,25 @@ pub fn pipelined_join(
             } else {
                 None
             };
-            acc = join.join(&acc, step_limit, counters);
+            acc = join.join_with_control(&acc, step_limit, control, counters);
             if acc.is_empty() {
                 break;
             }
         }
         if !acc.is_empty() {
-            // Column orders are identical by construction; append_projected
-            // re-projects defensively if they ever diverge.
-            output.append_projected(&acc);
-        }
-        if let Some(limit) = config.max_results {
-            if output.num_rows() >= limit {
-                output.truncate(limit);
-                break;
+            if let Some(l) = remaining_limit {
+                // Defensive: the last join's step limit already caps this.
+                acc.truncate(l);
             }
+            emitted += acc.num_rows();
+            sink.on_rows(&acc);
         }
     }
-    output
+    JoinRun {
+        rows_emitted: emitted,
+        exhausted: start >= driver.num_rows() && !interrupted && limit.is_none_or(|l| emitted < l),
+        interrupted,
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +331,136 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn satisfied_limit_costs_no_phantom_round() {
+        // Regression: the block loop used to count a round (and copy a
+        // driver block) *before* noticing the limit was already satisfied.
+        // With the check hoisted, a zero budget runs zero rounds, and a
+        // limit satisfied mid-driver never adds a round that produces
+        // nothing.
+        let tables = chain_tables(100);
+        let cfg = MatchConfig {
+            block_rows: 10,
+            max_results: Some(0),
+            ..MatchConfig::default()
+        };
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&tables, &cfg, &mut c);
+        assert!(out.is_empty());
+        assert_eq!(c.pipeline_rounds, 0, "zero budget must run zero rounds");
+
+        // Limit an exact multiple of the per-round yield: the round that
+        // fills the budget is the last one counted.
+        let cfg = MatchConfig {
+            block_rows: 10,
+            max_results: Some(20),
+            ..MatchConfig::default()
+        };
+        let mut c = JoinCounters::default();
+        let out = pipelined_join(&tables, &cfg, &mut c);
+        assert_eq!(out.num_rows(), 20);
+        assert_eq!(c.pipeline_rounds, 2, "no phantom third round");
+    }
+
+    #[test]
+    fn streaming_join_reports_rows_and_exhaustion() {
+        let tables = chain_tables(50);
+        let cfg = MatchConfig {
+            block_rows: 10,
+            ..MatchConfig::default()
+        };
+        struct Count {
+            rows: usize,
+            rounds_seen: usize,
+        }
+        impl RoundSink for Count {
+            fn on_schema(&mut self, columns: &[QVid]) {
+                assert_eq!(columns.len(), 3);
+            }
+            fn on_rows(&mut self, rows: &ResultTable) {
+                self.rows += rows.num_rows();
+                self.rounds_seen += 1;
+            }
+        }
+        // Unlimited: everything flows through, driver exhausted.
+        let mut sink = Count {
+            rows: 0,
+            rounds_seen: 0,
+        };
+        let mut c = JoinCounters::default();
+        let run = pipelined_join_streaming(&tables, &cfg, None, None, &mut c, &mut sink);
+        assert_eq!(run.rows_emitted, 50);
+        assert_eq!(sink.rows, 50);
+        assert_eq!(sink.rounds_seen, 5);
+        assert!(run.exhausted);
+        assert!(!run.interrupted);
+
+        // Limited: stops early, reports non-exhaustion.
+        let mut sink = Count {
+            rows: 0,
+            rounds_seen: 0,
+        };
+        let mut c = JoinCounters::default();
+        let run = pipelined_join_streaming(&tables, &cfg, Some(25), None, &mut c, &mut sink);
+        assert_eq!(run.rows_emitted, 25);
+        assert!(!run.exhausted);
+        assert_eq!(c.pipeline_rounds, 3);
+
+        // Single-table path streams the limited copy.
+        let single = vec![tables[0].clone()];
+        struct CountAny {
+            rows: usize,
+        }
+        impl RoundSink for CountAny {
+            fn on_schema(&mut self, _c: &[QVid]) {}
+            fn on_rows(&mut self, rows: &ResultTable) {
+                self.rows += rows.num_rows();
+            }
+        }
+        let mut any = CountAny { rows: 0 };
+        let mut c = JoinCounters::default();
+        let run = pipelined_join_streaming(&single, &cfg, Some(3), None, &mut c, &mut any);
+        assert_eq!(run.rows_emitted, 3);
+        assert_eq!(any.rows, 3);
+        assert!(!run.exhausted);
+    }
+
+    #[test]
+    fn streaming_join_stops_at_an_interrupt() {
+        use crate::stream::{CancelToken, QueryOptions};
+        use std::time::Instant;
+        let tables = chain_tables(100);
+        let cfg = MatchConfig {
+            block_rows: 10,
+            ..MatchConfig::default()
+        };
+        let token = CancelToken::new();
+        let control = QueryControl::new(
+            &QueryOptions::none().with_cancel(token.clone()),
+            Instant::now(),
+        );
+        struct CancelAfter {
+            rows: usize,
+            token: CancelToken,
+        }
+        impl RoundSink for CancelAfter {
+            fn on_schema(&mut self, _c: &[QVid]) {}
+            fn on_rows(&mut self, rows: &ResultTable) {
+                self.rows += rows.num_rows();
+                // Cancel after the first round lands: the next round
+                // boundary must observe it.
+                self.token.cancel();
+            }
+        }
+        let mut sink = CancelAfter { rows: 0, token };
+        let mut c = JoinCounters::default();
+        let run = pipelined_join_streaming(&tables, &cfg, None, Some(&control), &mut c, &mut sink);
+        assert!(run.interrupted);
+        assert!(!run.exhausted);
+        assert_eq!(run.rows_emitted, 10, "exactly the pre-cancel round");
+        assert_eq!(c.pipeline_rounds, 1);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Streaming result delivery and per-query control (deadlines,
+//! cancellation).
+//!
+//! A serving system cannot let one hub-heavy query hold a worker and its
+//! memory hostage: every query carries [`QueryOptions`] — an optional
+//! deadline and an optional [`CancelToken`] — and the streaming executor
+//! checks them cooperatively at every superstep flush and join round. Rows
+//! are delivered through a [`ResultSink`] *as they are produced* instead of
+//! a materialized table, so a first-k client sees its first embedding long
+//! before exhaustive enumeration would finish, and an interrupted query
+//! still hands over the valid rows it produced (partial delivery + a
+//! [`crate::metrics::QueryOutcome`] describing why it stopped).
+
+use crate::query::QVid;
+use crate::table::ResultTable;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation flag: clone it, hand one copy to the query and
+/// keep the other; [`CancelToken::cancel`] makes every in-flight check on
+/// any clone observe the cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Per-query serving options, orthogonal to the algorithmic knobs in
+/// [`crate::config::MatchConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    /// Wall-clock budget measured from query admission. When it expires the
+    /// query stops at the next cooperative check and reports
+    /// [`crate::metrics::QueryOutcome::DeadlineExceeded`]; rows already
+    /// streamed remain delivered.
+    pub deadline: Option<Duration>,
+    /// External cancellation; see [`CancelToken`]. Reported as
+    /// [`crate::metrics::QueryOutcome::Cancelled`].
+    pub cancel: Option<CancelToken>,
+}
+
+impl QueryOptions {
+    /// Options with neither deadline nor cancellation.
+    pub fn none() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Sets the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancel token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Why a cooperative check asked the query to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The [`CancelToken`] fired.
+    Cancelled,
+    /// The deadline expired.
+    DeadlineExceeded,
+}
+
+/// The resolved, checkable form of [`QueryOptions`]: the deadline pinned to
+/// an absolute [`Instant`] at query admission. Checks are cheap (one atomic
+/// load, plus one clock read while a deadline is armed) and latch: once a
+/// check observes an interrupt, every later check reports the same one, so
+/// all layers of the executor agree on the outcome.
+#[derive(Debug)]
+pub struct QueryControl {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// Latched interrupt (0 = none, 1 = cancelled, 2 = deadline), so the
+    /// deadline race (cancel and expiry in the same superstep) resolves to
+    /// whichever check fired first.
+    latched: std::sync::atomic::AtomicU8,
+}
+
+impl QueryControl {
+    /// Resolves `options` against the query's admission time.
+    pub fn new(options: &QueryOptions, admitted: Instant) -> Self {
+        QueryControl {
+            deadline: options.deadline.map(|d| admitted + d),
+            cancel: options.cancel.clone(),
+            latched: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
+    /// The cooperative check: returns the interrupt to honor, if any.
+    pub fn check(&self) -> Option<Interrupt> {
+        match self.latched.load(Ordering::Acquire) {
+            1 => return Some(Interrupt::Cancelled),
+            2 => return Some(Interrupt::DeadlineExceeded),
+            _ => {}
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                let _ = self
+                    .latched
+                    .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+                return self.check();
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let _ = self
+                    .latched
+                    .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire);
+                return self.check();
+            }
+        }
+        None
+    }
+
+    /// Whether an interrupt is pending (convenience for loop guards).
+    pub fn interrupted(&self) -> bool {
+        self.check().is_some()
+    }
+}
+
+/// Receives streamed embedding rows.
+///
+/// [`ResultSink::begin`] is called exactly once before the first row with
+/// the column order every subsequent row uses — for streamed queries that is
+/// the *canonical* order (query vertices ascending), independent of which
+/// machine produced a row or which join order it chose. `begin` is called
+/// even when the query ends up producing no rows.
+pub trait ResultSink {
+    /// Announces the column order of all subsequent rows.
+    fn begin(&mut self, columns: &[QVid]) {
+        let _ = columns;
+    }
+
+    /// Delivers one valid embedding.
+    fn row(&mut self, row: &[trinity_sim::ids::VertexId]);
+}
+
+/// Every `FnMut(&[VertexId])` closure is a sink (column order implied).
+impl<F: FnMut(&[trinity_sim::ids::VertexId])> ResultSink for F {
+    fn row(&mut self, row: &[trinity_sim::ids::VertexId]) {
+        self(row)
+    }
+}
+
+/// A sink that materializes the stream into a [`ResultTable`] (canonical
+/// column order) — the bridge from streaming delivery back to the
+/// table-shaped API.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    table: Option<ResultTable>,
+}
+
+impl CollectSink {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        CollectSink::default()
+    }
+
+    /// The collected table; empty-with-no-columns only if the query never
+    /// started streaming (errored before `begin`).
+    pub fn into_table(self) -> Option<ResultTable> {
+        self.table
+    }
+
+    /// Rows collected so far.
+    pub fn num_rows(&self) -> usize {
+        self.table.as_ref().map_or(0, ResultTable::num_rows)
+    }
+}
+
+impl ResultSink for CollectSink {
+    fn begin(&mut self, columns: &[QVid]) {
+        self.table = Some(ResultTable::new(columns.to_vec()));
+    }
+
+    fn row(&mut self, row: &[trinity_sim::ids::VertexId]) {
+        self.table
+            .as_mut()
+            .expect("begin precedes rows")
+            .push_row(row);
+    }
+}
+
+/// A sink that forwards each row to an [`std::sync::mpsc`] channel — the
+/// natural adapter when a consumer thread renders results while the query
+/// is still running. Send failures (receiver dropped) are ignored; pair the
+/// sink with a [`CancelToken`] to actually stop the query when the consumer
+/// goes away.
+#[derive(Debug)]
+pub struct ChannelSink {
+    sender: std::sync::mpsc::Sender<Vec<trinity_sim::ids::VertexId>>,
+}
+
+impl ChannelSink {
+    /// Wraps a channel sender.
+    pub fn new(sender: std::sync::mpsc::Sender<Vec<trinity_sim::ids::VertexId>>) -> Self {
+        ChannelSink { sender }
+    }
+}
+
+impl ResultSink for ChannelSink {
+    fn row(&mut self, row: &[trinity_sim::ids::VertexId]) {
+        let _ = self.sender.send(row.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QVid;
+    use trinity_sim::ids::VertexId;
+
+    #[test]
+    fn cancel_token_propagates_to_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn control_latches_first_interrupt() {
+        let token = CancelToken::new();
+        let options = QueryOptions::none()
+            .with_cancel(token.clone())
+            .with_deadline(Duration::ZERO);
+        // Deadline already expired at admission; the first check latches it
+        // even if cancellation arrives later.
+        let control = QueryControl::new(&options, Instant::now() - Duration::from_secs(1));
+        assert_eq!(control.check(), Some(Interrupt::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(control.check(), Some(Interrupt::DeadlineExceeded));
+        assert!(control.interrupted());
+    }
+
+    #[test]
+    fn control_without_options_never_interrupts() {
+        let control = QueryControl::new(&QueryOptions::none(), Instant::now());
+        assert_eq!(control.check(), None);
+        assert!(!control.interrupted());
+    }
+
+    #[test]
+    fn cancellation_is_observed_by_check() {
+        let token = CancelToken::new();
+        let control = QueryControl::new(
+            &QueryOptions::none().with_cancel(token.clone()),
+            Instant::now(),
+        );
+        assert_eq!(control.check(), None);
+        token.cancel();
+        assert_eq!(control.check(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn collect_sink_materializes_rows_in_order() {
+        let mut sink = CollectSink::new();
+        sink.begin(&[QVid(0), QVid(1)]);
+        sink.row(&[VertexId(1), VertexId(2)]);
+        sink.row(&[VertexId(3), VertexId(4)]);
+        assert_eq!(sink.num_rows(), 2);
+        let table = sink.into_table().unwrap();
+        assert_eq!(table.row(1), &[VertexId(3), VertexId(4)]);
+    }
+
+    #[test]
+    fn channel_sink_forwards_and_survives_dropped_receiver() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut sink = ChannelSink::new(tx);
+        sink.row(&[VertexId(7)]);
+        assert_eq!(rx.recv().unwrap(), vec![VertexId(7)]);
+        drop(rx);
+        sink.row(&[VertexId(8)]); // must not panic
+    }
+
+    #[test]
+    fn closure_sinks_count_rows() {
+        let mut n = 0usize;
+        {
+            let mut sink = |_row: &[VertexId]| n += 1;
+            let sink: &mut dyn ResultSink = &mut sink;
+            sink.begin(&[QVid(0)]);
+            sink.row(&[VertexId(1)]);
+            sink.row(&[VertexId(2)]);
+        }
+        assert_eq!(n, 2);
+    }
+}

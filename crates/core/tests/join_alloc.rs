@@ -113,6 +113,29 @@ fn pipelined_join_memory_is_bounded_by_the_block() {
 }
 
 #[test]
+fn single_table_pipeline_with_limit_copies_at_most_limit_rows() {
+    // Regression: the single-table path used to clone the entire driver and
+    // then truncate, so a 1M-row table under `FirstK(1)` allocated the full
+    // 16 MB buffer for one surviving row. It must now copy at most `limit`
+    // rows.
+    const ROWS: u64 = 1_000_000;
+    let mut table = ResultTable::new(vec![QVid(0), QVid(1)]);
+    for i in 0..ROWS {
+        table.push_row(&[VertexId(i), VertexId(ROWS + i)]);
+    }
+    let tables = vec![table];
+    let cfg = MatchConfig::default().with_result_mode(stwig::config::ResultMode::FirstK(1));
+    let mut counters = JoinCounters::default();
+    let (bytes, out) = allocated_bytes_during(|| pipelined_join(&tables, &cfg, &mut counters));
+    assert_eq!(out.num_rows(), 1);
+    assert!(
+        bytes < 64 << 10,
+        "single-table FirstK(1) allocated {bytes} bytes — the driver is being \
+         cloned wholesale before truncation"
+    );
+}
+
+#[test]
 fn wide_key_fallback_demonstrates_the_counter_works() {
     // Five shared columns exceed the inline-key width and fall back to
     // heap-allocated `Vec` keys — at least one allocation per build and per

@@ -71,7 +71,7 @@ pub mod prelude {
     pub use crate::network::{CostModel, Network, TrafficSnapshot};
     pub use crate::partition::{Cell, CellBuf, Partition};
     pub use crate::stats::{graph_stats, GraphStats};
-    pub use crate::transport::{ChannelTransport, Message, Transport};
+    pub use crate::transport::{ChannelTransport, Message, Transport, TransportError};
 }
 
 pub use builder::GraphBuilder;
@@ -79,4 +79,4 @@ pub use cloud::MemoryCloud;
 pub use error::TrinityError;
 pub use ids::{LabelId, MachineId, VertexId};
 pub use network::CostModel;
-pub use transport::{ChannelTransport, Message, Transport};
+pub use transport::{ChannelTransport, Message, Transport, TransportError};

@@ -35,7 +35,66 @@ use crate::cloud::MemoryCloud;
 use crate::ids::{LabelId, MachineId, VertexId};
 use crate::partition::CellBuf;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Mutex;
+
+/// A protocol violation observed on the transport.
+///
+/// A real cluster must expect malformed peers: a machine answering a request
+/// with the wrong variant, or posting a message a phase cannot consume, must
+/// degrade *that query* — never crash the serving process. Every violation
+/// is therefore a typed error the executor surfaces as a per-query failure
+/// (`stwig::StwigError::Transport`), not a `panic!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// [`Transport::exchange`] was called with a message that is not a
+    /// request (nothing to reply to).
+    NotARequest {
+        /// Variant name of the offending message.
+        got: &'static str,
+    },
+    /// A request was answered with an unexpected reply variant.
+    UnexpectedReply {
+        /// Variant name the caller expected.
+        expected: &'static str,
+        /// Variant name that actually arrived.
+        got: &'static str,
+    },
+    /// A mailbox drain surfaced a variant the current phase cannot consume.
+    UnexpectedMessage {
+        /// The phase doing the drain (e.g. `"binding sync"`).
+        phase: &'static str,
+        /// Variant name that was found in the mailbox.
+        got: &'static str,
+    },
+    /// A message's payload is internally inconsistent (e.g. shipped join
+    /// rows whose length is not a multiple of the column count).
+    MalformedPayload {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NotARequest { got } => {
+                write!(f, "exchange called with non-request message {got}")
+            }
+            TransportError::UnexpectedReply { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
+            TransportError::UnexpectedMessage { phase, got } => {
+                write!(f, "unexpected {got} message during {phase}")
+            }
+            TransportError::MalformedPayload { detail } => {
+                write!(f, "malformed message payload: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// Size, in bytes, charged for one vertex id on the wire.
 const ID_BYTES: u64 = 8;
@@ -124,6 +183,18 @@ impl Message {
             Message::LoadRequest { .. } | Message::GetIdsRequest { .. }
         )
     }
+
+    /// The variant name, for protocol-violation diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::LoadRequest { .. } => "LoadRequest",
+            Message::LoadReply { .. } => "LoadReply",
+            Message::GetIdsRequest { .. } => "GetIdsRequest",
+            Message::GetIdsReply { .. } => "GetIdsReply",
+            Message::BindingDelta { .. } => "BindingDelta",
+            Message::JoinRows { .. } => "JoinRows",
+        }
+    }
 }
 
 /// The carrier moving [`Message`]s between logical machines.
@@ -134,8 +205,14 @@ impl Message {
 pub trait Transport: Send + Sync {
     /// Sends a request from `src` to `dst` and returns the destination
     /// machine's reply (one request/reply round-trip; both envelopes are
-    /// charged). Panics if `msg` is not a request.
-    fn exchange(&self, src: MachineId, dst: MachineId, msg: Message) -> Message;
+    /// charged). Calling it with a non-request message is a protocol
+    /// violation reported as [`TransportError::NotARequest`].
+    fn exchange(
+        &self,
+        src: MachineId,
+        dst: MachineId,
+        msg: Message,
+    ) -> Result<Message, TransportError>;
 
     /// Posts a one-way message from `src` into `dst`'s mailbox (charged as
     /// one envelope).
@@ -181,13 +258,13 @@ impl<'c> ChannelTransport<'c> {
     }
 
     /// Serves a request against machine `dst`'s own partition.
-    fn handle(&self, dst: MachineId, msg: &Message) -> Message {
+    fn handle(&self, dst: MachineId, msg: &Message) -> Result<Message, TransportError> {
         let partition = self.cloud.partition(dst);
         match msg {
             Message::LoadRequest {
                 ids,
                 with_neighbors,
-            } => Message::LoadReply {
+            } => Ok(Message::LoadReply {
                 cells: ids
                     .iter()
                     .filter_map(|&id| partition.load(id))
@@ -203,11 +280,11 @@ impl<'c> ChannelTransport<'c> {
                         }
                     })
                     .collect(),
-            },
-            Message::GetIdsRequest { label } => Message::GetIdsReply {
+            }),
+            Message::GetIdsRequest { label } => Ok(Message::GetIdsReply {
                 ids: partition.vertices_with_label(*label).to_vec(),
-            },
-            other => panic!("ChannelTransport: {other:?} is not a request"),
+            }),
+            other => Err(TransportError::NotARequest { got: other.kind() }),
         }
     }
 
@@ -217,12 +294,20 @@ impl<'c> ChannelTransport<'c> {
 }
 
 impl Transport for ChannelTransport<'_> {
-    fn exchange(&self, src: MachineId, dst: MachineId, msg: Message) -> Message {
-        debug_assert!(msg.is_request(), "exchange called with a non-request");
+    fn exchange(
+        &self,
+        src: MachineId,
+        dst: MachineId,
+        msg: Message,
+    ) -> Result<Message, TransportError> {
+        if !msg.is_request() {
+            // A non-request has no reply; refuse before charging the wire.
+            return Err(TransportError::NotARequest { got: msg.kind() });
+        }
         self.record(src, dst, &msg);
-        let reply = self.handle(dst, &msg);
+        let reply = self.handle(dst, &msg)?;
         self.record(dst, src, &reply);
-        reply
+        Ok(reply)
     }
 
     fn post(&self, src: MachineId, dst: MachineId, msg: Message) {
@@ -282,14 +367,16 @@ mod tests {
         let owner = cloud.machine_of(v(2));
         let src = cloud.machines().find(|&m| m != owner).unwrap();
         cloud.reset_traffic();
-        let reply = transport.exchange(
-            src,
-            owner,
-            Message::LoadRequest {
-                ids: vec![v(2), v(999)],
-                with_neighbors: true,
-            },
-        );
+        let reply = transport
+            .exchange(
+                src,
+                owner,
+                Message::LoadRequest {
+                    ids: vec![v(2), v(999)],
+                    with_neighbors: true,
+                },
+            )
+            .unwrap();
         let Message::LoadReply { cells } = reply else {
             panic!("expected LoadReply");
         };
@@ -312,8 +399,60 @@ mod tests {
         let label = cloud.labels().get("d").unwrap();
         let owner = cloud.machine_of(v(3));
         let src = cloud.machines().find(|&m| m != owner).unwrap();
-        let reply = transport.exchange(src, owner, Message::GetIdsRequest { label });
+        let reply = transport
+            .exchange(src, owner, Message::GetIdsRequest { label })
+            .unwrap();
         assert_eq!(reply, Message::GetIdsReply { ids: vec![v(3)] });
+    }
+
+    #[test]
+    fn non_request_exchange_is_a_typed_error_not_a_panic() {
+        let cloud = small_cloud(2);
+        let transport = ChannelTransport::new(&cloud);
+        cloud.reset_traffic();
+        let err = transport
+            .exchange(
+                MachineId(0),
+                MachineId(1),
+                Message::BindingDelta { cols: vec![] },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::NotARequest {
+                got: "BindingDelta"
+            }
+        );
+        assert!(err.to_string().contains("BindingDelta"));
+        // The refused envelope was never charged to the wire.
+        assert_eq!(cloud.traffic().total_messages(), 0);
+        let err = transport
+            .exchange(
+                MachineId(0),
+                MachineId(1),
+                Message::LoadReply { cells: vec![] },
+            )
+            .unwrap_err();
+        assert_eq!(err, TransportError::NotARequest { got: "LoadReply" });
+    }
+
+    #[test]
+    fn transport_error_displays_are_informative() {
+        let e = TransportError::UnexpectedReply {
+            expected: "LoadReply",
+            got: "GetIdsReply",
+        };
+        assert!(e.to_string().contains("LoadReply"));
+        assert!(e.to_string().contains("GetIdsReply"));
+        let e = TransportError::UnexpectedMessage {
+            phase: "binding sync",
+            got: "JoinRows",
+        };
+        assert!(e.to_string().contains("binding sync"));
+        let e = TransportError::MalformedPayload {
+            detail: "rows not a multiple of columns".into(),
+        };
+        assert!(e.to_string().contains("multiple"));
     }
 
     #[test]
@@ -378,14 +517,16 @@ mod tests {
         let transport = ChannelTransport::new(&cloud);
         let owner = cloud.machine_of(v(2));
         let src = cloud.machines().find(|&m| m != owner).unwrap();
-        let reply = transport.exchange(
-            src,
-            owner,
-            Message::LoadRequest {
-                ids: vec![v(2)],
-                with_neighbors: false,
-            },
-        );
+        let reply = transport
+            .exchange(
+                src,
+                owner,
+                Message::LoadRequest {
+                    ids: vec![v(2)],
+                    with_neighbors: false,
+                },
+            )
+            .unwrap();
         let Message::LoadReply { cells } = &reply else {
             panic!("expected LoadReply");
         };
@@ -395,14 +536,16 @@ mod tests {
             "projected cells must not ship adjacency"
         );
         // The projection is what the wire is charged for.
-        let full = transport.exchange(
-            src,
-            owner,
-            Message::LoadRequest {
-                ids: vec![v(2)],
-                with_neighbors: true,
-            },
-        );
+        let full = transport
+            .exchange(
+                src,
+                owner,
+                Message::LoadRequest {
+                    ids: vec![v(2)],
+                    with_neighbors: true,
+                },
+            )
+            .unwrap();
         assert!(full.wire_bytes() > reply.wire_bytes());
     }
 
@@ -450,14 +593,16 @@ mod tests {
                     for _ in 0..32 {
                         for i in 0..4u64 {
                             let owner = cloud.machine_of(v(i));
-                            let reply = transport.exchange(
-                                caller,
-                                owner,
-                                Message::LoadRequest {
-                                    ids: vec![v(i)],
-                                    with_neighbors: true,
-                                },
-                            );
+                            let reply = transport
+                                .exchange(
+                                    caller,
+                                    owner,
+                                    Message::LoadRequest {
+                                        ids: vec![v(i)],
+                                        with_neighbors: true,
+                                    },
+                                )
+                                .unwrap();
                             let Message::LoadReply { cells } = reply else {
                                 panic!("expected LoadReply");
                             };

@@ -1,0 +1,266 @@
+//! Integration suite for the streaming first-k serving mode: `FirstK(k)`
+//! must deliver exactly k valid embeddings (each verified against the full
+//! enumeration), `Exists` must answer zero-match queries, and deadlines /
+//! cancellation must stop a query cooperatively with partial delivery —
+//! across **both** transport modes (`DirectRead` and `Messages`).
+
+use graph_gen::prelude::*;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+use stwig::prelude::*;
+use trinity_sim::ids::VertexId;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+const MACHINES: [usize; 2] = [1, 4];
+const MODES: [TransportMode; 2] = [TransportMode::DirectRead, TransportMode::Messages];
+
+fn test_cloud(machines: usize) -> MemoryCloud {
+    synthetic_experiment_graph(1_500, 6.0, 5e-2, 0xBEEF).build_cloud(machines, CostModel::default())
+}
+
+/// DFS-induced queries (guaranteed ≥ 1 match) plus random queries.
+fn workload(cloud: &MemoryCloud) -> Vec<QueryGraph> {
+    let mut queries = query_batch(cloud, 3, 5, None, 0xA0);
+    queries.extend(query_batch(cloud, 3, 5, Some(7), 0xB0));
+    assert!(queries.len() >= 4, "workload generation degenerated");
+    queries
+}
+
+#[test]
+fn first_k_streams_exactly_k_valid_embeddings_in_both_modes() {
+    for machines in MACHINES {
+        let cloud = test_cloud(machines);
+        for (qi, query) in workload(&cloud).iter().enumerate() {
+            let full = match_query_distributed(&cloud, query, &MatchConfig::default()).unwrap();
+            let full_rows: HashSet<Vec<VertexId>> =
+                canonical_rows(query, &full.table).into_iter().collect();
+            let total = full_rows.len();
+            for mode in MODES {
+                for k in [1usize, 4, 64] {
+                    let ctx =
+                        format!("machines = {machines}, query = {qi}, mode = {mode:?}, k = {k}");
+                    let config = MatchConfig::default()
+                        .with_transport_mode(mode)
+                        .with_result_mode(ResultMode::FirstK(k));
+                    let mut sink = CollectSink::new();
+                    let metrics = match_query_streaming(
+                        &cloud,
+                        query,
+                        &config,
+                        &QueryOptions::none(),
+                        &mut sink,
+                    )
+                    .unwrap();
+                    let table = sink.into_table().unwrap();
+                    assert_eq!(metrics.outcome, QueryOutcome::Complete, "{ctx}");
+                    assert_eq!(
+                        table.num_rows(),
+                        k.min(total),
+                        "FirstK must deliver exactly min(k, total) rows ({ctx}, total = {total})"
+                    );
+                    assert_eq!(metrics.rows_streamed, table.num_rows() as u64, "{ctx}");
+                    let rows = canonical_rows(query, &table);
+                    let distinct: HashSet<_> = rows.iter().cloned().collect();
+                    assert_eq!(distinct.len(), rows.len(), "duplicate embedding ({ctx})");
+                    for row in &rows {
+                        assert!(
+                            full_rows.contains(row),
+                            "streamed row is not in the full enumeration ({ctx})"
+                        );
+                    }
+                    verify_all(&cloud, query, &table).unwrap();
+                    if mode == TransportMode::Messages {
+                        assert_eq!(
+                            cloud.direct_remote_reads(),
+                            0,
+                            "streaming must stay partition-local ({ctx})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exists_mode_handles_zero_match_queries_in_both_modes() {
+    for machines in MACHINES {
+        let cloud = test_cloud(machines);
+        // A 3-clique over the rarest label is (virtually) guaranteed absent;
+        // verify against the exhaustive executor rather than assuming.
+        let queries = workload(&cloud);
+        for mode in MODES {
+            for (qi, query) in queries.iter().enumerate() {
+                let total = match_query_distributed(&cloud, query, &MatchConfig::default())
+                    .unwrap()
+                    .num_matches();
+                let config = MatchConfig::default()
+                    .with_transport_mode(mode)
+                    .with_result_mode(ResultMode::Exists);
+                let mut rows = 0u64;
+                let mut sink = |_row: &[VertexId]| rows += 1;
+                let metrics =
+                    match_query_streaming(&cloud, query, &config, &QueryOptions::none(), &mut sink)
+                        .unwrap();
+                let ctx = format!("machines = {machines}, mode = {mode:?}, query = {qi}");
+                assert_eq!(metrics.outcome, QueryOutcome::Complete, "{ctx}");
+                assert_eq!(
+                    rows > 0,
+                    total > 0,
+                    "existence answer disagrees with enumeration ({ctx}, total = {total})"
+                );
+                assert!(rows <= 1, "Exists must stop at the first row ({ctx})");
+            }
+        }
+    }
+}
+
+#[test]
+fn pre_cancelled_query_stops_before_exploring_in_both_modes() {
+    for mode in MODES {
+        let cloud = test_cloud(4);
+        let query = &workload(&cloud)[0];
+        let token = CancelToken::new();
+        token.cancel();
+        let config = MatchConfig::default().with_transport_mode(mode);
+        let mut sink = CollectSink::new();
+        let metrics = match_query_streaming(
+            &cloud,
+            query,
+            &config,
+            &QueryOptions::none().with_cancel(token),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(metrics.outcome, QueryOutcome::Cancelled, "mode = {mode:?}");
+        assert_eq!(metrics.rows_streamed, 0, "mode = {mode:?}");
+    }
+}
+
+#[test]
+fn cancel_mid_stream_delivers_only_valid_pre_cancel_rows() {
+    // The sink itself cancels after the first row — exercising the
+    // cooperative checks *between* join rounds and machines while the query
+    // is mid-flight. Every row delivered before the interrupt must be a
+    // genuine embedding.
+    for mode in MODES {
+        let cloud = test_cloud(4);
+        for (qi, query) in workload(&cloud).iter().enumerate() {
+            let full = match_query_distributed(&cloud, query, &MatchConfig::default()).unwrap();
+            if full.num_matches() < 2 {
+                continue; // nothing to cancel mid-stream
+            }
+            let full_rows: HashSet<Vec<VertexId>> =
+                canonical_rows(query, &full.table).into_iter().collect();
+            let token = CancelToken::new();
+            let sink_token = token.clone();
+            let mut collected: Vec<Vec<VertexId>> = Vec::new();
+            {
+                let mut sink = |row: &[VertexId]| {
+                    collected.push(row.to_vec());
+                    sink_token.cancel();
+                };
+                let config = MatchConfig::default().with_transport_mode(mode);
+                let metrics = match_query_streaming(
+                    &cloud,
+                    query,
+                    &config,
+                    &QueryOptions::none().with_cancel(token),
+                    &mut sink,
+                )
+                .unwrap();
+                let ctx = format!("mode = {mode:?}, query = {qi}");
+                assert_eq!(metrics.outcome, QueryOutcome::Cancelled, "{ctx}");
+                assert!(metrics.rows_streamed >= 1, "{ctx}");
+                assert!(
+                    metrics.rows_streamed < full.num_matches() as u64,
+                    "cancellation must cut the stream short ({ctx})"
+                );
+            }
+            let columns: Vec<QVid> = query.vertices().collect();
+            let mut table = ResultTable::new(columns);
+            for row in &collected {
+                table.push_row(row);
+            }
+            for row in canonical_rows(query, &table) {
+                assert!(full_rows.contains(&row), "pre-cancel row must be valid");
+            }
+        }
+    }
+}
+
+#[test]
+fn deadline_exceeded_query_returns_promptly_with_partial_rows() {
+    for mode in MODES {
+        // A heavier workload so the deadline realistically lands mid-query:
+        // exhaustive enumeration over a denser graph.
+        let cloud = synthetic_experiment_graph(6_000, 12.0, 1e-2, 0x5EED)
+            .build_cloud(4, CostModel::default());
+        let queries = query_batch(&cloud, 4, 5, None, 0xC0);
+        let deadline = Duration::from_millis(10);
+        for (qi, query) in queries.iter().enumerate() {
+            let config = MatchConfig::default().with_transport_mode(mode);
+            let mut rows = 0u64;
+            let started = Instant::now();
+            let mut sink = |_row: &[VertexId]| rows += 1;
+            let metrics = match_query_streaming(
+                &cloud,
+                query,
+                &config,
+                &QueryOptions::none().with_deadline(deadline),
+                &mut sink,
+            )
+            .unwrap();
+            let elapsed = started.elapsed();
+            let ctx = format!("mode = {mode:?}, query = {qi}");
+            // Generous CI bound; the strict 2x-deadline acceptance check
+            // lives in bench_latency where the environment is controlled.
+            assert!(
+                elapsed < deadline * 20 + Duration::from_millis(500),
+                "query overran its deadline by too much ({ctx}, elapsed = {elapsed:?})"
+            );
+            if metrics.outcome == QueryOutcome::DeadlineExceeded {
+                // Partial delivery: whatever was streamed stays delivered
+                // and is counted.
+                assert_eq!(metrics.rows_streamed, rows, "{ctx}");
+            } else {
+                // Fast queries may legitimately finish inside the deadline.
+                assert_eq!(metrics.outcome, QueryOutcome::Complete, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn first_k_is_consistent_across_threads_and_cache() {
+    // The k delivered rows may legitimately differ between configurations
+    // (first-k is not a canonical prefix), but every configuration must
+    // deliver exactly k valid rows.
+    let cloud = test_cloud(4);
+    let query = &workload(&cloud)[0];
+    let full = match_query_distributed(&cloud, query, &MatchConfig::default()).unwrap();
+    let full_rows: HashSet<Vec<VertexId>> =
+        canonical_rows(query, &full.table).into_iter().collect();
+    let k = 4usize.min(full_rows.len());
+    assert!(k > 0, "workload query must have matches");
+    for threads in [1usize, 4] {
+        for cache_on in [false, true] {
+            let engine = QueryEngine::new(
+                &cloud,
+                EngineConfig::default()
+                    .with_cache(cache_on.then(CacheConfig::default))
+                    .with_match_config(MatchConfig::default().with_num_threads(Some(threads))),
+            );
+            // Twice, so the cache-on pass exercises a warm cache.
+            for pass in 0..2 {
+                let out = engine.run_first_k(query, k, &QueryOptions::none()).unwrap();
+                let ctx = format!("threads = {threads}, cache = {cache_on}, pass = {pass}");
+                assert_eq!(out.num_matches(), k, "{ctx}");
+                for row in canonical_rows(query, &out.table) {
+                    assert!(full_rows.contains(&row), "{ctx}");
+                }
+            }
+        }
+    }
+}
