@@ -73,9 +73,8 @@ impl Default for TransportMode {
 /// "First-k early stop").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ResultMode {
-    /// Enumerate every match (subject to the legacy `max_results` tail
-    /// truncation). This is the default and keeps every execution path
-    /// bit-identical to the non-streaming executor.
+    /// Enumerate every match. This is the default and keeps every execution
+    /// path bit-identical to the non-streaming executor.
     #[default]
     All,
     /// Stop after `k` valid embeddings; exploration is bounded to slabs
@@ -89,13 +88,13 @@ pub enum ResultMode {
 /// Configuration of a subgraph-matching run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatchConfig {
-    /// Stop after this many matches have been produced (the paper's pipeline
-    /// join terminates after 1024 matches). `None` enumerates all matches.
-    pub max_results: Option<usize>,
     /// What to produce: everything, the first k valid embeddings, or a bare
     /// existence check (see [`ResultMode`]). `All` reproduces the legacy
     /// behavior exactly; `FirstK`/`Exists` additionally let the streaming
-    /// executor bound exploration.
+    /// executor bound exploration. This is the **only** result-limit knob —
+    /// the historical `max_results` cap is expressed as
+    /// `ResultMode::FirstK(n)` — and [`MatchConfig::result_limit`] is its
+    /// single interpreter.
     pub result_mode: ResultMode,
     /// Number of rows of the driver table joined per pipeline round
     /// (derived from available memory in the paper; a fixed row budget here).
@@ -134,7 +133,6 @@ pub struct MatchConfig {
 impl Default for MatchConfig {
     fn default() -> Self {
         MatchConfig {
-            max_results: None,
             result_mode: ResultMode::All,
             block_rows: 4096,
             use_bindings: true,
@@ -150,12 +148,13 @@ impl Default for MatchConfig {
 
 impl MatchConfig {
     /// The configuration used in the paper's timing experiments: pipeline join
-    /// terminating after 1024 matches. Exploration is additionally capped at
-    /// 64k rows per STwig per machine — the paper's runs are similarly bounded
-    /// in practice because they stop once 1024 matches are produced.
+    /// terminating after 1024 matches ([`ResultMode::FirstK`]). Exploration is
+    /// additionally capped at 64k rows per STwig per machine — the paper's
+    /// runs are similarly bounded in practice because they stop once 1024
+    /// matches are produced.
     pub fn paper_default() -> Self {
         MatchConfig {
-            max_results: Some(1024),
+            result_mode: ResultMode::FirstK(1024),
             max_stwig_rows: Some(65_536),
             ..Default::default()
         }
@@ -164,15 +163,9 @@ impl MatchConfig {
     /// Enumerate every match (no early termination).
     pub fn exhaustive() -> Self {
         MatchConfig {
-            max_results: None,
+            result_mode: ResultMode::All,
             ..Default::default()
         }
-    }
-
-    /// Sets the result limit.
-    pub fn with_max_results(mut self, max: Option<usize>) -> Self {
-        self.max_results = max;
-        self
     }
 
     /// Sets the result mode (see [`ResultMode`]).
@@ -182,13 +175,13 @@ impl MatchConfig {
     }
 
     /// The effective row limit this configuration imposes on the final
-    /// result: `max_results` under [`ResultMode::All`] (bit-identical to the
-    /// legacy behavior), `k` (tightened by `max_results` when both are set)
-    /// under [`ResultMode::FirstK`], and `1` under [`ResultMode::Exists`].
+    /// result — the **single interpreter** of [`ResultMode`]: unlimited
+    /// under [`ResultMode::All`], `k` under [`ResultMode::FirstK`], and `1`
+    /// under [`ResultMode::Exists`].
     pub fn result_limit(&self) -> Option<usize> {
         match self.result_mode {
-            ResultMode::All => self.max_results,
-            ResultMode::FirstK(k) => Some(self.max_results.map_or(k, |m| m.min(k))),
+            ResultMode::All => None,
+            ResultMode::FirstK(k) => Some(k),
             ResultMode::Exists => Some(1),
         }
     }
@@ -256,25 +249,28 @@ mod tests {
     #[test]
     fn default_is_exhaustive() {
         let c = MatchConfig::default();
-        assert_eq!(c.max_results, None);
+        assert_eq!(c.result_mode, ResultMode::All);
         assert!(c.use_bindings);
         assert!(c.optimize_join_order);
     }
 
     #[test]
     fn paper_default_limits_results() {
-        assert_eq!(MatchConfig::paper_default().max_results, Some(1024));
+        assert_eq!(
+            MatchConfig::paper_default().result_mode,
+            ResultMode::FirstK(1024)
+        );
     }
 
     #[test]
     fn builder_style_setters() {
         let c = MatchConfig::default()
-            .with_max_results(Some(7))
+            .with_result_mode(ResultMode::FirstK(7))
             .with_bindings(false)
             .with_join_order_optimization(false)
             .with_max_stwig_rows(Some(99))
             .with_num_threads(Some(3));
-        assert_eq!(c.max_results, Some(7));
+        assert_eq!(c.result_mode, ResultMode::FirstK(7));
         assert!(!c.use_bindings);
         assert!(!c.optimize_join_order);
         assert_eq!(c.max_stwig_rows, Some(99));
@@ -307,12 +303,7 @@ mod tests {
         assert_eq!(MatchConfig::paper_default().result_limit(), Some(1024));
         let first_k = MatchConfig::default().with_result_mode(ResultMode::FirstK(7));
         assert_eq!(first_k.result_limit(), Some(7));
-        // max_results tightens FirstK but never loosens it.
-        assert_eq!(
-            first_k.clone().with_max_results(Some(3)).result_limit(),
-            Some(3)
-        );
-        assert_eq!(first_k.with_max_results(Some(100)).result_limit(), Some(7));
+        assert_eq!(MatchConfig::exhaustive().result_limit(), None);
         assert_eq!(
             MatchConfig::default()
                 .with_result_mode(ResultMode::Exists)

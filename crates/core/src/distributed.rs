@@ -83,6 +83,78 @@ use trinity_sim::network::TrafficSnapshot;
 use trinity_sim::transport::{ChannelTransport, Message, Transport, TransportError};
 use trinity_sim::MemoryCloud;
 
+/// Test-only transport fault injection.
+///
+/// Poisoning a `(cloud, label)` pair makes every distributed execution whose
+/// query touches that label on that cloud fail up front with
+/// [`StwigError::Transport`] ([`TransportError::UnexpectedReply`]) — as if a
+/// peer machine had answered a `Load` request with a lying reply variant —
+/// *before* any exploration work. The poison is scoped by an RAII guard so a
+/// panicking test cannot leak it into the rest of the suite, and keyed by
+/// cloud address so concurrent tests on different clouds don't interfere.
+///
+/// This exists to pin engine-level error isolation: one query's transport
+/// failure must surface on that query's handle only, never conflated across
+/// a batch.
+#[cfg(test)]
+pub(crate) mod fault {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    use trinity_sim::ids::LabelId;
+    use trinity_sim::MemoryCloud;
+
+    static POISON: Mutex<Option<HashSet<(usize, LabelId)>>> = Mutex::new(None);
+
+    /// Removes its poison entry on drop (RAII).
+    pub(crate) struct PoisonGuard {
+        key: (usize, LabelId),
+    }
+
+    impl Drop for PoisonGuard {
+        fn drop(&mut self) {
+            if let Some(set) = POISON.lock().expect("poison lock").as_mut() {
+                set.remove(&self.key);
+            }
+        }
+    }
+
+    /// Poisons `label` on `cloud` until the returned guard drops.
+    pub(crate) fn poison(cloud: &MemoryCloud, label: LabelId) -> PoisonGuard {
+        let key = (cloud as *const MemoryCloud as usize, label);
+        POISON
+            .lock()
+            .expect("poison lock")
+            .get_or_insert_with(HashSet::new)
+            .insert(key);
+        PoisonGuard { key }
+    }
+
+    /// Whether `query` touches a poisoned label of `cloud`.
+    pub(crate) fn poisoned(cloud: &MemoryCloud, query: &crate::query::QueryGraph) -> bool {
+        let guard = POISON.lock().expect("poison lock");
+        let Some(set) = guard.as_ref() else {
+            return false;
+        };
+        if set.is_empty() {
+            return false;
+        }
+        let ptr = cloud as *const MemoryCloud as usize;
+        query
+            .vertices()
+            .any(|v| set.contains(&(ptr, query.label(v))))
+    }
+
+    /// The error a poisoned execution fails with.
+    pub(crate) fn injected_error() -> crate::error::StwigError {
+        crate::error::StwigError::Transport(
+            trinity_sim::transport::TransportError::UnexpectedReply {
+                expected: "CellBuf",
+                got: "Poisoned",
+            },
+        )
+    }
+}
+
 /// Runs `work` once per index in `0..num_items`, fanning the items out over
 /// `threads` worker threads with dynamic work-stealing (an atomic cursor over
 /// the item list, so unevenly-sized items balance). Results are returned in
@@ -209,6 +281,10 @@ pub fn match_query_distributed_with_cache(
     config: &MatchConfig,
     cache: Option<&StwigCache>,
 ) -> Result<MatchOutput, StwigError> {
+    #[cfg(test)]
+    if fault::poisoned(cloud, query) {
+        return Err(fault::injected_error());
+    }
     let started = Instant::now();
     cloud.reset_traffic();
     let num_machines = cloud.num_machines();
@@ -1258,6 +1334,10 @@ pub fn match_query_streaming_with_cache(
     cache: Option<&StwigCache>,
     sink: &mut dyn ResultSink,
 ) -> Result<QueryMetrics, StwigError> {
+    #[cfg(test)]
+    if fault::poisoned(cloud, query) {
+        return Err(fault::injected_error());
+    }
     let started = Instant::now();
     let control = QueryControl::new(options, started);
     cloud.reset_traffic();
@@ -1677,7 +1757,7 @@ mod tests {
     fn result_limit_is_respected() {
         let cloud = sample_cloud(2);
         let query = triangle_query(&cloud);
-        let cfg = MatchConfig::default().with_max_results(Some(3));
+        let cfg = MatchConfig::default().with_result_mode(crate::config::ResultMode::FirstK(3));
         let out = match_query_distributed(&cloud, &query, &cfg).unwrap();
         assert_eq!(out.num_matches(), 3);
         verify_all(&cloud, &query, &out.table).unwrap();

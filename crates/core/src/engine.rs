@@ -1,51 +1,76 @@
-//! Concurrent multi-query execution over one shared memory cloud.
+//! The serving engine: one `submit()` front door over one shared memory
+//! cloud, with admission control and per-tenant fair scheduling.
 //!
 //! The paper's deployment target is a shared-memory cloud serving *many*
 //! subgraph queries over one static graph ("heavy traffic" in the ROADMAP's
 //! words). The executor in [`crate::distributed`] answers one query at a
-//! time; this module adds the serving layer:
+//! time; this module is the serving layer above it:
 //!
-//! * a [`QueryEngine`] admits a batch of queries and fans them out over a
-//!   bounded worker pool (the same atomic-cursor work-stealing used for
-//!   machine fan-out, applied at query granularity);
-//! * all workers share one read-only [`MemoryCloud`] (`&MemoryCloud` is
-//!   `Sync`; trinity-sim pins that with compile-time assertions) and one
-//!   [`StwigCache`], so STwig tables explored for one query are reused by
-//!   every later query with the same STwig shape;
-//! * per-query [`crate::metrics::QueryMetrics`] are returned in input order,
-//!   and engine-level counters ([`EngineStats`]) aggregate throughput and
-//!   cache behavior.
+//! * every query enters through [`QueryEngine::submit`] as a
+//!   [`QueryRequest`] and is answered with a [`QueryHandle`] (await the
+//!   result, stream rows, poll status, cancel) — or refused at the door
+//!   with [`Submit::Rejected`] when the bounded admission queue is full or
+//!   the learned cost model predicts the deadline cannot be met (see
+//!   [`crate::serve`]);
+//! * admitted queries wait in per-tenant queues dispatched by a
+//!   deficit-round-robin scheduler (fair shares of estimated work across
+//!   tenants; earliest-deadline-first with aged priorities within one), and
+//!   are *shed* at dispatch — [`crate::metrics::QueryOutcome::Shed`], zero
+//!   execution work — once their deadline is hopeless;
+//! * dispatch happens on caller threads: [`QueryEngine::serve`] loops as a
+//!   worker until told to stop, [`QueryEngine::drain`] runs the queue dry
+//!   inline. All of them share one read-only [`MemoryCloud`]
+//!   (`&MemoryCloud` is `Sync`; trinity-sim pins that with compile-time
+//!   assertions) and one [`StwigCache`], so STwig tables explored for one
+//!   query are reused by every later query with the same shape;
+//! * [`QueryEngine::metrics_snapshot`] exports one coherent
+//!   [`MetricsSnapshot`]: engine counters, admission/scheduling counters,
+//!   and per-tenant goodput.
+//!
+//! The historical entry points (`run_one`, `run_batch`, `run_streaming`,
+//! `run_first_k`, `run_exists`) remain as thin wrappers over the same core
+//! and are **deprecated in favor of `submit()`**; they bypass admission
+//! (pre-admitted, never shed) so their semantics are exactly what they were
+//! before the serving layer existed.
 //!
 //! ## Determinism
 //!
-//! Batched execution is deterministic in its *results*: the cache is
-//! transparent (hit, miss and cache-free paths produce bit-identical STwig
-//! tables — see [`crate::cache`]), so each query's result table is a pure
-//! function of the cloud, the query and the `MatchConfig`, regardless of
-//! scheduling, interleaving or eviction. Timing-derived metrics and the
-//! shared simulated-traffic counters are best-effort under concurrency:
-//! queries running in parallel reset and read the cloud's global traffic
-//! accounting concurrently, so per-query `network_*`/`comm_us` numbers are
-//! only meaningful for serial batches (`workers == 1`).
+//! Execution is deterministic in its *results*: the cache is transparent
+//! (hit, miss and cache-free paths produce bit-identical STwig tables — see
+//! [`crate::cache`]), so each query's result table is a pure function of
+//! the cloud, the query and the `MatchConfig`, regardless of scheduling,
+//! interleaving or eviction. A collect-delivery submission with no
+//! deadline, cancel token or result-mode override runs the same
+//! materialized executor the legacy batch path used, so its table is
+//! bit-identical to [`crate::distributed::match_query_distributed`]'s.
+//! Timing-derived metrics and the shared simulated-traffic counters are
+//! best-effort under concurrency, as before.
 
 use crate::cache::{CacheConfig, StwigCache};
 use crate::config::{MatchConfig, ResultMode};
-use crate::distributed::{
-    match_query_distributed_with_cache, match_query_streaming_with_cache, run_work_stealing,
-};
+use crate::distributed::{match_query_distributed_with_cache, match_query_streaming_with_cache};
 use crate::error::StwigError;
 use crate::executor::MatchOutput;
-use crate::metrics::{CacheStats, EngineStats, QueryMetrics, QueryOutcome};
+use crate::metrics::{
+    CacheStats, EngineStats, MetricsSnapshot, QueryMetrics, QueryOutcome, SchedulerStats,
+};
 use crate::query::QueryGraph;
-use crate::stream::{CollectSink, QueryOptions, ResultSink};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use crate::serve::scheduler::{Delivery, QueueEntry, Scheduler};
+use crate::serve::{
+    CostEstimator, QueryHandle, QueryRequest, QueryResponse, RejectReason, ServeConfig, Submit,
+    SubmitDisposition,
+};
+use crate::stream::{ChannelSink, CollectSink, QueryOptions, ResultSink};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 use trinity_sim::MemoryCloud;
 
 /// Configuration of a [`QueryEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads queries are fanned out over. `None` uses the host's
+    /// Worker threads legacy batches are fanned out over, and the server
+    /// count the admission wait predictor assumes. `None` uses the host's
     /// available parallelism; `Some(1)` executes batches serially (in input
     /// order).
     pub workers: Option<usize>,
@@ -56,6 +81,9 @@ pub struct EngineConfig {
     /// rather than nested machine fan-out; override it for latency-oriented
     /// single-query workloads.
     pub match_config: MatchConfig,
+    /// Admission-control and fair-scheduling configuration (see
+    /// [`crate::serve`]).
+    pub serve: ServeConfig,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +92,7 @@ impl Default for EngineConfig {
             workers: None,
             cache: Some(CacheConfig::default()),
             match_config: MatchConfig::default().with_num_threads(Some(1)),
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -87,6 +116,12 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the serving-layer configuration (admission + scheduling).
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
     fn resolved_workers(&self) -> usize {
         self.workers
             .unwrap_or_else(|| {
@@ -98,7 +133,7 @@ impl EngineConfig {
     }
 }
 
-/// A multi-query execution engine over one shared, read-only memory cloud.
+/// A multi-query serving engine over one shared, read-only memory cloud.
 ///
 /// ```
 /// use trinity_sim::prelude::*;
@@ -121,22 +156,43 @@ impl EngineConfig {
 /// let query = qb.build().unwrap();
 ///
 /// let engine = QueryEngine::new(&cloud, EngineConfig::default());
-/// let batch = vec![query.clone(), query];
-/// let outputs = engine.run_batch(&batch);
-/// assert!(outputs.iter().all(|o| o.as_ref().unwrap().num_matches() == 2));
-/// let stats = engine.stats();
-/// assert_eq!(stats.queries_executed, 2);
+/// // Submit, serve the queue, await the handle.
+/// let handle = engine
+///     .submit(QueryRequest::new(query).with_tenant("docs"))
+///     .expect_accepted();
+/// engine.drain();
+/// let response = handle.wait().unwrap();
+/// assert_eq!(response.table.unwrap().num_rows(), 2); // (1,2,3) and (2,1,3)
+/// let snapshot = engine.metrics_snapshot();
+/// assert_eq!(snapshot.tenants[0].tenant, "docs");
+/// assert_eq!(snapshot.tenants[0].completed, 1);
 /// ```
 pub struct QueryEngine<'c> {
     cloud: &'c MemoryCloud,
     config: EngineConfig,
     cache: Option<StwigCache<'c>>,
+    estimator: CostEstimator,
+    /// Per-tenant queues + DRR state; the condvar signals enqueues to
+    /// [`QueryEngine::serve`] workers parked on an empty queue.
+    sched: Mutex<Scheduler>,
+    work_available: Condvar,
     queries_run: AtomicU64,
     batches_run: AtomicU64,
-    /// Accumulated batch wall-clock, in integer µs.
+    /// Accumulated execution wall-clock, in integer µs.
     busy_us: AtomicU64,
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    /// Global dispatch counter ([`QueryResponse::served_seq`]).
+    served_seq: AtomicU64,
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_estimated_late: AtomicU64,
+    shed_deadline_passed: AtomicU64,
+    shed_predicted_late: AtomicU64,
+    cancelled_while_queued: AtomicU64,
+    queue_wait_us: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryEngine<'_> {
@@ -156,15 +212,29 @@ impl<'c> QueryEngine<'c> {
             .cache
             .clone()
             .map(|cache_config| StwigCache::new(cloud, cache_config));
+        let scheduler = Scheduler::new(config.serve.scheduler.clone());
         QueryEngine {
             cloud,
             config,
             cache,
+            estimator: CostEstimator::new(),
+            sched: Mutex::new(scheduler),
+            work_available: Condvar::new(),
             queries_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
             busy_us: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            served_seq: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_estimated_late: AtomicU64::new(0),
+            shed_deadline_passed: AtomicU64::new(0),
+            shed_predicted_late: AtomicU64::new(0),
+            cancelled_while_queued: AtomicU64::new(0),
+            queue_wait_us: AtomicU64::new(0),
         }
     }
 
@@ -178,37 +248,452 @@ impl<'c> QueryEngine<'c> {
         &self.config
     }
 
+    /// The learned cost model pricing queries for admission, scheduling and
+    /// shedding (see [`CostEstimator`]).
+    pub fn cost_estimator(&self) -> &CostEstimator {
+        &self.estimator
+    }
+
+    // ------------------------------------------------------------------
+    // The submit() front door
+    // ------------------------------------------------------------------
+
+    /// Submits a query for execution; **the** way queries enter the engine.
+    ///
+    /// Returns [`Submit::Accepted`] with a [`QueryHandle`] — await the
+    /// result with [`QueryHandle::wait`], poll with
+    /// [`QueryHandle::try_wait`], cancel with [`QueryHandle::cancel`] — or
+    /// [`Submit::Rejected`] when the bounded queue is full
+    /// ([`RejectReason::QueueFull`]) or the calibrated cost model predicts
+    /// the request's deadline cannot be met
+    /// ([`RejectReason::EstimatedTooLate`]). Rejection costs O(query):
+    /// no exploration work is spent and no transport envelope is charged.
+    ///
+    /// Admitted queries execute when a thread serves the queue — a
+    /// [`QueryEngine::serve`] worker, or any call to
+    /// [`QueryEngine::drain`] / [`QueryEngine::run_next`]. The result is a
+    /// materialized table ([`QueryResponse::table`]); to stream rows
+    /// instead, use [`QueryEngine::submit_streaming`]. A request with no
+    /// deadline, no cancel token and no result-mode override runs the exact
+    /// materialized executor the legacy entry points used, so its table is
+    /// bit-identical to theirs; a deadline or cancel token routes through
+    /// the streaming executor for cooperative interruption.
+    pub fn submit(&self, request: QueryRequest) -> Submit {
+        self.submit_with(request, Delivery::Collect, true, true)
+    }
+
+    /// Like [`QueryEngine::submit`], but delivers rows through a channel as
+    /// they are produced: take the receiver with [`QueryHandle::rows`]
+    /// *before* the query is served. The response's `table` is `None`; the
+    /// channel closes when the query finishes.
+    pub fn submit_streaming(&self, request: QueryRequest) -> Submit {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let submitted = self.submit_with(request, Delivery::Channel(sender), true, true);
+        if let Submit::Accepted(handle) = &submitted {
+            handle.shared().set_rows(receiver);
+        }
+        submitted
+    }
+
+    /// Shared admission path. `enforce` applies queue bounds and the
+    /// too-late predictor (the legacy wrappers pre-admit); `sheddable`
+    /// allows dispatch-time shedding (the legacy wrappers keep their
+    /// historical run-then-interrupt-cooperatively semantics).
+    fn submit_with(
+        &self,
+        request: QueryRequest,
+        delivery: Delivery,
+        enforce: bool,
+        sheddable: bool,
+    ) -> Submit {
+        let now = Instant::now();
+        let QueryRequest {
+            query,
+            tenant,
+            priority,
+            options,
+        } = request;
+        let units = CostEstimator::units(self.cloud, &query);
+        let admission = &self.config.serve.admission;
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+
+        let mut sched = self.sched.lock().expect("scheduler lock");
+        if enforce {
+            if sched.depth() >= admission.queue_capacity {
+                self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                sched.account_submit(&tenant, SubmitDisposition::Rejected);
+                return Submit::Rejected(RejectReason::QueueFull {
+                    capacity: admission.queue_capacity,
+                });
+            }
+            if admission.reject_estimated_late {
+                if let (Some(deadline), Some(service_us)) =
+                    (options.deadline, self.estimator.estimate_us(units))
+                {
+                    // Predicted wait: everything queued ahead, drained by
+                    // the configured number of servers. The queue is
+                    // per-tenant but the prediction is aggregate — an upper
+                    // bound for light tenants, accurate under symmetry.
+                    let wait_us = self
+                        .estimator
+                        .estimate_us(sched.queued_cost())
+                        .unwrap_or(0.0)
+                        / admission.servers.max(1) as f64;
+                    let predicted_us = (wait_us + service_us) * admission.estimate_slack;
+                    let deadline_us = deadline.as_secs_f64() * 1e6;
+                    if predicted_us > deadline_us {
+                        self.rejected_estimated_late.fetch_add(1, Ordering::Relaxed);
+                        sched.account_submit(&tenant, SubmitDisposition::Rejected);
+                        return Submit::Rejected(RejectReason::EstimatedTooLate {
+                            predicted_us,
+                            deadline_us,
+                        });
+                    }
+                }
+            }
+        }
+
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        sched.account_submit(&tenant, SubmitDisposition::Accepted);
+        let cancel = options.cancel.clone().unwrap_or_default();
+        let shared = Arc::new(crate::serve::HandleShared::new(tenant.clone(), cancel));
+        let (seq, aged_rank) = sched.next_seq(priority.head_start());
+        let entry = QueueEntry {
+            deadline: options.deadline.map(|d| now + d),
+            mode: options.result_mode,
+            query,
+            options,
+            submitted: now,
+            cost: units,
+            sheddable,
+            delivery,
+            shared: Arc::clone(&shared),
+            seq,
+            aged_rank,
+        };
+        sched.enqueue(&tenant, entry);
+        drop(sched);
+        self.work_available.notify_one();
+        Submit::Accepted(QueryHandle::from_shared(shared))
+    }
+
+    // ------------------------------------------------------------------
+    // Serving the queue
+    // ------------------------------------------------------------------
+
+    /// Dispatches and executes the next scheduled query on this thread.
+    /// Returns `false` when the queue is empty.
+    pub fn run_next(&self) -> bool {
+        let entry = self.sched.lock().expect("scheduler lock").pop();
+        match entry {
+            Some(entry) => {
+                self.execute_entry(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the queue dry on this thread (in scheduled order), then
+    /// returns. Queries admitted concurrently keep being served until a
+    /// poll finds the queue empty.
+    pub fn drain(&self) {
+        while self.run_next() {}
+    }
+
+    /// Serves the queue on this thread until `stop` becomes true: the
+    /// worker-loop body for open-loop serving. Park several of these on
+    /// scoped threads to serve with N-way parallelism; new submissions wake
+    /// idle workers promptly.
+    ///
+    /// ```no_run
+    /// # use stwig::prelude::*;
+    /// # use std::sync::atomic::{AtomicBool, Ordering};
+    /// # fn serve(engine: &QueryEngine<'_>) {
+    /// let stop = AtomicBool::new(false);
+    /// std::thread::scope(|s| {
+    ///     for _ in 0..2 {
+    ///         s.spawn(|| engine.serve(&stop));
+    ///     }
+    ///     // ... submit load, then:
+    ///     stop.store(true, Ordering::Release);
+    /// });
+    /// # }
+    /// ```
+    pub fn serve(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            let entry = {
+                let mut sched = self.sched.lock().expect("scheduler lock");
+                match sched.pop() {
+                    Some(entry) => Some(entry),
+                    None => {
+                        let (mut sched, _timeout) = self
+                            .work_available
+                            .wait_timeout(sched, Duration::from_millis(1))
+                            .expect("scheduler lock");
+                        sched.pop()
+                    }
+                }
+            };
+            if let Some(entry) = entry {
+                self.execute_entry(entry);
+            }
+        }
+    }
+
+    /// Queries currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.sched.lock().expect("scheduler lock").depth()
+    }
+
+    /// Dispatches one queued query: sheds it if its deadline is hopeless,
+    /// resolves it if cancelled while queued, otherwise executes it and
+    /// publishes the response through the handle.
+    fn execute_entry(&self, entry: QueueEntry) {
+        let QueueEntry {
+            query,
+            options,
+            mode,
+            deadline,
+            submitted,
+            cost,
+            sheddable,
+            delivery,
+            shared,
+            seq: _,
+            aged_rank: _,
+        } = entry;
+        let now = Instant::now();
+        let served_seq = self.served_seq.fetch_add(1, Ordering::Relaxed);
+        let queue_wait_us = now.duration_since(submitted).as_secs_f64() * 1e6;
+        self.queue_wait_us
+            .fetch_add(queue_wait_us as u64, Ordering::Relaxed);
+        let tenant = shared.tenant().clone();
+
+        let respond_without_running = |outcome: QueryOutcome| {
+            let metrics = QueryMetrics {
+                outcome,
+                ..QueryMetrics::default()
+            };
+            shared.finish(Ok(QueryResponse {
+                table: None,
+                metrics,
+                served_seq,
+                queue_wait_us,
+            }));
+        };
+
+        // Cancelled while queued: resolve without executing.
+        if shared.cancel_token().is_cancelled() {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.cancelled_while_queued.fetch_add(1, Ordering::Relaxed);
+            let mut sched = self.sched.lock().expect("scheduler lock");
+            sched.tenant_stats_mut(&tenant).cancelled += 1;
+            drop(sched);
+            respond_without_running(QueryOutcome::Cancelled);
+            return;
+        }
+
+        // Shed checks — before any exploration work or transport envelope.
+        if sheddable {
+            if let Some(deadline) = deadline {
+                let shed_reason = if now >= deadline {
+                    Some(&self.shed_deadline_passed)
+                } else if let Some(service_us) = self.estimator.estimate_us(cost) {
+                    let remaining_us = deadline.duration_since(now).as_secs_f64() * 1e6;
+                    let slack = self.config.serve.admission.estimate_slack;
+                    (service_us * slack > remaining_us).then_some(&self.shed_predicted_late)
+                } else {
+                    None
+                };
+                if let Some(counter) = shed_reason {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    let mut sched = self.sched.lock().expect("scheduler lock");
+                    sched.tenant_stats_mut(&tenant).shed += 1;
+                    drop(sched);
+                    respond_without_running(QueryOutcome::Shed);
+                    return;
+                }
+            }
+        }
+
+        // Execute. The deadline was pinned at submission: the executor gets
+        // what remains of it, so queue wait counts against the budget.
+        shared.mark_running();
+        let mut config = self.config.match_config.clone();
+        if let Some(mode) = mode {
+            config.result_mode = mode;
+        }
+        let run_options = QueryOptions {
+            deadline: deadline.map(|d| d.saturating_duration_since(now)),
+            cancel: Some(shared.cancel_token().clone()),
+            tenant: None,
+            priority: Default::default(),
+            result_mode: None,
+        };
+        // An uninterruptible request (no deadline, no caller token, no mode
+        // override) runs the legacy materialized executor — bit-identical
+        // tables; anything interruptible goes through the streaming
+        // executor's cooperative checks.
+        let materialized = mode.is_none() && deadline.is_none() && options.cancel.is_none();
+        let started = Instant::now();
+        let result: Result<(Option<crate::table::ResultTable>, QueryMetrics), StwigError> =
+            match delivery {
+                Delivery::Collect if materialized => match_query_distributed_with_cache(
+                    self.cloud,
+                    &query,
+                    &config,
+                    self.cache.as_ref(),
+                )
+                .map(|out| (Some(out.table), out.metrics)),
+                Delivery::Collect => {
+                    let mut sink = CollectSink::new();
+                    match_query_streaming_with_cache(
+                        self.cloud,
+                        &query,
+                        &config,
+                        &run_options,
+                        self.cache.as_ref(),
+                        &mut sink,
+                    )
+                    .map(|metrics| (sink.into_table(), metrics))
+                }
+                Delivery::Channel(sender) => {
+                    let mut sink = ChannelSink::new(sender);
+                    match_query_streaming_with_cache(
+                        self.cloud,
+                        &query,
+                        &config,
+                        &run_options,
+                        self.cache.as_ref(),
+                        &mut sink,
+                    )
+                    .map(|metrics| (None, metrics))
+                }
+            };
+        let wall_us = started.elapsed().as_secs_f64() * 1e6;
+
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
+        if sheddable {
+            // Legacy wrappers time themselves batch-level; counting here
+            // too would double-charge busy_us.
+            self.busy_us.fetch_add(wall_us as u64, Ordering::Relaxed);
+        }
+        match &result {
+            Ok((table, metrics)) => {
+                match metrics.outcome {
+                    QueryOutcome::Cancelled => {
+                        self.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    QueryOutcome::DeadlineExceeded => {
+                        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    QueryOutcome::Complete | QueryOutcome::Shed => {}
+                }
+                if metrics.outcome == QueryOutcome::Complete {
+                    // Interrupted runs under-report their true cost; only
+                    // completions calibrate the admission estimator.
+                    self.estimator.observe(cost, wall_us);
+                }
+                let rows = table
+                    .as_ref()
+                    .map(|t| t.num_rows() as u64)
+                    .unwrap_or(metrics.rows_streamed);
+                let mut sched = self.sched.lock().expect("scheduler lock");
+                let stats = sched.tenant_stats_mut(&tenant);
+                match metrics.outcome {
+                    QueryOutcome::Complete => stats.completed += 1,
+                    QueryOutcome::Cancelled => stats.cancelled += 1,
+                    QueryOutcome::DeadlineExceeded => stats.deadline_exceeded += 1,
+                    QueryOutcome::Shed => {}
+                }
+                stats.rows_delivered += rows;
+                stats.busy_us += wall_us;
+            }
+            Err(_) => {
+                let mut sched = self.sched.lock().expect("scheduler lock");
+                sched.tenant_stats_mut(&tenant).busy_us += wall_us;
+            }
+        }
+        shared.finish(result.map(|(table, metrics)| QueryResponse {
+            table,
+            metrics,
+            served_seq,
+            queue_wait_us,
+        }));
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy entry points (thin wrappers; prefer submit())
+    // ------------------------------------------------------------------
+
+    /// Pre-admits a legacy query: admission bounds don't apply and the
+    /// query is never shed, preserving the historical semantics exactly.
+    fn submit_legacy(&self, query: QueryGraph) -> QueryHandle {
+        match self.submit_with(QueryRequest::new(query), Delivery::Collect, false, false) {
+            Submit::Accepted(handle) => handle,
+            Submit::Rejected(reason) => unreachable!("pre-admitted submit rejected: {reason}"),
+        }
+    }
+
     /// Runs one query through the engine (cache-aware, counted in the
     /// engine stats as a batch of one).
+    ///
+    /// **Deprecated** in favor of [`QueryEngine::submit`]; kept as a thin
+    /// wrapper (`submit` + `drain` + `wait`) for existing callers.
     pub fn run_one(&self, query: &QueryGraph) -> Result<MatchOutput, StwigError> {
         let mut outputs = self.run_batch(std::slice::from_ref(query));
         outputs.pop().expect("batch of one yields one output")
     }
 
     /// Runs a batch of queries concurrently over the shared cloud, returning
-    /// one output per query **in input order**. Worker threads pull queries
-    /// off an atomic cursor (work-stealing), so long-running queries don't
-    /// starve the rest of the batch. A per-query error (e.g. an empty query)
-    /// fails that slot only.
+    /// one output per query **in input order**. The batch is submitted
+    /// through the scheduler and drained by this thread plus
+    /// `workers - 1` helpers, so long-running queries don't starve the rest
+    /// of the batch. Each query resolves through its own handle — a
+    /// per-query error (e.g. an empty query, or a transport failure on one
+    /// machine) fails that slot only and can never be attributed to another
+    /// query of the batch.
+    ///
+    /// **Deprecated** in favor of [`QueryEngine::submit`]; kept as a thin
+    /// wrapper for existing callers.
     pub fn run_batch(&self, queries: &[QueryGraph]) -> Vec<Result<MatchOutput, StwigError>> {
         let started = Instant::now();
+        let handles: Vec<QueryHandle> = queries
+            .iter()
+            .map(|query| self.submit_legacy(query.clone()))
+            .collect();
         let workers = self.config.resolved_workers().min(queries.len().max(1));
-        let outputs = run_work_stealing(queries.len(), workers, |i| {
-            match_query_distributed_with_cache(
-                self.cloud,
-                &queries[i],
-                &self.config.match_config,
-                self.cache.as_ref(),
-            )
-        });
-        self.queries_run
-            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        if workers <= 1 {
+            self.drain();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 1..workers {
+                    scope.spawn(|| self.drain());
+                }
+                self.drain();
+            });
+        }
         self.batches_run.fetch_add(1, Ordering::Relaxed);
         self.busy_us.fetch_add(
             (started.elapsed().as_secs_f64() * 1e6) as u64,
             Ordering::Relaxed,
         );
-        outputs
+        handles
+            .into_iter()
+            .map(|handle| {
+                // drain() above ran our entries (or a concurrent server
+                // did); wait() only blocks in the latter, in-flight case.
+                let response = handle.wait()?;
+                Ok(MatchOutput {
+                    table: response
+                        .table
+                        .expect("collect delivery materializes a table"),
+                    metrics: response.metrics,
+                })
+            })
+            .collect()
     }
 
     /// Runs one query in **streaming mode**: rows flow to `sink` (canonical
@@ -218,6 +703,11 @@ impl<'c> QueryEngine<'c> {
     /// the engine stats as a batch of one, with interrupted outcomes tallied
     /// in [`EngineStats::queries_cancelled`] /
     /// [`EngineStats::queries_deadline_exceeded`].
+    ///
+    /// **Deprecated** in favor of [`QueryEngine::submit_streaming`] (which
+    /// delivers rows through the handle instead of borrowing a sink); kept
+    /// for existing callers. Executes inline on this thread, pre-admitted
+    /// and never shed.
     pub fn run_streaming(
         &self,
         query: &QueryGraph,
@@ -257,17 +747,20 @@ impl<'c> QueryEngine<'c> {
                 QueryOutcome::DeadlineExceeded => {
                     self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 }
-                QueryOutcome::Complete => {}
+                QueryOutcome::Complete | QueryOutcome::Shed => {}
             }
         }
         result
     }
 
     /// Serves the first `k` valid embeddings of `query` as a materialized
-    /// table (a [`CollectSink`] over [`QueryEngine::run_streaming`] with
-    /// [`ResultMode::FirstK`]). The rows are genuine matches but not a
-    /// prefix of the full enumeration; an interrupted query returns the
-    /// rows produced before the interrupt (check `metrics.outcome`).
+    /// table. The rows are genuine matches but not a prefix of the full
+    /// enumeration; an interrupted query returns the rows produced before
+    /// the interrupt (check `metrics.outcome`).
+    ///
+    /// **Deprecated** in favor of [`QueryEngine::submit`] with
+    /// [`QueryRequest::with_result_mode`] (`ResultMode::FirstK(k)`); kept
+    /// for existing callers.
     pub fn run_first_k(
         &self,
         query: &QueryGraph,
@@ -294,6 +787,10 @@ impl<'c> QueryEngine<'c> {
     /// An interrupted existence check that produced no row reports `false`
     /// with the interrupt recorded in the returned metrics — inspect
     /// `metrics.outcome` before trusting a negative.
+    ///
+    /// **Deprecated** in favor of [`QueryEngine::submit`] with
+    /// [`QueryRequest::with_result_mode`] (`ResultMode::Exists`); kept for
+    /// existing callers.
     pub fn run_exists(
         &self,
         query: &QueryGraph,
@@ -310,6 +807,10 @@ impl<'c> QueryEngine<'c> {
         Ok((found, metrics))
     }
 
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
     /// Snapshot of the cache counters, when caching is enabled.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(StwigCache::stats)
@@ -324,6 +825,7 @@ impl<'c> QueryEngine<'c> {
             batches_executed: self.batches_run.load(Ordering::Relaxed),
             queries_cancelled: self.cancelled.load(Ordering::Relaxed),
             queries_deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            queries_shed: self.shed.load(Ordering::Relaxed),
             busy_us,
             queries_per_sec: if busy_us > 0.0 {
                 queries as f64 / (busy_us / 1e6)
@@ -333,12 +835,41 @@ impl<'c> QueryEngine<'c> {
             cache: self.cache_stats(),
         }
     }
+
+    /// One coherent export of everything the engine counts: engine-level
+    /// throughput, admission/scheduling counters, and per-tenant goodput
+    /// (sorted by tenant name). The scheduler section is taken under the
+    /// scheduler lock, so queue depth and tenant counters agree.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let sched = self.sched.lock().expect("scheduler lock");
+        let scheduler = SchedulerStats {
+            queue_depth: sched.depth() as u64,
+            peak_queue_depth: sched.peak_depth() as u64,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_estimated_late: self.rejected_estimated_late.load(Ordering::Relaxed),
+            shed_deadline_passed: self.shed_deadline_passed.load(Ordering::Relaxed),
+            shed_predicted_late: self.shed_predicted_late.load(Ordering::Relaxed),
+            cancelled_while_queued: self.cancelled_while_queued.load(Ordering::Relaxed),
+            queue_wait_us_total: self.queue_wait_us.load(Ordering::Relaxed) as f64,
+            estimator_samples: self.estimator.samples(),
+        };
+        let tenants = sched.tenant_snapshot();
+        drop(sched);
+        MetricsSnapshot {
+            engine: self.stats(),
+            scheduler,
+            tenants,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::distributed::match_query_distributed;
+    use crate::serve::{AdmissionConfig, Priority, QueryStatus, TenantId};
     use trinity_sim::builder::GraphBuilder;
     use trinity_sim::ids::VertexId;
     use trinity_sim::network::CostModel;
@@ -517,5 +1048,240 @@ mod tests {
         let outputs = engine.run_batch(&[]);
         assert!(outputs.is_empty());
         assert_eq!(engine.stats().queries_executed, 0);
+    }
+
+    #[test]
+    fn a_transport_fault_fails_only_its_own_batch_slot() {
+        let cloud = sample_cloud(3);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default().with_workers(Some(2)));
+        let bad = triangle_query(&cloud); // touches label "c"
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex_by_name(&cloud, "a").unwrap();
+        let b = qb.vertex_by_name(&cloud, "b").unwrap();
+        qb.edge(a, b);
+        let good = qb.build().unwrap(); // labels "a"/"b" only
+        let c = cloud.labels().get("c").unwrap();
+        let _poison = crate::distributed::fault::poison(&cloud, c);
+        let outputs = engine.run_batch(&[bad.clone(), good.clone(), bad]);
+        assert_eq!(outputs.len(), 3);
+        for slot in [0, 2] {
+            match &outputs[slot] {
+                Err(StwigError::Transport(_)) => {}
+                other => {
+                    panic!("slot {slot} must fail with the injected transport error, got {other:?}")
+                }
+            }
+        }
+        // The healthy query's slot is untouched by its neighbors' faults.
+        let expected = match_query_distributed(
+            &cloud,
+            &good,
+            &MatchConfig::default().with_num_threads(Some(1)),
+        )
+        .unwrap();
+        let ok = outputs[1].as_ref().expect("healthy slot succeeds");
+        assert_eq!(ok.table, expected.table);
+        drop(_poison);
+        // Poison is scoped: the same query succeeds after the guard drops.
+        assert!(engine.run_one(&triangle_query(&cloud)).is_ok());
+    }
+
+    #[test]
+    fn submit_drain_wait_matches_the_legacy_path() {
+        let cloud = sample_cloud(3);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let expected = match_query_distributed(
+            &cloud,
+            &triangle_query(&cloud),
+            &MatchConfig::default().with_num_threads(Some(1)),
+        )
+        .unwrap();
+        let handle = engine
+            .submit(QueryRequest::new(triangle_query(&cloud)).with_tenant("t1"))
+            .expect_accepted();
+        assert_eq!(handle.status(), QueryStatus::Queued);
+        assert_eq!(engine.queue_depth(), 1);
+        engine.drain();
+        assert!(handle.is_finished());
+        let response = handle.wait().unwrap();
+        assert_eq!(response.table.as_ref(), Some(&expected.table));
+        assert_eq!(response.served_seq, 0);
+        assert!(response.queue_wait_us >= 0.0);
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(snapshot.scheduler.accepted, 1);
+        assert_eq!(snapshot.scheduler.queue_depth, 0);
+        let t1 = snapshot.tenants.iter().find(|t| t.tenant == "t1").unwrap();
+        assert_eq!(t1.completed, 1);
+        assert_eq!(t1.rows_delivered, 12);
+    }
+
+    #[test]
+    fn submit_streaming_delivers_rows_through_the_handle() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let handle = engine
+            .submit_streaming(QueryRequest::new(triangle_query(&cloud)))
+            .expect_accepted();
+        let rows = handle.rows().expect("channel delivery exposes rows");
+        engine.drain();
+        let received: Vec<_> = rows.into_iter().collect();
+        assert_eq!(received.len(), 12);
+        let response = handle.wait().unwrap();
+        assert!(response.table.is_none());
+        assert_eq!(response.metrics.rows_streamed, 12);
+        assert_eq!(response.rows_delivered(), 12);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let cloud = sample_cloud(2);
+        let serve = ServeConfig::default()
+            .with_admission(AdmissionConfig::default().with_queue_capacity(2));
+        let engine = QueryEngine::new(&cloud, EngineConfig::default().with_serve(serve));
+        let q = triangle_query(&cloud);
+        let _h1 = engine
+            .submit(QueryRequest::new(q.clone()))
+            .expect_accepted();
+        let _h2 = engine
+            .submit(QueryRequest::new(q.clone()))
+            .expect_accepted();
+        match engine.submit(QueryRequest::new(q.clone())) {
+            Submit::Rejected(RejectReason::QueueFull { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Legacy wrappers are pre-admitted: they bypass the bound.
+        assert!(engine.run_one(&q).is_ok());
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(snapshot.scheduler.rejected_queue_full, 1);
+        assert_eq!(snapshot.scheduler.queue_depth, 0, "run_one drained all");
+    }
+
+    #[test]
+    fn calibrated_estimator_rejects_hopeless_deadlines() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let q = triangle_query(&cloud);
+        let units = CostEstimator::units(&cloud, &q);
+        // Teach the estimator that this workload takes ~1 s per submission.
+        for _ in 0..16 {
+            engine.cost_estimator().observe(units, 1_000_000.0);
+        }
+        let request = QueryRequest::new(q.clone()).with_deadline(Duration::from_micros(50));
+        match engine.submit(request) {
+            Submit::Rejected(RejectReason::EstimatedTooLate {
+                predicted_us,
+                deadline_us,
+            }) => {
+                assert!(predicted_us > deadline_us);
+            }
+            other => panic!("expected EstimatedTooLate, got {other:?}"),
+        }
+        // A comfortable deadline is still admitted.
+        let request = QueryRequest::new(q).with_deadline(Duration::from_secs(3600));
+        engine.submit(request).expect_accepted();
+        assert_eq!(
+            engine.metrics_snapshot().scheduler.rejected_estimated_late,
+            1
+        );
+    }
+
+    #[test]
+    fn passed_deadline_is_shed_at_dispatch_without_execution() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        cloud.reset_traffic();
+        let direct_before = cloud.direct_remote_reads();
+        let handle = engine
+            .submit(QueryRequest::new(triangle_query(&cloud)).with_deadline(Duration::ZERO))
+            .expect_accepted();
+        engine.drain();
+        let response = handle.wait().unwrap();
+        assert!(response.was_shed());
+        assert_eq!(response.metrics.outcome, QueryOutcome::Shed);
+        assert!(response.table.is_none());
+        // Zero execution work: no envelopes, no remote reads, no rows.
+        assert_eq!(cloud.traffic().total_messages(), 0);
+        assert_eq!(cloud.direct_remote_reads(), direct_before);
+        let stats = engine.stats();
+        assert_eq!(stats.queries_shed, 1);
+        assert_eq!(stats.queries_executed, 0);
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(snapshot.scheduler.shed_deadline_passed, 1);
+        assert_eq!(snapshot.tenants[0].shed, 1);
+    }
+
+    #[test]
+    fn cancel_while_queued_resolves_without_execution() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let handle = engine
+            .submit(QueryRequest::new(triangle_query(&cloud)))
+            .expect_accepted();
+        handle.cancel();
+        cloud.reset_traffic();
+        engine.drain();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.metrics.outcome, QueryOutcome::Cancelled);
+        assert_eq!(cloud.traffic().total_messages(), 0);
+        let snapshot = engine.metrics_snapshot();
+        assert_eq!(snapshot.scheduler.cancelled_while_queued, 1);
+        assert_eq!(snapshot.engine.queries_cancelled, 1);
+        assert_eq!(snapshot.engine.queries_executed, 0);
+    }
+
+    #[test]
+    fn per_request_result_mode_overrides_the_engine_default() {
+        let cloud = sample_cloud(3);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let handle = engine
+            .submit(
+                QueryRequest::new(triangle_query(&cloud)).with_result_mode(ResultMode::FirstK(4)),
+            )
+            .expect_accepted();
+        engine.drain();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.table.unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn options_carry_tenant_and_priority_into_the_request() {
+        let options = QueryOptions::none()
+            .with_tenant("analytics")
+            .with_priority(Priority::High)
+            .with_deadline(Duration::from_secs(1));
+        let cloud = sample_cloud(1);
+        let request = QueryRequest::new(chain_query(&cloud)).with_options(options);
+        assert_eq!(request.tenant, TenantId::new("analytics"));
+        assert_eq!(request.priority, Priority::High);
+        assert_eq!(request.options.deadline, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn serve_workers_execute_submissions_until_stopped() {
+        let cloud = sample_cloud(2);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        let stop = AtomicBool::new(false);
+        let handles: Vec<QueryHandle> = std::thread::scope(|scope| {
+            let worker = scope.spawn(|| engine.serve(&stop));
+            let handles: Vec<QueryHandle> = (0..4)
+                .map(|_| {
+                    engine
+                        .submit(QueryRequest::new(triangle_query(&cloud)))
+                        .expect_accepted()
+                })
+                .collect();
+            // Wait for the worker to finish everything, then stop it.
+            while handles.iter().any(|h| !h.is_finished()) {
+                std::thread::yield_now();
+            }
+            stop.store(true, Ordering::Release);
+            worker.join().expect("serve worker exits cleanly");
+            handles
+        });
+        for handle in handles {
+            let response = handle.wait().unwrap();
+            assert_eq!(response.table.unwrap().num_rows(), 12);
+        }
+        assert_eq!(engine.stats().queries_executed, 4);
     }
 }

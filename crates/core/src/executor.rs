@@ -223,7 +223,7 @@ mod tests {
     fn max_results_truncates() {
         let cloud = figure1_cloud(1);
         let query = figure1_query(&cloud);
-        let cfg = MatchConfig::default().with_max_results(Some(1));
+        let cfg = MatchConfig::default().with_result_mode(crate::config::ResultMode::FirstK(1));
         let out = match_query(&cloud, &query, &cfg).unwrap();
         assert_eq!(out.num_matches(), 1);
         assert!(out.metrics.truncated);

@@ -71,6 +71,7 @@ pub mod metrics;
 pub mod pattern;
 pub mod pipeline;
 pub mod query;
+pub mod serve;
 pub mod stream;
 pub mod stwig;
 pub mod table;
@@ -86,9 +87,16 @@ pub use distributed::{
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
 pub use executor::{match_query, MatchOutput};
-pub use metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics, QueryOutcome};
+pub use metrics::{
+    CacheStats, EngineStats, MetricsSnapshot, PhaseTraffic, QueryMetrics, QueryOutcome,
+    SchedulerStats,
+};
 pub use pattern::parse_pattern;
 pub use query::{QVid, QueryGraph, QueryGraphBuilder};
+pub use serve::{
+    AdmissionConfig, CostEstimator, Priority, QueryHandle, QueryRequest, QueryResponse,
+    QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId, TenantStats,
+};
 pub use stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
 pub use stwig::STwig;
 pub use table::ResultTable;
@@ -109,9 +117,16 @@ pub mod prelude {
     pub use crate::error::StwigError;
     pub use crate::executor::{match_query, MatchOutput};
     pub use crate::head::{load_set, select_head, HeadSelection};
-    pub use crate::metrics::{CacheStats, EngineStats, PhaseTraffic, QueryMetrics, QueryOutcome};
+    pub use crate::metrics::{
+        CacheStats, EngineStats, MetricsSnapshot, PhaseTraffic, QueryMetrics, QueryOutcome,
+        SchedulerStats,
+    };
     pub use crate::pattern::parse_pattern;
     pub use crate::query::{QVid, QueryGraph, QueryGraphBuilder};
+    pub use crate::serve::{
+        AdmissionConfig, CostEstimator, Priority, QueryHandle, QueryRequest, QueryResponse,
+        QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId, TenantStats,
+    };
     pub use crate::stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
     pub use crate::stwig::STwig;
     pub use crate::table::ResultTable;

@@ -23,10 +23,16 @@ pub enum QueryOutcome {
     Cancelled,
     /// The query's deadline expired mid-execution.
     DeadlineExceeded,
+    /// The admitted query was refused at dispatch — its deadline had already
+    /// passed (or the cost model predicted it could not finish in time) — so
+    /// the engine spent **zero** execution work on it: no exploration, no
+    /// join, no transport envelope. See [`crate::serve`].
+    Shed,
 }
 
 impl QueryOutcome {
-    /// Whether the query was stopped by a deadline or cancellation.
+    /// Whether the query was stopped by a deadline or cancellation, or shed
+    /// before it ever ran.
     pub fn is_interrupted(&self) -> bool {
         !matches!(self, QueryOutcome::Complete)
     }
@@ -128,6 +134,9 @@ pub struct EngineStats {
     pub queries_cancelled: u64,
     /// Streamed queries that ended [`QueryOutcome::DeadlineExceeded`].
     pub queries_deadline_exceeded: u64,
+    /// Admitted queries shed at dispatch without executing
+    /// ([`QueryOutcome::Shed`]). Not counted in `queries_executed`.
+    pub queries_shed: u64,
     /// Wall-clock time spent inside `run_batch`, in µs (batches are timed
     /// end to end, so concurrent per-query work is not double-counted).
     pub busy_us: f64,
@@ -135,6 +144,76 @@ pub struct EngineStats {
     pub queries_per_sec: f64,
     /// Cache counters, when the engine runs with a cache.
     pub cache: Option<CacheStats>,
+}
+
+/// Counters of the admission/scheduling layer (see [`crate::serve`]),
+/// exported through [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Queries currently queued across all tenants.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` since engine creation.
+    pub peak_queue_depth: u64,
+    /// Submissions seen by `submit()` (accepted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub accepted: u64,
+    /// Submissions refused with [`crate::serve::RejectReason::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Submissions refused with
+    /// [`crate::serve::RejectReason::EstimatedTooLate`].
+    pub rejected_estimated_late: u64,
+    /// Admitted queries shed at dispatch because their deadline had already
+    /// passed.
+    pub shed_deadline_passed: u64,
+    /// Admitted queries shed at dispatch because the calibrated cost model
+    /// predicted they could not finish by their deadline.
+    pub shed_predicted_late: u64,
+    /// Admitted queries cancelled while still queued (resolved
+    /// [`QueryOutcome::Cancelled`] with zero execution work).
+    pub cancelled_while_queued: u64,
+    /// Total µs dispatched queries spent waiting in the queue.
+    pub queue_wait_us_total: f64,
+    /// Completions the admission cost model has learned from; predictions
+    /// gate rejection/shedding only once calibrated (see
+    /// [`crate::serve::CostEstimator`]).
+    pub estimator_samples: u64,
+}
+
+impl SchedulerStats {
+    /// All submissions refused at admission.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_estimated_late
+    }
+
+    /// All admitted queries resolved at dispatch without executing.
+    pub fn shed(&self) -> u64 {
+        self.shed_deadline_passed + self.shed_predicted_late
+    }
+
+    /// Mean queue wait of dispatched queries, in µs (0 when none).
+    pub fn mean_queue_wait_us(&self, dispatched: u64) -> f64 {
+        if dispatched == 0 {
+            0.0
+        } else {
+            self.queue_wait_us_total / dispatched as f64
+        }
+    }
+}
+
+/// One coherent export of everything the engine counts: engine-level
+/// throughput, admission/scheduling counters, and per-tenant goodput.
+/// Obtained from [`crate::engine::QueryEngine::metrics_snapshot`]; all three
+/// sections are taken while holding the scheduler lock once, so they agree
+/// with each other.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Engine-level counters (queries, batches, cache).
+    pub engine: EngineStats,
+    /// Admission and scheduling counters.
+    pub scheduler: SchedulerStats,
+    /// Per-tenant serving counters, sorted by tenant name.
+    pub tenants: Vec<crate::serve::TenantStats>,
 }
 
 /// Cross-machine traffic of one query broken down by execution phase.

@@ -200,6 +200,7 @@ pub(crate) fn pipelined_join_streaming(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ResultMode;
     use crate::join::multiway_join;
     use trinity_sim::ids::VertexId;
 
@@ -261,7 +262,7 @@ mod tests {
         let tables = chain_tables(1000);
         let cfg = MatchConfig {
             block_rows: 10,
-            max_results: Some(25),
+            result_mode: ResultMode::FirstK(25),
             ..MatchConfig::default()
         };
         let mut c = JoinCounters::default();
@@ -275,7 +276,7 @@ mod tests {
     fn pipeline_single_table() {
         let t = table(&[0, 1], &[&[1, 2], &[3, 4]]);
         let cfg = MatchConfig {
-            max_results: Some(1),
+            result_mode: ResultMode::FirstK(1),
             ..MatchConfig::default()
         };
         let mut c = JoinCounters::default();
@@ -343,7 +344,7 @@ mod tests {
         let tables = chain_tables(100);
         let cfg = MatchConfig {
             block_rows: 10,
-            max_results: Some(0),
+            result_mode: ResultMode::FirstK(0),
             ..MatchConfig::default()
         };
         let mut c = JoinCounters::default();
@@ -355,7 +356,7 @@ mod tests {
         // fills the budget is the last one counted.
         let cfg = MatchConfig {
             block_rows: 10,
-            max_results: Some(20),
+            result_mode: ResultMode::FirstK(20),
             ..MatchConfig::default()
         };
         let mut c = JoinCounters::default();

@@ -42,16 +42,34 @@ impl CancelToken {
 
 /// Per-query serving options, orthogonal to the algorithmic knobs in
 /// [`crate::config::MatchConfig`].
+///
+/// Besides the execution controls (deadline, cancellation, result mode),
+/// options carry the *serving identity* of a query — the
+/// [`crate::serve::TenantId`] it is charged to and its
+/// [`crate::serve::Priority`] within that tenant — so a fully-specified
+/// request can be built with one fluent chain and handed to
+/// [`crate::engine::QueryEngine::submit`] (via
+/// [`crate::serve::QueryRequest::with_options`]).
 #[derive(Debug, Clone, Default)]
 pub struct QueryOptions {
     /// Wall-clock budget measured from query admission. When it expires the
     /// query stops at the next cooperative check and reports
     /// [`crate::metrics::QueryOutcome::DeadlineExceeded`]; rows already
-    /// streamed remain delivered.
+    /// streamed remain delivered. Submitted queries may additionally be
+    /// rejected or shed when the engine predicts the deadline cannot be met
+    /// (see [`crate::serve`]).
     pub deadline: Option<Duration>,
     /// External cancellation; see [`CancelToken`]. Reported as
     /// [`crate::metrics::QueryOutcome::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// The tenant this query is charged to and scheduled under; `None`
+    /// means the submitting request's tenant (or the default tenant).
+    pub tenant: Option<crate::serve::TenantId>,
+    /// Scheduling priority within the tenant.
+    pub priority: crate::serve::Priority,
+    /// Per-query override of the engine's [`crate::config::ResultMode`]
+    /// (`None` inherits the engine configuration).
+    pub result_mode: Option<crate::config::ResultMode>,
 }
 
 impl QueryOptions {
@@ -69,6 +87,24 @@ impl QueryOptions {
     /// Attaches a cancel token.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Sets the tenant the query is charged to.
+    pub fn with_tenant(mut self, tenant: impl Into<crate::serve::TenantId>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the scheduling priority within the tenant.
+    pub fn with_priority(mut self, priority: crate::serve::Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Overrides the engine's result mode for this query.
+    pub fn with_result_mode(mut self, mode: crate::config::ResultMode) -> Self {
+        self.result_mode = Some(mode);
         self
     }
 }

@@ -171,6 +171,28 @@ fn cached_engine_is_bit_identical_to_uncached_serial_run() {
                     );
                 }
             }
+            // Third pass: the same queries through the submit() front door
+            // (default options — no deadline, no token) must stay
+            // bit-identical to the legacy reference, cache now warm.
+            let handles: Vec<QueryHandle> = queries
+                .iter()
+                .map(|q| {
+                    engine
+                        .submit(QueryRequest::new(q.clone()))
+                        .expect_accepted()
+                })
+                .collect();
+            engine.drain();
+            for (i, (handle, want)) in handles.into_iter().zip(&plain).enumerate() {
+                let response = handle.wait().unwrap();
+                assert_eq!(
+                    response.table.as_ref(),
+                    Some(&want.table),
+                    "submit() diverged from the legacy path \
+                     (graph = {}, query = {i}, mode = {mode:?})",
+                    case.name
+                );
+            }
             if mode == TransportMode::Messages {
                 assert_eq!(
                     cloud.direct_remote_reads(),

@@ -97,6 +97,65 @@ fn parallel_matches_serial_gigabit() {
     assert_parallel_matches_serial("gigabit", CostModel::default());
 }
 
+/// The workload submitted through `submit()` across tenants and served by
+/// concurrent `serve()` workers returns tables bit-identical to the serial
+/// reference executor, in both transport modes. Scheduling order and worker
+/// interleaving must never leak into results.
+#[test]
+fn submitted_queries_served_concurrently_match_serial() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    for machines in [2usize, 4] {
+        let cloud = test_cloud(machines, CostModel::default());
+        let queries = workload(&cloud);
+        for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+            let config = MatchConfig::paper_default()
+                .with_num_threads(Some(1))
+                .with_transport_mode(mode);
+            let expected: Vec<_> = queries
+                .iter()
+                .map(|q| match_query_distributed(&cloud, q, &config).unwrap())
+                .collect();
+            let engine = QueryEngine::new(
+                &cloud,
+                EngineConfig::default().with_match_config(config.clone()),
+            );
+            let stop = AtomicBool::new(false);
+            let handles: Vec<QueryHandle> = std::thread::scope(|s| {
+                for _ in 0..PARALLEL_THREADS {
+                    s.spawn(|| engine.serve(&stop));
+                }
+                let handles: Vec<QueryHandle> = queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        engine
+                            .submit(QueryRequest::new(q.clone()).with_tenant(if i % 2 == 0 {
+                                "even"
+                            } else {
+                                "odd"
+                            }))
+                            .expect_accepted()
+                    })
+                    .collect();
+                while handles.iter().any(|h| !h.is_finished()) {
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Release);
+                handles
+            });
+            for (i, (handle, want)) in handles.into_iter().zip(&expected).enumerate() {
+                let response = handle.wait().unwrap();
+                let ctx = format!("machines = {machines}, mode = {mode:?}, query = {i}");
+                assert_eq!(
+                    response.table.as_ref(),
+                    Some(&want.table),
+                    "submit()-served table diverged from serial reference: {ctx}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_matches_serial_infiniband() {
     assert_parallel_matches_serial("infiniband", CostModel::infiniband());

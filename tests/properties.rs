@@ -109,7 +109,7 @@ proptest! {
     fn result_limit_is_sound(g in random_graph(30, 2), limit in 1usize..20, seed in 0u64..1000) {
         let cloud = build_cloud(&g, 3);
         if let Some(query) = query_from(&cloud, 3, seed) {
-            let config = MatchConfig::exhaustive().with_max_results(Some(limit));
+            let config = MatchConfig::exhaustive().with_result_mode(ResultMode::FirstK(limit));
             let out = stwig::match_query_distributed(&cloud, &query, &config).unwrap();
             prop_assert!(out.num_matches() <= limit);
             prop_assert!(verify_all(&cloud, &query, &out.table).is_ok());
