@@ -388,6 +388,54 @@ fn report_overload(c: &mut Criterion) {
     );
 }
 
+/// Lossy-transport phase: the same open-loop serving over a Messages
+/// transport wrapped in a seeded lossy fault plan, with the default retry
+/// policy absorbing drops, duplicates, delays and transient errors. Reports
+/// goodput and accepted-latency p99 with retries on, plus the engine's
+/// aggregated retry / timeout / duplicate counters.
+fn report_lossy_transport(c: &mut Criterion) {
+    let _ = c;
+    let cloud = overload_cloud();
+    let admission = AdmissionConfig::default()
+        .with_queue_capacity(QUEUE_CAPACITY)
+        .with_servers(SERVERS);
+    let engine = QueryEngine::new(
+        &cloud,
+        EngineConfig::default()
+            .with_workers(Some(SERVERS))
+            .with_match_config(
+                MatchConfig::paper_default()
+                    .with_num_threads(Some(1))
+                    .with_transport_mode(TransportMode::Messages)
+                    .with_fault_plan(Some(trinity_sim::fault::FaultPlan::lossy(0x10))),
+            )
+            .with_serve(ServeConfig::default().with_admission(admission)),
+    );
+    let cal = calibrate(&engine, &cloud);
+    let capacity_qps = SERVERS as f64 / (cal.mean_ms / 1e3).max(1e-9);
+    let deadline = Duration::from_secs_f64((4.0 * cal.p99_ms).max(5.0) / 1e3);
+    let mut phase = run_open_loop(&engine, &cloud, 1.0, capacity_qps, deadline, 0x10AD);
+    phase.report();
+    let snapshot = engine.metrics_snapshot();
+    eprintln!(
+        "lossy transport: goodput {:.0} q/s | accepted-latency p99 {:.2} ms | \
+         retries {} timeouts {} duplicates suppressed {}",
+        phase.goodput_qps(),
+        percentile(&phase.latency_ms, 0.99),
+        snapshot.scheduler.retries_total,
+        snapshot.scheduler.timeouts_total,
+        snapshot.scheduler.duplicates_suppressed_total,
+    );
+    assert!(
+        phase.completed > 0,
+        "the lossy phase must still complete queries"
+    );
+    assert!(
+        snapshot.scheduler.retries_total + snapshot.scheduler.duplicates_suppressed_total > 0,
+        "the lossy plan must actually exercise the retry machinery"
+    );
+}
+
 /// Criterion sweep (kept small — the acceptance numbers come from
 /// `report_overload`): steady-state submit+drain round-trip of a small
 /// closed-loop batch through the admission path.
@@ -425,5 +473,10 @@ fn bench_overload(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_overload, report_overload);
+criterion_group!(
+    benches,
+    bench_overload,
+    report_overload,
+    report_lossy_transport
+);
 criterion_main!(benches);

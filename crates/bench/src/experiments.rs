@@ -433,6 +433,33 @@ fn synthetic_point(experiment: &str, cloud: &MemoryCloud, x: f64, scale: Scale) 
     rows
 }
 
+/// Chaos sweep (no paper counterpart): the WordNet-profile query suite in
+/// Messages mode under seeded lossy fault plans of growing severity, with
+/// the default retry policy absorbing the faults. X is the fault seed;
+/// alongside `run_time_ms` the rows report the retry / timeout / duplicate
+/// counters, so the CSV shows what fault tolerance costs.
+pub fn chaos(scale: Scale) -> Vec<Row> {
+    use trinity_sim::fault::FaultPlan;
+    let cloud = wordnet_cloud(scale, DEFAULT_MACHINES);
+    let queries = query_batch(&cloud, scale.queries_per_point(), 5, None, 0xC405);
+    let mut rows = Vec::new();
+    for (series, plan) in [
+        ("fault-free", None),
+        ("lossy-s1", Some(FaultPlan::lossy(1))),
+        ("lossy-s2", Some(FaultPlan::lossy(2))),
+    ] {
+        let config = MatchConfig::paper_default()
+            .with_transport_mode(stwig::TransportMode::Messages)
+            .with_fault_plan(plan);
+        let x = 0.0;
+        let res = run_suite(&cloud, &queries, &config, true);
+        rows.push(Row::new("chaos", series, x, "run_time_ms", res.avg_wall_ms));
+        rows.push(Row::new("chaos", series, x, "messages", res.avg_messages));
+        rows.extend(res.fault_rows("chaos", series, x));
+    }
+    rows
+}
+
 /// Returns every experiment name understood by [`run_experiment`].
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
@@ -447,6 +474,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "fig10b",
         "fig10c",
         "fig10d",
+        "chaos",
         "ablation-order",
         "ablation-head",
         "ablation-explore",
@@ -467,6 +495,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Row>> {
         "fig10b" => fig10b(scale),
         "fig10c" => fig10c(scale),
         "fig10d" => fig10d(scale),
+        "chaos" => chaos(scale),
         "ablation-order" => crate::ablations::ablation_order(scale),
         "ablation-head" => crate::ablations::ablation_head(scale),
         "ablation-explore" => crate::ablations::ablation_explore(scale),
@@ -503,6 +532,34 @@ mod tests {
             }
         }
         assert!(run_experiment("nonsense", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn chaos_experiment_reports_fault_counters_per_series() {
+        let rows = chaos(Scale::Small);
+        // Per series: run_time_ms + messages + 4 fault counters.
+        assert_eq!(rows.len(), 18);
+        let fault_free_retries: f64 = rows
+            .iter()
+            .filter(|r| r.series == "fault-free" && r.metric == "retries")
+            .map(|r| r.value)
+            .sum();
+        assert_eq!(fault_free_retries, 0.0, "a healthy transport never retries");
+        let lossy_activity: f64 = rows
+            .iter()
+            .filter(|r| {
+                r.series.starts_with("lossy")
+                    && matches!(r.metric.as_str(), "retries" | "duplicates_suppressed")
+            })
+            .map(|r| r.value)
+            .sum();
+        assert!(
+            lossy_activity > 0.0,
+            "lossy plans must show up in the fault counters: {rows:?}"
+        );
+        assert!(rows
+            .iter()
+            .all(|r| r.metric != "partial_queries" || r.value == 0.0));
     }
 
     #[test]

@@ -115,6 +115,14 @@ pub struct SuiteResult {
     pub avg_sync_bytes: f64,
     /// Mean cross-machine bytes spent shipping join tables per query.
     pub avg_join_bytes: f64,
+    /// Mean retried exchanges per query (non-zero only under fault plans).
+    pub avg_retries: f64,
+    /// Mean per-exchange timeouts per query.
+    pub avg_timeouts: f64,
+    /// Mean duplicate envelopes suppressed per query.
+    pub avg_duplicates_suppressed: f64,
+    /// Queries that completed degraded (`QueryOutcome::Partial`).
+    pub partial_queries: usize,
 }
 
 impl SuiteResult {
@@ -137,6 +145,30 @@ impl SuiteResult {
                 x,
                 "join_ship_bytes",
                 self.avg_join_bytes,
+            ),
+        ]
+    }
+
+    /// CSV rows for the fault-tolerance counters (retries, timeouts,
+    /// suppressed duplicates, degraded completions). All-zero on a healthy
+    /// transport; meaningful under a `FaultPlan`.
+    pub fn fault_rows(&self, experiment: &str, series: &str, x: f64) -> Vec<Row> {
+        vec![
+            Row::new(experiment, series, x, "retries", self.avg_retries),
+            Row::new(experiment, series, x, "timeouts", self.avg_timeouts),
+            Row::new(
+                experiment,
+                series,
+                x,
+                "duplicates_suppressed",
+                self.avg_duplicates_suppressed,
+            ),
+            Row::new(
+                experiment,
+                series,
+                x,
+                "partial_queries",
+                self.partial_queries as f64,
             ),
         ]
     }
@@ -174,6 +206,12 @@ pub fn run_suite(
         out.avg_explore_bytes += m.phase_traffic.explore_bytes as f64;
         out.avg_sync_bytes += m.phase_traffic.binding_sync_bytes as f64;
         out.avg_join_bytes += m.phase_traffic.join_ship_bytes as f64;
+        out.avg_retries += m.fault.retries as f64;
+        out.avg_timeouts += m.fault.timeouts as f64;
+        out.avg_duplicates_suppressed += m.fault.duplicates_suppressed as f64;
+        if m.outcome == stwig::metrics::QueryOutcome::Partial {
+            out.partial_queries += 1;
+        }
     }
     let n = queries.len() as f64;
     out.avg_wall_ms /= n;
@@ -185,6 +223,9 @@ pub fn run_suite(
     out.avg_explore_bytes /= n;
     out.avg_sync_bytes /= n;
     out.avg_join_bytes /= n;
+    out.avg_retries /= n;
+    out.avg_timeouts /= n;
+    out.avg_duplicates_suppressed /= n;
     out
 }
 

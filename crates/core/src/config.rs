@@ -1,6 +1,8 @@
 //! Tuning knobs of the matcher.
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use trinity_sim::fault::FaultPlan;
 
 /// How the distributed executor moves data between logical machines.
 ///
@@ -85,6 +87,121 @@ pub enum ResultMode {
     Exists,
 }
 
+/// Retry behavior for transport exchanges.
+///
+/// Exchanges are **pure reads** against an immutable partition (batched
+/// `Cloud.Load`, `Index.getID`), so retrying one is always safe: a repeated
+/// request returns the same cells. Backoff between attempts is exponential
+/// with **deterministic jitter** — the jitter is a hash of `(src, dst,
+/// attempt)`, not a random draw, so two runs of the same query back off
+/// identically and results stay reproducible.
+///
+/// Durations are stored in microseconds (plain integers serialize portably;
+/// the vendored serde has no `Duration` support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per exchange, including the first (floored at 1).
+    /// Keep this above `trinity_sim::fault::MAX_TRANSIENT_FAILURES` (2) so
+    /// chaos plans with bounded transient faults always get through.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, µs; doubles per further attempt.
+    pub base_backoff_us: u64,
+    /// Ceiling on a single backoff, µs.
+    pub max_backoff_us: u64,
+    /// Per-exchange timeout, µs (`None` = wait forever). Threaded into the
+    /// transport so a wedged peer surfaces as
+    /// `TransportError::Timeout { dst, phase }` instead of blocking the
+    /// query thread indefinitely.
+    pub timeout_us: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 50,
+            max_backoff_us: 5_000,
+            timeout_us: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out (PR-6 behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            timeout_us: None,
+        }
+    }
+
+    /// Sets the total attempt budget (floored at 1).
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the per-exchange timeout.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout_us = timeout.map(|t| t.as_micros() as u64);
+        self
+    }
+
+    /// The per-exchange timeout as a `Duration`, if configured.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout_us.map(Duration::from_micros)
+    }
+
+    /// The backoff before attempt `attempt + 1` (1-based failed attempt):
+    /// exponential from `base_backoff_us`, capped at `max_backoff_us`, plus
+    /// up to 50% deterministic jitter derived from `salt` (callers pass a
+    /// hash of the link) so synchronized retry storms de-correlate without
+    /// sacrificing reproducibility.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base_backoff_us == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self
+            .base_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_us.max(self.base_backoff_us));
+        let jitter = if base == 0 {
+            0
+        } else {
+            splitmix(salt ^ attempt as u64) % (base / 2 + 1)
+        };
+        Duration::from_micros(base + jitter)
+    }
+}
+
+/// SplitMix64 finalizer for deterministic backoff jitter.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// What a query does when a machine stays unreachable after the whole retry
+/// budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Fail the query with `StwigError::MachineUnavailable` (default): the
+    /// caller gets a typed error instead of a silently incomplete answer.
+    #[default]
+    Fail,
+    /// Keep going without the lost machine: every delivered row is still a
+    /// verified match, rows needing the dead machine are absent, and the
+    /// query resolves as `QueryOutcome::Partial` with the lost machines
+    /// recorded in its metrics.
+    Degrade,
+}
+
 /// Configuration of a subgraph-matching run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatchConfig {
@@ -128,6 +245,19 @@ pub struct MatchConfig {
     /// this is split into several envelopes). Affects message counts and
     /// therefore simulated time, never results.
     pub transport_batch_ids: usize,
+    /// Retry/timeout/backoff behavior for transport exchanges (see
+    /// [`RetryPolicy`]). Exchanges are pure reads, so retries never change
+    /// results — they only absorb transient faults.
+    pub retry: RetryPolicy,
+    /// What to do when a machine stays unreachable after retries (see
+    /// [`FailurePolicy`]).
+    pub failure_policy: FailurePolicy,
+    /// Fault-injection plan executed by wrapping the query's transport in a
+    /// `trinity_sim::fault::FaultyTransport`. Defaults to
+    /// [`FaultPlan::from_env`] (`STWIG_FAULT_PLAN`), which is how CI runs
+    /// the whole suite under seeded chaos; `None` when the variable is
+    /// unset. Only effective in [`TransportMode::Messages`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for MatchConfig {
@@ -142,6 +272,9 @@ impl Default for MatchConfig {
             num_threads: None,
             transport_mode: TransportMode::default(),
             transport_batch_ids: 4096,
+            retry: RetryPolicy::default(),
+            failure_policy: FailurePolicy::default(),
+            fault_plan: FaultPlan::from_env(),
         }
     }
 }
@@ -229,6 +362,24 @@ impl MatchConfig {
         self
     }
 
+    /// Sets the exchange retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the machine-loss policy.
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.failure_policy = policy;
+        self
+    }
+
+    /// Sets (or clears) the fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// The worker-thread count this configuration resolves to on the current
     /// host.
     pub fn resolved_num_threads(&self) -> usize {
@@ -310,6 +461,33 @@ mod tests {
                 .result_limit(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1, 42), p.backoff(1, 42), "same inputs, same wait");
+        assert_ne!(p.backoff(1, 42), p.backoff(1, 43), "salt moves the jitter");
+        // Exponential up to the cap, jitter at most 50% on top.
+        assert!(p.backoff(1, 7) <= Duration::from_micros(75));
+        assert!(p.backoff(30, 7) <= Duration::from_micros(7_500));
+        assert_eq!(RetryPolicy::none().backoff(5, 9), Duration::ZERO);
+        assert_eq!(RetryPolicy::none().with_max_attempts(0).max_attempts, 1);
+        let timed = RetryPolicy::default().with_timeout(Some(Duration::from_millis(2)));
+        assert_eq!(timed.timeout(), Some(Duration::from_millis(2)));
+        assert_eq!(RetryPolicy::default().timeout(), None);
+    }
+
+    #[test]
+    fn failure_policy_and_fault_plan_knobs() {
+        let c = MatchConfig::default()
+            .with_failure_policy(FailurePolicy::Degrade)
+            .with_fault_plan(Some(FaultPlan::lossy(3)))
+            .with_retry(RetryPolicy::none());
+        assert_eq!(c.failure_policy, FailurePolicy::Degrade);
+        assert_eq!(c.fault_plan, Some(FaultPlan::lossy(3)));
+        assert_eq!(c.retry.max_attempts, 1);
+        assert_eq!(FailurePolicy::default(), FailurePolicy::Fail);
     }
 
     #[test]

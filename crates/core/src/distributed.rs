@@ -62,15 +62,18 @@ use crate::cache::{
     apply_bindings_and_cap, canonicalize_table, derive_bound_table, CacheLookup, StwigCache,
     StwigShape,
 };
-use crate::config::{MatchConfig, TransportMode};
+use crate::config::{FailurePolicy, MatchConfig, TransportMode};
 use crate::decompose::decompose_ordered;
 use crate::error::StwigError;
 use crate::executor::MatchOutput;
 use crate::head::{load_set, select_head, HeadSelection};
 use crate::matcher::{match_stwig, match_stwig_batched};
-use crate::metrics::{ExploreCounters, JoinCounters, MachineMetrics, QueryMetrics, QueryOutcome};
+use crate::metrics::{
+    ExploreCounters, FaultCounters, JoinCounters, MachineMetrics, QueryMetrics, QueryOutcome,
+};
 use crate::pipeline::{pipelined_join, pipelined_join_streaming, RoundSink};
 use crate::query::{QVid, QueryGraph};
+use crate::retry::{retry_exchange, ExchangeOutcome};
 use crate::stream::{Interrupt, QueryControl, QueryOptions, ResultSink};
 use crate::stwig::STwig;
 use crate::table::ResultTable;
@@ -78,6 +81,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use trinity_sim::cluster_graph::ClusterGraph;
+use trinity_sim::fault::FaultyTransport;
 use trinity_sim::ids::{MachineId, VertexId};
 use trinity_sim::network::TrafficSnapshot;
 use trinity_sim::transport::{ChannelTransport, Message, Transport, TransportError};
@@ -208,10 +212,83 @@ where
         .collect()
 }
 
+/// The per-query transport stack of `Messages` mode: a [`ChannelTransport`]
+/// carrying the config's per-exchange timeout, wrapped in a
+/// [`FaultyTransport`] when a fault plan is armed
+/// (`MatchConfig::fault_plan`, usually via `STWIG_FAULT_PLAN`). The wrapper
+/// is an enum rather than a boxed trait object so the fault-free path stays
+/// allocation-free.
+enum QueryTransport<'c> {
+    /// Fault-free mailboxes.
+    Plain(ChannelTransport<'c>),
+    /// Seeded fault injection around the mailboxes (boxed: the fault
+    /// machinery dwarfs the plain variant, and this path already pays for
+    /// injected delays).
+    Faulty(Box<FaultyTransport<ChannelTransport<'c>>>),
+}
+
+impl<'c> QueryTransport<'c> {
+    fn for_config(cloud: &'c MemoryCloud, config: &MatchConfig) -> Self {
+        let mut tp = ChannelTransport::new(cloud);
+        if let Some(timeout) = config.retry.timeout() {
+            tp = tp.with_exchange_timeout(timeout);
+        }
+        match &config.fault_plan {
+            Some(plan) => QueryTransport::Faulty(Box::new(FaultyTransport::new(tp, plan.clone()))),
+            None => QueryTransport::Plain(tp),
+        }
+    }
+
+    /// Drain-side duplicate deliveries suppressed so far (exactly-once
+    /// accounting, harvested into `QueryMetrics::fault` per phase).
+    fn duplicates_suppressed(&self) -> u64 {
+        match self {
+            QueryTransport::Plain(tp) => tp.duplicates_suppressed(),
+            QueryTransport::Faulty(tp) => tp.inner().duplicates_suppressed(),
+        }
+    }
+}
+
+impl Transport for QueryTransport<'_> {
+    fn exchange(
+        &self,
+        src: MachineId,
+        dst: MachineId,
+        msg: Message,
+    ) -> Result<Message, TransportError> {
+        match self {
+            QueryTransport::Plain(tp) => tp.exchange(src, dst, msg),
+            QueryTransport::Faulty(tp) => tp.exchange(src, dst, msg),
+        }
+    }
+
+    fn alloc_seq(&self, src: MachineId, dst: MachineId) -> u64 {
+        match self {
+            QueryTransport::Plain(tp) => tp.alloc_seq(src, dst),
+            QueryTransport::Faulty(tp) => tp.alloc_seq(src, dst),
+        }
+    }
+
+    fn post_envelope(&self, dst: MachineId, env: trinity_sim::transport::Envelope) {
+        match self {
+            QueryTransport::Plain(tp) => tp.post_envelope(dst, env),
+            QueryTransport::Faulty(tp) => tp.post_envelope(dst, env),
+        }
+    }
+
+    fn drain(&self, dst: MachineId) -> Vec<trinity_sim::transport::Envelope> {
+        match self {
+            QueryTransport::Plain(tp) => tp.drain(dst),
+            QueryTransport::Faulty(tp) => tp.drain(dst),
+        }
+    }
+}
+
 /// Per-machine output of one exploration step.
 struct MachineExplore {
     table: ResultTable,
     counters: ExploreCounters,
+    faults: FaultCounters,
     compute_us: f64,
 }
 
@@ -316,7 +393,7 @@ pub fn match_query_distributed_with_cache(
             // its envelopes to the explore phase so the breakdown still
             // partitions the totals.
             let before = cloud.traffic();
-            let transport = ChannelTransport::new(cloud);
+            let transport = QueryTransport::for_config(cloud, config);
             let proxy = MachineId(0);
             for k in cloud.machines() {
                 if k == proxy {
@@ -325,10 +402,21 @@ pub fn match_query_distributed_with_cache(
                     }
                     continue;
                 }
-                for id in remote_postings(&transport, proxy, k, label)? {
-                    table.push_row(&[id]);
+                if let Some(ids) = remote_postings(
+                    &transport,
+                    config,
+                    proxy,
+                    k,
+                    label,
+                    None,
+                    &mut metrics.fault,
+                )? {
+                    for id in ids {
+                        table.push_row(&[id]);
+                    }
                 }
             }
+            metrics.fault.duplicates_suppressed += transport.duplicates_suppressed();
             let after = cloud.traffic();
             record_phase(
                 &before,
@@ -351,6 +439,9 @@ pub fn match_query_distributed_with_cache(
         }
         metrics.matches_found = table.num_rows() as u64;
         metrics.machines = machine_metrics;
+        if !metrics.fault.machines_lost.is_empty() {
+            metrics.outcome = QueryOutcome::Partial;
+        }
         finalize(&mut metrics, cloud, started);
         return Ok(MatchOutput { table, metrics });
     }
@@ -385,6 +476,11 @@ pub fn match_query_distributed_with_cache(
     };
     metrics.matches_found = table.num_rows() as u64;
     metrics.machines = machine_metrics;
+    if !metrics.fault.machines_lost.is_empty() {
+        // Every delivered row is join-verified; rows needing a lost machine
+        // are simply absent (see `FailurePolicy::Degrade`).
+        metrics.outcome = QueryOutcome::Partial;
+    }
     finalize(&mut metrics, cloud, started);
     Ok(MatchOutput { table, metrics })
 }
@@ -437,8 +533,8 @@ pub fn produce_stwig_tables(
     // In `Messages` mode all exploration-phase communication — batched cell
     // loads and binding deltas — travels over this transport; machines never
     // dereference each other's partitions.
-    let transport =
-        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
+    let transport = (config.transport_mode == TransportMode::Messages)
+        .then(|| QueryTransport::for_config(cloud, config));
     let mut per_machine_tables: Vec<Vec<ResultTable>> =
         vec![Vec::with_capacity(plan.stwigs.len()); num_machines];
     let mut bindings = Bindings::new(query.num_vertices());
@@ -462,6 +558,9 @@ pub fn produce_stwig_tables(
         // set).
         if control.is_some_and(QueryControl::interrupted) {
             metrics.explore = explore;
+            if let Some(tp) = &transport {
+                metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
+            }
             return Ok(Some(StwigTableSet {
                 per_machine: per_machine_tables,
             }));
@@ -492,6 +591,7 @@ pub fn produce_stwig_tables(
         let mut new_tables: Vec<ResultTable> = Vec::with_capacity(num_machines);
         for (ki, result) in results.into_iter().enumerate() {
             explore.merge(&result.counters);
+            metrics.fault.merge(&result.faults);
             let mm = &mut machine_metrics[ki];
             mm.compute_us += result.compute_us;
             mm.rows_produced += result.table.num_rows() as u64;
@@ -552,12 +652,16 @@ pub fn produce_stwig_tables(
                     }
                     // Drain every mailbox (each machine consumes its inbox);
                     // machine 0's is the one we materialize the union from.
-                    let inboxes: Vec<Vec<(MachineId, Message)>> =
+                    // The union is a set, so fault-injected reordering of
+                    // the deltas cannot change it; duplicates were already
+                    // suppressed by the drain-side dedup.
+                    let inboxes: Vec<Vec<trinity_sim::transport::Envelope>> =
                         cloud.machines().map(|m| tp.drain(m)).collect();
                     for (ci, &col) in synced_cols.iter().enumerate() {
                         let mut set = crate::hash::VertexSet::default();
                         set.extend(deltas[0][ci].1.iter().copied());
-                        for (_, msg) in &inboxes[0] {
+                        for env in &inboxes[0] {
+                            let msg = &env.msg;
                             let Message::BindingDelta { cols } = msg else {
                                 // A malformed peer degrades this query only.
                                 return Err(StwigError::Transport(
@@ -630,10 +734,16 @@ pub fn produce_stwig_tables(
         if total_rows == 0 {
             // No machine found a match for this STwig: the query has no answer.
             metrics.explore = explore;
+            if let Some(tp) = &transport {
+                metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
+            }
             return Ok(None);
         }
     }
     metrics.explore = explore;
+    if let Some(tp) = &transport {
+        metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
+    }
     Ok(Some(StwigTableSet {
         per_machine: per_machine_tables,
     }))
@@ -662,7 +772,7 @@ fn record_phase(
 #[allow(clippy::too_many_arguments)]
 fn explore_machine(
     cloud: &MemoryCloud,
-    transport: Option<&ChannelTransport<'_>>,
+    transport: Option<&QueryTransport<'_>>,
     k: MachineId,
     query: &QueryGraph,
     stwig: &STwig,
@@ -671,10 +781,11 @@ fn explore_machine(
     config: &MatchConfig,
     control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
+    faults: &mut FaultCounters,
 ) -> Result<ResultTable, StwigError> {
     match transport {
         Some(tp) => match_stwig_batched(
-            cloud, tp, k, query, stwig, roots, bindings, config, control, counters,
+            cloud, tp, k, query, stwig, roots, bindings, config, control, counters, faults,
         ),
         None => Ok(match_stwig(
             cloud, k, query, stwig, roots, bindings, config, control, counters,
@@ -690,7 +801,7 @@ fn explore_machine(
 #[allow(clippy::too_many_arguments)]
 fn explore_one_stwig(
     cloud: &MemoryCloud,
-    transport: Option<&ChannelTransport<'_>>,
+    transport: Option<&QueryTransport<'_>>,
     query: &QueryGraph,
     stwig: &STwig,
     bindings: &Bindings,
@@ -713,6 +824,7 @@ fn explore_one_stwig(
                     MachineExplore {
                         table,
                         counters: ExploreCounters::default(),
+                        faults: FaultCounters::default(),
                         compute_us: t0.elapsed().as_secs_f64() * 1e6,
                     }
                 }));
@@ -728,12 +840,13 @@ fn explore_one_stwig(
                     ..config.clone()
                 };
                 let unbound_bindings = Bindings::new(query.num_vertices());
-                let unbound =
-                    collect_explore_results(run_work_stealing(num_machines, threads, |ki| {
+                let unbound = collect_explore_results(
+                    run_work_stealing(num_machines, threads, |ki| {
                         let k = MachineId(ki as u16);
                         let t0 = Instant::now();
                         let roots = cloud.get_ids(k, query.label(stwig.root));
                         let mut counters = ExploreCounters::default();
+                        let mut faults = FaultCounters::default();
                         let table = explore_machine(
                             cloud,
                             transport,
@@ -745,13 +858,18 @@ fn explore_one_stwig(
                             &populate_cfg,
                             control,
                             &mut counters,
+                            &mut faults,
                         )?;
                         Ok(MachineExplore {
                             table,
                             counters,
+                            faults,
                             compute_us: t0.elapsed().as_secs_f64() * 1e6,
                         })
-                    }))?;
+                    }),
+                    stwig,
+                    config,
+                )?;
                 // An interrupted populate run may hold truncated tables; do
                 // not let them into the cache (or stand in for bound
                 // exploration below) — fall through to plain exploration,
@@ -761,12 +879,19 @@ fn explore_one_stwig(
                 let capped = cache
                     .populate_row_cap()
                     .is_some_and(|cap| unbound.iter().any(|r| r.table.num_rows() >= cap));
+                // A populate run that lost a machine holds *degraded* tables
+                // — sound for this query under `Degrade`, but poison for the
+                // cache, which must only ever hold fault-free exploration
+                // output. Use them once, cache nothing.
+                let degraded = unbound.iter().any(|r| !r.faults.machines_lost.is_empty());
                 if !capped && !interrupted {
-                    let canonical: Vec<ResultTable> = unbound
-                        .iter()
-                        .map(|r| canonicalize_table(&r.table, query, stwig))
-                        .collect();
-                    cache.insert(shape, canonical);
+                    if !degraded {
+                        let canonical: Vec<ResultTable> = unbound
+                            .iter()
+                            .map(|r| canonicalize_table(&r.table, query, stwig))
+                            .collect();
+                        cache.insert(shape, canonical);
+                    }
                     // Derive this query's tables from the full unbound
                     // tables — the exact derivation a future hit performs.
                     return Ok(unbound
@@ -783,8 +908,12 @@ fn explore_one_stwig(
                     // The unbound exploration hit the populate cap (a
                     // potentially pathological cross product): remember the
                     // shape as uncacheable so future queries skip the
-                    // populate attempt entirely.
-                    cache.mark_uncacheable(shape);
+                    // populate attempt entirely — unless a lost machine may
+                    // have shrunk the tables, in which case the verdict
+                    // isn't trustworthy.
+                    if !degraded {
+                        cache.mark_uncacheable(shape);
+                    }
                     // When nothing distinguishes this run from bound
                     // exploration — no binding constrains the STwig's
                     // vertices and the config's own row cap matches the
@@ -801,37 +930,72 @@ fn explore_one_stwig(
             }
         }
     }
-    collect_explore_results(run_work_stealing(num_machines, threads, |ki| {
-        let k = MachineId(ki as u16);
-        let t0 = Instant::now();
-        let roots = local_roots(cloud, k, query, stwig, bindings, config);
-        let mut counters = ExploreCounters::default();
-        let table = explore_machine(
-            cloud,
-            transport,
-            k,
-            query,
-            stwig,
-            &roots,
-            bindings,
-            config,
-            control,
-            &mut counters,
-        )?;
-        Ok(MachineExplore {
-            table,
-            counters,
-            compute_us: t0.elapsed().as_secs_f64() * 1e6,
-        })
-    }))
+    collect_explore_results(
+        run_work_stealing(num_machines, threads, |ki| {
+            let k = MachineId(ki as u16);
+            let t0 = Instant::now();
+            let roots = local_roots(cloud, k, query, stwig, bindings, config);
+            let mut counters = ExploreCounters::default();
+            let mut faults = FaultCounters::default();
+            let table = explore_machine(
+                cloud,
+                transport,
+                k,
+                query,
+                stwig,
+                &roots,
+                bindings,
+                config,
+                control,
+                &mut counters,
+                &mut faults,
+            )?;
+            Ok(MachineExplore {
+                table,
+                counters,
+                faults,
+                compute_us: t0.elapsed().as_secs_f64() * 1e6,
+            })
+        }),
+        stwig,
+        config,
+    )
 }
 
 /// Collapses per-machine exploration results: the first transport error (in
 /// machine order, for determinism) fails the query.
+///
+/// Under [`FailurePolicy::Degrade`] an item that failed whole-machine with
+/// [`StwigError::MachineUnavailable`] is replaced by an empty table with the
+/// STwig's columns (so the join schema stays intact) and the machine is
+/// recorded lost — the safety net behind the chunk-level degradation inside
+/// the matcher.
 fn collect_explore_results(
     results: Vec<Result<MachineExplore, StwigError>>,
+    stwig: &STwig,
+    config: &MatchConfig,
 ) -> Result<Vec<MachineExplore>, StwigError> {
-    results.into_iter().collect()
+    results
+        .into_iter()
+        .map(|r| match r {
+            Err(StwigError::MachineUnavailable { machine, .. })
+                if config.failure_policy == FailurePolicy::Degrade =>
+            {
+                let mut columns = Vec::with_capacity(1 + stwig.children.len());
+                columns.push(stwig.root);
+                columns.extend(stwig.children.iter().copied());
+                let mut faults = FaultCounters::default();
+                faults.record_lost(machine);
+                Ok(MachineExplore {
+                    table: ResultTable::new(columns),
+                    counters: ExploreCounters::default(),
+                    faults,
+                    compute_us: 0.0,
+                })
+            }
+            other => other,
+        })
+        .collect()
 }
 
 /// Phase 2 of the distributed execution: each machine fetches its load-set
@@ -859,11 +1023,12 @@ pub fn join_stwig_tables(
     // message before the per-machine join work items run — machine `j`
     // pushes its STwig-`t` rows to every machine whose load set names it
     // (Theorem 4 bounds the destinations). Each machine then assembles its
-    // R_k from its own tables plus its inbox; the mailbox preserves the
-    // (STwig, sender) posting order, so R_k is row-for-row identical to the
-    // direct-read assembly below.
-    let transport =
-        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
+    // R_k from its own tables plus its inbox; the drained envelopes are
+    // canonicalized to (STwig, sender, seq) order, so R_k is row-for-row
+    // identical to the direct-read assembly below even under fault-injected
+    // reordering.
+    let transport = (config.transport_mode == TransportMode::Messages)
+        .then(|| QueryTransport::for_config(cloud, config));
     if let Some(tp) = &transport {
         for ki in 0..num_machines {
             post_join_rows_to(tp, plan, per_machine_tables, MachineId(ki as u16));
@@ -900,6 +1065,9 @@ pub fn join_stwig_tables(
         });
     let join_results: Vec<MachineJoin> = join_results.into_iter().collect::<Result<_, _>>()?;
 
+    if let Some(tp) = &transport {
+        metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
+    }
     let after_join = cloud.traffic();
     record_phase(
         &before_join,
@@ -952,17 +1120,47 @@ pub fn join_stwig_tables(
 }
 
 /// Fetches machine `k`'s postings for `label` over the transport (one
-/// `GetIds` exchange from the proxy), type-checking the reply. Shared by
-/// the materialized and streaming single-vertex paths.
+/// `GetIds` exchange from the proxy, retried under `config.retry`),
+/// type-checking the reply. Shared by the materialized and streaming
+/// single-vertex paths.
+///
+/// Returns `Ok(None)` when the postings are unavailable but the query goes
+/// on: the machine stayed unreachable under [`FailurePolicy::Degrade`]
+/// (recorded in `faults.machines_lost`), or the query was interrupted
+/// mid-backoff.
 fn remote_postings(
-    tp: &ChannelTransport<'_>,
+    tp: &dyn Transport,
+    config: &MatchConfig,
     proxy: MachineId,
     k: MachineId,
     label: trinity_sim::ids::LabelId,
-) -> Result<Vec<VertexId>, StwigError> {
-    let reply = tp.exchange(proxy, k, Message::GetIdsRequest { label })?;
+    control: Option<&QueryControl>,
+    faults: &mut FaultCounters,
+) -> Result<Option<Vec<VertexId>>, StwigError> {
+    if faults.is_lost(k.0) {
+        return Ok(None);
+    }
+    let reply = match retry_exchange(
+        tp,
+        &config.retry,
+        proxy,
+        k,
+        &|| Message::GetIdsRequest { label },
+        control,
+        faults,
+    ) {
+        Ok(ExchangeOutcome::Reply(reply)) => reply,
+        Ok(ExchangeOutcome::Interrupted) => return Ok(None),
+        Err(StwigError::MachineUnavailable { machine, .. })
+            if config.failure_policy == FailurePolicy::Degrade =>
+        {
+            faults.record_lost(machine);
+            return Ok(None);
+        }
+        Err(err) => return Err(err),
+    };
     match reply {
-        Message::GetIdsReply { ids } => Ok(ids),
+        Message::GetIdsReply { ids } => Ok(Some(ids)),
         other => Err(StwigError::Transport(TransportError::UnexpectedReply {
             expected: "GetIdsReply",
             got: other.kind(),
@@ -977,7 +1175,7 @@ fn remote_postings(
 /// the materialized join phase (which posts to every machine up front) and
 /// the streaming pass (which posts lazily per machine).
 fn post_join_rows_to(
-    tp: &ChannelTransport<'_>,
+    tp: &dyn Transport,
     plan: &QueryPlan,
     per_machine_tables: &[Vec<ResultTable>],
     dest: MachineId,
@@ -1012,7 +1210,7 @@ fn assemble_rk_tables(
     cloud: &MemoryCloud,
     plan: &QueryPlan,
     per_machine_tables: &[Vec<ResultTable>],
-    transport: Option<&ChannelTransport<'_>>,
+    transport: Option<&QueryTransport<'_>>,
     ki: usize,
 ) -> Result<(Vec<ResultTable>, u64), StwigError> {
     let k = MachineId(ki as u16);
@@ -1020,16 +1218,27 @@ fn assemble_rk_tables(
     let mut received = 0u64;
     if let Some(tp) = transport {
         rk_tables.extend(per_machine_tables[ki].iter().cloned());
-        for (src, msg) in tp.drain(k) {
+        let mut inbox = tp.drain(k);
+        // Canonicalize arrival order. The fault-free posting order per
+        // destination is (STwig ascending, sender ascending) with at most
+        // one envelope per pair, so this sort is a stable no-op on a clean
+        // run — and under fault-injected delay/reorder it restores exactly
+        // that order, keeping R_k row-for-row deterministic.
+        inbox.sort_by_key(|env| match &env.msg {
+            Message::JoinRows { stwig, .. } => (*stwig, env.src.0, env.seq),
+            _ => (u32::MAX, env.src.0, env.seq),
+        });
+        for env in inbox {
+            let src = env.src;
             let Message::JoinRows {
                 stwig,
                 columns,
                 rows,
-            } = msg
+            } = env.msg
             else {
                 return Err(StwigError::Transport(TransportError::UnexpectedMessage {
                     phase: "join shipping",
-                    got: msg.kind(),
+                    got: env.msg.kind(),
                 }));
             };
             let Some(rk) = rk_tables.get_mut(stwig as usize) else {
@@ -1191,8 +1400,8 @@ fn stream_join_pass(
     let num_machines = cloud.num_machines();
     let per_machine_tables = &tables.per_machine;
     let before_join = cloud.traffic();
-    let transport =
-        (config.transport_mode == TransportMode::Messages).then(|| ChannelTransport::new(cloud));
+    let transport = (config.transport_mode == TransportMode::Messages)
+        .then(|| QueryTransport::for_config(cloud, config));
 
     let mut rows = 0u64;
     let mut exhausted = true;
@@ -1269,6 +1478,9 @@ fn stream_join_pass(
         if interrupted {
             break;
         }
+    }
+    if let Some(tp) = &transport {
+        metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
     }
     let after_join = cloud.traffic();
     record_phase(
@@ -1371,7 +1583,7 @@ pub fn match_query_streaming_with_cache(
         };
         let label = query.label(v0);
         let transport = (config.transport_mode == TransportMode::Messages)
-            .then(|| ChannelTransport::new(cloud));
+            .then(|| QueryTransport::for_config(cloud, config));
         let before = cloud.traffic();
         let proxy = MachineId(0);
         let mut limit_hit = false;
@@ -1380,7 +1592,16 @@ pub fn match_query_streaming_with_cache(
                 break;
             }
             let owned: Vec<VertexId> = match &transport {
-                Some(tp) if k != proxy => remote_postings(tp, proxy, k, label)?,
+                Some(tp) if k != proxy => remote_postings(
+                    tp,
+                    config,
+                    proxy,
+                    k,
+                    label,
+                    Some(&control),
+                    &mut metrics.fault,
+                )?
+                .unwrap_or_default(),
                 _ => cloud.get_ids(k, label).to_vec(),
             };
             for id in owned {
@@ -1390,6 +1611,9 @@ pub fn match_query_streaming_with_cache(
                 }
                 state.deliver(&[id]);
             }
+        }
+        if let Some(tp) = &transport {
+            metrics.fault.duplicates_suppressed += tp.duplicates_suppressed();
         }
         metrics.truncated = limit_hit;
         metrics.matches_found = state.streamed;
@@ -1401,6 +1625,8 @@ pub fn match_query_streaming_with_cache(
                 Interrupt::Cancelled => QueryOutcome::Cancelled,
                 Interrupt::DeadlineExceeded => QueryOutcome::DeadlineExceeded,
             };
+        } else if !metrics.fault.machines_lost.is_empty() {
+            metrics.outcome = QueryOutcome::Partial;
         }
         let after = cloud.traffic();
         record_phase(
@@ -1467,6 +1693,7 @@ pub fn match_query_streaming_with_cache(
         metrics.explore.merge(&round_metrics.explore);
         metrics.stwig_rows = round_metrics.stwig_rows.clone();
         metrics.phase_traffic.merge(&round_metrics.phase_traffic);
+        metrics.fault.merge(&round_metrics.fault);
         metrics.peak_table_bytes = metrics.peak_table_bytes.max(round_metrics.peak_table_bytes);
 
         if let Some(i) = control.check() {
@@ -1559,6 +1786,8 @@ pub fn match_query_streaming_with_cache(
         interrupt = control.check();
     }
     metrics.outcome = match interrupt {
+        // An interrupt outranks degradation: the client asked to stop.
+        None if !metrics.fault.machines_lost.is_empty() => QueryOutcome::Partial,
         None => QueryOutcome::Complete,
         Some(Interrupt::Cancelled) => QueryOutcome::Cancelled,
         Some(Interrupt::DeadlineExceeded) => QueryOutcome::DeadlineExceeded,

@@ -55,6 +55,7 @@ use crate::metrics::{
     CacheStats, EngineStats, MetricsSnapshot, QueryMetrics, QueryOutcome, SchedulerStats,
 };
 use crate::query::QueryGraph;
+use crate::serve::breaker::{BreakerBank, BreakerDecision};
 use crate::serve::scheduler::{Delivery, QueueEntry, Scheduler};
 use crate::serve::{
     CostEstimator, QueryHandle, QueryRequest, QueryResponse, RejectReason, ServeConfig, Submit,
@@ -175,6 +176,9 @@ pub struct QueryEngine<'c> {
     /// Per-tenant queues + DRR state; the condvar signals enqueues to
     /// [`QueryEngine::serve`] workers parked on an empty queue.
     sched: Mutex<Scheduler>,
+    /// Per-machine circuit breakers consulted at dispatch (own lock so the
+    /// shed fast path never contends with enqueues).
+    breakers: Mutex<BreakerBank>,
     work_available: Condvar,
     queries_run: AtomicU64,
     batches_run: AtomicU64,
@@ -191,8 +195,13 @@ pub struct QueryEngine<'c> {
     rejected_estimated_late: AtomicU64,
     shed_deadline_passed: AtomicU64,
     shed_predicted_late: AtomicU64,
+    shed_machine_down: AtomicU64,
     cancelled_while_queued: AtomicU64,
     queue_wait_us: AtomicU64,
+    partial_completions: AtomicU64,
+    retries_total: AtomicU64,
+    timeouts_total: AtomicU64,
+    duplicates_suppressed_total: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryEngine<'_> {
@@ -213,12 +222,14 @@ impl<'c> QueryEngine<'c> {
             .clone()
             .map(|cache_config| StwigCache::new(cloud, cache_config));
         let scheduler = Scheduler::new(config.serve.scheduler.clone());
+        let breakers = BreakerBank::new(config.serve.breaker, cloud.num_machines());
         QueryEngine {
             cloud,
             config,
             cache,
             estimator: CostEstimator::new(),
             sched: Mutex::new(scheduler),
+            breakers: Mutex::new(breakers),
             work_available: Condvar::new(),
             queries_run: AtomicU64::new(0),
             batches_run: AtomicU64::new(0),
@@ -233,9 +244,20 @@ impl<'c> QueryEngine<'c> {
             rejected_estimated_late: AtomicU64::new(0),
             shed_deadline_passed: AtomicU64::new(0),
             shed_predicted_late: AtomicU64::new(0),
+            shed_machine_down: AtomicU64::new(0),
             cancelled_while_queued: AtomicU64::new(0),
             queue_wait_us: AtomicU64::new(0),
+            partial_completions: AtomicU64::new(0),
+            retries_total: AtomicU64::new(0),
+            timeouts_total: AtomicU64::new(0),
+            duplicates_suppressed_total: AtomicU64::new(0),
         }
+    }
+
+    /// The state of machine `m`'s circuit breaker (for observability and
+    /// tests; dispatch consults the bank internally).
+    pub fn breaker_state(&self, m: u16) -> crate::serve::BreakerState {
+        self.breakers.lock().expect("breaker lock").state(m)
     }
 
     /// The cloud this engine serves.
@@ -446,6 +468,16 @@ impl<'c> QueryEngine<'c> {
         self.sched.lock().expect("scheduler lock").depth()
     }
 
+    /// Rolls one query's fault counters into the engine-wide totals.
+    fn observe_fault_counters(&self, fault: &crate::metrics::FaultCounters) {
+        self.retries_total
+            .fetch_add(fault.retries, Ordering::Relaxed);
+        self.timeouts_total
+            .fetch_add(fault.timeouts, Ordering::Relaxed);
+        self.duplicates_suppressed_total
+            .fetch_add(fault.duplicates_suppressed, Ordering::Relaxed);
+    }
+
     /// Dispatches one queued query: sheds it if its deadline is hopeless,
     /// resolves it if cancelled while queued, otherwise executes it and
     /// publishes the response through the handle.
@@ -514,6 +546,30 @@ impl<'c> QueryEngine<'c> {
                     drop(sched);
                     respond_without_running(QueryOutcome::Shed);
                     return;
+                }
+            }
+        }
+
+        // Circuit-breaker check: every query fans out over the whole
+        // cluster, so an open breaker on any machine sheds a sheddable
+        // query in O(1) — no exploration work, no transport envelope.
+        let mut probing: Option<u16> = None;
+        if sheddable && self.config.serve.breaker.enabled {
+            let mut breakers = self.breakers.lock().expect("breaker lock");
+            if breakers.any_tripped() {
+                match breakers.admit(now) {
+                    BreakerDecision::Allow => {}
+                    BreakerDecision::Probe(m) => probing = Some(m),
+                    BreakerDecision::Shed(_) => {
+                        drop(breakers);
+                        self.shed_machine_down.fetch_add(1, Ordering::Relaxed);
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        let mut sched = self.sched.lock().expect("scheduler lock");
+                        sched.tenant_stats_mut(&tenant).shed += 1;
+                        drop(sched);
+                        respond_without_running(QueryOutcome::Shed);
+                        return;
+                    }
                 }
             }
         }
@@ -589,13 +645,18 @@ impl<'c> QueryEngine<'c> {
                     QueryOutcome::DeadlineExceeded => {
                         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                     }
+                    QueryOutcome::Partial => {
+                        self.partial_completions.fetch_add(1, Ordering::Relaxed);
+                    }
                     QueryOutcome::Complete | QueryOutcome::Shed => {}
                 }
                 if metrics.outcome == QueryOutcome::Complete {
-                    // Interrupted runs under-report their true cost; only
-                    // completions calibrate the admission estimator.
+                    // Interrupted and degraded runs under-report their true
+                    // cost; only full completions calibrate the admission
+                    // estimator.
                     self.estimator.observe(cost, wall_us);
                 }
+                self.observe_fault_counters(&metrics.fault);
                 let rows = table
                     .as_ref()
                     .map(|t| t.num_rows() as u64)
@@ -603,7 +664,9 @@ impl<'c> QueryEngine<'c> {
                 let mut sched = self.sched.lock().expect("scheduler lock");
                 let stats = sched.tenant_stats_mut(&tenant);
                 match metrics.outcome {
-                    QueryOutcome::Complete => stats.completed += 1,
+                    // A degraded query still delivered (partial) rows: it
+                    // counts as completed for tenant goodput.
+                    QueryOutcome::Complete | QueryOutcome::Partial => stats.completed += 1,
                     QueryOutcome::Cancelled => stats.cancelled += 1,
                     QueryOutcome::DeadlineExceeded => stats.deadline_exceeded += 1,
                     QueryOutcome::Shed => {}
@@ -614,6 +677,34 @@ impl<'c> QueryEngine<'c> {
             Err(_) => {
                 let mut sched = self.sched.lock().expect("scheduler lock");
                 sched.tenant_stats_mut(&tenant).busy_us += wall_us;
+            }
+        }
+
+        // Feed the breakers: machines recorded lost (Degrade) or reported
+        // unavailable (Fail) count as failures; a clean run — every query
+        // fans out over every partition — counts as a success for all of
+        // them, and releases a half-open probe slot either way.
+        if self.config.serve.breaker.enabled {
+            let failed: Vec<u16> = match &result {
+                Ok((_, metrics)) => metrics.fault.machines_lost.clone(),
+                Err(StwigError::MachineUnavailable { machine, .. }) => vec![*machine],
+                Err(_) => Vec::new(),
+            };
+            let mut breakers = self.breakers.lock().expect("breaker lock");
+            if failed.is_empty() {
+                for m in 0..self.cloud.num_machines() as u16 {
+                    breakers.record_success(m);
+                }
+            } else {
+                let at = Instant::now();
+                for &m in &failed {
+                    breakers.record_failure(m, at);
+                }
+                if let Some(m) = probing {
+                    if !failed.contains(&m) {
+                        breakers.record_success(m);
+                    }
+                }
             }
         }
         shared.finish(result.map(|(table, metrics)| QueryResponse {
@@ -747,8 +838,12 @@ impl<'c> QueryEngine<'c> {
                 QueryOutcome::DeadlineExceeded => {
                     self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                 }
+                QueryOutcome::Partial => {
+                    self.partial_completions.fetch_add(1, Ordering::Relaxed);
+                }
                 QueryOutcome::Complete | QueryOutcome::Shed => {}
             }
+            self.observe_fault_counters(&metrics.fault);
         }
         result
     }
@@ -841,6 +936,10 @@ impl<'c> QueryEngine<'c> {
     /// (sorted by tenant name). The scheduler section is taken under the
     /// scheduler lock, so queue depth and tenant counters agree.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (breaker_opened, breaker_half_open_probes, breaker_closed) = {
+            let breakers = self.breakers.lock().expect("breaker lock");
+            (breakers.opened, breakers.half_open_probes, breakers.closed)
+        };
         let sched = self.sched.lock().expect("scheduler lock");
         let scheduler = SchedulerStats {
             queue_depth: sched.depth() as u64,
@@ -851,9 +950,17 @@ impl<'c> QueryEngine<'c> {
             rejected_estimated_late: self.rejected_estimated_late.load(Ordering::Relaxed),
             shed_deadline_passed: self.shed_deadline_passed.load(Ordering::Relaxed),
             shed_predicted_late: self.shed_predicted_late.load(Ordering::Relaxed),
+            shed_machine_down: self.shed_machine_down.load(Ordering::Relaxed),
             cancelled_while_queued: self.cancelled_while_queued.load(Ordering::Relaxed),
             queue_wait_us_total: self.queue_wait_us.load(Ordering::Relaxed) as f64,
             estimator_samples: self.estimator.samples(),
+            retries_total: self.retries_total.load(Ordering::Relaxed),
+            timeouts_total: self.timeouts_total.load(Ordering::Relaxed),
+            duplicates_suppressed_total: self.duplicates_suppressed_total.load(Ordering::Relaxed),
+            partial_completions: self.partial_completions.load(Ordering::Relaxed),
+            breaker_opened,
+            breaker_half_open_probes,
+            breaker_closed,
         };
         let tenants = sched.tenant_snapshot();
         drop(sched);

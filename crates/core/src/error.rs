@@ -37,6 +37,19 @@ pub enum StwigError {
     /// a request with the wrong variant). Fails the offending query only;
     /// the serving process and every other in-flight query keep running.
     Transport(TransportError),
+    /// A machine could not be reached after the configured retry budget:
+    /// either it is permanently down, or transient faults outlasted every
+    /// attempt. Under `FailurePolicy::Fail` this fails the query typed;
+    /// under `FailurePolicy::Degrade` the executor converts it into a
+    /// partial result and records the machine as lost.
+    MachineUnavailable {
+        /// The unreachable machine.
+        machine: u16,
+        /// Exchange attempts made before giving up.
+        attempts: u32,
+        /// The error of the final attempt.
+        last: TransportError,
+    },
     /// Internal invariant violation (a bug if ever observed).
     Internal(String),
 }
@@ -68,6 +81,16 @@ impl fmt::Display for StwigError {
                 write!(f, "pattern syntax error in term {term}: {message}")
             }
             StwigError::Transport(err) => write!(f, "transport protocol violation: {err}"),
+            StwigError::MachineUnavailable {
+                machine,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "machine M{machine} unreachable after {attempts} attempt(s): {last}"
+                )
+            }
             StwigError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

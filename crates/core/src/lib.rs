@@ -71,6 +71,7 @@ pub mod metrics;
 pub mod pattern;
 pub mod pipeline;
 pub mod query;
+pub mod retry;
 pub mod serve;
 pub mod stream;
 pub mod stwig;
@@ -78,7 +79,7 @@ pub mod table;
 pub mod verify;
 
 pub use cache::{CacheConfig, CacheLookup, StwigCache};
-pub use config::{MatchConfig, ResultMode, TransportMode};
+pub use config::{FailurePolicy, MatchConfig, ResultMode, RetryPolicy, TransportMode};
 pub use distributed::{
     join_stwig_tables, match_query_distributed, match_query_distributed_with_cache,
     match_query_streaming, match_query_streaming_with_cache, plan_query, produce_stwig_tables,
@@ -88,14 +89,15 @@ pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
 pub use executor::{match_query, MatchOutput};
 pub use metrics::{
-    CacheStats, EngineStats, MetricsSnapshot, PhaseTraffic, QueryMetrics, QueryOutcome,
-    SchedulerStats,
+    CacheStats, EngineStats, FaultCounters, MetricsSnapshot, PhaseTraffic, QueryMetrics,
+    QueryOutcome, SchedulerStats,
 };
 pub use pattern::parse_pattern;
 pub use query::{QVid, QueryGraph, QueryGraphBuilder};
 pub use serve::{
-    AdmissionConfig, CostEstimator, Priority, QueryHandle, QueryRequest, QueryResponse,
-    QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId, TenantStats,
+    AdmissionConfig, BreakerConfig, CostEstimator, Priority, QueryHandle, QueryRequest,
+    QueryResponse, QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId,
+    TenantStats,
 };
 pub use stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
 pub use stwig::STwig;
@@ -104,7 +106,7 @@ pub use table::ResultTable;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cache::{CacheConfig, StwigCache, StwigShape};
-    pub use crate::config::{MatchConfig, ResultMode, TransportMode};
+    pub use crate::config::{FailurePolicy, MatchConfig, ResultMode, RetryPolicy, TransportMode};
     pub use crate::decompose::{
         decompose_ordered, decompose_random, LabelStatistics, UniformStats,
     };
@@ -118,14 +120,15 @@ pub mod prelude {
     pub use crate::executor::{match_query, MatchOutput};
     pub use crate::head::{load_set, select_head, HeadSelection};
     pub use crate::metrics::{
-        CacheStats, EngineStats, MetricsSnapshot, PhaseTraffic, QueryMetrics, QueryOutcome,
-        SchedulerStats,
+        CacheStats, EngineStats, FaultCounters, MetricsSnapshot, PhaseTraffic, QueryMetrics,
+        QueryOutcome, SchedulerStats,
     };
     pub use crate::pattern::parse_pattern;
     pub use crate::query::{QVid, QueryGraph, QueryGraphBuilder};
     pub use crate::serve::{
-        AdmissionConfig, CostEstimator, Priority, QueryHandle, QueryRequest, QueryResponse,
-        QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId, TenantStats,
+        AdmissionConfig, BreakerConfig, CostEstimator, Priority, QueryHandle, QueryRequest,
+        QueryResponse, QueryStatus, RejectReason, SchedulerConfig, ServeConfig, Submit, TenantId,
+        TenantStats,
     };
     pub use crate::stream::{CancelToken, ChannelSink, CollectSink, QueryOptions, ResultSink};
     pub use crate::stwig::STwig;

@@ -15,11 +15,12 @@
 //!   [`trinity_sim::partition::CellBuf`] replies.
 
 use crate::bindings::Bindings;
-use crate::config::MatchConfig;
+use crate::config::{FailurePolicy, MatchConfig};
 use crate::error::StwigError;
 use crate::hash::FxHashMap;
-use crate::metrics::ExploreCounters;
+use crate::metrics::{ExploreCounters, FaultCounters};
 use crate::query::QueryGraph;
+use crate::retry::{retry_exchange, ExchangeOutcome};
 use crate::stream::QueryControl;
 use crate::stwig::STwig;
 use crate::table::ResultTable;
@@ -91,6 +92,15 @@ pub fn match_stwig(
 /// envelopes are skipped and the emission pass runs against whatever labels
 /// already arrived (missing labels only suppress rows, so every emitted row
 /// stays a valid partial match).
+///
+/// Every exchange runs under `config.retry` (see [`crate::retry`]); what the
+/// retry layer absorbed is tallied into `faults`. A machine that stays
+/// unreachable after the budget fails the exploration with
+/// [`StwigError::MachineUnavailable`] under [`FailurePolicy::Fail`]; under
+/// [`FailurePolicy::Degrade`] the machine is recorded in
+/// `faults.machines_lost` and its frontier labels stay unknown — rows
+/// needing them are pruned, so every emitted row remains a verified partial
+/// match over the surviving machines.
 #[allow(clippy::too_many_arguments)]
 pub fn match_stwig_batched(
     cloud: &MemoryCloud,
@@ -103,6 +113,7 @@ pub fn match_stwig_batched(
     config: &MatchConfig,
     control: Option<&QueryControl>,
     counters: &mut ExploreCounters,
+    faults: &mut FaultCounters,
 ) -> Result<ResultTable, StwigError> {
     // ---- Superstep 1: frontier collection (local-only reads) ----
     // Visit every root that could emit rows and gather the neighbor ids
@@ -155,22 +166,41 @@ pub fn match_stwig_batched(
         }
         ids.sort_unstable();
         let owner = MachineId(owner as u16);
+        // A machine already lost earlier in this query stays lost — don't
+        // burn another retry ladder rediscovering the same corpse.
+        if faults.is_lost(owner.0) {
+            continue;
+        }
         for chunk in ids.chunks(config.transport_batch_ids.max(1)) {
             // Cooperative check at every superstep flush: a cancelled or
             // deadline-expired query stops issuing envelopes immediately.
             if control.is_some_and(QueryControl::interrupted) {
                 break 'flush;
             }
-            let reply = transport
-                .exchange(
-                    machine,
-                    owner,
-                    Message::LoadRequest {
-                        ids: chunk.to_vec(),
-                        with_neighbors: false,
-                    },
-                )
-                .map_err(StwigError::Transport)?;
+            let reply = match retry_exchange(
+                transport,
+                &config.retry,
+                machine,
+                owner,
+                &|| Message::LoadRequest {
+                    ids: chunk.to_vec(),
+                    with_neighbors: false,
+                },
+                control,
+                faults,
+            ) {
+                Ok(ExchangeOutcome::Reply(reply)) => reply,
+                Ok(ExchangeOutcome::Interrupted) => break 'flush,
+                Err(StwigError::MachineUnavailable { machine: lost, .. })
+                    if config.failure_policy == FailurePolicy::Degrade =>
+                {
+                    // Graceful degradation: this owner's labels stay
+                    // unknown, which only suppresses rows needing them.
+                    faults.record_lost(lost);
+                    continue 'flush;
+                }
+                Err(err) => return Err(err),
+            };
             let cells = match reply {
                 Message::LoadReply { cells } => cells,
                 other => {
@@ -603,6 +633,7 @@ mod tests {
                     );
                     cloud.reset_traffic();
                     let mut batched_counters = ExploreCounters::default();
+                    let mut faults = FaultCounters::default();
                     let batched = match_stwig_batched(
                         &cloud,
                         &transport,
@@ -614,8 +645,10 @@ mod tests {
                         &cfg,
                         None,
                         &mut batched_counters,
+                        &mut faults,
                     )
                     .unwrap();
+                    assert!(!faults.any(), "fault-free run must count nothing");
                     assert_eq!(direct, batched, "machine {k}, batch {batch}");
                     assert_eq!(direct_counters, batched_counters);
                     assert_eq!(
@@ -656,6 +689,7 @@ mod tests {
                     &cfg,
                     None,
                     &mut counters,
+                    &mut FaultCounters::default(),
                 )
                 .unwrap();
             }
@@ -685,8 +719,11 @@ mod tests {
             ) -> Result<Message, TransportError> {
                 Ok(Message::GetIdsReply { ids: vec![] })
             }
-            fn post(&self, _src: MachineId, _dst: MachineId, _msg: Message) {}
-            fn drain(&self, _dst: MachineId) -> Vec<(MachineId, Message)> {
+            fn alloc_seq(&self, _src: MachineId, _dst: MachineId) -> u64 {
+                0
+            }
+            fn post_envelope(&self, _dst: MachineId, _env: trinity_sim::transport::Envelope) {}
+            fn drain(&self, _dst: MachineId) -> Vec<trinity_sim::transport::Envelope> {
                 Vec::new()
             }
         }
@@ -711,6 +748,7 @@ mod tests {
                 &MatchConfig::default(),
                 None,
                 &mut counters,
+                &mut FaultCounters::default(),
             ) {
                 Err(crate::error::StwigError::Transport(TransportError::UnexpectedReply {
                     expected,

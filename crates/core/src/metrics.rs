@@ -24,10 +24,16 @@ pub enum QueryOutcome {
     /// The query's deadline expired mid-execution.
     DeadlineExceeded,
     /// The admitted query was refused at dispatch — its deadline had already
-    /// passed (or the cost model predicted it could not finish in time) — so
-    /// the engine spent **zero** execution work on it: no exploration, no
-    /// join, no transport envelope. See [`crate::serve`].
+    /// passed (or the cost model predicted it could not finish in time, or a
+    /// machine it needs is behind an open circuit breaker) — so the engine
+    /// spent **zero** execution work on it: no exploration, no join, no
+    /// transport envelope. See [`crate::serve`].
     Shed,
+    /// The query ran to its end under `FailurePolicy::Degrade` with one or
+    /// more machines unreachable: every delivered row is a verified match,
+    /// but rows that needed a lost machine are absent. The lost machines
+    /// and coverage are in [`FaultCounters`].
+    Partial,
 }
 
 impl QueryOutcome {
@@ -35,6 +41,69 @@ impl QueryOutcome {
     /// before it ever ran.
     pub fn is_interrupted(&self) -> bool {
         !matches!(self, QueryOutcome::Complete)
+    }
+}
+
+/// Fault-tolerance counters of one query: what the retry layer absorbed and
+/// what was permanently lost.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Exchange attempts repeated after a transient failure.
+    pub retries: u64,
+    /// Exchange attempts that failed with `TransportError::Timeout`.
+    pub timeouts: u64,
+    /// Exchange attempts that failed with another transient error
+    /// (unavailability, corrupt payload).
+    pub transient_errors: u64,
+    /// Duplicate envelope deliveries suppressed by drain-side dedup.
+    pub duplicates_suppressed: u64,
+    /// Machines that stayed unreachable after the retry budget and were
+    /// dropped under `FailurePolicy::Degrade` (sorted, deduplicated). Empty
+    /// for a complete query.
+    pub machines_lost: Vec<u16>,
+}
+
+impl FaultCounters {
+    /// Adds another counter set into this one (lost machines are unioned).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.transient_errors += other.transient_errors;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        for &m in &other.machines_lost {
+            self.record_lost(m);
+        }
+    }
+
+    /// Records machine `m` as permanently lost (idempotent).
+    pub fn record_lost(&mut self, m: u16) {
+        if let Err(pos) = self.machines_lost.binary_search(&m) {
+            self.machines_lost.insert(pos, m);
+        }
+    }
+
+    /// Whether machine `m` has been recorded as lost.
+    pub fn is_lost(&self, m: u16) -> bool {
+        self.machines_lost.binary_search(&m).is_ok()
+    }
+
+    /// Fraction of the cluster that stayed reachable, in `[0, 1]` — the
+    /// coverage of a [`QueryOutcome::Partial`] result. `1.0` when nothing
+    /// was lost.
+    pub fn coverage(&self, num_machines: usize) -> f64 {
+        if num_machines == 0 {
+            return 1.0;
+        }
+        1.0 - self.machines_lost.len().min(num_machines) as f64 / num_machines as f64
+    }
+
+    /// Whether any fault was observed at all.
+    pub fn any(&self) -> bool {
+        self.retries != 0
+            || self.timeouts != 0
+            || self.transient_errors != 0
+            || self.duplicates_suppressed != 0
+            || !self.machines_lost.is_empty()
     }
 }
 
@@ -178,6 +247,26 @@ pub struct SchedulerStats {
     /// gate rejection/shedding only once calibrated (see
     /// [`crate::serve::CostEstimator`]).
     pub estimator_samples: u64,
+    /// Admitted queries shed at dispatch because a machine they need sits
+    /// behind an open circuit breaker (resolved in O(1), zero transport
+    /// work).
+    pub shed_machine_down: u64,
+    /// Exchange retries across all executed queries.
+    pub retries_total: u64,
+    /// Exchange timeouts across all executed queries.
+    pub timeouts_total: u64,
+    /// Duplicate envelope deliveries suppressed across all executed queries.
+    pub duplicates_suppressed_total: u64,
+    /// Queries that resolved [`QueryOutcome::Partial`] under
+    /// `FailurePolicy::Degrade`.
+    pub partial_completions: u64,
+    /// Circuit-breaker transitions Closed→Open (see
+    /// [`crate::serve::BreakerBank`]).
+    pub breaker_opened: u64,
+    /// Circuit-breaker half-open probe queries allowed through.
+    pub breaker_half_open_probes: u64,
+    /// Circuit-breaker transitions HalfOpen→Closed (machine recovered).
+    pub breaker_closed: u64,
 }
 
 impl SchedulerStats {
@@ -188,7 +277,7 @@ impl SchedulerStats {
 
     /// All admitted queries resolved at dispatch without executing.
     pub fn shed(&self) -> u64 {
-        self.shed_deadline_passed + self.shed_predicted_late
+        self.shed_deadline_passed + self.shed_predicted_late + self.shed_machine_down
     }
 
     /// Mean queue wait of dispatched queries, in µs (0 when none).
@@ -324,6 +413,10 @@ pub struct QueryMetrics {
     /// Traffic broken down by phase (exploration, binding sync, join
     /// shipping).
     pub phase_traffic: PhaseTraffic,
+    /// What the fault-tolerance layer absorbed (retries, timeouts,
+    /// suppressed duplicates) and lost (unreachable machines) during this
+    /// query. All-zero on a fault-free run.
+    pub fault: FaultCounters,
     /// Per-machine breakdown (empty for the single-machine executor).
     pub machines: Vec<MachineMetrics>,
 }
@@ -395,6 +488,32 @@ mod tests {
         assert!(QueryOutcome::DeadlineExceeded.is_interrupted());
         assert_eq!(m.rows_streamed, 0);
         assert_eq!(m.time_to_first_result_us, None);
+    }
+
+    #[test]
+    fn fault_counters_merge_union_and_coverage() {
+        let mut a = FaultCounters {
+            retries: 2,
+            timeouts: 1,
+            transient_errors: 1,
+            duplicates_suppressed: 3,
+            machines_lost: vec![2],
+        };
+        let b = FaultCounters {
+            retries: 1,
+            machines_lost: vec![0, 2],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.machines_lost, vec![0, 2], "lost set unions sorted");
+        a.record_lost(2);
+        assert_eq!(a.machines_lost.len(), 2, "record_lost is idempotent");
+        assert!((a.coverage(4) - 0.5).abs() < 1e-12);
+        assert!((FaultCounters::default().coverage(4) - 1.0).abs() < 1e-12);
+        assert!(a.any());
+        assert!(!FaultCounters::default().any());
+        assert!(QueryOutcome::Partial.is_interrupted());
     }
 
     #[test]

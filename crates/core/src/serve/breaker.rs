@@ -1,0 +1,354 @@
+//! Per-machine circuit breakers for the serving layer.
+//!
+//! When a machine dies, every query that needs it burns its whole retry
+//! budget (and often its deadline) rediscovering the same corpse. A circuit
+//! breaker remembers: after [`BreakerConfig::failures_to_open`] consecutive
+//! failures against one machine the breaker **opens**, and the engine sheds
+//! queries needing that machine at dispatch — an O(1) map lookup, zero
+//! transport work, resolved as `QueryOutcome::Shed` in well under a
+//! millisecond. After a backoff the breaker goes **half-open** and lets a
+//! single probe query through: success closes the breaker, failure re-opens
+//! it with the backoff multiplied (capped). Every query in this executor
+//! touches every machine (exploration fans out over all partitions), so one
+//! open breaker is enough to shed a sheddable query.
+//!
+//! ```text
+//!                 failure (consecutive == K)
+//!   Closed ───────────────────────────────────► Open
+//!     ▲                                           │ backoff elapses
+//!     │ probe succeeds                            ▼
+//!     └───────────────────────────────────── HalfOpen ──► Open (probe fails,
+//!                                          (one probe)      backoff × mult)
+//! ```
+//!
+//! The bank is engine-internal state mutated under the scheduler lock; its
+//! counters are exported through `SchedulerStats` (`breaker_opened`,
+//! `breaker_half_open_probes`, `breaker_closed`, `shed_machine_down`).
+
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the per-machine circuit breakers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Whether breakers are consulted at all. On by default; turn off to
+    /// reproduce pre-breaker dispatch exactly.
+    pub enabled: bool,
+    /// Consecutive failures against one machine that open its breaker.
+    pub failures_to_open: u32,
+    /// How long an opened breaker stays open before a half-open probe.
+    pub open_backoff: Duration,
+    /// Backoff multiplier applied each time a probe fails.
+    pub backoff_multiplier: f64,
+    /// Ceiling on the open backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            failures_to_open: 3,
+            open_backoff: Duration::from_millis(100),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Disables the breakers.
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the consecutive-failure threshold (floored at 1).
+    pub fn with_failures_to_open(mut self, k: u32) -> Self {
+        self.failures_to_open = k.max(1);
+        self
+    }
+
+    /// Sets the initial open backoff.
+    pub fn with_open_backoff(mut self, backoff: Duration) -> Self {
+        self.open_backoff = backoff;
+        self
+    }
+}
+
+/// Where one machine's breaker currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: queries flow.
+    Closed,
+    /// Tripped: queries needing this machine are shed until the backoff
+    /// elapses.
+    Open,
+    /// Backoff elapsed: exactly one probe query is in flight; everyone else
+    /// is still shed.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct MachineBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When an [`BreakerState::Open`] breaker may go half-open.
+    probe_at: Instant,
+    /// Current open backoff (grows on failed probes).
+    backoff: Duration,
+    /// Whether the half-open probe slot is taken.
+    probing: bool,
+}
+
+/// What [`BreakerBank::admit`] decided for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// No open breaker: execute normally.
+    Allow,
+    /// Some breaker is half-open and this query took its probe slot:
+    /// execute, and report the result so the breaker can close or re-open.
+    Probe(u16),
+    /// A breaker for this machine is open (or its probe slot is taken):
+    /// shed without any transport work.
+    Shed(u16),
+}
+
+/// The engine's per-machine breaker array plus transition counters.
+#[derive(Debug)]
+pub struct BreakerBank {
+    config: BreakerConfig,
+    machines: Vec<MachineBreaker>,
+    /// Closed→Open transitions.
+    pub opened: u64,
+    /// Half-open probes allowed through.
+    pub half_open_probes: u64,
+    /// HalfOpen→Closed transitions (recoveries).
+    pub closed: u64,
+}
+
+impl BreakerBank {
+    /// A bank of `num_machines` closed breakers.
+    pub fn new(config: BreakerConfig, num_machines: usize) -> Self {
+        let now = Instant::now();
+        BreakerBank {
+            config,
+            machines: (0..num_machines)
+                .map(|_| MachineBreaker {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    probe_at: now,
+                    backoff: config.open_backoff,
+                    probing: false,
+                })
+                .collect(),
+            opened: 0,
+            half_open_probes: 0,
+            closed: 0,
+        }
+    }
+
+    /// The state of machine `m`'s breaker.
+    pub fn state(&self, m: u16) -> BreakerState {
+        self.machines
+            .get(m as usize)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Decides whether a query may execute at `now`. O(machines), no
+    /// allocation, no transport work. Since every query fans out over the
+    /// whole cluster, the first non-closed breaker decides.
+    pub fn admit(&mut self, now: Instant) -> BreakerDecision {
+        if !self.config.enabled {
+            return BreakerDecision::Allow;
+        }
+        for (i, b) in self.machines.iter_mut().enumerate() {
+            match b.state {
+                BreakerState::Closed => {}
+                BreakerState::Open => {
+                    if now >= b.probe_at {
+                        b.state = BreakerState::HalfOpen;
+                        b.probing = true;
+                        self.half_open_probes += 1;
+                        return BreakerDecision::Probe(i as u16);
+                    }
+                    return BreakerDecision::Shed(i as u16);
+                }
+                BreakerState::HalfOpen => {
+                    if b.probing {
+                        // Probe slot taken; everyone else keeps shedding.
+                        return BreakerDecision::Shed(i as u16);
+                    }
+                    b.probing = true;
+                    self.half_open_probes += 1;
+                    return BreakerDecision::Probe(i as u16);
+                }
+            }
+        }
+        BreakerDecision::Allow
+    }
+
+    /// Records that a query failed against machine `m` (retry budget
+    /// exhausted or machine reported down).
+    pub fn record_failure(&mut self, m: u16, now: Instant) {
+        if !self.config.enabled {
+            return;
+        }
+        let mult = self.config.backoff_multiplier.max(1.0);
+        let max = self.config.max_backoff;
+        let threshold = self.config.failures_to_open.max(1);
+        let Some(b) = self.machines.get_mut(m as usize) else {
+            return;
+        };
+        match b.state {
+            BreakerState::Closed => {
+                b.consecutive_failures += 1;
+                if b.consecutive_failures >= threshold {
+                    b.state = BreakerState::Open;
+                    b.probe_at = now + b.backoff;
+                    self.opened += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: re-open with a larger backoff.
+                b.backoff = Duration::from_secs_f64(
+                    (b.backoff.as_secs_f64() * mult).min(max.as_secs_f64()),
+                );
+                b.state = BreakerState::Open;
+                b.probe_at = now + b.backoff;
+                b.probing = false;
+                self.opened += 1;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records that a query succeeded against machine `m`.
+    pub fn record_success(&mut self, m: u16) {
+        if !self.config.enabled {
+            return;
+        }
+        let initial = self.config.open_backoff;
+        let Some(b) = self.machines.get_mut(m as usize) else {
+            return;
+        };
+        match b.state {
+            BreakerState::Closed => b.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                // The machine is back: close and reset.
+                b.state = BreakerState::Closed;
+                b.consecutive_failures = 0;
+                b.backoff = initial;
+                b.probing = false;
+                self.closed += 1;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Whether any breaker is not closed (fast-path check before `admit`).
+    pub fn any_tripped(&self) -> bool {
+        self.config.enabled
+            && self
+                .machines
+                .iter()
+                .any(|b| b.state != BreakerState::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(k: u32, backoff_ms: u64) -> BreakerBank {
+        BreakerBank::new(
+            BreakerConfig::default()
+                .with_failures_to_open(k)
+                .with_open_backoff(Duration::from_millis(backoff_ms)),
+            4,
+        )
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures_only() {
+        let mut bank = bank(3, 100);
+        let now = Instant::now();
+        bank.record_failure(1, now);
+        bank.record_failure(1, now);
+        // A success in between resets the streak.
+        bank.record_success(1);
+        bank.record_failure(1, now);
+        bank.record_failure(1, now);
+        assert_eq!(bank.state(1), BreakerState::Closed);
+        bank.record_failure(1, now);
+        assert_eq!(bank.state(1), BreakerState::Open);
+        assert_eq!(bank.opened, 1);
+        assert!(bank.any_tripped());
+        assert_eq!(bank.admit(now), BreakerDecision::Shed(1));
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut bank = bank(1, 50);
+        let now = Instant::now();
+        bank.record_failure(2, now);
+        assert_eq!(bank.state(2), BreakerState::Open);
+        // Before the backoff: shed. After: exactly one probe.
+        assert_eq!(bank.admit(now), BreakerDecision::Shed(2));
+        let later = now + Duration::from_millis(60);
+        assert_eq!(bank.admit(later), BreakerDecision::Probe(2));
+        assert_eq!(bank.state(2), BreakerState::HalfOpen);
+        // A second query while the probe is in flight still sheds.
+        assert_eq!(bank.admit(later), BreakerDecision::Shed(2));
+        assert_eq!(bank.half_open_probes, 1);
+        bank.record_success(2);
+        assert_eq!(bank.state(2), BreakerState::Closed);
+        assert_eq!(bank.closed, 1);
+        assert_eq!(bank.admit(later), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_multiplied_backoff() {
+        let mut bank = bank(1, 50);
+        let t0 = Instant::now();
+        bank.record_failure(0, t0);
+        let t1 = t0 + Duration::from_millis(60);
+        assert_eq!(bank.admit(t1), BreakerDecision::Probe(0));
+        bank.record_failure(0, t1);
+        assert_eq!(bank.state(0), BreakerState::Open);
+        assert_eq!(bank.opened, 2);
+        // Backoff doubled: 60ms later is still inside the 100ms window.
+        assert_eq!(
+            bank.admit(t1 + Duration::from_millis(60)),
+            BreakerDecision::Shed(0)
+        );
+        assert_eq!(
+            bank.admit(t1 + Duration::from_millis(110)),
+            BreakerDecision::Probe(0)
+        );
+    }
+
+    #[test]
+    fn disabled_bank_always_allows() {
+        let mut bank = BreakerBank::new(BreakerConfig::disabled(), 2);
+        let now = Instant::now();
+        for _ in 0..10 {
+            bank.record_failure(0, now);
+        }
+        assert_eq!(bank.admit(now), BreakerDecision::Allow);
+        assert!(!bank.any_tripped());
+        assert_eq!(bank.opened, 0);
+    }
+
+    #[test]
+    fn out_of_range_machines_are_ignored() {
+        let mut bank = bank(1, 10);
+        let now = Instant::now();
+        bank.record_failure(99, now);
+        bank.record_success(99);
+        assert_eq!(bank.state(99), BreakerState::Closed);
+        assert_eq!(bank.admit(now), BreakerDecision::Allow);
+    }
+}

@@ -25,10 +25,12 @@
 //! rows, poll status, cancel) or [`Submit::Rejected`] with the reason.
 
 pub mod admission;
+pub mod breaker;
 pub mod scheduler;
 pub mod tenant;
 
 pub use admission::{AdmissionConfig, CostEstimator};
+pub use breaker::{BreakerBank, BreakerConfig, BreakerDecision, BreakerState};
 pub use scheduler::SchedulerConfig;
 pub use tenant::{Priority, TenantId, TenantStats};
 
@@ -49,6 +51,8 @@ pub struct ServeConfig {
     pub admission: AdmissionConfig,
     /// Fair-scheduling knobs (DRR quantum, priority aging).
     pub scheduler: SchedulerConfig,
+    /// Per-machine circuit-breaker knobs (see [`breaker`]).
+    pub breaker: BreakerConfig,
 }
 
 impl ServeConfig {
@@ -61,6 +65,12 @@ impl ServeConfig {
     /// Sets the scheduler configuration.
     pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the circuit-breaker configuration.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
         self
     }
 }

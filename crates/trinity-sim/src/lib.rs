@@ -54,6 +54,7 @@ pub mod cost;
 pub mod csr;
 pub mod edge_list;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod label_index;
 pub mod network;
@@ -67,16 +68,18 @@ pub mod prelude {
     pub use crate::cloud::{machine_for, MemoryCloud};
     pub use crate::cluster_graph::{ClusterGraph, LabelPairCatalog};
     pub use crate::error::TrinityError;
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport, MachineCrash};
     pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
     pub use crate::network::{CostModel, Network, TrafficSnapshot};
     pub use crate::partition::{Cell, CellBuf, Partition};
     pub use crate::stats::{graph_stats, GraphStats};
-    pub use crate::transport::{ChannelTransport, Message, Transport, TransportError};
+    pub use crate::transport::{ChannelTransport, Envelope, Message, Transport, TransportError};
 }
 
 pub use builder::GraphBuilder;
 pub use cloud::MemoryCloud;
 pub use error::TrinityError;
+pub use fault::{FaultPlan, FaultyTransport};
 pub use ids::{LabelId, MachineId, VertexId};
 pub use network::CostModel;
-pub use transport::{ChannelTransport, Message, Transport, TransportError};
+pub use transport::{ChannelTransport, Envelope, Message, Transport, TransportError};

@@ -35,16 +35,24 @@ use crate::cloud::MemoryCloud;
 use crate::ids::{LabelId, MachineId, VertexId};
 use crate::partition::CellBuf;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// A protocol violation observed on the transport.
+/// A failure observed on the transport: a protocol violation (malformed
+/// peer) or a delivery fault (timeout, transient unavailability, corrupted
+/// payload, dead machine).
 ///
-/// A real cluster must expect malformed peers: a machine answering a request
-/// with the wrong variant, or posting a message a phase cannot consume, must
-/// degrade *that query* — never crash the serving process. Every violation
-/// is therefore a typed error the executor surfaces as a per-query failure
-/// (`stwig::StwigError::Transport`), not a `panic!`.
+/// A real cluster must expect malformed peers and lossy links: a machine
+/// answering a request with the wrong variant, a wedged handler, or a crashed
+/// destination must degrade *that query* — never crash the serving process.
+/// Every failure is therefore a typed error the executor surfaces as a
+/// per-query failure (`stwig::StwigError::Transport` or
+/// `stwig::StwigError::MachineUnavailable`), not a `panic!`. Delivery faults
+/// report [`TransportError::is_transient`] so the retry layer knows which
+/// errors a fresh attempt can fix.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// [`Transport::exchange`] was called with a message that is not a
@@ -73,6 +81,52 @@ pub enum TransportError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// An exchange did not complete within the per-exchange timeout
+    /// (wedged or overloaded peer). Transient: retry may succeed.
+    Timeout {
+        /// The destination machine that failed to answer in time.
+        dst: MachineId,
+        /// The request variant that timed out (e.g. `"LoadRequest"`).
+        phase: &'static str,
+    },
+    /// The destination refused service for this attempt (message loop busy,
+    /// connection reset, …). Transient: retry may succeed.
+    Unavailable {
+        /// The destination machine that was unavailable.
+        dst: MachineId,
+    },
+    /// A reply arrived but failed its payload checksum. Transient: the
+    /// request is a pure read, so re-asking gets a fresh copy.
+    CorruptPayload {
+        /// The destination machine whose reply was corrupted.
+        dst: MachineId,
+    },
+    /// The destination machine has permanently crashed. Not transient:
+    /// no number of retries will revive it.
+    MachineDown {
+        /// The machine that is gone.
+        dst: MachineId,
+    },
+}
+
+impl TransportError {
+    /// Whether a fresh attempt of the same operation can plausibly succeed.
+    ///
+    /// Protocol violations ([`TransportError::NotARequest`],
+    /// [`TransportError::UnexpectedReply`], …) are deterministic bugs —
+    /// retrying replays them. Delivery faults (timeout, unavailability,
+    /// corruption) are properties of one attempt; [`MachineDown`]
+    /// (permanent loss) is the one delivery fault retries cannot fix.
+    ///
+    /// [`MachineDown`]: TransportError::MachineDown
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TransportError::Timeout { .. }
+                | TransportError::Unavailable { .. }
+                | TransportError::CorruptPayload { .. }
+        )
+    }
 }
 
 impl fmt::Display for TransportError {
@@ -89,6 +143,18 @@ impl fmt::Display for TransportError {
             }
             TransportError::MalformedPayload { detail } => {
                 write!(f, "malformed message payload: {detail}")
+            }
+            TransportError::Timeout { dst, phase } => {
+                write!(f, "{phase} exchange with {dst} timed out")
+            }
+            TransportError::Unavailable { dst } => {
+                write!(f, "machine {dst} temporarily unavailable")
+            }
+            TransportError::CorruptPayload { dst } => {
+                write!(f, "reply from {dst} failed its payload checksum")
+            }
+            TransportError::MachineDown { dst } => {
+                write!(f, "machine {dst} is down")
             }
         }
     }
@@ -197,11 +263,38 @@ impl Message {
     }
 }
 
+/// A one-way [`Message`] in flight, stamped with its sender and a per-link
+/// sequence number.
+///
+/// The `(src, seq)` pair identifies a *logical* send: every retransmission
+/// or network-duplicated copy of the same post carries the same pair, which
+/// is what lets the receiving mailbox suppress duplicates on drain and turn
+/// at-least-once delivery into exactly-once consumption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The machine that sent this message.
+    pub src: MachineId,
+    /// Sequence number, unique per `(src, dst)` link for each logical send.
+    pub seq: u64,
+    /// The payload.
+    pub msg: Message,
+}
+
 /// The carrier moving [`Message`]s between logical machines.
 ///
 /// Implementations must be `Send + Sync`: logical machines run on a worker
 /// pool and use the transport concurrently (each machine only exchanges on
 /// its own behalf and drains its own mailbox).
+///
+/// One-way sends are split into [`alloc_seq`] (assign the logical send its
+/// `(src, seq)` identity) and [`post_envelope`] (put one physical copy on
+/// the wire) so that decorators — fault injectors, retransmitters — can
+/// deliver *additional copies of the same logical send* without minting new
+/// identities; [`post`] is the convenience composition of the two.
+///
+/// [`alloc_seq`]: Transport::alloc_seq
+/// [`post_envelope`]: Transport::post_envelope
+/// [`post`]: Transport::post
 pub trait Transport: Send + Sync {
     /// Sends a request from `src` to `dst` and returns the destination
     /// machine's reply (one request/reply round-trip; both envelopes are
@@ -214,13 +307,24 @@ pub trait Transport: Send + Sync {
         msg: Message,
     ) -> Result<Message, TransportError>;
 
-    /// Posts a one-way message from `src` into `dst`'s mailbox (charged as
-    /// one envelope).
-    fn post(&self, src: MachineId, dst: MachineId, msg: Message);
+    /// Allocates the next sequence number for the `src → dst` link.
+    fn alloc_seq(&self, src: MachineId, dst: MachineId) -> u64;
 
-    /// Removes and returns every message posted to `dst`, in posting order,
-    /// tagged with its sender.
-    fn drain(&self, dst: MachineId) -> Vec<(MachineId, Message)>;
+    /// Puts one physical copy of `env` into `dst`'s mailbox (charged as one
+    /// envelope). Posting the same envelope twice models network
+    /// duplication; the drain side suppresses the second copy.
+    fn post_envelope(&self, dst: MachineId, env: Envelope);
+
+    /// Posts a one-way message from `src` into `dst`'s mailbox (charged as
+    /// one envelope): allocates a fresh sequence number and sends one copy.
+    fn post(&self, src: MachineId, dst: MachineId, msg: Message) {
+        let seq = self.alloc_seq(src, dst);
+        self.post_envelope(dst, Envelope { src, seq, msg });
+    }
+
+    /// Removes and returns every message posted to `dst`, in arrival order,
+    /// with duplicate `(src, seq)` deliveries suppressed.
+    fn drain(&self, dst: MachineId) -> Vec<Envelope>;
 }
 
 /// In-process [`Transport`] over a shared [`MemoryCloud`].
@@ -235,7 +339,22 @@ pub trait Transport: Send + Sync {
 /// free, like every other local access.
 pub struct ChannelTransport<'c> {
     cloud: &'c MemoryCloud,
-    mailboxes: Vec<Mutex<Vec<(MachineId, Message)>>>,
+    mailboxes: Vec<Mutex<Mailbox>>,
+    /// Next sequence number per `src → dst` link, row-major `src * n + dst`.
+    seqs: Vec<AtomicU64>,
+    /// Cooperative per-exchange deadline; `None` waits forever.
+    exchange_timeout: Option<Duration>,
+    /// Injected handler stalls per machine (chaos/test instrumentation).
+    stalls: Mutex<Vec<Option<Duration>>>,
+    duplicates_suppressed: AtomicU64,
+}
+
+/// One machine's inbox: queued envelopes plus every `(src, seq)` identity it
+/// has ever accepted, so re-deliveries are suppressed even across drains.
+#[derive(Default)]
+struct Mailbox {
+    queue: Vec<Envelope>,
+    seen: HashSet<(u16, u64)>,
 }
 
 impl std::fmt::Debug for ChannelTransport<'_> {
@@ -249,12 +368,37 @@ impl std::fmt::Debug for ChannelTransport<'_> {
 impl<'c> ChannelTransport<'c> {
     /// Creates a transport connecting the machines of `cloud`.
     pub fn new(cloud: &'c MemoryCloud) -> Self {
+        let n = cloud.num_machines();
         ChannelTransport {
             cloud,
-            mailboxes: (0..cloud.num_machines())
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
+            mailboxes: (0..n).map(|_| Mutex::new(Mailbox::default())).collect(),
+            seqs: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
+            exchange_timeout: None,
+            stalls: Mutex::new(vec![None; n]),
+            duplicates_suppressed: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds every [`Transport::exchange`] through this transport: a
+    /// handler that has not answered within `timeout` fails with
+    /// [`TransportError::Timeout`] instead of blocking its caller forever.
+    pub fn with_exchange_timeout(mut self, timeout: Duration) -> Self {
+        self.exchange_timeout = Some(timeout);
+        self
+    }
+
+    /// Makes machine `m`'s request handler sit idle for `stall` before
+    /// serving each exchange — a wedged peer, for timeout tests and chaos
+    /// runs. The stall is cooperative: with an exchange timeout configured
+    /// the caller gets [`TransportError::Timeout`] at the deadline instead
+    /// of waiting out the full stall.
+    pub fn stall_machine(&self, m: MachineId, stall: Duration) {
+        self.stalls.lock().expect("stalls poisoned")[m.index()] = Some(stall);
+    }
+
+    /// Number of duplicate envelope deliveries suppressed on drain.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed.load(Ordering::Relaxed)
     }
 
     /// Serves a request against machine `dst`'s own partition.
@@ -305,25 +449,69 @@ impl Transport for ChannelTransport<'_> {
             return Err(TransportError::NotARequest { got: msg.kind() });
         }
         self.record(src, dst, &msg);
+        let started = Instant::now();
+        let stall = self.stalls.lock().expect("stalls poisoned")[dst.index()];
+        if let Some(stall) = stall {
+            // Simulate the wedged handler in bounded slices so a configured
+            // timeout aborts the wait instead of sleeping out the stall.
+            let mut served = Duration::ZERO;
+            while served < stall {
+                if let Some(limit) = self.exchange_timeout {
+                    if started.elapsed() >= limit {
+                        return Err(TransportError::Timeout {
+                            dst,
+                            phase: msg.kind(),
+                        });
+                    }
+                }
+                let slice = (stall - served).min(Duration::from_micros(500));
+                std::thread::sleep(slice);
+                served += slice;
+            }
+        }
         let reply = self.handle(dst, &msg)?;
+        if let Some(limit) = self.exchange_timeout {
+            if started.elapsed() >= limit {
+                // The reply exists but arrived past the deadline; the caller
+                // has already given up on this attempt.
+                return Err(TransportError::Timeout {
+                    dst,
+                    phase: msg.kind(),
+                });
+            }
+        }
         self.record(dst, src, &reply);
         Ok(reply)
     }
 
-    fn post(&self, src: MachineId, dst: MachineId, msg: Message) {
-        self.record(src, dst, &msg);
+    fn alloc_seq(&self, src: MachineId, dst: MachineId) -> u64 {
+        let n = self.mailboxes.len();
+        self.seqs[src.index() * n + dst.index()].fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn post_envelope(&self, dst: MachineId, env: Envelope) {
+        self.record(env.src, dst, &env.msg);
         self.mailboxes[dst.index()]
             .lock()
             .expect("mailbox poisoned")
-            .push((src, msg));
+            .queue
+            .push(env);
     }
 
-    fn drain(&self, dst: MachineId) -> Vec<(MachineId, Message)> {
-        std::mem::take(
-            &mut *self.mailboxes[dst.index()]
-                .lock()
-                .expect("mailbox poisoned"),
-        )
+    fn drain(&self, dst: MachineId) -> Vec<Envelope> {
+        let mut box_ = self.mailboxes[dst.index()]
+            .lock()
+            .expect("mailbox poisoned");
+        let queue = std::mem::take(&mut box_.queue);
+        let mut out = Vec::with_capacity(queue.len());
+        for env in queue {
+            if box_.seen.insert((env.src.0, env.seq)) {
+                out.push(env);
+            } else {
+                self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        out
     }
 }
 
@@ -478,12 +666,112 @@ mod tests {
         );
         let drained = transport.drain(m0);
         assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0].0, m1);
-        assert!(matches!(drained[0].1, Message::BindingDelta { .. }));
-        assert!(matches!(drained[1].1, Message::JoinRows { .. }));
+        assert_eq!(drained[0].src, m1);
+        assert!(matches!(drained[0].msg, Message::BindingDelta { .. }));
+        assert!(matches!(drained[1].msg, Message::JoinRows { .. }));
+        // Sequence numbers are per-link and consecutive.
+        assert_eq!(drained[0].seq, 0);
+        assert_eq!(drained[1].seq, 1);
         assert!(transport.drain(m0).is_empty());
         // The other mailbox was untouched.
         assert!(transport.drain(m1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_envelopes_are_suppressed_on_drain() {
+        let cloud = small_cloud(2);
+        let transport = ChannelTransport::new(&cloud);
+        let (m0, m1) = (MachineId(0), MachineId(1));
+        let msg = Message::BindingDelta {
+            cols: vec![(0, vec![v(1)])],
+        };
+        let seq = transport.alloc_seq(m1, m0);
+        let env = Envelope {
+            src: m1,
+            seq,
+            msg: msg.clone(),
+        };
+        // The network delivered the same logical send twice …
+        transport.post_envelope(m0, env.clone());
+        transport.post_envelope(m0, env.clone());
+        let drained = transport.drain(m0);
+        // … but the consumer observes it exactly once.
+        assert_eq!(drained.len(), 1);
+        assert_eq!(transport.duplicates_suppressed(), 1);
+        // Even a late re-delivery after the drain stays suppressed.
+        transport.post_envelope(m0, env);
+        assert!(transport.drain(m0).is_empty());
+        assert_eq!(transport.duplicates_suppressed(), 2);
+        // A genuinely new send is delivered.
+        transport.post(m1, m0, msg);
+        assert_eq!(transport.drain(m0).len(), 1);
+    }
+
+    #[test]
+    fn stalled_handler_times_out_with_typed_error() {
+        let cloud = small_cloud(2);
+        let transport =
+            ChannelTransport::new(&cloud).with_exchange_timeout(Duration::from_millis(20));
+        let owner = cloud.machine_of(v(0));
+        let src = cloud.machines().find(|&m| m != owner).unwrap();
+        // The peer wedges for far longer than the timeout.
+        transport.stall_machine(owner, Duration::from_secs(5));
+        let started = Instant::now();
+        let err = transport
+            .exchange(
+                src,
+                owner,
+                Message::LoadRequest {
+                    ids: vec![v(0)],
+                    with_neighbors: false,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Timeout {
+                dst: owner,
+                phase: "LoadRequest"
+            }
+        );
+        assert!(err.is_transient());
+        // The caller got its answer at the deadline, not after the stall.
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn short_stall_within_timeout_still_answers() {
+        let cloud = small_cloud(2);
+        let transport = ChannelTransport::new(&cloud).with_exchange_timeout(Duration::from_secs(5));
+        let owner = cloud.machine_of(v(0));
+        let src = cloud.machines().find(|&m| m != owner).unwrap();
+        transport.stall_machine(owner, Duration::from_millis(2));
+        let reply = transport
+            .exchange(
+                src,
+                owner,
+                Message::LoadRequest {
+                    ids: vec![v(0)],
+                    with_neighbors: false,
+                },
+            )
+            .unwrap();
+        assert!(matches!(reply, Message::LoadReply { .. }));
+    }
+
+    #[test]
+    fn transient_classification_of_errors() {
+        let m = MachineId(1);
+        assert!(TransportError::Unavailable { dst: m }.is_transient());
+        assert!(TransportError::CorruptPayload { dst: m }.is_transient());
+        assert!(!TransportError::MachineDown { dst: m }.is_transient());
+        assert!(!TransportError::NotARequest { got: "LoadReply" }.is_transient());
+        assert!(TransportError::MachineDown { dst: m }
+            .to_string()
+            .contains("M1"));
+        assert!(TransportError::Unavailable { dst: m }
+            .to_string()
+            .contains("unavailable"));
     }
 
     #[test]
