@@ -460,6 +460,60 @@ pub fn chaos(scale: Scale) -> Vec<Row> {
     rows
 }
 
+/// Candidate-pruning ablation on a skewed-label (Zipf) R-MAT workload: run
+/// time, exploration traffic and pruned-root counts with the neighborhood-
+/// signature prune off vs on. Results are identical by construction
+/// (pruning is sound); the CSV shows what the signatures buy on the
+/// workload they target — rare query labels over a skewed alphabet.
+pub fn pruning(scale: Scale) -> Vec<Row> {
+    let n = scale.base_vertices();
+    let graph = {
+        let g = rmat(&RmatConfig::with_avg_degree(n, 6.0, 0x9121));
+        let labels = LabelModel::Zipf {
+            num_labels: 24,
+            exponent: 1.4,
+        }
+        .assign(n, 0x9122);
+        g.with_labels(labels, 24)
+    };
+    let cloud = graph.build_cloud(DEFAULT_MACHINES, CostModel::default());
+    let queries = query_batch(&cloud, scale.queries_per_point(), 4, None, 0x912F);
+    let mut rows = Vec::new();
+    for (series, prune) in [("prune-off", false), ("prune-on", true)] {
+        let config = MatchConfig::paper_default().with_pruning(prune);
+        let res = run_suite(&cloud, &queries, &config, true);
+        let x = 0.0;
+        rows.push(Row::new(
+            "pruning",
+            series,
+            x,
+            "run_time_ms",
+            res.avg_wall_ms,
+        ));
+        rows.push(Row::new("pruning", series, x, "messages", res.avg_messages));
+        rows.push(Row::new(
+            "pruning",
+            series,
+            x,
+            "roots_pruned",
+            res.avg_roots_pruned,
+        ));
+        rows.push(Row::new(
+            "pruning",
+            series,
+            x,
+            "signature_bytes_per_vertex",
+            if prune {
+                cloud.signature_bytes_per_vertex() as f64
+            } else {
+                0.0
+            },
+        ));
+        rows.extend(res.phase_rows("pruning", series, x));
+    }
+    rows
+}
+
 /// Returns every experiment name understood by [`run_experiment`].
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
@@ -478,6 +532,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "ablation-order",
         "ablation-head",
         "ablation-explore",
+        "pruning",
     ]
 }
 
@@ -499,6 +554,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Row>> {
         "ablation-order" => crate::ablations::ablation_order(scale),
         "ablation-head" => crate::ablations::ablation_head(scale),
         "ablation-explore" => crate::ablations::ablation_explore(scale),
+        "pruning" => pruning(scale),
         _ => return None,
     };
     Some(rows)

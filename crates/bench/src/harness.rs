@@ -123,6 +123,9 @@ pub struct SuiteResult {
     pub avg_duplicates_suppressed: f64,
     /// Queries that completed degraded (`QueryOutcome::Partial`).
     pub partial_queries: usize,
+    /// Mean root candidates skipped by the neighborhood-signature prune per
+    /// query (zero unless `MatchConfig::pruning` is on).
+    pub avg_roots_pruned: f64,
 }
 
 impl SuiteResult {
@@ -206,6 +209,7 @@ pub fn run_suite(
         out.avg_explore_bytes += m.phase_traffic.explore_bytes as f64;
         out.avg_sync_bytes += m.phase_traffic.binding_sync_bytes as f64;
         out.avg_join_bytes += m.phase_traffic.join_ship_bytes as f64;
+        out.avg_roots_pruned += m.explore.roots_pruned as f64;
         out.avg_retries += m.fault.retries as f64;
         out.avg_timeouts += m.fault.timeouts as f64;
         out.avg_duplicates_suppressed += m.fault.duplicates_suppressed as f64;
@@ -223,6 +227,7 @@ pub fn run_suite(
     out.avg_explore_bytes /= n;
     out.avg_sync_bytes /= n;
     out.avg_join_bytes /= n;
+    out.avg_roots_pruned /= n;
     out.avg_retries /= n;
     out.avg_timeouts /= n;
     out.avg_duplicates_suppressed /= n;

@@ -96,30 +96,41 @@ impl CacheConfig {
     }
 }
 
-/// The canonical shape of an STwig: root label plus sorted child labels.
-/// Two STwigs with the same shape have identical unbound exploration output
-/// up to a column permutation (see the module docs).
+/// The canonical shape of an STwig: root label plus sorted child labels,
+/// tagged with the pruning setting it was explored under. Two STwigs with
+/// the same shape have identical unbound exploration output up to a column
+/// permutation (see the module docs).
+///
+/// Pruned and unpruned explorations produce identical *rows* (pruning is
+/// sound), but their `ExploreCounters` and traffic differ — and the
+/// population side-channel (the uncacheable tombstone threshold is reached
+/// at different probe costs) must stay deterministic per configuration, so
+/// the key keeps the two configurations from ever aliasing.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StwigShape {
     root_label: LabelId,
     /// Child labels, sorted ascending.
     child_labels: Vec<LabelId>,
+    /// Whether signature pruning was enabled for the exploration.
+    pruned: bool,
 }
 
 impl StwigShape {
-    /// The canonical shape of `stwig` within `query`.
-    pub fn of(query: &QueryGraph, stwig: &STwig) -> StwigShape {
+    /// The canonical shape of `stwig` within `query`, under the given
+    /// pruning setting (`MatchConfig::pruning`).
+    pub fn of(query: &QueryGraph, stwig: &STwig, pruned: bool) -> StwigShape {
         let (root_label, mut child_labels) = stwig.labels(query);
         child_labels.sort_unstable();
         StwigShape {
             root_label,
             child_labels,
+            pruned,
         }
     }
 
     /// Payload bytes attributed to the key itself.
     fn key_bytes(&self) -> usize {
-        std::mem::size_of::<LabelId>() * (1 + self.child_labels.len())
+        std::mem::size_of::<LabelId>() * (1 + self.child_labels.len()) + 1
     }
 }
 
@@ -364,6 +375,12 @@ pub fn graph_fingerprint(cloud: &MemoryCloud) -> u64 {
         name.hash(&mut hasher);
         cloud.label_frequency(label).hash(&mut hasher);
     }
+    // The candidate-pruning index configuration is part of the cloud's
+    // identity: tables cached against a cloud with signatures must not be
+    // served for an index-less rebuild of the same graph (and vice versa) —
+    // their exploration configurations, and thus their population
+    // side-channels, differ.
+    cloud.signature_configuration().hash(&mut hasher);
     for m in cloud.machines() {
         let partition = cloud.partition(m);
         partition.num_vertices().hash(&mut hasher);
@@ -607,11 +624,27 @@ mod tests {
     #[test]
     fn shape_sorts_child_labels() {
         let (query, stwig) = unsorted_query();
-        let shape = StwigShape::of(&query, &stwig);
+        let shape = StwigShape::of(&query, &stwig, false);
         let mut sorted = shape.child_labels.clone();
         sorted.sort_unstable();
         assert_eq!(shape.child_labels, sorted);
         assert_eq!(shape.root_label, query.label(stwig.root));
+    }
+
+    #[test]
+    fn pruned_and_unpruned_shapes_never_alias() {
+        let (query, stwig) = unsorted_query();
+        let unpruned = StwigShape::of(&query, &stwig, false);
+        let pruned = StwigShape::of(&query, &stwig, true);
+        assert_ne!(unpruned, pruned);
+        let cloud = small_cloud();
+        let cache = StwigCache::new(&cloud, CacheConfig::default());
+        let t = table(&[0, 1, 2], &[&[1, 2, 3]]);
+        cache.insert(unpruned, vec![t.clone(), t]);
+        assert!(
+            matches!(cache.lookup(&pruned), CacheLookup::Miss),
+            "a table populated without pruning must not serve the pruned configuration"
+        );
     }
 
     #[test]
@@ -674,7 +707,7 @@ mod tests {
         let cloud = small_cloud();
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let (query, stwig) = unsorted_query();
-        let shape = StwigShape::of(&query, &stwig);
+        let shape = StwigShape::of(&query, &stwig, false);
         assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
         let tables = vec![table(&[0, 1, 2], &[&[1, 2, 3]]), table(&[0, 1, 2], &[])];
         let arc = cache.insert(shape.clone(), tables);
@@ -697,7 +730,7 @@ mod tests {
         let cloud = small_cloud();
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let (query, stwig) = unsorted_query();
-        let shape = StwigShape::of(&query, &stwig);
+        let shape = StwigShape::of(&query, &stwig, false);
         cache.insert(
             shape.clone(),
             vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
@@ -715,7 +748,7 @@ mod tests {
         let cloud = small_cloud();
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let (query, stwig) = unsorted_query();
-        let shape = StwigShape::of(&query, &stwig);
+        let shape = StwigShape::of(&query, &stwig, false);
         assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
         cache.mark_uncacheable(shape.clone());
         assert!(matches!(cache.lookup(&shape), CacheLookup::Bypass));
@@ -794,6 +827,7 @@ mod tests {
             let shape = StwigShape {
                 root_label: LabelId(i),
                 child_labels: vec![LabelId(i + 100)],
+                pruned: false,
             };
             let rows: Vec<Vec<u64>> = (0..10u64).map(|r| vec![r, r + 1]).collect();
             let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -258,6 +258,25 @@ pub struct MatchConfig {
     /// the whole suite under seeded chaos; `None` when the variable is
     /// unset. Only effective in [`TransportMode::Messages`].
     pub fault_plan: Option<FaultPlan>,
+    /// Whether exploration prunes root candidates on the neighborhood-label
+    /// signatures (`trinity_sim::neighbor_index`) before collecting their
+    /// neighbors, and the cost models consume label-pair selectivities.
+    /// Sound — signatures over-approximate, so pruning never drops a true
+    /// match — and defaults to the `STWIG_PRUNING` environment variable
+    /// (read once; unset = off), which is how CI runs the whole suite
+    /// pruned without touching every call site.
+    pub pruning: bool,
+}
+
+/// The process-wide pruning default: off, overridable by setting
+/// `STWIG_PRUNING` to `1`/`true`/`on` (read once).
+pub fn pruning_from_env() -> bool {
+    static PRUNING: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PRUNING.get_or_init(|| {
+        std::env::var("STWIG_PRUNING")
+            .map(|s| matches!(s.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"))
+            .unwrap_or(false)
+    })
 }
 
 impl Default for MatchConfig {
@@ -275,6 +294,7 @@ impl Default for MatchConfig {
             retry: RetryPolicy::default(),
             failure_policy: FailurePolicy::default(),
             fault_plan: FaultPlan::from_env(),
+            pruning: pruning_from_env(),
         }
     }
 }
@@ -377,6 +397,13 @@ impl MatchConfig {
     /// Sets (or clears) the fault-injection plan.
     pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Enables or disables signature-based candidate pruning (and the
+    /// label-pair-aware cost models).
+    pub fn with_pruning(mut self, on: bool) -> Self {
+        self.pruning = on;
         self
     }
 
@@ -488,6 +515,15 @@ mod tests {
         assert_eq!(c.fault_plan, Some(FaultPlan::lossy(3)));
         assert_eq!(c.retry.max_attempts, 1);
         assert_eq!(FailurePolicy::default(), FailurePolicy::Fail);
+    }
+
+    #[test]
+    fn pruning_knob() {
+        // The default follows STWIG_PRUNING (off in a plain test run);
+        // the setter overrides it either way.
+        let on = MatchConfig::default().with_pruning(true);
+        assert!(on.pruning);
+        assert!(!on.with_pruning(false).pruning);
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::cache::{
     StwigShape,
 };
 use crate::config::{FailurePolicy, MatchConfig, TransportMode};
-use crate::decompose::decompose_ordered;
+use crate::decompose::{decompose_ordered, PairAwareStats};
 use crate::error::StwigError;
 use crate::executor::MatchOutput;
 use crate::head::{load_set, select_head, HeadSelection};
@@ -71,7 +71,7 @@ use crate::matcher::{match_stwig, match_stwig_batched};
 use crate::metrics::{
     ExploreCounters, FaultCounters, JoinCounters, MachineMetrics, QueryMetrics, QueryOutcome,
 };
-use crate::pipeline::{pipelined_join, pipelined_join_streaming, RoundSink};
+use crate::pipeline::{pipelined_join_streaming, pipelined_join_with_priors, RoundSink};
 use crate::query::{QVid, QueryGraph};
 use crate::retry::{retry_exchange, ExchangeOutcome};
 use crate::stream::{Interrupt, QueryControl, QueryOptions, ResultSink};
@@ -317,9 +317,27 @@ pub struct QueryPlan {
 }
 
 /// Builds the query plan: decomposition + ordering, cluster graph, head
-/// STwig and the data needed for load sets.
+/// STwig and the data needed for load sets. Statistics-wise this is the
+/// frequency-only paper behaviour; [`plan_query_with_config`] upgrades to
+/// label-pair-aware decomposition when pruning is enabled.
 pub fn plan_query(cloud: &MemoryCloud, query: &QueryGraph) -> Result<QueryPlan, StwigError> {
-    let stwigs = decompose_ordered(query, cloud)?;
+    plan_query_with_config(cloud, query, &MatchConfig::default())
+}
+
+/// [`plan_query`] with the config in hand: when `config.pruning` is on, the
+/// decomposition scores edges with the partition-level label-pair tables
+/// ([`PairAwareStats`]) built alongside the neighbor signatures, so rare
+/// label pairs anchor the STwig cover.
+pub fn plan_query_with_config(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    config: &MatchConfig,
+) -> Result<QueryPlan, StwigError> {
+    let stwigs = if config.pruning {
+        decompose_ordered(query, &PairAwareStats(cloud))?
+    } else {
+        decompose_ordered(query, cloud)?
+    };
     let cluster = ClusterGraph::build(cloud.catalog(), &query.label_edges());
     if stwigs.is_empty() {
         return Err(StwigError::Internal(
@@ -447,7 +465,7 @@ pub fn match_query_distributed_with_cache(
     }
 
     // ---- 1. Planning (proxy side) ----
-    let plan = plan_query(cloud, query)?;
+    let plan = plan_query_with_config(cloud, query, config)?;
     metrics.num_stwigs = plan.stwigs.len();
 
     // ---- 2 + 3. Exploration, then per-machine joins ----
@@ -812,7 +830,7 @@ fn explore_one_stwig(
 ) -> Result<Vec<MachineExplore>, StwigError> {
     let num_machines = cloud.num_machines();
     if let Some(cache) = cache {
-        let shape = StwigShape::of(query, stwig);
+        let shape = StwigShape::of(query, stwig, config.pruning);
         match cache.lookup(&shape) {
             CacheLookup::Hit(entry) => {
                 // Hit: derive each machine's exploration table from the
@@ -998,6 +1016,42 @@ fn collect_explore_results(
         .collect()
 }
 
+/// Per-STwig label-pair selectivity priors for the join-order cost model:
+/// the product, over an STwig's edges, of the smoothed fraction of data-edge
+/// incidences carrying that label pair. Smaller means "rarer pair, joins
+/// will filter harder", pulling that table earlier in the join order. Only
+/// available when pruning is on and the cloud was built with pair tables;
+/// `None` falls back to the sampled-only estimator.
+pub(crate) fn stwig_join_priors(
+    cloud: &MemoryCloud,
+    query: &QueryGraph,
+    stwigs: &[STwig],
+    config: &MatchConfig,
+) -> Option<Vec<f64>> {
+    if !config.pruning {
+        return None;
+    }
+    let total = cloud.label_pair_total();
+    if total == 0 {
+        return None;
+    }
+    Some(
+        stwigs
+            .iter()
+            .map(|s| {
+                let root_label = query.label(s.root);
+                s.children
+                    .iter()
+                    .map(|&c| {
+                        (cloud.label_pair_count(root_label, query.label(c)) + 1) as f64
+                            / (total + 1) as f64
+                    })
+                    .product()
+            })
+            .collect(),
+    )
+}
+
 /// Phase 2 of the distributed execution: each machine fetches its load-set
 /// tables (Theorem 4), joins them with the block-based pipeline, and the
 /// per-machine answers — disjoint by construction — are unioned on the
@@ -1016,6 +1070,7 @@ pub fn join_stwig_tables(
     machine_metrics: &mut [MachineMetrics],
 ) -> Result<ResultTable, StwigError> {
     let num_machines = cloud.num_machines();
+    let priors = stwig_join_priors(cloud, query, &plan.stwigs, config);
     let threads = config.resolved_num_threads();
     let per_machine_tables = &tables.per_machine;
     let before_join = cloud.traffic();
@@ -1053,7 +1108,8 @@ pub fn join_stwig_tables(
                 });
             }
             let mut counters = JoinCounters::default();
-            let joined = pipelined_join(&rk_tables, config, &mut counters);
+            let joined =
+                pipelined_join_with_priors(&rk_tables, config, priors.as_deref(), &mut counters);
             let table_bytes = rk_bytes + joined.memory_bytes() as u64;
             Ok(MachineJoin {
                 joined: Some(joined),
@@ -1390,6 +1446,7 @@ fn stream_join_pass(
     plan: &QueryPlan,
     tables: &StwigTableSet,
     config: &MatchConfig,
+    priors: Option<&[f64]>,
     limit: Option<usize>,
     control: &QueryControl,
     canonical: &[QVid],
@@ -1458,6 +1515,7 @@ fn stream_join_pass(
             pipelined_join_streaming(
                 &rk_tables,
                 config,
+                priors,
                 remaining,
                 Some(control),
                 &mut counters,
@@ -1640,9 +1698,10 @@ pub fn match_query_streaming_with_cache(
         return Ok(metrics);
     }
 
-    let plan = plan_query(cloud, query)?;
+    let plan = plan_query_with_config(cloud, query, config)?;
     metrics.num_stwigs = plan.stwigs.len();
     let canonical: Vec<QVid> = query.vertices().collect();
+    let priors = stwig_join_priors(cloud, query, &plan.stwigs, config);
     sink.begin(&canonical);
     let mut state = StreamState {
         sink,
@@ -1735,6 +1794,7 @@ pub fn match_query_streaming_with_cache(
                 &plan,
                 &tables,
                 config,
+                priors.as_deref(),
                 remaining,
                 &control,
                 &canonical,
@@ -1760,6 +1820,7 @@ pub fn match_query_streaming_with_cache(
             &plan,
             &tables,
             config,
+            priors.as_deref(),
             limit,
             &control,
             &canonical,

@@ -5,11 +5,11 @@
 
 use crate::bindings::Bindings;
 use crate::config::MatchConfig;
-use crate::decompose::decompose_ordered;
+use crate::decompose::{decompose_ordered, PairAwareStats};
 use crate::error::StwigError;
 use crate::matcher::match_stwig;
 use crate::metrics::{ExploreCounters, JoinCounters, QueryMetrics};
-use crate::pipeline::pipelined_join;
+use crate::pipeline::pipelined_join_with_priors;
 use crate::query::QueryGraph;
 use crate::table::ResultTable;
 use std::time::Instant;
@@ -67,8 +67,14 @@ pub fn match_query(
         return Ok(MatchOutput { table, metrics });
     }
 
-    // 1. Query decomposition and STwig ordering (Algorithm 2).
-    let stwigs = decompose_ordered(query, cloud)?;
+    // 1. Query decomposition and STwig ordering (Algorithm 2), with
+    // label-pair-aware edge scoring when pruning (and thus the pair tables)
+    // is enabled.
+    let stwigs = if config.pruning {
+        decompose_ordered(query, &PairAwareStats(cloud))?
+    } else {
+        decompose_ordered(query, cloud)?
+    };
     metrics.num_stwigs = stwigs.len();
 
     // 2. Exploration: process STwigs in order, propagating bindings.
@@ -115,9 +121,12 @@ pub fn match_query(
     }
     metrics.explore = explore;
 
-    // 3. Join: join-order selection + block-based pipelined join.
+    // 3. Join: join-order selection + block-based pipelined join, with
+    // label-pair selectivity priors when pruning is on.
+    let priors = crate::distributed::stwig_join_priors(cloud, query, &stwigs, config);
     let mut join_counters = JoinCounters::default();
-    let mut table = pipelined_join(&tables, config, &mut join_counters);
+    let mut table =
+        pipelined_join_with_priors(&tables, config, priors.as_deref(), &mut join_counters);
     metrics.join = join_counters;
     if let Some(limit) = config.result_limit() {
         if table.num_rows() >= limit {

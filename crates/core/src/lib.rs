@@ -82,8 +82,8 @@ pub use cache::{CacheConfig, CacheLookup, StwigCache};
 pub use config::{FailurePolicy, MatchConfig, ResultMode, RetryPolicy, TransportMode};
 pub use distributed::{
     join_stwig_tables, match_query_distributed, match_query_distributed_with_cache,
-    match_query_streaming, match_query_streaming_with_cache, plan_query, produce_stwig_tables,
-    QueryPlan, StwigTableSet,
+    match_query_streaming, match_query_streaming_with_cache, plan_query, plan_query_with_config,
+    produce_stwig_tables, QueryPlan, StwigTableSet,
 };
 pub use engine::{EngineConfig, QueryEngine};
 pub use error::StwigError;
@@ -108,12 +108,12 @@ pub mod prelude {
     pub use crate::cache::{CacheConfig, StwigCache, StwigShape};
     pub use crate::config::{FailurePolicy, MatchConfig, ResultMode, RetryPolicy, TransportMode};
     pub use crate::decompose::{
-        decompose_ordered, decompose_random, LabelStatistics, UniformStats,
+        decompose_ordered, decompose_random, LabelStatistics, PairAwareStats, UniformStats,
     };
     pub use crate::distributed::{
         join_stwig_tables, match_query_distributed, match_query_distributed_with_cache,
-        match_query_streaming, match_query_streaming_with_cache, plan_query, produce_stwig_tables,
-        QueryPlan, StwigTableSet,
+        match_query_streaming, match_query_streaming_with_cache, plan_query,
+        plan_query_with_config, produce_stwig_tables, QueryPlan, StwigTableSet,
     };
     pub use crate::engine::{EngineConfig, QueryEngine};
     pub use crate::error::StwigError;

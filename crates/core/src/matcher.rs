@@ -65,7 +65,25 @@ pub fn match_stwig(
         counters,
         |n| cloud.load(machine, n),
         |m, label| cloud.has_label(machine, m, label),
+        |n| cloud.signature_of(n),
     )
+}
+
+/// The signature prune of one root: `true` when the root provably cannot
+/// satisfy the STwig, so its neighbors need never be collected or probed.
+/// Sound on both prongs — a root with fewer neighbors than the STwig has
+/// children admits no injective child assignment, and a signature missing a
+/// required child-label bit proves no neighbor carries that label (the
+/// signature over-approximates the neighbor-label set). A root without a
+/// signature (`None`) is never pruned on labels.
+///
+/// Both the frontier pass of [`match_stwig_batched`] and the emission core
+/// call exactly this predicate, so a root pruned before frontier collection
+/// is guaranteed to also be pruned at emission (no row can need a label the
+/// frontier never fetched).
+#[inline]
+fn root_pruned(num_neighbors: usize, num_children: usize, sig: Option<u64>, required: u64) -> bool {
+    num_neighbors < num_children || sig.is_some_and(|s| s & required != required)
 }
 
 /// [`match_stwig`] over the explicit message transport: frontier/superstep
@@ -125,6 +143,8 @@ pub fn match_stwig_batched(
     // arrive, so capped configs fetch labels for roots the emission pass
     // may never reach (extra prefetch traffic only; rows stay identical).
     let root_label = query.label(stwig.root);
+    let required =
+        trinity_sim::neighbor_index::required_mask(stwig.children.iter().map(|&c| query.label(c)));
     let mut frontier: crate::hash::VertexSet = crate::hash::VertexSet::default();
     for (root_idx, &n) in roots.iter().enumerate() {
         if root_idx % CONTROL_CHECK_ROOTS == 0 && control.is_some_and(QueryControl::interrupted) {
@@ -139,6 +159,24 @@ pub fn match_stwig_batched(
             continue;
         };
         if cell.label != root_label {
+            continue;
+        }
+        // Signature prune *before* neighbor collection: a pruned root's
+        // neighbors never enter the frontier, so no Load envelope is spent
+        // on them — this is where the exploration-phase traffic saving
+        // comes from. The predicate is identical to the emission pass's, so
+        // the skip can never starve a row of its labels; counting
+        // (`roots_pruned`) happens only in the emission pass — this
+        // frontier pass touches no counters, exactly like Degrade-mode
+        // placeholder tables carry default counters.
+        if config.pruning
+            && root_pruned(
+                cell.neighbors.len(),
+                stwig.children.len(),
+                cloud.signature_of(n),
+                required,
+            )
+        {
             continue;
         }
         for &m in cell.neighbors {
@@ -235,6 +273,7 @@ pub fn match_stwig_batched(
                 remote_labels.get(&m) == Some(&label)
             }
         },
+        |n| cloud.signature_of(n),
     ))
 }
 
@@ -266,6 +305,7 @@ fn explore_roots<'a>(
     counters: &mut ExploreCounters,
     load: impl Fn(VertexId) -> Option<Cell<'a>>,
     has_label: impl Fn(VertexId, LabelId) -> bool,
+    signature: impl Fn(VertexId) -> Option<u64>,
 ) -> ResultTable {
     let mut columns = Vec::with_capacity(1 + stwig.children.len());
     columns.push(stwig.root);
@@ -274,6 +314,7 @@ fn explore_roots<'a>(
 
     let root_label = query.label(stwig.root);
     let child_labels: Vec<_> = stwig.children.iter().map(|&c| query.label(c)).collect();
+    let required = trinity_sim::neighbor_index::required_mask(child_labels.iter().copied());
 
     let mut row_buf: Vec<VertexId> = Vec::with_capacity(1 + stwig.children.len());
     let mut child_candidates: Vec<Vec<VertexId>> = vec![Vec::new(); stwig.children.len()];
@@ -302,6 +343,24 @@ fn explore_roots<'a>(
         };
         counters.cells_loaded += 1;
         if cell.label != root_label {
+            continue;
+        }
+        // Signature prune: skip roots that provably cannot cover the
+        // STwig's child-label multiset, before a single neighbor is probed.
+        // A pruned root would have emitted zero rows anyway (some child's
+        // candidate set is empty, or injectivity is impossible by
+        // pigeonhole), so the emitted table — and `rows_emitted` — are
+        // bit-identical with pruning on and off; only `label_probes` (and
+        // binding-filter work) shrink.
+        if config.pruning
+            && root_pruned(
+                cell.neighbors.len(),
+                stwig.children.len(),
+                signature(n),
+                required,
+            )
+        {
+            counters.roots_pruned += 1;
             continue;
         }
 
@@ -612,53 +671,62 @@ mod tests {
             let (query, a, b, c) = simple_query(&cloud);
             let stwig = STwig::new(a, vec![b, c]);
             let transport = ChannelTransport::new(&cloud);
-            // Sweep tiny batch caps so multi-envelope splitting is covered.
+            // Sweep tiny batch caps so multi-envelope splitting is covered,
+            // and both prune settings so signature pruning provably keeps
+            // the two transports in lockstep.
             for batch in [1usize, 2, 4096] {
-                let cfg = MatchConfig::default().with_transport_batch_ids(batch);
-                let mut total = 0usize;
-                for k in cloud.machines() {
-                    let roots = cloud.get_ids(k, query.label(a)).to_vec();
-                    let bindings = Bindings::new(query.num_vertices());
-                    let mut direct_counters = ExploreCounters::default();
-                    let direct = match_stwig(
-                        &cloud,
-                        k,
-                        &query,
-                        &stwig,
-                        &roots,
-                        &bindings,
-                        &cfg,
-                        None,
-                        &mut direct_counters,
-                    );
-                    cloud.reset_traffic();
-                    let mut batched_counters = ExploreCounters::default();
-                    let mut faults = FaultCounters::default();
-                    let batched = match_stwig_batched(
-                        &cloud,
-                        &transport,
-                        k,
-                        &query,
-                        &stwig,
-                        &roots,
-                        &bindings,
-                        &cfg,
-                        None,
-                        &mut batched_counters,
-                        &mut faults,
-                    )
-                    .unwrap();
-                    assert!(!faults.any(), "fault-free run must count nothing");
-                    assert_eq!(direct, batched, "machine {k}, batch {batch}");
-                    assert_eq!(direct_counters, batched_counters);
-                    assert_eq!(
-                        cloud.direct_remote_reads(),
-                        0,
-                        "batched matching must never dereference a remote partition"
-                    );
-                    total += batched.num_rows();
+                for pruning in [false, true] {
+                    let cfg = MatchConfig::default()
+                        .with_transport_batch_ids(batch)
+                        .with_pruning(pruning);
+                    let mut total = 0usize;
+                    for k in cloud.machines() {
+                        let roots = cloud.get_ids(k, query.label(a)).to_vec();
+                        let bindings = Bindings::new(query.num_vertices());
+                        let mut direct_counters = ExploreCounters::default();
+                        let direct = match_stwig(
+                            &cloud,
+                            k,
+                            &query,
+                            &stwig,
+                            &roots,
+                            &bindings,
+                            &cfg,
+                            None,
+                            &mut direct_counters,
+                        );
+                        cloud.reset_traffic();
+                        let mut batched_counters = ExploreCounters::default();
+                        let mut faults = FaultCounters::default();
+                        let batched = match_stwig_batched(
+                            &cloud,
+                            &transport,
+                            k,
+                            &query,
+                            &stwig,
+                            &roots,
+                            &bindings,
+                            &cfg,
+                            None,
+                            &mut batched_counters,
+                            &mut faults,
+                        )
+                        .unwrap();
+                        assert!(!faults.any(), "fault-free run must count nothing");
+                        assert_eq!(direct, batched, "machine {k}, batch {batch}");
+                        assert_eq!(direct_counters, batched_counters);
+                        if !pruning {
+                            assert_eq!(direct_counters.roots_pruned, 0);
+                        }
+                        assert_eq!(
+                            cloud.direct_remote_reads(),
+                            0,
+                            "batched matching must never dereference a remote partition"
+                        );
+                        total += batched.num_rows();
+                    }
+                    assert_eq!(total, 10, "the G(q1) rows of the paper's Fig. 5");
                 }
-                assert_eq!(total, 10, "the G(q1) rows of the paper's Fig. 5");
             }
         }
     }
@@ -763,6 +831,129 @@ mod tests {
             }
         }
         assert!(saw_error, "some machine must need a remote exchange");
+    }
+
+    /// Fig-5-like cloud plus two dead "a" roots: one with only b-neighbors
+    /// (label prune) and one with a single neighbor (degree prune).
+    fn fig5_with_dead_roots(machines: usize) -> MemoryCloud {
+        let mut b = GraphBuilder::new_undirected();
+        for i in 0..3u64 {
+            b.add_vertex(v(i), "a");
+        }
+        b.add_vertex(v(3), "a"); // b-neighbors only: fails the c-label bit
+        b.add_vertex(v(4), "a"); // one neighbor: fails the degree check
+        for i in 10..14u64 {
+            b.add_vertex(v(i), "b");
+        }
+        for i in 20..23u64 {
+            b.add_vertex(v(i), "c");
+        }
+        b.add_edge(v(0), v(10));
+        b.add_edge(v(0), v(13));
+        b.add_edge(v(0), v(20));
+        b.add_edge(v(1), v(10));
+        b.add_edge(v(1), v(11));
+        b.add_edge(v(1), v(20));
+        b.add_edge(v(1), v(21));
+        b.add_edge(v(1), v(22));
+        b.add_edge(v(2), v(11));
+        b.add_edge(v(2), v(21));
+        b.add_edge(v(2), v(22));
+        b.add_edge(v(3), v(12));
+        b.add_edge(v(3), v(13));
+        b.add_edge(v(4), v(10));
+        b.build(machines, CostModel::default())
+    }
+
+    #[test]
+    fn pruning_skips_dead_roots_without_changing_rows() {
+        let cloud = fig5_with_dead_roots(1);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let roots = cloud.all_ids_with_label(query.label(a));
+        let bindings = Bindings::new(query.num_vertices());
+
+        let run = |pruning: bool| {
+            let mut counters = ExploreCounters::default();
+            let cfg = MatchConfig::default().with_pruning(pruning);
+            let table = match_stwig(
+                &cloud,
+                MachineId(0),
+                &query,
+                &stwig,
+                &roots,
+                &bindings,
+                &cfg,
+                None,
+                &mut counters,
+            );
+            (table, counters)
+        };
+        let (off_table, off) = run(false);
+        let (on_table, on) = run(true);
+
+        assert_eq!(off_table, on_table, "pruning must never change rows");
+        assert_eq!(off_table.num_rows(), 10);
+        assert_eq!(off.roots_pruned, 0);
+        assert_eq!(on.roots_pruned, 2, "both dead roots are pruned");
+        // Pruning happens after the cell load, so the scan-side counters
+        // stay equal; only the probe work shrinks.
+        assert_eq!(on.roots_scanned, off.roots_scanned);
+        assert_eq!(on.cells_loaded, off.cells_loaded);
+        assert_eq!(on.rows_emitted, off.rows_emitted);
+        assert!(
+            on.label_probes < off.label_probes,
+            "pruned roots must not be probed ({} vs {})",
+            on.label_probes,
+            off.label_probes
+        );
+    }
+
+    #[test]
+    fn pruning_reduces_batched_frontier_traffic() {
+        use trinity_sim::transport::ChannelTransport;
+        // Distribute the dead roots across machines: their neighbors must
+        // never enter the frontier, so fewer Load envelopes cross machines.
+        let cloud = fig5_with_dead_roots(4);
+        let (query, a, b, c) = simple_query(&cloud);
+        let stwig = STwig::new(a, vec![b, c]);
+        let transport = ChannelTransport::new(&cloud);
+        let bindings = Bindings::new(query.num_vertices());
+        let mut bytes = Vec::new();
+        let mut rows = Vec::new();
+        for pruning in [false, true] {
+            let cfg = MatchConfig::default().with_pruning(pruning);
+            cloud.reset_traffic();
+            let mut total = 0usize;
+            for k in cloud.machines() {
+                let roots = cloud.get_ids(k, query.label(a)).to_vec();
+                let mut counters = ExploreCounters::default();
+                let t = match_stwig_batched(
+                    &cloud,
+                    &transport,
+                    k,
+                    &query,
+                    &stwig,
+                    &roots,
+                    &bindings,
+                    &cfg,
+                    None,
+                    &mut counters,
+                    &mut FaultCounters::default(),
+                )
+                .unwrap();
+                total += t.num_rows();
+            }
+            bytes.push(cloud.traffic().total_bytes());
+            rows.push(total);
+        }
+        assert_eq!(rows[0], rows[1], "identical rows either way");
+        assert!(
+            bytes[1] < bytes[0],
+            "pruned frontier must ship fewer bytes ({} vs {})",
+            bytes[1],
+            bytes[0]
+        );
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct ExploreCounters {
     pub rows_emitted: u64,
     /// Rows discarded because a binding filtered a candidate.
     pub rows_pruned_by_bindings: u64,
+    /// Root candidates skipped by the neighborhood-signature prune before
+    /// any of their neighbors were probed (see `MatchConfig::pruning`).
+    /// Always zero with pruning disabled; pruned roots still count in
+    /// `roots_scanned` and `cells_loaded`.
+    pub roots_pruned: u64,
 }
 
 impl ExploreCounters {
@@ -130,6 +135,7 @@ impl ExploreCounters {
         self.label_probes += other.label_probes;
         self.rows_emitted += other.rows_emitted;
         self.rows_pruned_by_bindings += other.rows_pruned_by_bindings;
+        self.roots_pruned += other.roots_pruned;
     }
 }
 
@@ -445,11 +451,13 @@ mod tests {
             label_probes: 3,
             rows_emitted: 4,
             rows_pruned_by_bindings: 5,
+            roots_pruned: 6,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.roots_scanned, 2);
         assert_eq!(a.rows_pruned_by_bindings, 10);
+        assert_eq!(a.roots_pruned, 12);
 
         let mut j = JoinCounters {
             joins_performed: 1,

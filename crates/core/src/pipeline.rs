@@ -9,7 +9,7 @@
 //! experiments) has been produced.
 
 use crate::config::MatchConfig;
-use crate::join::{select_join_order, PreparedJoin};
+use crate::join::{select_join_order_with_priors, PreparedJoin};
 use crate::metrics::JoinCounters;
 use crate::query::QVid;
 use crate::stream::QueryControl;
@@ -42,8 +42,8 @@ pub(crate) struct JoinRun {
 /// Joins the STwig result tables into final embeddings using the block-based
 /// pipeline strategy.
 ///
-/// * The join order is chosen by [`select_join_order`] (unless disabled in
-///   the config, in which case the given table order is used).
+/// * The join order is chosen by [`crate::join::select_join_order`] (unless
+///   disabled in the config, in which case the given table order is used).
 /// * The first table in the join order becomes the *driver*; it is processed
 ///   in blocks of `config.block_rows` rows.
 /// * The non-driver tables are indexed **once**, before the block loop
@@ -59,6 +59,19 @@ pub(crate) struct JoinRun {
 pub fn pipelined_join(
     tables: &[ResultTable],
     config: &MatchConfig,
+    counters: &mut JoinCounters,
+) -> ResultTable {
+    pipelined_join_with_priors(tables, config, None, counters)
+}
+
+/// [`pipelined_join`] with per-table selectivity priors forwarded to
+/// [`select_join_order_with_priors`] — the label-pair-aware cost-model entry
+/// point used when `MatchConfig::pruning` is on. `None` priors make this
+/// identical to [`pipelined_join`].
+pub fn pipelined_join_with_priors(
+    tables: &[ResultTable],
+    config: &MatchConfig,
+    priors: Option<&[f64]>,
     counters: &mut JoinCounters,
 ) -> ResultTable {
     struct Collect {
@@ -81,6 +94,7 @@ pub fn pipelined_join(
     pipelined_join_streaming(
         tables,
         config,
+        priors,
         config.result_limit(),
         None,
         counters,
@@ -92,11 +106,13 @@ pub fn pipelined_join(
 /// The streaming core behind [`pipelined_join`]: identical join semantics,
 /// but rows flow to `sink` round by round, the row budget is an explicit
 /// `limit` (the caller's *remaining* first-k budget rather than the config's
-/// own), and an optional [`QueryControl`] is checked at every round boundary
-/// so a deadline or cancellation stops the join between blocks.
+/// own), an optional [`QueryControl`] is checked at every round boundary
+/// so a deadline or cancellation stops the join between blocks, and optional
+/// per-table selectivity `priors` bias the join-order choice.
 pub(crate) fn pipelined_join_streaming(
     tables: &[ResultTable],
     config: &MatchConfig,
+    priors: Option<&[f64]>,
     limit: Option<usize>,
     control: Option<&QueryControl>,
     counters: &mut JoinCounters,
@@ -104,7 +120,7 @@ pub(crate) fn pipelined_join_streaming(
 ) -> JoinRun {
     assert!(!tables.is_empty(), "cannot join zero tables");
     let order: Vec<usize> = if config.optimize_join_order {
-        select_join_order(tables, config.join_sample_size)
+        select_join_order_with_priors(tables, config.join_sample_size, priors)
     } else {
         (0..tables.len()).collect()
     };
@@ -391,7 +407,7 @@ mod tests {
             rounds_seen: 0,
         };
         let mut c = JoinCounters::default();
-        let run = pipelined_join_streaming(&tables, &cfg, None, None, &mut c, &mut sink);
+        let run = pipelined_join_streaming(&tables, &cfg, None, None, None, &mut c, &mut sink);
         assert_eq!(run.rows_emitted, 50);
         assert_eq!(sink.rows, 50);
         assert_eq!(sink.rounds_seen, 5);
@@ -404,7 +420,7 @@ mod tests {
             rounds_seen: 0,
         };
         let mut c = JoinCounters::default();
-        let run = pipelined_join_streaming(&tables, &cfg, Some(25), None, &mut c, &mut sink);
+        let run = pipelined_join_streaming(&tables, &cfg, None, Some(25), None, &mut c, &mut sink);
         assert_eq!(run.rows_emitted, 25);
         assert!(!run.exhausted);
         assert_eq!(c.pipeline_rounds, 3);
@@ -422,7 +438,7 @@ mod tests {
         }
         let mut any = CountAny { rows: 0 };
         let mut c = JoinCounters::default();
-        let run = pipelined_join_streaming(&single, &cfg, Some(3), None, &mut c, &mut any);
+        let run = pipelined_join_streaming(&single, &cfg, None, Some(3), None, &mut c, &mut any);
         assert_eq!(run.rows_emitted, 3);
         assert_eq!(any.rows, 3);
         assert!(!run.exhausted);
@@ -457,7 +473,8 @@ mod tests {
         }
         let mut sink = CancelAfter { rows: 0, token };
         let mut c = JoinCounters::default();
-        let run = pipelined_join_streaming(&tables, &cfg, None, Some(&control), &mut c, &mut sink);
+        let run =
+            pipelined_join_streaming(&tables, &cfg, None, None, Some(&control), &mut c, &mut sink);
         assert!(run.interrupted);
         assert!(!run.exhausted);
         assert_eq!(run.rows_emitted, 10, "exactly the pre-cancel round");

@@ -203,6 +203,56 @@ mod tests {
     }
 
     #[test]
+    fn units_price_partition_local_labels_by_global_frequency() {
+        // "c" lives on exactly one machine (vertex 9 lands in one partition
+        // of the 2-machine split); "z" exists in the label space but has no
+        // vertices at all. Pricing must use the *global* frequency — a
+        // partition-local label counts once, not zero and not once per
+        // machine — and an empty-posting label must contribute exactly zero
+        // units, so it cannot skew the µs-per-unit EWMA through systematic
+        // over-pricing.
+        let mut gb = GraphBuilder::new_undirected();
+        for i in 0..8u64 {
+            gb.add_vertex(VertexId(i), "a");
+        }
+        gb.add_vertex(VertexId(8), "b");
+        gb.add_vertex(VertexId(9), "c");
+        for i in 0..8u64 {
+            gb.add_edge(VertexId(i), VertexId(8));
+        }
+        gb.add_edge(VertexId(9), VertexId(8));
+        let cloud = gb.build(2, CostModel::default());
+        let c = cloud.labels().get("c").unwrap();
+        let on_one_machine = cloud
+            .machines()
+            .filter(|&m| {
+                cloud
+                    .all_ids_with_label(c)
+                    .iter()
+                    .any(|&id| cloud.machine_of(id) == m)
+            })
+            .count();
+        assert_eq!(on_one_machine, 1, "fixture: c must be partition-local");
+
+        // c-b path: both degree 1, so units = freq(c)*2 + freq(b)*2 = 2 + 2.
+        let local = query(&cloud, &["c", "b"]);
+        assert_eq!(CostEstimator::units(&cloud, &local), 4.0);
+
+        // A query vertex whose label has an empty posting everywhere: same
+        // shape, but the absent label adds zero units.
+        let mut qb = QueryGraph::builder();
+        let b = qb.vertex_by_name(&cloud, "b").unwrap();
+        let z = qb.vertex(trinity_sim::ids::LabelId(1_000)); // no such data label
+        qb.edge(z, b);
+        let absent = qb.build().unwrap();
+        assert_eq!(
+            CostEstimator::units(&cloud, &absent),
+            2.0,
+            "empty-posting label must contribute zero units"
+        );
+    }
+
+    #[test]
     fn estimator_calibrates_after_enough_samples() {
         let est = CostEstimator::new();
         assert_eq!(est.estimate_us(100.0), None, "uncalibrated estimator");

@@ -179,12 +179,22 @@ impl GraphBuilder {
             label_frequency[l.index()] += 1;
         }
 
-        // Assemble partitions.
+        // Assemble partitions. The builder is the one place that knows every
+        // endpoint's label (neighbors may live on other machines), so the
+        // candidate-pruning indexes — per-vertex neighborhood signatures and
+        // the per-partition label-pair table — are built here, in the same
+        // pass as the string index.
         let mut partitions = Vec::with_capacity(num_machines);
         for (m, ids) in per_machine_ids.into_iter().enumerate() {
             let machine_labels: Vec<LabelId> = ids.iter().map(|v| labels[v]).collect();
             let adj = std::mem::take(&mut per_machine_adj[m]);
-            partitions.push(Partition::new(ids, machine_labels, adj, num_labels));
+            partitions.push(Partition::with_neighbor_labels(
+                ids,
+                machine_labels,
+                adj,
+                num_labels,
+                |n| labels.get(&n).copied(),
+            ));
         }
 
         let num_vertices = labels.len() as u64;

@@ -177,6 +177,59 @@ impl MemoryCloud {
             .unwrap_or(0)
     }
 
+    /// The neighborhood-label signature of vertex `id`, looked up in its
+    /// owner's [`crate::neighbor_index::NeighborLabelIndex`]. Returns `None`
+    /// when the vertex does not exist or its partition was built without
+    /// the pruning index (pruning is then simply disabled for it).
+    ///
+    /// Like the global statistics, signature probes are *not* charged to the
+    /// network: the distributed executor only ever prunes roots owned by the
+    /// executing machine, so the lookup is partition-local there; the
+    /// single-coordinator path treats the 8-byte-per-vertex signature tier
+    /// as replicated index metadata.
+    #[inline]
+    pub fn signature_of(&self, id: VertexId) -> Option<u64> {
+        self.partitions[self.machine_of(id).index()].signature_of(id)
+    }
+
+    /// Cloud-wide count of adjacency entries whose endpoint labels are
+    /// `(a, b)` in either order — the selectivity statistic behind the
+    /// label-pair-aware cost models. Every (symmetrized) edge with resolved
+    /// endpoint labels is counted once per endpoint.
+    pub fn label_pair_count(&self, a: LabelId, b: LabelId) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.pair_table().count(a, b))
+            .sum()
+    }
+
+    /// Total adjacency entries recorded in the label-pair tables (the
+    /// normalizer for [`MemoryCloud::label_pair_count`] selectivities).
+    pub fn label_pair_total(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.pair_table().total_entries())
+            .sum()
+    }
+
+    /// Per-partition signature widths in bits (`None` for partitions built
+    /// without the pruning index). Part of the cloud fingerprint: result
+    /// tables computed with and without pruning indexes must never alias in
+    /// a cache.
+    pub fn signature_configuration(&self) -> Vec<Option<u32>> {
+        self.partitions.iter().map(|p| p.signature_bits()).collect()
+    }
+
+    /// Signature bytes per vertex paid by the pruning index (0 when no
+    /// partition carries one).
+    pub fn signature_bytes_per_vertex(&self) -> usize {
+        if self.partitions.iter().any(|p| p.signature_bits().is_some()) {
+            crate::neighbor_index::SIGNATURE_BYTES_PER_VERTEX
+        } else {
+            0
+        }
+    }
+
     /// Approximate total memory footprint of the stored graph (all partitions
     /// plus the label frequency table), in bytes. This is the quantity the
     /// paper's Table 1 reports as "index size + graph size" for STwig.

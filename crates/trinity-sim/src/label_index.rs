@@ -21,13 +21,25 @@ impl LabelIndex {
     /// Builds the index from `(vertex, label)` pairs. `num_labels` is the size
     /// of the global label space so lookups for labels not present locally
     /// stay in bounds.
+    ///
+    /// A label id at or beyond `num_labels` violates the global label space
+    /// the caller declared; it used to silently grow `postings`, which let
+    /// two partitions built from different streams disagree on
+    /// [`LabelIndex::num_labels`] and desynchronized everything keyed on
+    /// label-space size (cloud fingerprints, signature widths). Such pairs
+    /// are now dropped — the vertex is simply not indexed under the bogus
+    /// label — and flagged with a `debug_assert`.
     pub fn build(pairs: impl IntoIterator<Item = (VertexId, LabelId)>, num_labels: usize) -> Self {
         let mut postings = vec![Vec::new(); num_labels];
         for (v, l) in pairs {
-            if l.index() >= postings.len() {
-                postings.resize(l.index() + 1, Vec::new());
-            }
-            postings[l.index()].push(v);
+            let Some(posting) = postings.get_mut(l.index()) else {
+                debug_assert!(
+                    false,
+                    "label {l:?} for vertex {v:?} is outside the declared label space ({num_labels} labels)"
+                );
+                continue;
+            };
+            posting.push(v);
         }
         for p in &mut postings {
             p.sort_unstable();
@@ -99,10 +111,23 @@ mod tests {
     }
 
     #[test]
-    fn grows_for_unexpected_labels() {
-        // A label id beyond num_labels still gets stored correctly.
-        let idx = LabelIndex::build(vec![(v(1), l(5))], 2);
-        assert_eq!(idx.get(l(5)), &[v(1)]);
+    fn out_of_space_labels_are_clamped_not_grown() {
+        // Regression: a label id beyond `num_labels` used to silently grow
+        // the postings vector, so `num_labels()` depended on the data stream
+        // instead of the declared global label space. Debug builds now flag
+        // the violation; release builds drop the pair — in neither profile
+        // may the label space grow.
+        if cfg!(debug_assertions) {
+            let panicked =
+                std::panic::catch_unwind(|| LabelIndex::build(vec![(v(1), l(5))], 2)).is_err();
+            assert!(panicked, "debug builds must flag the label-space violation");
+        } else {
+            let idx = LabelIndex::build(vec![(v(1), l(5)), (v(2), l(1))], 2);
+            assert_eq!(idx.num_labels(), 2, "label space must not grow");
+            assert_eq!(idx.get(l(5)), &[] as &[VertexId]);
+            assert_eq!(idx.get(l(1)), &[v(2)], "in-range pairs are unaffected");
+            assert_eq!(idx.total_postings(), 1);
+        }
     }
 
     #[test]

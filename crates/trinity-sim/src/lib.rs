@@ -12,6 +12,10 @@
 //!   ([`cloud::MemoryCloud`], [`partition::Partition`], [`csr::Csr`]);
 //! * the per-machine **string index** mapping labels to local vertex IDs
 //!   ([`label_index::LabelIndex`]) — the only index the approach uses;
+//! * optional **candidate-pruning indexes**: per-vertex neighborhood-label
+//!   signatures and a label-pair selectivity table
+//!   ([`neighbor_index::NeighborLabelIndex`],
+//!   [`neighbor_index::LabelPairTable`]), built in the same pass;
 //! * the paper's three atomic operators `Cloud.Load`, `Index.getID`,
 //!   `Index.hasLabel` with **cross-machine traffic accounting**
 //!   ([`network::Network`], [`cost::CostModel`]);
@@ -57,6 +61,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod label_index;
+pub mod neighbor_index;
 pub mod network;
 pub mod partition;
 pub mod stats;
@@ -70,6 +75,7 @@ pub mod prelude {
     pub use crate::error::TrinityError;
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport, MachineCrash};
     pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
+    pub use crate::neighbor_index::{LabelPairTable, NeighborLabelIndex};
     pub use crate::network::{CostModel, Network, TrafficSnapshot};
     pub use crate::partition::{Cell, CellBuf, Partition};
     pub use crate::stats::{graph_stats, GraphStats};

@@ -4,6 +4,7 @@
 use crate::csr::Csr;
 use crate::ids::{LabelId, VertexId};
 use crate::label_index::LabelIndex;
+use crate::neighbor_index::{LabelPairTable, NeighborLabelIndex, FULL_SIGNATURE};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -68,6 +69,11 @@ pub struct Partition {
     adjacency: Csr,
     /// Label → local vertex IDs.
     label_index: LabelIndex,
+    /// Per-vertex neighborhood-label signatures, when built with label
+    /// lookup (`None` disables signature pruning for this partition).
+    neighbor_index: Option<NeighborLabelIndex>,
+    /// Adjacency-entry counts by endpoint-label pair.
+    pair_table: LabelPairTable,
 }
 
 impl Partition {
@@ -97,7 +103,45 @@ impl Partition {
             local_of,
             adjacency,
             label_index,
+            neighbor_index: None,
+            pair_table: LabelPairTable::default(),
         }
+    }
+
+    /// Like [`Partition::new`], but also builds the candidate-pruning
+    /// indexes ([`NeighborLabelIndex`], [`LabelPairTable`]) in the same
+    /// construction pass. `neighbor_label` resolves the label of *any*
+    /// vertex (neighbors may live on other machines); a neighbor whose label
+    /// it cannot resolve contributes the all-ones [`FULL_SIGNATURE`] — the
+    /// signature over-approximates, so an unknown label must claim every
+    /// bit to keep pruning sound — and is left out of the pair table.
+    pub fn with_neighbor_labels(
+        vertex_ids: Vec<VertexId>,
+        labels: Vec<LabelId>,
+        adjacency_lists: Vec<Vec<VertexId>>,
+        num_labels: usize,
+        neighbor_label: impl Fn(VertexId) -> Option<LabelId>,
+    ) -> Self {
+        let mut p = Partition::new(vertex_ids, labels, adjacency_lists, num_labels);
+        let mut sigs = Vec::with_capacity(p.num_vertices());
+        let mut pair_table = LabelPairTable::new();
+        for local in 0..p.num_vertices() {
+            let own_label = p.labels[local];
+            let mut sig = 0u64;
+            for &m in p.adjacency.neighbors(local) {
+                match neighbor_label(m) {
+                    Some(l) => {
+                        sig |= crate::neighbor_index::label_bit(l);
+                        pair_table.record(own_label, l);
+                    }
+                    None => sig = FULL_SIGNATURE,
+                }
+            }
+            sigs.push(sig);
+        }
+        p.neighbor_index = Some(NeighborLabelIndex::from_signatures(sigs));
+        p.pair_table = pair_table;
+        p
     }
 
     /// Number of vertices owned by this machine.
@@ -179,6 +223,30 @@ impl Partition {
         })
     }
 
+    /// The neighborhood-label signature of a locally-owned vertex, or
+    /// `None` when the vertex is not owned here or the partition was built
+    /// without the pruning index.
+    #[inline]
+    pub fn signature_of(&self, id: VertexId) -> Option<u64> {
+        let index = self.neighbor_index.as_ref()?;
+        let &local = self.local_of.get(&id)?;
+        index.signature(local as usize)
+    }
+
+    /// Signature width in bits when the pruning index is present, `None`
+    /// otherwise. Part of the cloud fingerprint: caches keyed on a cloud
+    /// must distinguish index configurations.
+    pub fn signature_bits(&self) -> Option<u32> {
+        self.neighbor_index
+            .as_ref()
+            .map(|_| crate::neighbor_index::SIGNATURE_BITS as u32)
+    }
+
+    /// This partition's adjacency-entry counts by endpoint-label pair.
+    pub fn pair_table(&self) -> &LabelPairTable {
+        &self.pair_table
+    }
+
     /// Approximate memory footprint of this partition in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.vertex_ids.len() * std::mem::size_of::<VertexId>()
@@ -187,6 +255,11 @@ impl Partition {
                 * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() + 8)
             + self.adjacency.memory_bytes()
             + self.label_index.memory_bytes()
+            + self
+                .neighbor_index
+                .as_ref()
+                .map_or(0, NeighborLabelIndex::memory_bytes)
+            + self.pair_table.memory_bytes()
     }
 }
 
@@ -256,5 +329,43 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         Partition::new(vec![v(1)], vec![l(0), l(1)], vec![vec![]], 2);
+    }
+
+    #[test]
+    fn plain_partition_has_no_pruning_index() {
+        let p = sample_partition();
+        assert_eq!(p.signature_of(v(10)), None);
+        assert_eq!(p.signature_bits(), None);
+        assert_eq!(p.pair_table().total_entries(), 0);
+    }
+
+    #[test]
+    fn neighbor_labels_build_signatures_and_pair_table() {
+        use crate::neighbor_index::{label_bit, FULL_SIGNATURE};
+        // v(99) is a phantom remote neighbor the lookup cannot resolve: its
+        // owner's signature must widen to FULL to stay sound.
+        let p = Partition::with_neighbor_labels(
+            vec![v(10), v(20), v(30)],
+            vec![l(0), l(1), l(0)],
+            vec![vec![v(20), v(99)], vec![v(10)], vec![]],
+            2,
+            |id| match id {
+                VertexId(10) | VertexId(30) => Some(l(0)),
+                VertexId(20) => Some(l(1)),
+                _ => None,
+            },
+        );
+        assert_eq!(p.signature_of(v(10)), Some(FULL_SIGNATURE));
+        assert_eq!(p.signature_of(v(20)), Some(label_bit(l(0))));
+        assert_eq!(p.signature_of(v(30)), Some(0), "isolated vertex");
+        assert_eq!(p.signature_of(v(77)), None, "unowned vertex");
+        assert_eq!(p.signature_bits(), Some(64));
+        // Pair table counts only resolvable endpoints: 10-20 seen from both
+        // sides; 10-99 skipped.
+        assert_eq!(p.pair_table().count(l(0), l(1)), 2);
+        assert_eq!(p.pair_table().total_entries(), 2);
+        // The indexes are part of the partition's memory accounting.
+        let plain = sample_partition();
+        assert!(p.memory_bytes() > plain.memory_bytes());
     }
 }
