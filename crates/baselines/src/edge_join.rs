@@ -76,7 +76,7 @@ fn edge_candidates(
             (label_v, label_u, true)
         };
     for x in cloud.all_ids_with_label(scan_label) {
-        for &y in cloud.neighbors_global(x) {
+        for y in cloud.neighbors_global(x) {
             if x == y {
                 continue;
             }

@@ -38,7 +38,7 @@ impl SignatureIndex {
         for m in cloud.machines() {
             for cell in cloud.partition(m).iter_cells() {
                 let mut sig: Signature = HashMap::new();
-                for &n in cell.neighbors {
+                for n in cell.neighbors {
                     if let Some(l) = cloud.label_of_global(n) {
                         *sig.entry(l).or_insert(0) += 1;
                     }

@@ -83,7 +83,6 @@ impl<'a> State<'a> {
                     .cloud
                     .neighbors_global(mapped_neighbor)
                     .iter()
-                    .copied()
                     .filter(|&d| self.cloud.label_of_global(d) == Some(label))
                     .collect();
             }

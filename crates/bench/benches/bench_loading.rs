@@ -1,11 +1,93 @@
 //! Table 2: graph loading time as a function of node count (fixed average
 //! degree 16), i.e. the cost of building the partitioned store and its
-//! linear string index.
+//! linear string index — plus a large-scale storage report comparing the
+//! plain and compact storage tiers on a *streamed* R-MAT load.
+//!
+//! The storage report loads each size through `StreamLoader` (no
+//! materialized edge list) under both tiers and prints load throughput
+//! (edges/sec), resident adjacency+index bytes/edge, total bytes/vertex,
+//! and the compact:plain ratio, then runs a small acceptance query batch on
+//! each cloud and checks the tiers return identical match counts.
+//!
+//! Sizes default to 1M vertices; set `STWIG_LOAD_VERTICES` to a
+//! comma-separated list (e.g. `10000000` or `1000000,10000000,100000000`)
+//! to sweep 10M/100M-vertex graphs. Average degree 20, so 10M vertices is a
+//! 100M-edge load.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graph_gen::prelude::*;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use stwig::MatchConfig;
+use trinity_sim::compact::StorageTier;
+use trinity_sim::loader::StreamLoader;
 use trinity_sim::network::CostModel;
+
+/// Average degree of the streamed storage-report graphs: 10M vertices →
+/// 100M edges.
+const STREAM_AVG_DEGREE: f64 = 20.0;
+
+fn report_sizes() -> Vec<u64> {
+    match std::env::var("STWIG_LOAD_VERTICES") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect(),
+        Err(_) => vec![1_000_000],
+    }
+}
+
+fn storage_report() {
+    for n in report_sizes() {
+        let stream = RmatStream::new(RmatConfig::with_avg_degree(n, STREAM_AVG_DEGREE, 0x10AD));
+        let labels = StreamingLabels::new(LabelModel::Uniform { num_labels: 100 }, 0x10AD ^ 0x1AB);
+        let mut per_edge = Vec::new();
+        let mut match_counts = Vec::new();
+        for tier in [StorageTier::Plain, StorageTier::Compact] {
+            let start = Instant::now();
+            let cloud = stream_cloud_with(
+                &stream,
+                &labels,
+                StreamLoader::new(8, CostModel::default()).with_storage_tier(tier),
+            )
+            .expect("streamed load failed");
+            let load_s = start.elapsed().as_secs_f64();
+            let bytes = cloud.storage_bytes();
+            let edges = cloud.num_edges().max(1) as f64;
+            let index_bytes = bytes.adjacency + bytes.id_map + bytes.postings;
+            let bytes_per_edge = index_bytes as f64 / edges;
+            let bytes_per_vertex = bytes.total() as f64 / cloud.num_vertices().max(1) as f64;
+            println!(
+                "storage/{n}/{tier:<8} load {load_s:>7.2} s  {:>6.2} M edges/s  \
+                 adjacency+index {bytes_per_edge:>6.2} B/edge  total {bytes_per_vertex:>7.2} B/vertex",
+                stream.num_edges() as f64 / load_s / 1e6,
+            );
+            per_edge.push(bytes_per_edge);
+
+            // Acceptance workload: a small distributed query batch.
+            let queries = query_batch(&cloud, 3, 4, None, 0xACCE);
+            let config = MatchConfig::paper_default();
+            let mut matches = 0u64;
+            for q in &queries {
+                matches += stwig::match_query_distributed(&cloud, q, &config)
+                    .expect("acceptance query failed")
+                    .metrics
+                    .matches_found;
+            }
+            println!("storage/{n}/{tier:<8} acceptance queries: {matches} matches");
+            match_counts.push(matches);
+        }
+        assert_eq!(
+            match_counts[0], match_counts[1],
+            "storage tiers must return identical results at n={n}"
+        );
+        println!(
+            "storage/{n} compact:plain adjacency+index ratio {:.2} ({:.1}x smaller)",
+            per_edge[1] / per_edge[0],
+            per_edge[0] / per_edge[1],
+        );
+    }
+}
 
 fn bench_loading(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_loading");
@@ -20,6 +102,7 @@ fn bench_loading(c: &mut Criterion) {
         });
     }
     group.finish();
+    storage_report();
 }
 
 criterion_group!(benches, bench_loading);

@@ -514,6 +514,76 @@ pub fn pruning(scale: Scale) -> Vec<Row> {
     rows
 }
 
+/// Storage-tier sweep (extends Table 1's index-size column): build the same
+/// dataset profiles under the plain and the compact storage tier, check that
+/// the query suite returns identical results on both, and report the
+/// per-component resident bytes plus bytes/edge and bytes/vertex so the CSV
+/// shows what the delta/varint encoding saves.
+pub fn storage(scale: Scale) -> Vec<Row> {
+    use trinity_sim::compact::StorageTier;
+    let mut rows = Vec::new();
+    for (name, graph) in [
+        ("wordnet", wordnet_like(scale.base_vertices(), 0xB0B)),
+        ("patents", patents_like(scale.base_vertices(), 0xA11CE)),
+    ] {
+        let mut matches_per_tier = Vec::new();
+        for tier in [StorageTier::Plain, StorageTier::Compact] {
+            let (cloud, load_ms) = timed(|| {
+                graph
+                    .to_builder()
+                    .with_storage_tier(tier)
+                    .build(DEFAULT_MACHINES, CostModel::default())
+            });
+            let series = format!("{name}-{}", tier.as_str());
+            let bytes = cloud.storage_bytes();
+            let edges = cloud.num_edges().max(1) as f64;
+            let vertices = cloud.num_vertices().max(1) as f64;
+            rows.push(Row::new("storage", &series, 0.0, "load_time_ms", load_ms));
+            for (metric, value) in [
+                ("adjacency_bytes", bytes.adjacency),
+                ("label_bytes", bytes.labels),
+                ("id_map_bytes", bytes.id_map),
+                ("posting_bytes", bytes.postings),
+                ("signature_bytes", bytes.signatures),
+                ("pair_table_bytes", bytes.pair_table),
+                ("total_bytes", bytes.total()),
+            ] {
+                rows.push(Row::new("storage", &series, 0.0, metric, value as f64));
+            }
+            let index_bytes = bytes.adjacency + bytes.id_map + bytes.postings;
+            rows.push(Row::new(
+                "storage",
+                &series,
+                0.0,
+                "bytes_per_edge",
+                index_bytes as f64 / edges,
+            ));
+            rows.push(Row::new(
+                "storage",
+                &series,
+                0.0,
+                "bytes_per_vertex",
+                bytes.total() as f64 / vertices,
+            ));
+            let queries = query_batch(&cloud, scale.queries_per_point(), 5, None, 0x57);
+            let res = run_suite(&cloud, &queries, &MatchConfig::paper_default(), true);
+            rows.push(Row::new(
+                "storage",
+                &series,
+                0.0,
+                "run_time_ms",
+                res.avg_wall_ms,
+            ));
+            matches_per_tier.push(res.avg_matches);
+        }
+        assert!(
+            matches_per_tier.windows(2).all(|w| w[0] == w[1]),
+            "storage tiers must be observationally identical on {name}: {matches_per_tier:?}"
+        );
+    }
+    rows
+}
+
 /// Returns every experiment name understood by [`run_experiment`].
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
@@ -533,6 +603,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "ablation-head",
         "ablation-explore",
         "pruning",
+        "storage",
     ]
 }
 
@@ -555,6 +626,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Row>> {
         "ablation-head" => crate::ablations::ablation_head(scale),
         "ablation-explore" => crate::ablations::ablation_explore(scale),
         "pruning" => pruning(scale),
+        "storage" => storage(scale),
         _ => return None,
     };
     Some(rows)
@@ -616,6 +688,34 @@ mod tests {
         assert!(rows
             .iter()
             .all(|r| r.metric != "partial_queries" || r.value == 0.0));
+    }
+
+    #[test]
+    fn storage_experiment_reports_compact_savings() {
+        let rows = storage(Scale::Small);
+        let total = |series: &str| -> f64 {
+            rows.iter()
+                .filter(|r| r.series == series && r.metric == "total_bytes")
+                .map(|r| r.value)
+                .sum()
+        };
+        for dataset in ["wordnet", "patents"] {
+            let plain = total(&format!("{dataset}-plain"));
+            let compact = total(&format!("{dataset}-compact"));
+            assert!(plain > 0.0 && compact > 0.0);
+            assert!(
+                compact < plain,
+                "{dataset}: compact ({compact}) must be smaller than plain ({plain})"
+            );
+        }
+        // Every series reports the full component breakdown.
+        for metric in ["adjacency_bytes", "posting_bytes", "bytes_per_edge"] {
+            assert_eq!(
+                rows.iter().filter(|r| r.metric == metric).count(),
+                4,
+                "{metric} must appear for 2 datasets x 2 tiers"
+            );
+        }
     }
 
     #[test]

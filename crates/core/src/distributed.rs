@@ -383,7 +383,10 @@ pub fn match_query_distributed_with_cache(
     let started = Instant::now();
     cloud.reset_traffic();
     let num_machines = cloud.num_machines();
-    let mut metrics = QueryMetrics::default();
+    let mut metrics = QueryMetrics {
+        storage: Some(cloud.storage_bytes()),
+        ..QueryMetrics::default()
+    };
     let mut machine_metrics: Vec<MachineMetrics> = (0..num_machines)
         .map(|k| MachineMetrics {
             machine: k as u16,
@@ -415,7 +418,7 @@ pub fn match_query_distributed_with_cache(
             let proxy = MachineId(0);
             for k in cloud.machines() {
                 if k == proxy {
-                    for &id in cloud.get_ids(k, label) {
+                    for id in cloud.get_ids(k, label) {
                         table.push_row(&[id]);
                     }
                     continue;
@@ -444,7 +447,7 @@ pub fn match_query_distributed_with_cache(
             );
         } else {
             for k in cloud.machines() {
-                for &id in cloud.get_ids(k, label) {
+                for id in cloud.get_ids(k, label) {
                     table.push_row(&[id]);
                 }
             }
@@ -862,7 +865,7 @@ fn explore_one_stwig(
                     run_work_stealing(num_machines, threads, |ki| {
                         let k = MachineId(ki as u16);
                         let t0 = Instant::now();
-                        let roots = cloud.get_ids(k, query.label(stwig.root));
+                        let roots = cloud.get_ids(k, query.label(stwig.root)).to_vec();
                         let mut counters = ExploreCounters::default();
                         let mut faults = FaultCounters::default();
                         let table = explore_machine(
@@ -871,7 +874,7 @@ fn explore_one_stwig(
                             k,
                             query,
                             stwig,
-                            roots,
+                            &roots,
                             &unbound_bindings,
                             &populate_cfg,
                             control,
@@ -1612,7 +1615,10 @@ pub fn match_query_streaming_with_cache(
     let control = QueryControl::new(options, started);
     cloud.reset_traffic();
     let num_machines = cloud.num_machines();
-    let mut metrics = QueryMetrics::default();
+    let mut metrics = QueryMetrics {
+        storage: Some(cloud.storage_bytes()),
+        ..QueryMetrics::default()
+    };
     let mut machine_metrics: Vec<MachineMetrics> = (0..num_machines)
         .map(|k| MachineMetrics {
             machine: k as u16,
@@ -1875,11 +1881,7 @@ fn local_roots(
     let postings = cloud.get_ids(k, query.label(stwig.root));
     if config.use_bindings {
         if let Some(bound) = bindings.get(stwig.root) {
-            return postings
-                .iter()
-                .copied()
-                .filter(|v| bound.contains(v))
-                .collect();
+            return postings.iter().filter(|v| bound.contains(v)).collect();
         }
     }
     postings.to_vec()

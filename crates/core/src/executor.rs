@@ -47,7 +47,10 @@ pub fn match_query(
     cloud.reset_traffic();
     let coordinator = MachineId(0);
 
-    let mut metrics = QueryMetrics::default();
+    let mut metrics = QueryMetrics {
+        storage: Some(cloud.storage_bytes()),
+        ..QueryMetrics::default()
+    };
 
     // Single-vertex queries degenerate to a label scan.
     if query.num_edges() == 0 {

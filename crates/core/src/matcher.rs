@@ -179,7 +179,7 @@ pub fn match_stwig_batched(
         {
             continue;
         }
-        for &m in cell.neighbors {
+        for m in cell.neighbors {
             if m != n && !cloud.owns_local(machine, m) {
                 frontier.insert(m);
             }
@@ -318,6 +318,11 @@ fn explore_roots<'a>(
 
     let mut row_buf: Vec<VertexId> = Vec::with_capacity(1 + stwig.children.len());
     let mut child_candidates: Vec<Vec<VertexId>> = vec![Vec::new(); stwig.children.len()];
+    // Compact-tier cells hand out encoded neighbor runs. The per-child scan
+    // below walks the run once per child, so decode it once per root into a
+    // reusable scratch (inline stack array for small degrees); plain-tier
+    // cells pass their slice through `materialize` untouched.
+    let mut scratch = trinity_sim::compact::NeighborScratch::new();
 
     'roots: for (root_idx, &n) in roots.iter().enumerate() {
         if let Some(limit) = config.max_stwig_rows {
@@ -365,10 +370,11 @@ fn explore_roots<'a>(
         }
 
         // Candidate children per child query vertex.
+        let neighbors = cell.neighbors.materialize(&mut scratch);
         for (ci, (&child, &label)) in stwig.children.iter().zip(child_labels.iter()).enumerate() {
             let cands = &mut child_candidates[ci];
             cands.clear();
-            for &m in cell.neighbors {
+            for &m in neighbors {
                 if m == n {
                     continue;
                 }

@@ -7,6 +7,7 @@
 //! speed-up experiments (Fig. 9) are driven by the simulated numbers.
 
 use serde::{Deserialize, Serialize};
+use trinity_sim::partition::StorageBytes;
 
 /// How a query execution ended.
 ///
@@ -425,6 +426,12 @@ pub struct QueryMetrics {
     pub fault: FaultCounters,
     /// Per-machine breakdown (empty for the single-machine executor).
     pub machines: Vec<MachineMetrics>,
+    /// Resident bytes of the cloud the query ran against, broken down by
+    /// storage component (adjacency / labels / id map / postings /
+    /// signatures / pair table). A property of the cloud, not the query —
+    /// attached here so experiment CSVs can report storage next to query
+    /// cost without a second accounting path.
+    pub storage: Option<StorageBytes>,
 }
 
 impl QueryMetrics {

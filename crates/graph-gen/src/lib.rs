@@ -15,12 +15,14 @@ pub mod labels;
 pub mod power_law;
 pub mod query_gen;
 pub mod rmat;
+pub mod rmat_stream;
 pub mod synthetic;
 
 pub use datasets::{facebook_like, patents_like, synthetic_experiment_graph, wordnet_like};
 pub use labels::{labels_for_density, LabelModel};
 pub use query_gen::{dfs_query, query_batch, random_query, zipf_indices, zipf_workload};
 pub use rmat::{rmat, RmatConfig};
+pub use rmat_stream::{stream_cloud, stream_cloud_with, RmatStream, StreamingLabels};
 pub use synthetic::SyntheticGraph;
 
 /// Commonly used items, for glob import.
@@ -33,5 +35,6 @@ pub mod prelude {
     pub use crate::power_law::preferential_attachment;
     pub use crate::query_gen::{dfs_query, query_batch, random_query, zipf_indices, zipf_workload};
     pub use crate::rmat::{rmat, RmatConfig};
+    pub use crate::rmat_stream::{stream_cloud, stream_cloud_with, RmatStream, StreamingLabels};
     pub use crate::synthetic::SyntheticGraph;
 }

@@ -232,7 +232,7 @@ fn dfs_collect(cloud: &MemoryCloud, start: VertexId, limit: usize) -> Vec<Vertex
         if visited.len() >= limit {
             break;
         }
-        for &n in cloud.neighbors_global(v) {
+        for n in cloud.neighbors_global(v) {
             if seen.insert(n) {
                 stack.push(n);
             }
@@ -297,7 +297,7 @@ fn reachable_subset(cloud: &MemoryCloud, vertices: &[VertexId]) -> Vec<VertexId>
     seen.insert(vertices[0]);
     while let Some(v) = stack.pop() {
         reachable.push(v);
-        for &n in cloud.neighbors_global(v) {
+        for n in cloud.neighbors_global(v) {
             if set.contains(&n) && seen.insert(n) {
                 stack.push(n);
             }

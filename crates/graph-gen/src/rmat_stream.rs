@@ -1,0 +1,354 @@
+//! Counter-based streaming R-MAT generation for graphs too large to hold as
+//! an edge `Vec`.
+//!
+//! [`crate::rmat::rmat`] materializes every edge before building the cloud —
+//! fine at laptop scale, hopeless at the paper's billion-node scale. The
+//! streaming variant derives edge `i` purely from `(seed, i)` with a
+//! splitmix64 chain, so:
+//!
+//! * `edge(i)` is random access — no state carried between edges;
+//! * the iterator is re-iterable for free, which is exactly the shape
+//!   [`trinity_sim::loader::StreamLoader`]'s multi-pass protocol needs;
+//! * memory is `O(1)` regardless of graph size.
+//!
+//! Labels are assigned the same way: [`StreamingLabels::label_of`] hashes the
+//! vertex id instead of walking an RNG sequence, so no `Vec<u32>` of length
+//! `num_vertices` ever exists.
+
+use crate::labels::LabelModel;
+use crate::rmat::RmatConfig;
+use trinity_sim::error::TrinityError;
+use trinity_sim::ids::{LabelId, LabelInterner, VertexId};
+use trinity_sim::loader::StreamLoader;
+use trinity_sim::network::CostModel;
+use trinity_sim::MemoryCloud;
+
+/// splitmix64 finalizer: a high-quality 64-bit mix of the input.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a u64 to a double in `[0, 1)` using the top 53 bits.
+#[inline]
+fn to_unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A counter-based R-MAT edge stream: edge `i` is a pure function of
+/// `(config.seed, i)`.
+///
+/// The distribution matches [`crate::rmat::rmat`]'s recursive-matrix model
+/// (same quadrant probabilities, same modulo fold for non-power-of-two
+/// sizes); the exact edge sequence differs because the materializing
+/// generator draws from one sequential RNG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatStream {
+    config: RmatConfig,
+    levels: u32,
+}
+
+impl RmatStream {
+    /// Creates a stream over the given R-MAT configuration.
+    pub fn new(config: RmatConfig) -> Self {
+        assert!(config.num_vertices > 0, "R-MAT needs at least one vertex");
+        assert!(
+            config.a > 0.0 && config.b >= 0.0 && config.c >= 0.0 && config.d() >= 0.0,
+            "invalid R-MAT quadrant probabilities"
+        );
+        let levels = 64 - (config.num_vertices.max(2) - 1).leading_zeros();
+        RmatStream { config, levels }
+    }
+
+    /// Number of vertices in the generated graph.
+    pub fn num_vertices(&self) -> u64 {
+        self.config.num_vertices
+    }
+
+    /// Number of generated edges (before self-loop/duplicate removal).
+    pub fn num_edges(&self) -> u64 {
+        self.config.num_edges
+    }
+
+    /// Edge `index` of the stream, computed from scratch — `O(log n)` mixes,
+    /// no per-edge state.
+    pub fn edge(&self, index: u64) -> (u64, u64) {
+        // A private splitmix64 chain per edge, keyed by (seed, index).
+        let mut state = self
+            .config
+            .seed
+            .wrapping_add(splitmix64(index.wrapping_mul(0xD1B5_4A32_D192_ED03)));
+        let (mut row, mut col) = (0u64, 0u64);
+        for _ in 0..self.levels {
+            row <<= 1;
+            col <<= 1;
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let r = to_unit(splitmix64(state));
+            if r < self.config.a {
+                // top-left: nothing to add
+            } else if r < self.config.a + self.config.b {
+                col |= 1;
+            } else if r < self.config.a + self.config.b + self.config.c {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        (
+            row % self.config.num_vertices,
+            col % self.config.num_vertices,
+        )
+    }
+
+    /// A fresh pass over all edges. Cheap to call repeatedly — each pass
+    /// recomputes edges from the counter.
+    pub fn edges(&self) -> RmatEdgeIter {
+        RmatEdgeIter {
+            stream: *self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a [`RmatStream`]'s edges.
+#[derive(Debug, Clone)]
+pub struct RmatEdgeIter {
+    stream: RmatStream,
+    next: u64,
+}
+
+impl Iterator for RmatEdgeIter {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        if self.next >= self.stream.config.num_edges {
+            return None;
+        }
+        let e = self.stream.edge(self.next);
+        self.next += 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.stream.config.num_edges - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RmatEdgeIter {}
+
+/// Streaming label assignment: the label of vertex `v` is a pure function of
+/// `(seed, v)` — no per-vertex storage.
+///
+/// The marginal distribution matches [`LabelModel::assign`] (uniform, or
+/// Zipf via inverse-CDF over the precomputed rank distribution); the exact
+/// per-vertex assignment differs because `assign` walks a sequential RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingLabels {
+    num_labels: usize,
+    seed: u64,
+    /// Cumulative rank distribution; empty for the uniform model.
+    cdf: Vec<f64>,
+}
+
+impl StreamingLabels {
+    /// Creates a streaming assigner for the given model.
+    pub fn new(model: LabelModel, seed: u64) -> Self {
+        let cdf = match model {
+            LabelModel::Uniform { .. } => Vec::new(),
+            LabelModel::Zipf {
+                num_labels,
+                exponent,
+            } => {
+                let k = num_labels.max(1);
+                let weights: Vec<f64> = (0..k)
+                    .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut cdf = Vec::with_capacity(k);
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cdf.push(acc);
+                }
+                cdf
+            }
+        };
+        StreamingLabels {
+            num_labels: model.num_labels().max(1),
+            seed,
+            cdf,
+        }
+    }
+
+    /// Size of the label alphabet.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// The label of vertex `v`.
+    pub fn label_of(&self, v: u64) -> u32 {
+        let h = splitmix64(self.seed ^ v.wrapping_mul(0xA24B_AED4_963E_E407));
+        if self.cdf.is_empty() {
+            (h % self.num_labels as u64) as u32
+        } else {
+            let r = to_unit(h);
+            self.cdf
+                .partition_point(|&c| c < r)
+                .min(self.num_labels - 1) as u32
+        }
+    }
+}
+
+/// Streams an R-MAT graph straight into a [`MemoryCloud`] via
+/// [`StreamLoader`], never materializing the edge list: peak memory is the
+/// finished cloud plus one machine's staging buffer.
+///
+/// Labels are named `L<idx>` and interned in index order, matching
+/// [`crate::synthetic::SyntheticGraph::to_builder`], so `LabelId(i)`
+/// corresponds to `"L<i>"` exactly as in the materialized path.
+pub fn stream_cloud(
+    stream: &RmatStream,
+    labels: &StreamingLabels,
+    machines: usize,
+    cost: CostModel,
+) -> Result<MemoryCloud, TrinityError> {
+    stream_cloud_with(stream, labels, StreamLoader::new(machines, cost))
+}
+
+/// [`stream_cloud`] with a caller-configured [`StreamLoader`] (explicit
+/// storage tier, directed flag, …).
+pub fn stream_cloud_with(
+    stream: &RmatStream,
+    labels: &StreamingLabels,
+    loader: StreamLoader,
+) -> Result<MemoryCloud, TrinityError> {
+    let mut interner = LabelInterner::default();
+    for k in 0..labels.num_labels() as u32 {
+        interner.intern(&crate::synthetic::SyntheticGraph::label_name(k));
+    }
+    let n = stream.num_vertices();
+    loader.load(
+        interner,
+        (0..n).map(|v| (VertexId(v), LabelId(labels.label_of(v)))),
+        || stream.edges().map(|(u, v)| (VertexId(u), VertexId(v))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> RmatStream {
+        RmatStream::new(RmatConfig::with_avg_degree(2_000, 8.0, 0x5EED))
+    }
+
+    #[test]
+    fn edge_is_random_access_and_matches_iteration() {
+        let s = stream();
+        let collected: Vec<_> = s.edges().collect();
+        assert_eq!(collected.len(), s.num_edges() as usize);
+        for (i, &e) in collected.iter().enumerate() {
+            assert_eq!(s.edge(i as u64), e, "edge({i}) must match the stream");
+        }
+        assert!(collected.iter().all(|&(u, v)| u < 2_000 && v < 2_000));
+    }
+
+    #[test]
+    fn reiteration_is_identical() {
+        let s = stream();
+        let a: Vec<_> = s.edges().collect();
+        let b: Vec<_> = s.edges().collect();
+        assert_eq!(a, b);
+        let other = RmatStream::new(RmatConfig::with_avg_degree(2_000, 8.0, 0x5EEE));
+        assert_ne!(a, other.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let s = RmatStream::new(RmatConfig::new(1 << 12, 40_000, 3));
+        let mut degree = vec![0u32; 1 << 12];
+        for (u, v) in s.edges() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let max = *degree.iter().max().unwrap() as f64;
+        let avg = 2.0 * 40_000.0 / (1 << 12) as f64;
+        assert!(max > 4.0 * avg, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn uniform_labels_cover_alphabet() {
+        let l = StreamingLabels::new(LabelModel::Uniform { num_labels: 5 }, 7);
+        let mut seen = [false; 5];
+        for v in 0..10_000u64 {
+            let lab = l.label_of(v);
+            assert!(lab < 5);
+            seen[lab as usize] = true;
+            assert_eq!(lab, l.label_of(v), "label_of must be pure");
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_labels_are_skewed() {
+        let l = StreamingLabels::new(
+            LabelModel::Zipf {
+                num_labels: 20,
+                exponent: 1.0,
+            },
+            4,
+        );
+        let mut counts = vec![0u64; 20];
+        for v in 0..20_000u64 {
+            counts[l.label_of(v) as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[10] * 2,
+            "rank-0 should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn stream_cloud_builds_a_queryable_cloud() {
+        let s = stream();
+        let labels = StreamingLabels::new(LabelModel::Uniform { num_labels: 8 }, 0xAB);
+        let cloud = stream_cloud(&s, &labels, 4, CostModel::free()).unwrap();
+        assert_eq!(cloud.num_vertices(), 2_000);
+        assert!(cloud.num_edges() > 0);
+        // Every vertex's label round-trips through the cloud.
+        for v in (0..2_000u64).step_by(97) {
+            let want = labels.label_of(v);
+            assert_eq!(cloud.label_of_global(VertexId(v)), Some(LabelId(want)));
+        }
+    }
+
+    #[test]
+    fn stream_cloud_matches_materialized_build() {
+        // The same vertex/edge multiset through the streaming path and
+        // through SyntheticGraph/GraphBuilder must agree on the basics.
+        let s = stream();
+        let labels = StreamingLabels::new(LabelModel::Uniform { num_labels: 8 }, 0xAB);
+        let streamed = stream_cloud(&s, &labels, 4, CostModel::free()).unwrap();
+
+        let edges: Vec<_> = s.edges().collect();
+        let label_vec: Vec<u32> = (0..2_000).map(|v| labels.label_of(v)).collect();
+        let materialized = crate::synthetic::SyntheticGraph::unlabeled(2_000, edges)
+            .with_labels(label_vec, 8)
+            .build_cloud(4, CostModel::free());
+
+        assert_eq!(streamed.num_vertices(), materialized.num_vertices());
+        assert_eq!(streamed.num_edges(), materialized.num_edges());
+        for v in (0..2_000u64).step_by(131) {
+            assert_eq!(
+                streamed.label_of_global(VertexId(v)),
+                materialized.label_of_global(VertexId(v))
+            );
+        }
+    }
+}

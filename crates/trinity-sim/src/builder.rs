@@ -7,6 +7,7 @@
 
 use crate::cloud::{machine_for, MemoryCloud};
 use crate::cluster_graph::LabelPairCatalog;
+use crate::compact::StorageTier;
 use crate::error::TrinityError;
 use crate::ids::{LabelId, LabelInterner, VertexId};
 use crate::network::CostModel;
@@ -29,6 +30,9 @@ pub struct GraphBuilder {
     labels: HashMap<VertexId, LabelId>,
     edges: Vec<(VertexId, VertexId)>,
     directed: bool,
+    /// Storage tier the partitions are built in; `None` means the
+    /// process-wide default ([`StorageTier::from_env`]).
+    tier: Option<StorageTier>,
 }
 
 impl GraphBuilder {
@@ -47,6 +51,13 @@ impl GraphBuilder {
             directed: true,
             ..Default::default()
         }
+    }
+
+    /// Overrides the storage tier the partitions are built in (the default
+    /// is [`StorageTier::from_env`], i.e. the `STWIG_STORAGE` knob).
+    pub fn with_storage_tier(mut self, tier: StorageTier) -> Self {
+        self.tier = Some(tier);
+        self
     }
 
     /// Interns a label string, returning its id. Useful for generators that
@@ -120,7 +131,9 @@ impl GraphBuilder {
             labels,
             mut edges,
             directed,
+            tier,
         } = self;
+        let tier = tier.unwrap_or_else(StorageTier::from_env);
         let num_labels = interner.len();
 
         // Validate edges and symmetrize.
@@ -188,11 +201,12 @@ impl GraphBuilder {
         for (m, ids) in per_machine_ids.into_iter().enumerate() {
             let machine_labels: Vec<LabelId> = ids.iter().map(|v| labels[v]).collect();
             let adj = std::mem::take(&mut per_machine_adj[m]);
-            partitions.push(Partition::with_neighbor_labels(
+            partitions.push(Partition::with_neighbor_labels_tier(
                 ids,
                 machine_labels,
                 adj,
                 num_labels,
+                tier,
                 |n| labels.get(&n).copied(),
             ));
         }

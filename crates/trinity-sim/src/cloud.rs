@@ -3,9 +3,10 @@
 //! (`Cloud.Load`, `Index.getID`, `Index.hasLabel`) plus traffic accounting.
 
 use crate::cluster_graph::LabelPairCatalog;
+use crate::compact::{Neighbors, Postings, StorageTier};
 use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
 use crate::network::{CostModel, Network, TrafficSnapshot};
-use crate::partition::{Cell, Partition};
+use crate::partition::{Cell, Partition, StorageBytes};
 
 /// Size, in bytes, charged for shipping one vertex id over the network.
 pub const VERTEX_ID_BYTES: u64 = 8;
@@ -230,6 +231,26 @@ impl MemoryCloud {
         }
     }
 
+    /// Per-partition storage tiers. Like
+    /// [`MemoryCloud::signature_configuration`], this is part of the cloud
+    /// fingerprint: compact and plain clouds produce bit-identical tables by
+    /// construction, but the fingerprint must still distinguish physical
+    /// configurations so a representation bug can never silently serve a
+    /// stale cached table across tiers.
+    pub fn storage_configuration(&self) -> Vec<StorageTier> {
+        self.partitions.iter().map(|p| p.storage_tier()).collect()
+    }
+
+    /// Cloud-wide resident bytes broken down by storage component (summed
+    /// over all partitions).
+    pub fn storage_bytes(&self) -> StorageBytes {
+        let mut total = StorageBytes::default();
+        for p in &self.partitions {
+            total += p.storage_bytes();
+        }
+        total
+    }
+
     /// Approximate total memory footprint of the stored graph (all partitions
     /// plus the label frequency table), in bytes. This is the quantity the
     /// paper's Table 1 reports as "index size + graph size" for STwig.
@@ -294,7 +315,7 @@ impl MemoryCloud {
     /// `caller`. Never touches the network — each machine's string index only
     /// covers its own vertices.
     #[inline]
-    pub fn get_ids(&self, caller: MachineId, label: LabelId) -> &[VertexId] {
+    pub fn get_ids(&self, caller: MachineId, label: LabelId) -> Postings<'_> {
         self.partitions[caller.index()].vertices_with_label(label)
     }
 
@@ -351,11 +372,11 @@ impl MemoryCloud {
     }
 
     /// Neighbors of `id`, bypassing traffic accounting.
-    pub fn neighbors_global(&self, id: VertexId) -> &[VertexId] {
+    pub fn neighbors_global(&self, id: VertexId) -> Neighbors<'_> {
         self.partitions[self.machine_of(id).index()]
             .load(id)
             .map(|c| c.neighbors)
-            .unwrap_or(&[])
+            .unwrap_or_default()
     }
 
     /// Degree of `id`, bypassing traffic accounting.
@@ -373,7 +394,7 @@ impl MemoryCloud {
     pub fn all_ids_with_label(&self, label: LabelId) -> Vec<VertexId> {
         let mut out = Vec::new();
         for p in &self.partitions {
-            out.extend_from_slice(p.vertices_with_label(label));
+            out.extend(p.vertices_with_label(label));
         }
         out
     }

@@ -1,0 +1,1233 @@
+//! The compact storage tier: delta/varint-encoded adjacency, succinct label
+//! postings and a slot-array id map.
+//!
+//! Trinity's cells live in flat memory trunks precisely because per-object
+//! overhead is what kills billion-node graphs (PAPER.md §3); the Compact
+//! Neighborhood Index line of work (PAPERS.md) goes further and shows that
+//! adjacency structure compresses to a few bits per edge without giving up
+//! sequential access. This module applies both ideas to the partition store:
+//!
+//! * [`CompactCsr`] — neighbor runs are stored as `varint(degree)`,
+//!   `varint(first id)`, then `varint(delta)` per subsequent id. Runs are
+//!   already sorted and deduplicated, so every delta is ≥ 1 and small ids
+//!   cluster into one- and two-byte codes. Per-vertex byte offsets live in a
+//!   `u32` or `u64` array, the width chosen once at build time.
+//! * [`Neighbors`] — a zero-copy view over either a plain `&[VertexId]` run
+//!   or an encoded byte run. Exploration iterates it directly
+//!   (decode-on-iterate, no allocation); multi-pass consumers materialize
+//!   into a caller-owned [`NeighborScratch`] whose small-degree fast path is
+//!   an inline stack array.
+//! * [`CompactLabelIndex`] — per-label postings over *local* vertex indices,
+//!   stored as whichever of a dense bitmap or a delta-varint list is smaller
+//!   for that label. [`Postings`] decodes back to sorted global ids against
+//!   the partition's vertex-id array.
+//! * [`CompactIdMap`] — an open-addressed slot array mapping global ids to
+//!   local indices in 4 bytes per slot (~8 bytes per vertex at 50% load)
+//!   instead of `HashMap`'s ~50 bytes per vertex.
+//!
+//! The tier is selected by [`StorageTier`] (`STWIG_STORAGE` env knob,
+//! default [`StorageTier::Compact`]) and must be *observationally
+//! equivalent* to the plain tier: every query path produces bit-identical
+//! tables on either tier.
+
+use crate::ids::{LabelId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Storage tier knob
+// ---------------------------------------------------------------------------
+
+/// Which physical representation a partition stores its graph in.
+///
+/// Both tiers answer every query identically; they differ only in resident
+/// bytes and decode cost. `Plain` keeps the original flat `Vec` structures
+/// (8-byte neighbor entries, `Vec<Vec<_>>` postings, `HashMap` id map) and
+/// exists as the honest baseline the compact tier is measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageTier {
+    /// Uncompressed flat arrays and a `HashMap` id map.
+    Plain,
+    /// Delta/varint CSR, bitmap-or-delta postings, open-addressed id map.
+    Compact,
+}
+
+impl StorageTier {
+    /// Parses a tier name as accepted by the `STWIG_STORAGE` environment
+    /// variable. Unknown strings return `None`.
+    pub fn parse(s: &str) -> Option<StorageTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "plain" => Some(StorageTier::Plain),
+            "compact" => Some(StorageTier::Compact),
+            _ => None,
+        }
+    }
+
+    /// The tier name (`"plain"` / `"compact"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageTier::Plain => "plain",
+            StorageTier::Compact => "compact",
+        }
+    }
+
+    /// Reads the process-wide default tier from `STWIG_STORAGE`, falling
+    /// back to [`StorageTier::Compact`]. Read once and cached: like
+    /// `STWIG_TRANSPORT`, the knob selects a deployment-wide default, and
+    /// flipping it mid-process would let two clouds that must never share
+    /// cache entries be built under one fingerprint discipline.
+    pub fn from_env() -> StorageTier {
+        static TIER: OnceLock<StorageTier> = OnceLock::new();
+        *TIER.get_or_init(|| {
+            std::env::var("STWIG_STORAGE")
+                .ok()
+                .and_then(|v| StorageTier::parse(&v))
+                .unwrap_or(StorageTier::Compact)
+        })
+    }
+
+    /// Stable one-byte tag hashed into cloud fingerprints. Explicit (rather
+    /// than a derived discriminant) so the fingerprint contract survives
+    /// enum reordering.
+    pub fn fingerprint_tag(self) -> u8 {
+        match self {
+            StorageTier::Plain => 0,
+            StorageTier::Compact => 1,
+        }
+    }
+}
+
+impl Default for StorageTier {
+    fn default() -> Self {
+        StorageTier::from_env()
+    }
+}
+
+impl std::fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives (LEB128)
+// ---------------------------------------------------------------------------
+
+/// Appends `x` to `buf` as an LEB128 varint (7 data bits per byte, high bit
+/// set on continuation bytes).
+#[inline]
+pub fn push_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`push_varint`] emits for `x`.
+#[inline]
+pub fn varint_len(x: u64) -> usize {
+    // ceil(bits/7), with 0 taking one byte.
+    (64 - x.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Reads one varint starting at `*pos`, advancing `*pos` past it.
+///
+/// # Panics
+/// Panics (via slice indexing) on a truncated buffer — encoded runs are
+/// produced and consumed inside this crate, so truncation is a logic error.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offset array with build-time width selection
+// ---------------------------------------------------------------------------
+
+/// Per-vertex byte offsets into an encoded data buffer, stored 4 bytes per
+/// vertex when the buffer fits in `u32` (it essentially always does: 4 GiB
+/// of encoded adjacency per partition) and 8 bytes otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum OffsetArray {
+    U32(Vec<u32>),
+    U64(Vec<u64>),
+}
+
+impl OffsetArray {
+    /// Narrows `offsets` to `u32` when every value fits.
+    fn from_u64s(offsets: Vec<u64>) -> Self {
+        match offsets.last() {
+            Some(&last) if last > u64::from(u32::MAX) => OffsetArray::U64(offsets),
+            _ => OffsetArray::U32(offsets.into_iter().map(|o| o as u32).collect()),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> usize {
+        match self {
+            OffsetArray::U32(v) => v[i] as usize,
+            OffsetArray::U64(v) => v[i] as usize,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            OffsetArray::U32(v) => v.len(),
+            OffsetArray::U64(v) => v.len(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            OffsetArray::U32(v) => v.len() * 4,
+            OffsetArray::U64(v) => v.len() * 8,
+        }
+    }
+}
+
+impl Default for OffsetArray {
+    fn default() -> Self {
+        OffsetArray::U32(vec![0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy neighbor views
+// ---------------------------------------------------------------------------
+
+/// How many neighbor ids [`NeighborScratch`] holds without touching the
+/// heap. Degree histograms of the R-MAT and dataset-profile graphs put the
+/// overwhelming majority of vertices at or below this degree.
+pub const SCRATCH_INLINE: usize = 16;
+
+/// A zero-copy view of one vertex's sorted neighbor run, independent of the
+/// storage tier it lives in.
+///
+/// Plain partitions hand out the underlying slice; compact partitions hand
+/// out the encoded bytes and decode on iteration, so the exploration hot
+/// path never materializes a `Vec` either way.
+#[derive(Clone, Copy)]
+pub enum Neighbors<'a> {
+    /// A plain sorted slice (the `StorageTier::Plain` representation).
+    Slice(&'a [VertexId]),
+    /// A delta/varint-encoded run of `len` ids (degree varint stripped).
+    Compact {
+        /// Encoded bytes: `varint(first)`, then `varint(delta ≥ 1)` each.
+        data: &'a [u8],
+        /// Number of ids in the run.
+        len: u32,
+    },
+}
+
+impl<'a> Neighbors<'a> {
+    /// The empty run.
+    pub fn empty() -> Neighbors<'static> {
+        Neighbors::Slice(&[])
+    }
+
+    /// Number of neighbors in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Neighbors::Slice(s) => s.len(),
+            Neighbors::Compact { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the run is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the run in ascending id order without allocating.
+    #[inline]
+    pub fn iter(&self) -> NeighborIter<'a> {
+        match *self {
+            Neighbors::Slice(s) => NeighborIter::Slice(s.iter()),
+            Neighbors::Compact { data, len } => NeighborIter::Compact {
+                data,
+                pos: 0,
+                remaining: len,
+                prev: 0,
+            },
+        }
+    }
+
+    /// Whether `target` is in the run. Binary search on the plain tier; an
+    /// early-exit scan on the compact tier (runs are sorted, so the scan
+    /// stops at the first id past `target`).
+    pub fn contains(&self, target: VertexId) -> bool {
+        match *self {
+            Neighbors::Slice(s) => s.binary_search(&target).is_ok(),
+            Neighbors::Compact { .. } => {
+                for n in self.iter() {
+                    if n >= target {
+                        return n == target;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Decodes into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        match *self {
+            Neighbors::Slice(s) => s.to_vec(),
+            Neighbors::Compact { .. } => self.iter().collect(),
+        }
+    }
+
+    /// Materializes the run as a contiguous slice for multi-pass consumers
+    /// (exploration walks a root's neighbors once per STwig child).
+    ///
+    /// The plain tier returns the underlying slice untouched (zero-copy);
+    /// the compact tier decodes once into `scratch` — an inline stack array
+    /// for runs of at most [`SCRATCH_INLINE`] ids, the scratch's reusable
+    /// heap buffer above that.
+    pub fn materialize<'s>(&self, scratch: &'s mut NeighborScratch) -> &'s [VertexId]
+    where
+        'a: 's,
+    {
+        match *self {
+            Neighbors::Slice(s) => s,
+            Neighbors::Compact { len, .. } => {
+                let len = len as usize;
+                if len <= SCRATCH_INLINE {
+                    for (slot, n) in scratch.inline.iter_mut().zip(self.iter()) {
+                        *slot = n;
+                    }
+                    &scratch.inline[..len]
+                } else {
+                    scratch.heap.clear();
+                    scratch.heap.extend(self.iter());
+                    &scratch.heap
+                }
+            }
+        }
+    }
+}
+
+impl Default for Neighbors<'_> {
+    fn default() -> Self {
+        Neighbors::Slice(&[])
+    }
+}
+
+impl<'a> IntoIterator for Neighbors<'a> {
+    type Item = VertexId;
+    type IntoIter = NeighborIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq for Neighbors<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Neighbors<'_> {}
+
+impl PartialEq<&[VertexId]> for Neighbors<'_> {
+    fn eq(&self, other: &&[VertexId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<&[VertexId; N]> for Neighbors<'_> {
+    fn eq(&self, other: &&[VertexId; N]) -> bool {
+        self.len() == N && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Vec<VertexId>> for Neighbors<'_> {
+    fn eq(&self, other: &Vec<VertexId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl std::fmt::Debug for Neighbors<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over a [`Neighbors`] run.
+#[derive(Clone)]
+pub enum NeighborIter<'a> {
+    /// Plain-slice iteration.
+    Slice(std::slice::Iter<'a, VertexId>),
+    /// Varint decode-on-iterate.
+    Compact {
+        /// Encoded run bytes.
+        data: &'a [u8],
+        /// Cursor into `data`.
+        pos: usize,
+        /// Ids left to decode.
+        remaining: u32,
+        /// Last decoded id (delta base); the first id is absolute.
+        prev: u64,
+    },
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            NeighborIter::Slice(it) => it.next().copied(),
+            NeighborIter::Compact {
+                data,
+                pos,
+                remaining,
+                prev,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let at_start = *pos == 0;
+                let raw = read_varint(data, pos);
+                let id = if at_start { raw } else { *prev + raw };
+                *prev = id;
+                Some(VertexId(id))
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            NeighborIter::Slice(it) => it.len(),
+            NeighborIter::Compact { remaining, .. } => *remaining as usize,
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+/// Reusable scratch space for [`Neighbors::materialize`]: an inline array
+/// covering the common small degrees plus a heap spill buffer that is
+/// allocated once and reused across roots.
+pub struct NeighborScratch {
+    inline: [VertexId; SCRATCH_INLINE],
+    heap: Vec<VertexId>,
+}
+
+impl NeighborScratch {
+    /// A fresh scratch with an empty spill buffer.
+    pub fn new() -> Self {
+        NeighborScratch {
+            inline: [VertexId(0); SCRATCH_INLINE],
+            heap: Vec::new(),
+        }
+    }
+}
+
+impl Default for NeighborScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact CSR
+// ---------------------------------------------------------------------------
+
+/// Delta/varint-encoded CSR adjacency over one partition's local vertices.
+///
+/// Layout: one byte buffer holding, per local vertex, `varint(degree)`
+/// followed by the encoded run (`varint(first id)`, then `varint(delta)` per
+/// subsequent id — runs are sorted and deduplicated so every delta is ≥ 1),
+/// plus an [`OffsetArray`] of per-vertex byte offsets whose width (`u32` vs
+/// `u64`) is chosen once at build time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompactCsr {
+    /// `offsets[i]..offsets[i+1]` is the byte range of vertex `i`'s record.
+    offsets: OffsetArray,
+    /// Concatenated per-vertex records.
+    data: Vec<u8>,
+    /// Total neighbor entries across all runs.
+    num_entries: u64,
+}
+
+impl CompactCsr {
+    /// Builds a compact CSR from per-vertex adjacency lists, sorting and
+    /// deduplicating each list. Every inner list is freed right after it is
+    /// encoded, so the peak is input plus the (much smaller) encoded output.
+    pub fn from_lists(lists: Vec<Vec<VertexId>>) -> Self {
+        let mut b = CompactCsrBuilder::with_capacity(lists.len());
+        for mut l in lists {
+            l.sort_unstable();
+            l.dedup();
+            b.push_run(&l);
+        }
+        b.finish()
+    }
+
+    /// Number of local vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored neighbor entries.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.num_entries as usize
+    }
+
+    /// The encoded neighbor run of local vertex `local`.
+    #[inline]
+    pub fn neighbors(&self, local: usize) -> Neighbors<'_> {
+        let start = self.offsets.get(local);
+        let end = self.offsets.get(local + 1);
+        let record = &self.data[start..end];
+        let mut pos = 0usize;
+        let degree = read_varint(record, &mut pos) as u32;
+        Neighbors::Compact {
+            data: &record[pos..],
+            len: degree,
+        }
+    }
+
+    /// Degree of local vertex `local` (decodes one varint).
+    #[inline]
+    pub fn degree(&self, local: usize) -> usize {
+        let start = self.offsets.get(local);
+        let mut pos = start;
+        read_varint(&self.data, &mut pos) as usize
+    }
+
+    /// Whether `target` is among `local`'s neighbors (early-exit scan).
+    #[inline]
+    pub fn has_neighbor(&self, local: usize, target: VertexId) -> bool {
+        self.neighbors(local).contains(target)
+    }
+
+    /// Resident bytes: offsets plus the encoded buffer.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.memory_bytes() + self.data.len()
+    }
+
+    /// Iterates `(local_index, neighbors)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Neighbors<'_>)> {
+        (0..self.num_vertices()).map(move |i| (i, self.neighbors(i)))
+    }
+}
+
+/// Incremental [`CompactCsr`] builder: push one sorted, deduplicated run per
+/// local vertex, then [`CompactCsrBuilder::finish`]. Used by the streaming
+/// bulk loader so no `Vec<Vec<VertexId>>` staging ever exists.
+#[derive(Debug, Default)]
+pub struct CompactCsrBuilder {
+    offsets: Vec<u64>,
+    data: Vec<u8>,
+    num_entries: u64,
+}
+
+impl CompactCsrBuilder {
+    /// A builder expecting about `num_vertices` runs.
+    pub fn with_capacity(num_vertices: usize) -> Self {
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0);
+        CompactCsrBuilder {
+            offsets,
+            data: Vec::new(),
+            num_entries: 0,
+        }
+    }
+
+    /// Appends the next local vertex's neighbor run, which must be sorted
+    /// ascending and free of duplicates.
+    pub fn push_run(&mut self, run: &[VertexId]) {
+        debug_assert!(
+            run.windows(2).all(|w| w[0] < w[1]),
+            "compact CSR runs must be strictly ascending"
+        );
+        push_varint(&mut self.data, run.len() as u64);
+        let mut prev = 0u64;
+        for (i, &VertexId(id)) in run.iter().enumerate() {
+            push_varint(&mut self.data, if i == 0 { id } else { id - prev });
+            prev = id;
+        }
+        self.num_entries += run.len() as u64;
+        self.offsets.push(self.data.len() as u64);
+    }
+
+    /// Finalizes the CSR, narrowing the offset width where possible.
+    pub fn finish(self) -> CompactCsr {
+        let CompactCsrBuilder {
+            offsets,
+            mut data,
+            num_entries,
+        } = self;
+        data.shrink_to_fit();
+        CompactCsr {
+            offsets: OffsetArray::from_u64s(offsets),
+            data,
+            num_entries,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact id map
+// ---------------------------------------------------------------------------
+
+/// Open-addressed global-id → local-index map storing only 4-byte local
+/// slots; the global ids themselves are read back from the partition's
+/// vertex-id array during probing, so the map adds no key storage at all.
+///
+/// Capacity is a power of two at ≤ 50% load, giving ~8 bytes per vertex —
+/// better than 4× below the ~50 bytes per entry `HashMap<VertexId, u32>`
+/// costs. Probing is Fibonacci hash + linear scan; the `u32::MAX` slot value
+/// marks "empty".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompactIdMap {
+    slots: Vec<u32>,
+    mask: u64,
+    shift: u32,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+impl CompactIdMap {
+    /// Builds the map over `ids` (the partition's local-index → global-id
+    /// array). Local indices must fit `u32::MAX - 1`.
+    pub fn build(ids: &[VertexId]) -> Self {
+        assert!(
+            ids.len() < EMPTY_SLOT as usize,
+            "partition too large for a u32 id map"
+        );
+        let capacity = (ids.len() * 2).next_power_of_two().max(2);
+        let mut map = CompactIdMap {
+            slots: vec![EMPTY_SLOT; capacity],
+            mask: capacity as u64 - 1,
+            shift: 64 - capacity.trailing_zeros(),
+        };
+        for (local, &id) in ids.iter().enumerate() {
+            let mut slot = map.probe_start(id);
+            while map.slots[slot] != EMPTY_SLOT {
+                debug_assert!(
+                    ids[map.slots[slot] as usize] != id,
+                    "duplicate vertex id {id} in partition"
+                );
+                slot = (slot + 1) & map.mask as usize;
+            }
+            map.slots[slot] = local as u32;
+        }
+        map
+    }
+
+    #[inline]
+    fn probe_start(&self, id: VertexId) -> usize {
+        // Fibonacci multiplicative hash, taking the *top* bits so that the
+        // low-bit patterns `machine_for` leaves behind do not cluster.
+        ((id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) & self.mask) as usize
+    }
+
+    /// Looks up the local index of `id`. `ids` must be the same array the
+    /// map was built over.
+    #[inline]
+    pub fn get(&self, ids: &[VertexId], id: VertexId) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut slot = self.probe_start(id);
+        loop {
+            let local = self.slots[slot];
+            if local == EMPTY_SLOT {
+                return None;
+            }
+            if ids[local as usize] == id {
+                return Some(local);
+            }
+            slot = (slot + 1) & self.mask as usize;
+        }
+    }
+
+    /// Resident bytes of the slot array.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Succinct label postings
+// ---------------------------------------------------------------------------
+
+/// One label's posting list over *local* vertex indices, stored as whichever
+/// representation is smaller for this label: a dense bitmap over the local
+/// index space (cheap for frequent labels) or a delta-varint list (cheap for
+/// rare ones). Local indices are in ascending global-id order, so decoding
+/// yields sorted global ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PostingList {
+    /// No local vertex carries this label.
+    Empty,
+    /// Bit `i` set ⇔ local vertex `i` carries the label.
+    Bitmap {
+        /// `ceil(num_local / 64)` words.
+        words: Vec<u64>,
+        /// Number of set bits (the label's local frequency).
+        count: u32,
+    },
+    /// `varint(first local)`, then `varint(delta ≥ 1)` per subsequent local.
+    Deltas {
+        /// Encoded local indices.
+        bytes: Vec<u8>,
+        /// Number of encoded indices.
+        count: u32,
+    },
+}
+
+impl PostingList {
+    fn count(&self) -> usize {
+        match self {
+            PostingList::Empty => 0,
+            PostingList::Bitmap { count, .. } | PostingList::Deltas { count, .. } => {
+                *count as usize
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            PostingList::Empty => 0,
+            PostingList::Bitmap { words, .. } => words.len() * 8,
+            PostingList::Deltas { bytes, .. } => bytes.len(),
+        }
+    }
+}
+
+/// The compact per-machine string index: label → succinct posting list over
+/// local vertex indices. Replaces [`crate::label_index::LabelIndex`]'s
+/// `Vec<Vec<VertexId>>` under [`StorageTier::Compact`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompactLabelIndex {
+    lists: Vec<PostingList>,
+}
+
+impl CompactLabelIndex {
+    /// Builds the index from the partition's per-local-vertex label array
+    /// (`labels[local]` is the label of local vertex `local`). `num_labels`
+    /// is the global label-space size; out-of-space labels are dropped with
+    /// a `debug_assert`, mirroring `LabelIndex::build`.
+    pub fn build(labels: &[LabelId], num_labels: usize) -> Self {
+        let n = labels.len();
+        // Pass 1: per-label frequency and exact delta-encoded size.
+        let mut counts = vec![0u32; num_labels];
+        let mut delta_bytes = vec![0usize; num_labels];
+        let mut last_local = vec![u64::MAX; num_labels];
+        for (local, l) in labels.iter().enumerate() {
+            let Some(c) = counts.get_mut(l.index()) else {
+                debug_assert!(
+                    false,
+                    "label {l:?} of local vertex {local} is outside the declared label space ({num_labels} labels)"
+                );
+                continue;
+            };
+            let prev = last_local[l.index()];
+            delta_bytes[l.index()] += if prev == u64::MAX {
+                varint_len(local as u64)
+            } else {
+                varint_len(local as u64 - prev)
+            };
+            last_local[l.index()] = local as u64;
+            *c += 1;
+        }
+        // Pass 2: pick the smaller representation per label and fill it.
+        let bitmap_bytes = n.div_ceil(64) * 8;
+        let mut lists: Vec<PostingList> = counts
+            .iter()
+            .zip(&delta_bytes)
+            .map(|(&count, &dbytes)| {
+                if count == 0 {
+                    PostingList::Empty
+                } else if bitmap_bytes < dbytes {
+                    PostingList::Bitmap {
+                        words: vec![0u64; n.div_ceil(64)],
+                        count,
+                    }
+                } else {
+                    PostingList::Deltas {
+                        bytes: Vec::with_capacity(dbytes),
+                        count,
+                    }
+                }
+            })
+            .collect();
+        let mut prev = vec![0u64; num_labels];
+        let mut seen = vec![false; num_labels];
+        for (local, l) in labels.iter().enumerate() {
+            let Some(list) = lists.get_mut(l.index()) else {
+                continue;
+            };
+            match list {
+                PostingList::Bitmap { words, .. } => {
+                    words[local / 64] |= 1u64 << (local % 64);
+                }
+                PostingList::Deltas { bytes, .. } => {
+                    let delta = if seen[l.index()] {
+                        local as u64 - prev[l.index()]
+                    } else {
+                        local as u64
+                    };
+                    push_varint(bytes, delta);
+                    prev[l.index()] = local as u64;
+                    seen[l.index()] = true;
+                }
+                PostingList::Empty => unreachable!("counted label has a list"),
+            }
+        }
+        CompactLabelIndex { lists }
+    }
+
+    /// The postings of `label`, decoded against `ids` (the partition's
+    /// local-index → global-id array) to sorted global vertex ids.
+    #[inline]
+    pub fn get<'a>(&'a self, label: LabelId, ids: &'a [VertexId]) -> Postings<'a> {
+        match self.lists.get(label.index()) {
+            None | Some(PostingList::Empty) => Postings::Slice(&[]),
+            Some(PostingList::Bitmap { words, count }) => Postings::Bitmap {
+                words,
+                ids,
+                count: *count,
+            },
+            Some(PostingList::Deltas { bytes, count }) => Postings::Deltas {
+                bytes,
+                ids,
+                count: *count,
+            },
+        }
+    }
+
+    /// Number of local vertices carrying `label`.
+    #[inline]
+    pub fn frequency(&self, label: LabelId) -> usize {
+        self.lists.get(label.index()).map_or(0, PostingList::count)
+    }
+
+    /// Global label-space size this index was built for.
+    pub fn num_labels(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total postings across all labels.
+    pub fn total_postings(&self) -> usize {
+        self.lists.iter().map(PostingList::count).sum()
+    }
+
+    /// Resident bytes: posting payloads plus the per-label enum headers.
+    pub fn memory_bytes(&self) -> usize {
+        self.lists.len() * std::mem::size_of::<PostingList>()
+            + self
+                .lists
+                .iter()
+                .map(PostingList::memory_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// A zero-copy view of one label's local postings, decoded to sorted global
+/// vertex ids on iteration. The type both storage tiers answer
+/// `Index.getID` with.
+#[derive(Clone, Copy)]
+pub enum Postings<'a> {
+    /// A plain sorted slice of global ids (the plain tier).
+    Slice(&'a [VertexId]),
+    /// A bitmap over local indices, mapped through `ids`.
+    Bitmap {
+        /// Bit `i` set ⇔ local vertex `i` carries the label.
+        words: &'a [u64],
+        /// Local-index → global-id array.
+        ids: &'a [VertexId],
+        /// Number of set bits.
+        count: u32,
+    },
+    /// Delta-varint local indices, mapped through `ids`.
+    Deltas {
+        /// Encoded local indices.
+        bytes: &'a [u8],
+        /// Local-index → global-id array.
+        ids: &'a [VertexId],
+        /// Number of encoded indices.
+        count: u32,
+    },
+}
+
+impl<'a> Postings<'a> {
+    /// The empty postings.
+    pub fn empty() -> Postings<'static> {
+        Postings::Slice(&[])
+    }
+
+    /// Number of ids in the posting list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Postings::Slice(s) => s.len(),
+            Postings::Bitmap { count, .. } | Postings::Deltas { count, .. } => *count as usize,
+        }
+    }
+
+    /// Whether the posting list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates global ids in ascending order without allocating.
+    pub fn iter(&self) -> PostingsIter<'a> {
+        match *self {
+            Postings::Slice(s) => PostingsIter::Slice(s.iter()),
+            Postings::Bitmap { words, ids, count } => PostingsIter::Bitmap {
+                words,
+                ids,
+                word_idx: 0,
+                current: words.first().copied().unwrap_or(0),
+                remaining: count,
+            },
+            Postings::Deltas { bytes, ids, count } => PostingsIter::Deltas {
+                bytes,
+                ids,
+                pos: 0,
+                prev: 0,
+                remaining: count,
+            },
+        }
+    }
+
+    /// Decodes into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<VertexId> {
+        match *self {
+            Postings::Slice(s) => s.to_vec(),
+            _ => self.iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for Postings<'a> {
+    type Item = VertexId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq for Postings<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Postings<'_> {}
+
+impl PartialEq<&[VertexId]> for Postings<'_> {
+    fn eq(&self, other: &&[VertexId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<&[VertexId; N]> for Postings<'_> {
+    fn eq(&self, other: &&[VertexId; N]) -> bool {
+        self.len() == N && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Vec<VertexId>> for Postings<'_> {
+    fn eq(&self, other: &Vec<VertexId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl std::fmt::Debug for Postings<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over a [`Postings`] view.
+#[derive(Clone)]
+pub enum PostingsIter<'a> {
+    /// Plain-slice iteration.
+    Slice(std::slice::Iter<'a, VertexId>),
+    /// Bitmap scan (lowest set bit first).
+    Bitmap {
+        /// Bitmap words.
+        words: &'a [u64],
+        /// Local-index → global-id array.
+        ids: &'a [VertexId],
+        /// Index of the word `current` was loaded from.
+        word_idx: usize,
+        /// Remaining bits of the current word.
+        current: u64,
+        /// Set bits left to visit.
+        remaining: u32,
+    },
+    /// Varint decode.
+    Deltas {
+        /// Encoded local indices.
+        bytes: &'a [u8],
+        /// Local-index → global-id array.
+        ids: &'a [VertexId],
+        /// Cursor into `bytes`.
+        pos: usize,
+        /// Last decoded local index.
+        prev: u64,
+        /// Indices left to decode.
+        remaining: u32,
+    },
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            PostingsIter::Slice(it) => it.next().copied(),
+            PostingsIter::Bitmap {
+                words,
+                ids,
+                word_idx,
+                current,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                while *current == 0 {
+                    *word_idx += 1;
+                    *current = words[*word_idx];
+                }
+                let bit = current.trailing_zeros() as usize;
+                *current &= *current - 1;
+                *remaining -= 1;
+                Some(ids[*word_idx * 64 + bit])
+            }
+            PostingsIter::Deltas {
+                bytes,
+                ids,
+                pos,
+                prev,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let at_start = *pos == 0;
+                let raw = read_varint(bytes, pos);
+                let local = if at_start { raw } else { *prev + raw };
+                *prev = local;
+                Some(ids[local as usize])
+            }
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = match self {
+            PostingsIter::Slice(it) => it.len(),
+            PostingsIter::Bitmap { remaining, .. } | PostingsIter::Deltas { remaining, .. } => {
+                *remaining as usize
+            }
+        };
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PostingsIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+    fn l(x: u32) -> LabelId {
+        LabelId(x)
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &x in &values {
+            buf.clear();
+            push_varint(&mut buf, x);
+            assert_eq!(buf.len(), varint_len(x), "len of {x}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), x);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn compact_csr_matches_plain_semantics() {
+        let lists = vec![
+            vec![v(3), v(1), v(3), v(100)],
+            vec![],
+            vec![v(0)],
+            vec![v(7)],
+        ];
+        let c = CompactCsr::from_lists(lists);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_entries(), 5);
+        assert_eq!(c.neighbors(0), &[v(1), v(3), v(100)]);
+        assert_eq!(c.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(c.neighbors(2), &[v(0)]);
+        assert_eq!(c.degree(0), 3);
+        assert_eq!(c.degree(1), 0);
+        assert!(c.has_neighbor(0, v(3)));
+        assert!(!c.has_neighbor(0, v(2)));
+        assert!(!c.has_neighbor(0, v(101)));
+        assert_eq!(c.iter().count(), 4);
+    }
+
+    #[test]
+    fn compact_csr_is_smaller_than_plain_for_small_ids() {
+        // 1000 vertices with ~8 neighbors each drawn from a 1000-id space:
+        // deltas fit in 1-2 bytes vs 8 bytes per entry in the plain tier.
+        let lists: Vec<Vec<VertexId>> = (0..1000u64)
+            .map(|i| (0..8).map(|j| v((i * 37 + j * 131) % 1000)).collect())
+            .collect();
+        let plain_bytes: usize = lists.iter().map(|l| l.len() * 8).sum::<usize>() + 1001 * 8;
+        let c = CompactCsr::from_lists(lists);
+        assert!(
+            c.memory_bytes() * 2 <= plain_bytes,
+            "compact {} vs plain {plain_bytes}",
+            c.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn neighbors_materialize_inline_and_heap() {
+        let small: Vec<VertexId> = (0..5).map(|i| v(i * 10)).collect();
+        let large: Vec<VertexId> = (0..100).map(|i| v(i * 3 + 1)).collect();
+        let c = CompactCsr::from_lists(vec![small.clone(), large.clone()]);
+        let mut scratch = NeighborScratch::new();
+        assert_eq!(c.neighbors(0).materialize(&mut scratch), &small[..]);
+        assert_eq!(c.neighbors(1).materialize(&mut scratch), &large[..]);
+        // Plain slices pass through without copying.
+        let plain = Neighbors::Slice(&large);
+        assert_eq!(plain.materialize(&mut scratch).as_ptr(), large.as_ptr());
+    }
+
+    #[test]
+    fn neighbors_equality_and_debug() {
+        let run: Vec<VertexId> = vec![v(2), v(5), v(9)];
+        let c = CompactCsr::from_lists(vec![run.clone()]);
+        let compact = c.neighbors(0);
+        assert_eq!(compact, Neighbors::Slice(&run));
+        assert_eq!(compact, run.clone());
+        assert_eq!(format!("{compact:?}"), format!("{run:?}"));
+        assert_ne!(compact, &[v(2), v(5)]);
+    }
+
+    #[test]
+    fn id_map_round_trips_and_misses() {
+        let ids: Vec<VertexId> = (0..257u64).map(|i| v(i * 7 + 3)).collect();
+        let m = CompactIdMap::build(&ids);
+        for (local, &id) in ids.iter().enumerate() {
+            assert_eq!(m.get(&ids, id), Some(local as u32));
+        }
+        assert_eq!(m.get(&ids, v(1)), None);
+        assert_eq!(m.get(&ids, v(u64::MAX)), None);
+        // ≤ 50% load at 4 bytes per slot.
+        assert!(m.memory_bytes() <= ids.len() * 4 * 4);
+    }
+
+    #[test]
+    fn id_map_empty() {
+        let m = CompactIdMap::build(&[]);
+        assert_eq!(m.get(&[], v(0)), None);
+    }
+
+    #[test]
+    fn label_index_picks_representation_per_label() {
+        // Label 0 on every vertex (bitmap wins), label 1 on one vertex
+        // (deltas win), label 2 absent (Empty).
+        let n = 1000usize;
+        let labels: Vec<LabelId> = (0..n).map(|i| if i == 500 { l(1) } else { l(0) }).collect();
+        let idx = CompactLabelIndex::build(&labels, 3);
+        assert!(matches!(idx.lists[0], PostingList::Bitmap { .. }));
+        assert!(matches!(idx.lists[1], PostingList::Deltas { .. }));
+        assert!(matches!(idx.lists[2], PostingList::Empty));
+        assert_eq!(idx.frequency(l(0)), n - 1);
+        assert_eq!(idx.frequency(l(1)), 1);
+        assert_eq!(idx.frequency(l(2)), 0);
+        assert_eq!(idx.total_postings(), n);
+        assert_eq!(idx.num_labels(), 3);
+    }
+
+    #[test]
+    fn postings_decode_sorted_global_ids() {
+        let ids: Vec<VertexId> = (0..200u64).map(|i| v(i * 5 + 2)).collect();
+        let labels: Vec<LabelId> = (0..200).map(|i| l((i % 3) as u32)).collect();
+        let idx = CompactLabelIndex::build(&labels, 3);
+        for lab in 0..3u32 {
+            let expect: Vec<VertexId> = (0..200usize)
+                .filter(|i| (i % 3) as u32 == lab)
+                .map(|i| ids[i])
+                .collect();
+            let got = idx.get(l(lab), &ids);
+            assert_eq!(got.len(), expect.len());
+            assert_eq!(got.to_vec(), expect);
+            assert_eq!(got, expect);
+        }
+        assert_eq!(idx.get(l(99), &ids).len(), 0);
+    }
+
+    #[test]
+    fn storage_tier_parse_and_tags() {
+        assert_eq!(StorageTier::parse("plain"), Some(StorageTier::Plain));
+        assert_eq!(StorageTier::parse(" Compact "), Some(StorageTier::Compact));
+        assert_eq!(StorageTier::parse("zstd"), None);
+        assert_ne!(
+            StorageTier::Plain.fingerprint_tag(),
+            StorageTier::Compact.fingerprint_tag()
+        );
+        assert_eq!(StorageTier::Compact.to_string(), "compact");
+    }
+
+    #[test]
+    fn offset_width_narrows_to_u32() {
+        let c = CompactCsr::from_lists(vec![vec![v(1)], vec![v(2)]]);
+        assert!(matches!(c.offsets, OffsetArray::U32(_)));
+        assert_eq!(c.memory_bytes(), c.offsets.memory_bytes() + c.data.len());
+    }
+
+    #[test]
+    fn hub_vertex_round_trips() {
+        let hub: Vec<VertexId> = (0..10_000u64).map(|i| v(i * 2)).collect();
+        let c = CompactCsr::from_lists(vec![hub.clone()]);
+        assert_eq!(c.neighbors(0).to_vec(), hub);
+        assert_eq!(c.degree(0), 10_000);
+        assert!(c.has_neighbor(0, v(19_998)));
+        assert!(!c.has_neighbor(0, v(19_999)));
+    }
+}

@@ -27,6 +27,15 @@ impl Csr {
     ///
     /// Each list is sorted and deduplicated. `lists[i]` becomes the neighbor
     /// run of local vertex `i`.
+    ///
+    /// The input lists are consumed: each inner `Vec` is freed immediately
+    /// after its run is copied into the flat array, so the allocation peak
+    /// is bounded by one input pass plus the exact-sized output — the
+    /// function never holds a second staged copy of the adjacency the way a
+    /// clone-and-collect implementation would (pinned by the counting-
+    /// allocator test in `tests/alloc_peak.rs`). Bulk loaders that can
+    /// stream runs should use [`Csr::from_sorted_flat`] instead and skip the
+    /// `Vec<Vec<_>>` staging entirely.
     pub fn from_lists(mut lists: Vec<Vec<VertexId>>) -> Self {
         let mut offsets = Vec::with_capacity(lists.len() + 1);
         let mut total = 0usize;
@@ -38,9 +47,26 @@ impl Csr {
             offsets.push(total);
         }
         let mut neighbors = Vec::with_capacity(total);
-        for l in &lists {
-            neighbors.extend_from_slice(l);
+        for l in lists {
+            neighbors.extend_from_slice(&l);
+            drop(l); // release each input list as soon as it is copied
         }
+        Csr { offsets, neighbors }
+    }
+
+    /// Builds a CSR directly from a prebuilt offsets array and flat neighbor
+    /// array whose runs are already sorted ascending and deduplicated — the
+    /// zero-staging path the streaming bulk loader uses.
+    pub fn from_sorted_flat(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain a leading 0");
+        assert_eq!(offsets[0], 0);
+        assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..offsets.len() - 1).all(|i| {
+            neighbors[offsets[i]..offsets[i + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         Csr { offsets, neighbors }
     }
 
@@ -134,6 +160,17 @@ mod tests {
         let c = Csr::from_lists(vec![vec![v(1)], vec![v(2)], vec![v(3)]]);
         let degrees: Vec<usize> = c.iter().map(|(_, ns)| ns.len()).collect();
         assert_eq!(degrees, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn from_sorted_flat_matches_from_lists() {
+        let a = Csr::from_lists(vec![vec![v(1), v(3)], vec![], vec![v(0)]]);
+        let b = Csr::from_sorted_flat(vec![0, 2, 2, 3], vec![v(1), v(3), v(0)]);
+        for i in 0..3 {
+            assert_eq!(a.neighbors(i), b.neighbors(i));
+        }
+        assert_eq!(b.num_vertices(), 3);
+        assert_eq!(b.num_entries(), 3);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod builder;
 pub mod cloud;
 pub mod cluster_graph;
+pub mod compact;
 pub mod cost;
 pub mod csr;
 pub mod edge_list;
@@ -61,6 +62,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod label_index;
+pub mod loader;
 pub mod neighbor_index;
 pub mod network;
 pub mod partition;
@@ -72,12 +74,14 @@ pub mod prelude {
     pub use crate::builder::GraphBuilder;
     pub use crate::cloud::{machine_for, MemoryCloud};
     pub use crate::cluster_graph::{ClusterGraph, LabelPairCatalog};
+    pub use crate::compact::{CompactCsr, NeighborScratch, Neighbors, Postings, StorageTier};
     pub use crate::error::TrinityError;
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport, MachineCrash};
     pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
+    pub use crate::loader::StreamLoader;
     pub use crate::neighbor_index::{LabelPairTable, NeighborLabelIndex};
     pub use crate::network::{CostModel, Network, TrafficSnapshot};
-    pub use crate::partition::{Cell, CellBuf, Partition};
+    pub use crate::partition::{Cell, CellBuf, Partition, StorageBytes};
     pub use crate::stats::{graph_stats, GraphStats};
     pub use crate::transport::{ChannelTransport, Envelope, Message, Transport, TransportError};
 }

@@ -1,6 +1,10 @@
 //! One logical machine of the memory cloud: the vertices assigned to it,
-//! their labels, their adjacency (CSR), and the local label index.
+//! their labels, their adjacency, and the local label index — each stored in
+//! the physical representation selected by [`StorageTier`].
 
+use crate::compact::{
+    CompactCsr, CompactIdMap, CompactLabelIndex, Neighbors, Postings, StorageTier,
+};
 use crate::csr::Csr;
 use crate::ids::{LabelId, VertexId};
 use crate::label_index::LabelIndex;
@@ -9,15 +13,18 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A vertex record as returned by `Cloud.Load`: the vertex's label and the
-/// IDs of its neighbors (which may live on any machine).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// IDs of its neighbors (which may live on any machine). The neighbor run is
+/// a zero-copy [`Neighbors`] view into the owning partition — plain-tier
+/// partitions hand out the underlying slice, compact-tier partitions hand
+/// out the encoded bytes and decode on iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cell<'a> {
     /// The vertex this cell describes.
     pub id: VertexId,
     /// The vertex's label.
     pub label: LabelId,
     /// Global IDs of all neighbors, sorted ascending.
-    pub neighbors: &'a [VertexId],
+    pub neighbors: Neighbors<'a>,
 }
 
 impl Cell<'_> {
@@ -56,19 +63,223 @@ impl CellBuf {
     }
 }
 
+/// Per-partition resident bytes, broken down by storage component. Summed
+/// over the cloud this is the "index size + graph size" the paper's Table 1
+/// reports; the breakdown is what the `storage` experiment CSV emits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageBytes {
+    /// Adjacency structure (offsets + neighbor entries, plain or encoded).
+    pub adjacency: usize,
+    /// Per-vertex label array.
+    pub labels: usize,
+    /// Id mapping both ways: the local-index → global-id array plus the
+    /// global-id → local-index map (`HashMap` or open-addressed slots).
+    pub id_map: usize,
+    /// The label → vertex-id string index.
+    pub postings: usize,
+    /// Per-vertex neighborhood-label signatures (0 when pruning is off).
+    pub signatures: usize,
+    /// The label-pair selectivity table.
+    pub pair_table: usize,
+}
+
+impl StorageBytes {
+    /// Total resident bytes across all components.
+    pub fn total(&self) -> usize {
+        self.adjacency
+            + self.labels
+            + self.id_map
+            + self.postings
+            + self.signatures
+            + self.pair_table
+    }
+}
+
+impl std::ops::AddAssign for StorageBytes {
+    fn add_assign(&mut self, rhs: StorageBytes) {
+        self.adjacency += rhs.adjacency;
+        self.labels += rhs.labels;
+        self.id_map += rhs.id_map;
+        self.postings += rhs.postings;
+        self.signatures += rhs.signatures;
+        self.pair_table += rhs.pair_table;
+    }
+}
+
+/// Tier-dispatched adjacency storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum Adjacency {
+    Plain(Csr),
+    Compact(CompactCsr),
+}
+
+impl Default for Adjacency {
+    fn default() -> Self {
+        Adjacency::Plain(Csr::default())
+    }
+}
+
+impl Adjacency {
+    #[inline]
+    fn neighbors(&self, local: usize) -> Neighbors<'_> {
+        match self {
+            Adjacency::Plain(c) => Neighbors::Slice(c.neighbors(local)),
+            Adjacency::Compact(c) => c.neighbors(local),
+        }
+    }
+
+    #[inline]
+    fn degree(&self, local: usize) -> usize {
+        match self {
+            Adjacency::Plain(c) => c.degree(local),
+            Adjacency::Compact(c) => c.degree(local),
+        }
+    }
+
+    #[inline]
+    fn has_neighbor(&self, local: usize, target: VertexId) -> bool {
+        match self {
+            Adjacency::Plain(c) => c.has_neighbor(local, target),
+            Adjacency::Compact(c) => c.has_neighbor(local, target),
+        }
+    }
+
+    fn num_entries(&self) -> usize {
+        match self {
+            Adjacency::Plain(c) => c.num_entries(),
+            Adjacency::Compact(c) => c.num_entries(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            Adjacency::Plain(c) => c.memory_bytes(),
+            Adjacency::Compact(c) => c.memory_bytes(),
+        }
+    }
+
+    fn tier(&self) -> StorageTier {
+        match self {
+            Adjacency::Plain(_) => StorageTier::Plain,
+            Adjacency::Compact(_) => StorageTier::Compact,
+        }
+    }
+}
+
+/// Tier-dispatched global-id → local-index map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum IdMap {
+    Plain(HashMap<VertexId, u32>),
+    Compact(CompactIdMap),
+}
+
+impl Default for IdMap {
+    fn default() -> Self {
+        IdMap::Plain(HashMap::new())
+    }
+}
+
+impl IdMap {
+    pub(crate) fn build(tier: StorageTier, ids: &[VertexId]) -> Self {
+        match tier {
+            StorageTier::Plain => IdMap::Plain(
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, i as u32))
+                    .collect(),
+            ),
+            StorageTier::Compact => IdMap::Compact(CompactIdMap::build(ids)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, ids: &[VertexId], id: VertexId) -> Option<u32> {
+        match self {
+            IdMap::Plain(m) => m.get(&id).copied(),
+            IdMap::Compact(m) => m.get(ids, id),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            // Key + value + per-entry bucket overhead, the honest estimate
+            // the plain tier always used.
+            IdMap::Plain(m) => {
+                m.len() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() + 8)
+            }
+            IdMap::Compact(m) => m.memory_bytes(),
+        }
+    }
+}
+
+/// Tier-dispatched label postings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum LabelPostings {
+    Plain(LabelIndex),
+    Compact(CompactLabelIndex),
+}
+
+impl Default for LabelPostings {
+    fn default() -> Self {
+        LabelPostings::Plain(LabelIndex::default())
+    }
+}
+
+impl LabelPostings {
+    pub(crate) fn build(
+        tier: StorageTier,
+        ids: &[VertexId],
+        labels: &[LabelId],
+        num_labels: usize,
+    ) -> Self {
+        match tier {
+            StorageTier::Plain => LabelPostings::Plain(LabelIndex::build(
+                ids.iter().copied().zip(labels.iter().copied()),
+                num_labels,
+            )),
+            StorageTier::Compact => {
+                LabelPostings::Compact(CompactLabelIndex::build(labels, num_labels))
+            }
+        }
+    }
+
+    #[inline]
+    fn get<'a>(&'a self, label: LabelId, ids: &'a [VertexId]) -> Postings<'a> {
+        match self {
+            LabelPostings::Plain(idx) => Postings::Slice(idx.get(label)),
+            LabelPostings::Compact(idx) => idx.get(label, ids),
+        }
+    }
+
+    #[inline]
+    fn frequency(&self, label: LabelId) -> usize {
+        match self {
+            LabelPostings::Plain(idx) => idx.frequency(label),
+            LabelPostings::Compact(idx) => idx.frequency(label),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            LabelPostings::Plain(idx) => idx.memory_bytes(),
+            LabelPostings::Compact(idx) => idx.memory_bytes(),
+        }
+    }
+}
+
 /// The data owned by a single logical machine.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Partition {
-    /// Global IDs of local vertices, in local-index order.
+    /// Global IDs of local vertices, in local-index order (ascending id).
     vertex_ids: Vec<VertexId>,
     /// Label of each local vertex, parallel to `vertex_ids`.
     labels: Vec<LabelId>,
     /// Global → local index map.
-    local_of: HashMap<VertexId, u32>,
+    id_map: IdMap,
     /// Adjacency of local vertices.
-    adjacency: Csr,
+    adjacency: Adjacency,
     /// Label → local vertex IDs.
-    label_index: LabelIndex,
+    postings: LabelPostings,
     /// Per-vertex neighborhood-label signatures, when built with label
     /// lookup (`None` disables signature pruning for this partition).
     neighbor_index: Option<NeighborLabelIndex>,
@@ -78,31 +289,62 @@ pub struct Partition {
 
 impl Partition {
     /// Assembles a partition from parallel vectors of vertex IDs, labels and
-    /// adjacency lists. The three inputs must have the same length.
+    /// adjacency lists, in the process-default [`StorageTier`]. The three
+    /// inputs must have the same length.
     pub fn new(
         vertex_ids: Vec<VertexId>,
         labels: Vec<LabelId>,
         adjacency_lists: Vec<Vec<VertexId>>,
         num_labels: usize,
     ) -> Self {
+        Self::new_with_tier(
+            vertex_ids,
+            labels,
+            adjacency_lists,
+            num_labels,
+            StorageTier::from_env(),
+        )
+    }
+
+    /// [`Partition::new`] with an explicit storage tier.
+    ///
+    /// Local indices are canonicalized to ascending global-id order (a no-op
+    /// for the builder, which pre-sorts): the compact posting lists index by
+    /// local position and rely on local order agreeing with id order to
+    /// return sorted ids, and keeping both tiers in one canonical order
+    /// keeps them bit-identical everywhere.
+    pub fn new_with_tier(
+        mut vertex_ids: Vec<VertexId>,
+        mut labels: Vec<LabelId>,
+        mut adjacency_lists: Vec<Vec<VertexId>>,
+        num_labels: usize,
+        tier: StorageTier,
+    ) -> Self {
         assert_eq!(vertex_ids.len(), labels.len());
         assert_eq!(vertex_ids.len(), adjacency_lists.len());
-        let local_of: HashMap<VertexId, u32> = vertex_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let label_index = LabelIndex::build(
-            vertex_ids.iter().copied().zip(labels.iter().copied()),
-            num_labels,
-        );
-        let adjacency = Csr::from_lists(adjacency_lists);
+        if !vertex_ids.windows(2).all(|w| w[0] < w[1]) {
+            let mut order: Vec<usize> = (0..vertex_ids.len()).collect();
+            order.sort_unstable_by_key(|&i| vertex_ids[i]);
+            vertex_ids = order.iter().map(|&i| vertex_ids[i]).collect();
+            labels = order.iter().map(|&i| labels[i]).collect();
+            let mut reordered: Vec<Vec<VertexId>> = Vec::with_capacity(order.len());
+            for &i in &order {
+                reordered.push(std::mem::take(&mut adjacency_lists[i]));
+            }
+            adjacency_lists = reordered;
+        }
+        let id_map = IdMap::build(tier, &vertex_ids);
+        let postings = LabelPostings::build(tier, &vertex_ids, &labels, num_labels);
+        let adjacency = match tier {
+            StorageTier::Plain => Adjacency::Plain(Csr::from_lists(adjacency_lists)),
+            StorageTier::Compact => Adjacency::Compact(CompactCsr::from_lists(adjacency_lists)),
+        };
         Partition {
             vertex_ids,
             labels,
-            local_of,
+            id_map,
             adjacency,
-            label_index,
+            postings,
             neighbor_index: None,
             pair_table: LabelPairTable::default(),
         }
@@ -122,13 +364,32 @@ impl Partition {
         num_labels: usize,
         neighbor_label: impl Fn(VertexId) -> Option<LabelId>,
     ) -> Self {
-        let mut p = Partition::new(vertex_ids, labels, adjacency_lists, num_labels);
+        Self::with_neighbor_labels_tier(
+            vertex_ids,
+            labels,
+            adjacency_lists,
+            num_labels,
+            StorageTier::from_env(),
+            neighbor_label,
+        )
+    }
+
+    /// [`Partition::with_neighbor_labels`] with an explicit storage tier.
+    pub fn with_neighbor_labels_tier(
+        vertex_ids: Vec<VertexId>,
+        labels: Vec<LabelId>,
+        adjacency_lists: Vec<Vec<VertexId>>,
+        num_labels: usize,
+        tier: StorageTier,
+        neighbor_label: impl Fn(VertexId) -> Option<LabelId>,
+    ) -> Self {
+        let mut p = Partition::new_with_tier(vertex_ids, labels, adjacency_lists, num_labels, tier);
         let mut sigs = Vec::with_capacity(p.num_vertices());
         let mut pair_table = LabelPairTable::new();
         for local in 0..p.num_vertices() {
             let own_label = p.labels[local];
             let mut sig = 0u64;
-            for &m in p.adjacency.neighbors(local) {
+            for m in p.adjacency.neighbors(local) {
                 match neighbor_label(m) {
                     Some(l) => {
                         sig |= crate::neighbor_index::label_bit(l);
@@ -142,6 +403,36 @@ impl Partition {
         p.neighbor_index = Some(NeighborLabelIndex::from_signatures(sigs));
         p.pair_table = pair_table;
         p
+    }
+
+    /// Assembles a partition from components the streaming bulk loader has
+    /// already built in final form (ids sorted ascending, adjacency encoded,
+    /// indexes filled). Crate-internal: invariants are the loader's job.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_encoded_parts(
+        vertex_ids: Vec<VertexId>,
+        labels: Vec<LabelId>,
+        id_map: IdMap,
+        adjacency: Adjacency,
+        postings: LabelPostings,
+        neighbor_index: Option<NeighborLabelIndex>,
+        pair_table: LabelPairTable,
+    ) -> Self {
+        debug_assert!(vertex_ids.windows(2).all(|w| w[0] < w[1]));
+        Partition {
+            vertex_ids,
+            labels,
+            id_map,
+            adjacency,
+            postings,
+            neighbor_index,
+            pair_table,
+        }
+    }
+
+    /// The storage tier this partition's adjacency is stored in.
+    pub fn storage_tier(&self) -> StorageTier {
+        self.adjacency.tier()
     }
 
     /// Number of vertices owned by this machine.
@@ -159,14 +450,13 @@ impl Partition {
     /// Whether this machine owns vertex `id`.
     #[inline]
     pub fn owns(&self, id: VertexId) -> bool {
-        self.local_of.contains_key(&id)
+        self.id_map.get(&self.vertex_ids, id).is_some()
     }
 
     /// Loads the cell of a locally-owned vertex. Returns `None` when the
     /// vertex is not owned by this machine.
     pub fn load(&self, id: VertexId) -> Option<Cell<'_>> {
-        let &local = self.local_of.get(&id)?;
-        let local = local as usize;
+        let local = self.id_map.get(&self.vertex_ids, id)? as usize;
         Some(Cell {
             id,
             label: self.labels[local],
@@ -176,35 +466,36 @@ impl Partition {
 
     /// Label of a locally-owned vertex.
     pub fn label_of(&self, id: VertexId) -> Option<LabelId> {
-        self.local_of
-            .get(&id)
-            .map(|&local| self.labels[local as usize])
+        self.id_map
+            .get(&self.vertex_ids, id)
+            .map(|local| self.labels[local as usize])
     }
 
     /// Degree of a locally-owned vertex.
     pub fn degree_of(&self, id: VertexId) -> Option<usize> {
-        self.local_of
-            .get(&id)
-            .map(|&local| self.adjacency.degree(local as usize))
+        self.id_map
+            .get(&self.vertex_ids, id)
+            .map(|local| self.adjacency.degree(local as usize))
     }
 
     /// Local vertices with the given label (the paper's `Index.getID`,
-    /// restricted to this machine).
+    /// restricted to this machine), sorted ascending. The [`Postings`] view
+    /// decodes lazily on the compact tier.
     #[inline]
-    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
-        self.label_index.get(label)
+    pub fn vertices_with_label(&self, label: LabelId) -> Postings<'_> {
+        self.postings.get(label, &self.vertex_ids)
     }
 
     /// Number of local vertices with the given label.
     #[inline]
     pub fn label_frequency(&self, label: LabelId) -> usize {
-        self.label_index.frequency(label)
+        self.postings.frequency(label)
     }
 
     /// Whether a locally-owned vertex has a given neighbor.
     pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
-        match self.local_of.get(&from) {
-            Some(&local) => self.adjacency.has_neighbor(local as usize, to),
+        match self.id_map.get(&self.vertex_ids, from) {
+            Some(local) => self.adjacency.has_neighbor(local as usize, to),
             None => false,
         }
     }
@@ -229,7 +520,7 @@ impl Partition {
     #[inline]
     pub fn signature_of(&self, id: VertexId) -> Option<u64> {
         let index = self.neighbor_index.as_ref()?;
-        let &local = self.local_of.get(&id)?;
+        let local = self.id_map.get(&self.vertex_ids, id)?;
         index.signature(local as usize)
     }
 
@@ -247,19 +538,26 @@ impl Partition {
         &self.pair_table
     }
 
-    /// Approximate memory footprint of this partition in bytes.
-    pub fn memory_bytes(&self) -> usize {
-        self.vertex_ids.len() * std::mem::size_of::<VertexId>()
-            + self.labels.len() * std::mem::size_of::<LabelId>()
-            + self.local_of.len()
-                * (std::mem::size_of::<VertexId>() + std::mem::size_of::<u32>() + 8)
-            + self.adjacency.memory_bytes()
-            + self.label_index.memory_bytes()
-            + self
+    /// Resident bytes of this partition, broken down by storage component.
+    pub fn storage_bytes(&self) -> StorageBytes {
+        StorageBytes {
+            adjacency: self.adjacency.memory_bytes(),
+            labels: self.labels.len() * std::mem::size_of::<LabelId>(),
+            id_map: self.vertex_ids.len() * std::mem::size_of::<VertexId>()
+                + self.id_map.memory_bytes(),
+            postings: self.postings.memory_bytes(),
+            signatures: self
                 .neighbor_index
                 .as_ref()
-                .map_or(0, NeighborLabelIndex::memory_bytes)
-            + self.pair_table.memory_bytes()
+                .map_or(0, NeighborLabelIndex::memory_bytes),
+            pair_table: self.pair_table.memory_bytes(),
+        }
+    }
+
+    /// Approximate memory footprint of this partition in bytes (the total
+    /// of [`Partition::storage_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.storage_bytes().total()
     }
 }
 
@@ -274,43 +572,56 @@ mod tests {
         LabelId(x)
     }
 
-    fn sample_partition() -> Partition {
+    fn sample_partition_tier(tier: StorageTier) -> Partition {
         // vertices 10 (label 0), 20 (label 1), 30 (label 0)
-        Partition::new(
+        Partition::new_with_tier(
             vec![v(10), v(20), v(30)],
             vec![l(0), l(1), l(0)],
             vec![vec![v(20), v(99)], vec![v(10)], vec![]],
             2,
+            tier,
         )
     }
 
+    fn sample_partition() -> Partition {
+        sample_partition_tier(StorageTier::from_env())
+    }
+
+    const TIERS: [StorageTier; 2] = [StorageTier::Plain, StorageTier::Compact];
+
     #[test]
     fn load_local_cell() {
-        let p = sample_partition();
-        let cell = p.load(v(10)).unwrap();
-        assert_eq!(cell.label, l(0));
-        assert_eq!(cell.neighbors, &[v(20), v(99)]);
-        assert!(p.load(v(99)).is_none());
+        for tier in TIERS {
+            let p = sample_partition_tier(tier);
+            let cell = p.load(v(10)).unwrap();
+            assert_eq!(cell.label, l(0));
+            assert_eq!(cell.neighbors, &[v(20), v(99)]);
+            assert!(p.load(v(99)).is_none());
+        }
     }
 
     #[test]
     fn label_lookup() {
-        let p = sample_partition();
-        assert_eq!(p.vertices_with_label(l(0)), &[v(10), v(30)]);
-        assert_eq!(p.vertices_with_label(l(1)), &[v(20)]);
-        assert_eq!(p.label_frequency(l(0)), 2);
-        assert_eq!(p.label_of(v(20)), Some(l(1)));
-        assert_eq!(p.label_of(v(77)), None);
+        for tier in TIERS {
+            let p = sample_partition_tier(tier);
+            assert_eq!(p.vertices_with_label(l(0)), &[v(10), v(30)]);
+            assert_eq!(p.vertices_with_label(l(1)), &[v(20)]);
+            assert_eq!(p.label_frequency(l(0)), 2);
+            assert_eq!(p.label_of(v(20)), Some(l(1)));
+            assert_eq!(p.label_of(v(77)), None);
+        }
     }
 
     #[test]
     fn edge_and_degree_queries() {
-        let p = sample_partition();
-        assert!(p.has_edge(v(10), v(99)));
-        assert!(!p.has_edge(v(10), v(30)));
-        assert!(!p.has_edge(v(77), v(10)));
-        assert_eq!(p.degree_of(v(10)), Some(2));
-        assert_eq!(p.degree_of(v(30)), Some(0));
+        for tier in TIERS {
+            let p = sample_partition_tier(tier);
+            assert!(p.has_edge(v(10), v(99)));
+            assert!(!p.has_edge(v(10), v(30)));
+            assert!(!p.has_edge(v(77), v(10)));
+            assert_eq!(p.degree_of(v(10)), Some(2));
+            assert_eq!(p.degree_of(v(30)), Some(0));
+        }
     }
 
     #[test]
@@ -323,6 +634,27 @@ mod tests {
         assert_eq!(p.iter_cells().count(), 3);
         assert_eq!(p.num_vertices(), 3);
         assert_eq!(p.num_edge_entries(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_is_canonicalized() {
+        // Both tiers canonicalize local order to ascending global id, so a
+        // caller that presents vertices out of order still gets sorted
+        // postings and identical iteration order on either tier.
+        for tier in TIERS {
+            let p = Partition::new_with_tier(
+                vec![v(30), v(10), v(20)],
+                vec![l(0), l(0), l(1)],
+                vec![vec![], vec![v(20), v(99)], vec![v(10)]],
+                2,
+                tier,
+            );
+            let ids: Vec<_> = p.iter_vertices().collect();
+            assert_eq!(ids, vec![v(10), v(20), v(30)]);
+            assert_eq!(p.vertices_with_label(l(0)), &[v(10), v(30)]);
+            assert_eq!(p.load(v(10)).unwrap().neighbors, &[v(20), v(99)]);
+            assert_eq!(p.load(v(30)).unwrap().neighbors.len(), 0);
+        }
     }
 
     #[test]
@@ -340,32 +672,101 @@ mod tests {
     }
 
     #[test]
+    fn storage_tier_is_reported() {
+        assert_eq!(
+            sample_partition_tier(StorageTier::Plain).storage_tier(),
+            StorageTier::Plain
+        );
+        assert_eq!(
+            sample_partition_tier(StorageTier::Compact).storage_tier(),
+            StorageTier::Compact
+        );
+    }
+
+    #[test]
+    fn storage_bytes_breakdown_sums_to_total() {
+        for tier in TIERS {
+            let p = sample_partition_tier(tier);
+            let b = p.storage_bytes();
+            assert_eq!(b.total(), p.memory_bytes());
+            assert!(b.adjacency > 0);
+            assert!(b.labels > 0);
+            assert!(b.id_map > 0);
+            assert_eq!(b.signatures, 0, "no pruning index was built");
+        }
+    }
+
+    #[test]
+    fn compact_tier_shrinks_id_map_at_scale() {
+        let n = 4096u64;
+        let ids: Vec<VertexId> = (0..n).map(|i| v(i * 3)).collect();
+        let labels = vec![l(0); n as usize];
+        let adj = vec![Vec::new(); n as usize];
+        let plain = Partition::new_with_tier(
+            ids.clone(),
+            labels.clone(),
+            adj.clone(),
+            1,
+            StorageTier::Plain,
+        );
+        let compact = Partition::new_with_tier(ids, labels, adj, 1, StorageTier::Compact);
+        let plain_map = plain.storage_bytes().id_map - n as usize * 8;
+        let compact_map = compact.storage_bytes().id_map - n as usize * 8;
+        assert!(
+            plain_map >= compact_map * 2,
+            "id map: plain {plain_map} vs compact {compact_map}"
+        );
+    }
+
+    #[test]
     fn neighbor_labels_build_signatures_and_pair_table() {
         use crate::neighbor_index::{label_bit, FULL_SIGNATURE};
-        // v(99) is a phantom remote neighbor the lookup cannot resolve: its
-        // owner's signature must widen to FULL to stay sound.
-        let p = Partition::with_neighbor_labels(
-            vec![v(10), v(20), v(30)],
-            vec![l(0), l(1), l(0)],
-            vec![vec![v(20), v(99)], vec![v(10)], vec![]],
-            2,
-            |id| match id {
-                VertexId(10) | VertexId(30) => Some(l(0)),
-                VertexId(20) => Some(l(1)),
-                _ => None,
-            },
-        );
-        assert_eq!(p.signature_of(v(10)), Some(FULL_SIGNATURE));
-        assert_eq!(p.signature_of(v(20)), Some(label_bit(l(0))));
-        assert_eq!(p.signature_of(v(30)), Some(0), "isolated vertex");
-        assert_eq!(p.signature_of(v(77)), None, "unowned vertex");
-        assert_eq!(p.signature_bits(), Some(64));
-        // Pair table counts only resolvable endpoints: 10-20 seen from both
-        // sides; 10-99 skipped.
-        assert_eq!(p.pair_table().count(l(0), l(1)), 2);
-        assert_eq!(p.pair_table().total_entries(), 2);
-        // The indexes are part of the partition's memory accounting.
-        let plain = sample_partition();
-        assert!(p.memory_bytes() > plain.memory_bytes());
+        for tier in TIERS {
+            // v(99) is a phantom remote neighbor the lookup cannot resolve:
+            // its owner's signature must widen to FULL to stay sound.
+            let p = Partition::with_neighbor_labels_tier(
+                vec![v(10), v(20), v(30)],
+                vec![l(0), l(1), l(0)],
+                vec![vec![v(20), v(99)], vec![v(10)], vec![]],
+                2,
+                tier,
+                |id| match id {
+                    VertexId(10) | VertexId(30) => Some(l(0)),
+                    VertexId(20) => Some(l(1)),
+                    _ => None,
+                },
+            );
+            assert_eq!(p.signature_of(v(10)), Some(FULL_SIGNATURE));
+            assert_eq!(p.signature_of(v(20)), Some(label_bit(l(0))));
+            assert_eq!(p.signature_of(v(30)), Some(0), "isolated vertex");
+            assert_eq!(p.signature_of(v(77)), None, "unowned vertex");
+            assert_eq!(p.signature_bits(), Some(64));
+            // Pair table counts only resolvable endpoints: 10-20 seen from
+            // both sides; 10-99 skipped.
+            assert_eq!(p.pair_table().count(l(0), l(1)), 2);
+            assert_eq!(p.pair_table().total_entries(), 2);
+            // The indexes are part of the partition's memory accounting.
+            let plain = sample_partition_tier(tier);
+            assert!(p.memory_bytes() > plain.memory_bytes());
+        }
+    }
+
+    #[test]
+    fn tiers_are_observationally_identical() {
+        let a = sample_partition_tier(StorageTier::Plain);
+        let b = sample_partition_tier(StorageTier::Compact);
+        for id in [v(10), v(20), v(30)] {
+            assert_eq!(a.load(id), b.load(id));
+            assert_eq!(a.degree_of(id), b.degree_of(id));
+        }
+        for lab in [l(0), l(1)] {
+            assert_eq!(
+                a.vertices_with_label(lab).to_vec(),
+                b.vertices_with_label(lab).to_vec()
+            );
+            assert_eq!(a.label_frequency(lab), b.label_frequency(lab));
+        }
+        // ... at a strictly smaller footprint for the compact tier.
+        assert!(b.storage_bytes().id_map < a.storage_bytes().id_map);
     }
 }

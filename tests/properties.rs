@@ -126,7 +126,7 @@ proptest! {
         prop_assert_eq!(per_machine as u64, g.num_vertices);
         // adjacency is symmetric
         for v in 0..g.num_vertices {
-            for &n in cloud.neighbors_global(VertexId(v)) {
+            for n in cloud.neighbors_global(VertexId(v)) {
                 prop_assert!(cloud.has_edge_global(n, VertexId(v)));
             }
         }
@@ -146,7 +146,7 @@ proptest! {
             let label_edges = query.label_edges();
             for u in 0..g.num_vertices {
                 let lu = cloud.label_of_global(VertexId(u)).unwrap();
-                for &n in cloud.neighbors_global(VertexId(u)) {
+                for n in cloud.neighbors_global(VertexId(u)) {
                     let ln = cloud.label_of_global(n).unwrap();
                     let matches_query_edge = label_edges
                         .iter()

@@ -1,0 +1,180 @@
+//! Acceptance suite for the compact storage tier.
+//!
+//! * Proptest round-trip: a `CompactCsr` built from arbitrary adjacency
+//!   lists (empty vertices, degree-1 runs, hubs) must decode to exactly the
+//!   plain `Csr`'s runs, degrees and membership answers.
+//! * Differential sweep: storage tier × transport × pruning × cache must
+//!   return exactly the VF2 baseline's embedding set — the tier is a
+//!   representation choice, never an observable one.
+//! * Never-alias: the cache fingerprint must *distinguish* the tiers even
+//!   though they are observationally identical by contract, so a
+//!   representation bug on one tier can never serve its cached tables to
+//!   the other (same discipline as the pruned-shape flag).
+
+use proptest::prelude::*;
+use stwig::cache::graph_fingerprint;
+use stwig_match::prelude::*;
+use trinity_sim::compact::{CompactCsr, NeighborScratch, StorageTier};
+use trinity_sim::csr::Csr;
+use trinity_sim::ids::VertexId;
+
+// ---------------------------------------------------------------------------
+// Round-trip: CompactCsr ↔ plain Csr
+// ---------------------------------------------------------------------------
+
+fn assert_csrs_agree(lists: Vec<Vec<VertexId>>) {
+    let plain = Csr::from_lists(lists.clone());
+    let compact = CompactCsr::from_lists(lists);
+    assert_eq!(plain.num_vertices(), compact.num_vertices());
+    assert_eq!(plain.num_entries(), compact.num_entries());
+    let mut scratch = NeighborScratch::new();
+    for local in 0..plain.num_vertices() {
+        let want = plain.neighbors(local);
+        let via_iter: Vec<VertexId> = compact.neighbors(local).into_iter().collect();
+        assert_eq!(via_iter, want, "vertex {local}: decoded run diverges");
+        assert_eq!(
+            compact.neighbors(local).materialize(&mut scratch),
+            want,
+            "vertex {local}: materialized run diverges"
+        );
+        assert_eq!(compact.degree(local), plain.degree(local));
+        for &n in want {
+            assert!(compact.has_neighbor(local, n));
+            // A probe guaranteed absent (ids below are all even-ish offsets;
+            // probe one past the last neighbor).
+        }
+        let absent = VertexId(want.last().map_or(7, |v| v.0 + 1));
+        assert_eq!(
+            compact.has_neighbor(local, absent),
+            plain.has_neighbor(local, absent)
+        );
+    }
+}
+
+#[test]
+fn roundtrip_edge_shapes() {
+    // Empty graph, all-empty lists, degree-1 runs, and a hub.
+    assert_csrs_agree(vec![]);
+    assert_csrs_agree(vec![vec![], vec![], vec![]]);
+    assert_csrs_agree(vec![vec![VertexId(9)], vec![], vec![VertexId(0)]]);
+    let hub: Vec<VertexId> = (0..5_000).map(|i| VertexId(i * 3 + 1)).collect();
+    assert_csrs_agree(vec![vec![], hub, vec![VertexId(u64::MAX - 1)]]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_arbitrary_adjacency(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..40),
+            0..30,
+        )
+    ) {
+        let lists: Vec<Vec<VertexId>> = raw
+            .into_iter()
+            .map(|l| l.into_iter().map(VertexId).collect())
+            .collect();
+        assert_csrs_agree(lists);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweep: tier × transport × pruning × cache vs VF2
+// ---------------------------------------------------------------------------
+
+fn zipf_rmat(vertices: u64, avg_degree: f64, num_labels: usize, seed: u64) -> SyntheticGraph {
+    let g = rmat(&RmatConfig::with_avg_degree(vertices, avg_degree, seed));
+    let labels = LabelModel::Zipf {
+        num_labels,
+        exponent: 1.4,
+    }
+    .assign(vertices, seed ^ 0x5EED);
+    g.with_labels(labels, num_labels)
+}
+
+#[test]
+fn storage_sweep_matches_vf2() {
+    let graph = zipf_rmat(300, 5.0, 8, 0x5109);
+    let reference_cloud = graph
+        .clone()
+        .build_cloud(1, trinity_sim::network::CostModel::default());
+    let mut queries = query_batch(&reference_cloud, 6, 4, None, 0x51E9);
+    queries.extend(query_batch(&reference_cloud, 4, 4, Some(4), 0x51EA));
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| canonical_rows(q, &vf2(&reference_cloud, q, None)))
+        .collect();
+
+    for tier in [StorageTier::Plain, StorageTier::Compact] {
+        let cloud = graph
+            .to_builder()
+            .with_storage_tier(tier)
+            .build(4, trinity_sim::network::CostModel::default());
+        assert!(cloud.storage_configuration().iter().all(|&t| t == tier));
+        for mode in [TransportMode::DirectRead, TransportMode::Messages] {
+            for pruning in [false, true] {
+                for cache_on in [false, true] {
+                    let config = EngineConfig::default()
+                        .with_workers(Some(4))
+                        .with_cache(cache_on.then(CacheConfig::default))
+                        .with_match_config(
+                            MatchConfig::exhaustive()
+                                .with_num_threads(Some(1))
+                                .with_transport_mode(mode)
+                                .with_pruning(pruning),
+                        );
+                    let engine = QueryEngine::new(&cloud, config);
+                    // Two passes so the second replays through the cache.
+                    for pass in 0..2 {
+                        let outputs = engine.run_batch(&queries);
+                        for ((q, out), want) in queries.iter().zip(&outputs).zip(&expected) {
+                            let out = out.as_ref().expect("query succeeds");
+                            assert_eq!(
+                                &canonical_rows(q, &out.table),
+                                want,
+                                "diverged from VF2: tier = {tier}, mode = {mode:?}, \
+                                 pruning = {pruning}, cache = {cache_on}, pass = {pass}"
+                            );
+                            verify_all(&cloud, q, &out.table).expect("embeddings verify");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Never-alias: the fingerprint separates tiers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn storage_tiers_never_alias_in_the_cache() {
+    let graph = zipf_rmat(200, 4.0, 6, 0xA1A5);
+    let cost = trinity_sim::network::CostModel::default;
+    let plain = graph
+        .to_builder()
+        .with_storage_tier(StorageTier::Plain)
+        .build(2, cost());
+    let compact = graph
+        .to_builder()
+        .with_storage_tier(StorageTier::Compact)
+        .build(2, cost());
+
+    // Observationally the same graph…
+    assert_eq!(plain.num_vertices(), compact.num_vertices());
+    assert_eq!(plain.num_edges(), compact.num_edges());
+    for v in (0..200u64).step_by(17) {
+        let a: Vec<VertexId> = plain.neighbors_global(VertexId(v)).into_iter().collect();
+        let b: Vec<VertexId> = compact.neighbors_global(VertexId(v)).into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    // …but never the same fingerprint: a representation bug on one tier
+    // must not be able to serve its cached tables to the other.
+    assert_ne!(graph_fingerprint(&plain), graph_fingerprint(&compact));
+    let cache = StwigCache::new(&plain, CacheConfig::default());
+    assert!(cache.matches_cloud(&plain));
+    assert!(!cache.matches_cloud(&compact));
+}
