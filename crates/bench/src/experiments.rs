@@ -584,6 +584,116 @@ pub fn storage(scale: Scale) -> Vec<Row> {
     rows
 }
 
+/// Dynamic-graph sweep: the epoch-snapshot update machinery measured on one
+/// dataset profile. Reports batch-apply throughput, `seal_epoch` latency,
+/// and the query latency distribution (p50/p99) interleaved with update
+/// churn vs the same workload on the static graph — the serving-side cost
+/// of never stopping the world.
+pub fn updates(scale: Scale) -> Vec<Row> {
+    use trinity_sim::epoch::GraphEpochs;
+
+    fn percentile(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    let cloud = patents_cloud(scale, DEFAULT_MACHINES);
+    let queries = query_batch(&cloud, scale.queries_per_point(), 4, None, 0xD1CE);
+    let batches = update_stream(
+        &cloud,
+        &UpdateStreamConfig {
+            num_batches: 16,
+            ops_per_batch: 64,
+            seed: 0xD1CE,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let config = MatchConfig::paper_default();
+    let mut rows = Vec::new();
+
+    // Static reference: the plain suite on the unwrapped cloud.
+    let mut static_ms: Vec<f64> = Vec::new();
+    for q in &queries {
+        let (_, ms) = timed(|| stwig::match_query_distributed(&cloud, q, &config).unwrap());
+        static_ms.push(ms);
+    }
+    static_ms.sort_by(f64::total_cmp);
+    rows.push(Row::new(
+        "updates",
+        "query-static",
+        0.0,
+        "p50_ms",
+        percentile(&static_ms, 0.5),
+    ));
+    rows.push(Row::new(
+        "updates",
+        "query-static",
+        0.0,
+        "p99_ms",
+        percentile(&static_ms, 0.99),
+    ));
+
+    // Churn: the same queries against pinned snapshots, an update batch
+    // applied between every query.
+    let total_ops: usize = batches.iter().map(|b| b.len()).sum();
+    let epochs = GraphEpochs::new(cloud);
+    let mut churn_ms: Vec<f64> = Vec::new();
+    let mut apply_ms_total = 0.0;
+    let mut batch_iter = batches.iter().cycle();
+    let mut applies = 0usize;
+    for q in &queries {
+        let batch = batch_iter.next().expect("cycle never ends");
+        if applies < batches.len() {
+            let (_, ms) = timed(|| epochs.apply(batch).expect("generated batches are valid"));
+            apply_ms_total += ms;
+            applies += 1;
+        }
+        let snapshot = epochs.pin();
+        let (_, ms) = timed(|| stwig::match_query_distributed(&snapshot, q, &config).unwrap());
+        churn_ms.push(ms);
+    }
+    // Drain any batches the (short) query list didn't reach, so throughput
+    // covers the full stream.
+    for batch in batches.iter().skip(applies) {
+        let (_, ms) = timed(|| epochs.apply(batch).expect("generated batches are valid"));
+        apply_ms_total += ms;
+    }
+    churn_ms.sort_by(f64::total_cmp);
+    rows.push(Row::new(
+        "updates",
+        "query-churn",
+        0.0,
+        "p50_ms",
+        percentile(&churn_ms, 0.5),
+    ));
+    rows.push(Row::new(
+        "updates",
+        "query-churn",
+        0.0,
+        "p99_ms",
+        percentile(&churn_ms, 0.99),
+    ));
+    rows.push(Row::new(
+        "updates",
+        "apply",
+        0.0,
+        "ops_per_sec",
+        total_ops as f64 / (apply_ms_total / 1e3).max(1e-9),
+    ));
+
+    let (_, seal_ms) = timed(|| epochs.seal_epoch());
+    rows.push(Row::new("updates", "seal", 0.0, "latency_ms", seal_ms));
+    // Post-seal sanity: a query on the sealed base still runs.
+    let snapshot = epochs.pin();
+    let (_, ms) =
+        timed(|| stwig::match_query_distributed(&snapshot, &queries[0], &config).unwrap());
+    rows.push(Row::new("updates", "query-sealed", 0.0, "run_time_ms", ms));
+    rows
+}
+
 /// Returns every experiment name understood by [`run_experiment`].
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
@@ -604,6 +714,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "ablation-explore",
         "pruning",
         "storage",
+        "updates",
     ]
 }
 
@@ -627,6 +738,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<Vec<Row>> {
         "ablation-explore" => crate::ablations::ablation_explore(scale),
         "pruning" => pruning(scale),
         "storage" => storage(scale),
+        "updates" => updates(scale),
         _ => return None,
     };
     Some(rows)

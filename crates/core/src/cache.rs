@@ -33,9 +33,29 @@
 //! Binding-based pruning (§4.2) and the per-STwig row cap are pure
 //! order-preserving row filters of the unbound output, so
 //! [`apply_bindings_and_cap`] derives, from a cached table, a table
-//! bit-identical to what bound exploration would have produced. The graph is
-//! static, so entries never need invalidation; a fingerprint of the cloud
-//! guards against a cache being reused across clouds.
+//! bit-identical to what bound exploration would have produced. A
+//! fingerprint of the cloud guards against a cache being reused across
+//! clouds.
+//!
+//! ## Epochs
+//!
+//! Against a dynamic cloud (one managed by
+//! [`trinity_sim::epoch::GraphEpochs`]) every entry is tagged with the epoch
+//! it was explored under, and probes carry the probing snapshot. An entry
+//! whose epoch differs from the snapshot's is *never served as-is*:
+//!
+//! * entry epoch **older** than the snapshot — the entry is revalidated in
+//!   place when the lineage's touched-label log proves no intervening epoch
+//!   touched any of the shape's labels (root postings and child neighbor
+//!   scans read only those labels' vertices, so the canonical tables are
+//!   bit-identical and the tag simply advances); otherwise it is lazily
+//!   evicted (`stale_evictions`) and the probe misses.
+//! * entry epoch **newer** than the snapshot — a reader still pinned to an
+//!   old epoch; the probe misses but the entry stays resident for
+//!   current-epoch queries.
+//!
+//! Static clouds sit permanently at epoch 0, so every entry tags 0, every
+//! probe compares 0 == 0, and none of this costs anything.
 //!
 //! ## Concurrency and eviction
 //!
@@ -132,6 +152,15 @@ impl StwigShape {
     fn key_bytes(&self) -> usize {
         std::mem::size_of::<LabelId>() * (1 + self.child_labels.len()) + 1
     }
+
+    /// Every label the shape's exploration reads — root, then the sorted
+    /// child labels — for the touched-label revalidation probe.
+    fn labels(&self) -> Vec<LabelId> {
+        let mut labels = Vec::with_capacity(1 + self.child_labels.len());
+        labels.push(self.root_label);
+        labels.extend_from_slice(&self.child_labels);
+        labels
+    }
 }
 
 /// The three outcomes of a cache probe.
@@ -155,6 +184,11 @@ struct Entry {
     tables: Option<Arc<Vec<ResultTable>>>,
     bytes: usize,
     last_used: u64,
+    /// The cloud epoch the entry was explored under. Always 0 against a
+    /// static cloud; against a dynamic lineage, a probe from a different
+    /// epoch either revalidates, misses, or lazily evicts — it never serves
+    /// the tables across an epoch boundary unproven (see the module docs).
+    epoch: u64,
 }
 
 #[derive(Default)]
@@ -181,6 +215,11 @@ pub struct StwigCache<'c> {
     populate_row_cap: Option<usize>,
     /// Fingerprint of the cloud this cache serves (graph + partitioning).
     fingerprint: u64,
+    /// Lineage of the cloud this cache serves: nonzero when the cloud is a
+    /// [`trinity_sim::epoch::GraphEpochs`] snapshot, in which case every
+    /// same-lineage snapshot (any epoch) is accepted without refingerprinting
+    /// — the per-entry epoch tags carry the version discipline.
+    lineage: u64,
     num_machines: usize,
     tick: AtomicU64,
     hits: AtomicU64,
@@ -188,6 +227,7 @@ pub struct StwigCache<'c> {
     bypasses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    stale_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for StwigCache<'_> {
@@ -213,6 +253,7 @@ impl<'c> StwigCache<'c> {
             shard_budget: (config.budget_bytes / shards).max(1),
             populate_row_cap: config.populate_row_cap,
             fingerprint: graph_fingerprint(cloud),
+            lineage: cloud.lineage(),
             num_machines: cloud.num_machines(),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -220,17 +261,22 @@ impl<'c> StwigCache<'c> {
             bypasses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
         }
     }
 
-    /// Whether this cache serves `cloud` (same graph content, partitioning
-    /// and machine count). The cloud the cache was built from is recognized
-    /// by pointer identity (sound: the borrow keeps it alive, so no other
-    /// cloud can occupy its address); any other instance pays the full
-    /// O(V + E) fingerprint comparison — build the cache from the cloud you
-    /// intend to query.
+    /// Whether this cache serves `cloud`. The cloud the cache was built from
+    /// is recognized by pointer identity (sound: the borrow keeps it alive,
+    /// so no other cloud can occupy its address); a snapshot of the same
+    /// dynamic lineage — any epoch — is recognized by lineage id (sound:
+    /// per-entry epoch tags keep versions from ever aliasing, see `lookup`);
+    /// any other instance pays the full O(V + E) fingerprint comparison —
+    /// build the cache from the cloud you intend to query.
     pub fn matches_cloud(&self, cloud: &MemoryCloud) -> bool {
         if std::ptr::eq(self.cloud, cloud) {
+            return true;
+        }
+        if self.lineage != 0 && cloud.lineage() == self.lineage {
             return true;
         }
         self.num_machines == cloud.num_machines() && graph_fingerprint(cloud) == self.fingerprint
@@ -241,14 +287,50 @@ impl<'c> StwigCache<'c> {
         self.populate_row_cap
     }
 
-    /// Probes the cache for `shape`, counting a hit, miss or bypass.
-    pub fn lookup(&self, shape: &StwigShape) -> CacheLookup {
+    /// Probes the cache for `shape` on behalf of a query pinned to `cloud`,
+    /// counting a hit, miss or bypass. The entry's epoch tag is compared to
+    /// the snapshot's epoch; see the module docs for the revalidate /
+    /// lazy-evict / leave-resident trichotomy.
+    pub fn lookup(&self, shape: &StwigShape, cloud: &MemoryCloud) -> CacheLookup {
+        let epoch = cloud.epoch();
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_for(shape).lock().expect("cache shard poisoned");
+        let shard = &mut *shard;
         let Some(entry) = shard.map.get_mut(shape) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return CacheLookup::Miss;
         };
+        if entry.epoch > epoch {
+            // The probing query is pinned to an epoch older than the entry.
+            // Serving would leak the future into the snapshot; evicting
+            // would punish current-epoch queries. Miss, leave it resident.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss;
+        }
+        if entry.epoch < epoch {
+            // Stale tag. Serve only on *proof* that no epoch in
+            // (entry.epoch, epoch] touched any of the shape's labels — then
+            // the canonical tables are bit-identical at both epochs and the
+            // tag simply advances. Anything short of proof (a label was
+            // touched, no log, or the log doesn't cover the range) lazily
+            // evicts the entry and reports a miss so the caller repopulates
+            // against the pinned snapshot.
+            let untouched = cloud
+                .epoch_label_log()
+                .and_then(|log| log.touched_in_range(entry.epoch, epoch, &shape.labels()))
+                == Some(false);
+            if !untouched {
+                let previous = entry.last_used;
+                let bytes = entry.bytes;
+                shard.lru.remove(&previous).expect("LRU index out of sync");
+                shard.map.remove(shape);
+                shard.bytes -= bytes;
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Miss;
+            }
+            entry.epoch = epoch;
+        }
         let previous = std::mem::replace(&mut entry.last_used, stamp);
         let result = match &entry.tables {
             Some(tables) => {
@@ -265,16 +347,23 @@ impl<'c> StwigCache<'c> {
         result
     }
 
-    /// Inserts the canonical per-machine tables for `shape`, evicting
-    /// least-recently-used entries if the shard exceeds its byte budget.
-    /// If another query populated the same shape first, the resident entry
-    /// wins (both were derived from identical exploration) and is returned.
+    /// Inserts the canonical per-machine tables for `shape`, explored
+    /// against `cloud`, evicting least-recently-used entries if the shard
+    /// exceeds its byte budget. If another query populated the same shape
+    /// first at the same (or a newer) epoch, the resident entry wins (at
+    /// equal epochs both were derived from identical exploration); a
+    /// resident entry from an older epoch is replaced.
     ///
     /// An entry that could never fit its shard's budget is recorded as an
     /// uncacheable tombstone instead: re-populating it on every occurrence
     /// (unbound exploration + canonicalization, instantly evicted) would be
     /// strictly slower than running without the cache.
-    pub fn insert(&self, shape: StwigShape, tables: Vec<ResultTable>) -> Arc<Vec<ResultTable>> {
+    pub fn insert(
+        &self,
+        shape: StwigShape,
+        tables: Vec<ResultTable>,
+        cloud: &MemoryCloud,
+    ) -> Arc<Vec<ResultTable>> {
         assert_eq!(
             tables.len(),
             self.num_machines,
@@ -283,26 +372,47 @@ impl<'c> StwigCache<'c> {
         let bytes = tables.iter().map(ResultTable::memory_bytes).sum::<usize>() + shape.key_bytes();
         let tables = Arc::new(tables);
         if bytes > self.shard_budget {
-            self.mark_uncacheable(shape);
+            self.mark_uncacheable(shape, cloud);
             return tables;
         }
-        self.insert_entry(shape, Some(Arc::clone(&tables)), bytes);
+        self.insert_entry(shape, Some(Arc::clone(&tables)), bytes, cloud.epoch());
         tables
     }
 
     /// Marks `shape` uncacheable: its unbound exploration exceeded the
     /// populate row cap, so future queries skip straight to plain bound
     /// exploration instead of re-attempting (and re-paying) the populate.
-    pub fn mark_uncacheable(&self, shape: StwigShape) {
+    pub fn mark_uncacheable(&self, shape: StwigShape, cloud: &MemoryCloud) {
         let bytes = shape.key_bytes() + std::mem::size_of::<Entry>();
-        self.insert_entry(shape, None, bytes);
+        self.insert_entry(shape, None, bytes, cloud.epoch());
     }
 
-    fn insert_entry(&self, shape: StwigShape, tables: Option<Arc<Vec<ResultTable>>>, bytes: usize) {
+    fn insert_entry(
+        &self,
+        shape: StwigShape,
+        tables: Option<Arc<Vec<ResultTable>>>,
+        bytes: usize,
+        epoch: u64,
+    ) {
         let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_for(&shape).lock().expect("cache shard poisoned");
-        if shard.map.contains_key(&shape) {
-            return;
+        let shard = &mut *shard;
+        if let Some(resident) = shard.map.get(&shape) {
+            if resident.epoch >= epoch {
+                // Same or newer version already resident: it wins (at equal
+                // epochs both entries were derived from identical
+                // exploration; a newer one must not be clobbered by a
+                // pinned straggler).
+                return;
+            }
+            // The resident entry is from an older epoch than the incoming
+            // one — replace it, counting the stale eviction.
+            let previous = resident.last_used;
+            let old_bytes = resident.bytes;
+            shard.lru.remove(&previous).expect("LRU index out of sync");
+            shard.map.remove(&shape);
+            shard.bytes -= old_bytes;
+            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
         }
         shard.bytes += bytes;
         shard.lru.insert(stamp, shape.clone());
@@ -312,6 +422,7 @@ impl<'c> StwigCache<'c> {
                 tables,
                 bytes,
                 last_used: stamp,
+                epoch,
             },
         );
         self.insertions.fetch_add(1, Ordering::Relaxed);
@@ -345,6 +456,7 @@ impl<'c> StwigCache<'c> {
             bypasses: self.bypasses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
             entries,
             bytes_resident,
         }
@@ -371,6 +483,15 @@ pub fn graph_fingerprint(cloud: &MemoryCloud) -> u64 {
     cloud.num_machines().hash(&mut hasher);
     cloud.num_vertices().hash(&mut hasher);
     cloud.num_edges().hash(&mut hasher);
+    // A dynamic cloud's identity includes *which version* it is: the
+    // lineage it belongs to and the epoch of this snapshot. Two snapshots
+    // of one lineage at different epochs must never fingerprint alike (an
+    // epoch-N cache entry must not be mistaken for epoch N+1), and a
+    // dynamic snapshot never aliases a static rebuild of the same content.
+    // Static clouds all contribute the constant (0, 0), so fingerprint
+    // equality between static clouds is unaffected.
+    cloud.epoch().hash(&mut hasher);
+    cloud.lineage().hash(&mut hasher);
     for (label, name) in cloud.labels().iter() {
         name.hash(&mut hasher);
         cloud.label_frequency(label).hash(&mut hasher);
@@ -647,9 +768,9 @@ mod tests {
         let cloud = small_cloud();
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let t = table(&[0, 1, 2], &[&[1, 2, 3]]);
-        cache.insert(unpruned, vec![t.clone(), t]);
+        cache.insert(unpruned, vec![t.clone(), t], &cloud);
         assert!(
-            matches!(cache.lookup(&pruned), CacheLookup::Miss),
+            matches!(cache.lookup(&pruned, &cloud), CacheLookup::Miss),
             "a table populated without pruning must not serve the pruned configuration"
         );
     }
@@ -715,11 +836,11 @@ mod tests {
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let (query, stwig) = unsorted_query();
         let shape = StwigShape::of(&query, &stwig, false);
-        assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
+        assert!(matches!(cache.lookup(&shape, &cloud), CacheLookup::Miss));
         let tables = vec![table(&[0, 1, 2], &[&[1, 2, 3]]), table(&[0, 1, 2], &[])];
-        let arc = cache.insert(shape.clone(), tables);
+        let arc = cache.insert(shape.clone(), tables, &cloud);
         assert_eq!(arc.len(), 2);
-        let CacheLookup::Hit(hit) = cache.lookup(&shape) else {
+        let CacheLookup::Hit(hit) = cache.lookup(&shape, &cloud) else {
             panic!("entry must be resident after insert");
         };
         assert!(Arc::ptr_eq(&arc, &hit));
@@ -741,10 +862,12 @@ mod tests {
         cache.insert(
             shape.clone(),
             vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &cloud,
         );
         cache.insert(
             shape.clone(),
             vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &cloud,
         );
         assert_eq!(cache.stats().insertions, 1, "resident entry wins the race");
         assert_eq!(cache.stats().entries, 1);
@@ -756,9 +879,9 @@ mod tests {
         let cache = StwigCache::new(&cloud, CacheConfig::default());
         let (query, stwig) = unsorted_query();
         let shape = StwigShape::of(&query, &stwig, false);
-        assert!(matches!(cache.lookup(&shape), CacheLookup::Miss));
-        cache.mark_uncacheable(shape.clone());
-        assert!(matches!(cache.lookup(&shape), CacheLookup::Bypass));
+        assert!(matches!(cache.lookup(&shape, &cloud), CacheLookup::Miss));
+        cache.mark_uncacheable(shape.clone(), &cloud);
+        assert!(matches!(cache.lookup(&shape, &cloud), CacheLookup::Bypass));
         let stats = cache.stats();
         assert_eq!(stats.bypasses, 1);
         assert_eq!(stats.misses, 1);
@@ -839,7 +962,7 @@ mod tests {
             let rows: Vec<Vec<u64>> = (0..10u64).map(|r| vec![r, r + 1]).collect();
             let refs: Vec<&[u64]> = rows.iter().map(|r| r.as_slice()).collect();
             let t = table(&[0, 1], &refs);
-            held.push(cache.insert(shape, vec![t.clone(), t]));
+            held.push(cache.insert(shape, vec![t.clone(), t], &cloud));
         }
         let stats = cache.stats();
         assert!(stats.evictions > 0, "tiny budget must evict");
@@ -881,6 +1004,136 @@ mod tests {
         // Re-validation is memoized per instance but stays exact: the same
         // cache accepts cloud A again after probing cloud B.
         assert!(cache.matches_cloud(&cloud_a));
+    }
+
+    #[test]
+    fn stale_entry_with_touched_labels_is_evicted_not_served() {
+        use trinity_sim::epoch::{GraphEpochs, UpdateBatch};
+        let epochs = GraphEpochs::new(small_cloud());
+        let cache = StwigCache::new(epochs.base_cloud(), CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig, false);
+        let snap0 = epochs.pin();
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &snap0,
+        );
+        // Touch label "b": add a b-vertex and wire it to the a-root.
+        let batch = UpdateBatch::new()
+            .add_vertex(v(10), "b")
+            .add_edge(v(0), v(10));
+        epochs.apply(&batch).unwrap();
+        let snap1 = epochs.pin();
+        assert!(cache.matches_cloud(&snap1), "same lineage must match");
+        assert_ne!(
+            graph_fingerprint(&snap0),
+            graph_fingerprint(&snap1),
+            "epoch advance must change the fingerprint"
+        );
+        assert!(
+            matches!(cache.lookup(&shape, &snap1), CacheLookup::Miss),
+            "an epoch-0 entry whose labels were touched must not serve epoch 1"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.stale_evictions, 1);
+        assert_eq!(stats.entries, 0, "the stale entry is gone");
+    }
+
+    #[test]
+    fn label_disjoint_update_revalidates_entry_in_place() {
+        use trinity_sim::epoch::{GraphEpochs, UpdateBatch};
+        let epochs = GraphEpochs::new(small_cloud());
+        let cache = StwigCache::new(epochs.base_cloud(), CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig, false);
+        let snap0 = epochs.pin();
+        let arc = cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &snap0,
+        );
+        // An isolated "d" vertex touches no label the shape reads.
+        epochs
+            .apply(&UpdateBatch::new().add_vertex(v(10), "d"))
+            .unwrap();
+        let snap1 = epochs.pin();
+        let CacheLookup::Hit(hit) = cache.lookup(&shape, &snap1) else {
+            panic!("label-disjoint epoch advance must keep the entry servable");
+        };
+        assert!(Arc::ptr_eq(&arc, &hit));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.stale_evictions, 0);
+        // The tag advanced: a second probe is a plain same-epoch hit.
+        assert!(matches!(cache.lookup(&shape, &snap1), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn older_pinned_snapshot_misses_newer_entry_without_evicting() {
+        use trinity_sim::epoch::{GraphEpochs, UpdateBatch};
+        let epochs = GraphEpochs::new(small_cloud());
+        let cache = StwigCache::new(epochs.base_cloud(), CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig, false);
+        let snap0 = epochs.pin();
+        epochs
+            .apply(&UpdateBatch::new().add_vertex(v(10), "d"))
+            .unwrap();
+        let snap1 = epochs.pin();
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[7]]), table(&[0], &[&[8]])],
+            &snap1,
+        );
+        assert!(
+            matches!(cache.lookup(&shape, &snap0), CacheLookup::Miss),
+            "a query pinned to epoch 0 must never be served an epoch-1 entry"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1, "the newer entry stays resident");
+        assert_eq!(stats.stale_evictions, 0);
+        assert!(matches!(cache.lookup(&shape, &snap1), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn insert_replaces_older_epoch_resident_and_keeps_newer() {
+        use trinity_sim::epoch::{GraphEpochs, UpdateBatch};
+        let epochs = GraphEpochs::new(small_cloud());
+        let cache = StwigCache::new(epochs.base_cloud(), CacheConfig::default());
+        let (query, stwig) = unsorted_query();
+        let shape = StwigShape::of(&query, &stwig, false);
+        let snap0 = epochs.pin();
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &snap0,
+        );
+        epochs
+            .apply(&UpdateBatch::new().add_vertex(v(10), "d"))
+            .unwrap();
+        let snap1 = epochs.pin();
+        // The epoch-1 populate replaces the epoch-0 resident …
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[7]]), table(&[0], &[&[8]])],
+            &snap1,
+        );
+        let CacheLookup::Hit(hit) = cache.lookup(&shape, &snap1) else {
+            panic!("replacement entry must be resident");
+        };
+        assert_eq!(hit[0].row(0), &[v(7)]);
+        assert_eq!(cache.stats().stale_evictions, 1);
+        // … and an epoch-0 straggler does not clobber it back.
+        cache.insert(
+            shape.clone(),
+            vec![table(&[0], &[&[1]]), table(&[0], &[&[2]])],
+            &snap0,
+        );
+        let CacheLookup::Hit(hit) = cache.lookup(&shape, &snap1) else {
+            panic!("newer entry must survive the straggler insert");
+        };
+        assert_eq!(hit[0].row(0), &[v(7)]);
     }
 
     #[test]

@@ -834,7 +834,7 @@ fn explore_one_stwig(
     let num_machines = cloud.num_machines();
     if let Some(cache) = cache {
         let shape = StwigShape::of(query, stwig, config.pruning);
-        match cache.lookup(&shape) {
+        match cache.lookup(&shape, cloud) {
             CacheLookup::Hit(entry) => {
                 // Hit: derive each machine's exploration table from the
                 // canonical entry under the current bindings and row cap
@@ -911,7 +911,7 @@ fn explore_one_stwig(
                             .iter()
                             .map(|r| canonicalize_table(&r.table, query, stwig))
                             .collect();
-                        cache.insert(shape, canonical);
+                        cache.insert(shape, canonical, cloud);
                     }
                     // Derive this query's tables from the full unbound
                     // tables — the exact derivation a future hit performs.
@@ -933,7 +933,7 @@ fn explore_one_stwig(
                     // have shrunk the tables, in which case the verdict
                     // isn't trustworthy.
                     if !degraded {
-                        cache.mark_uncacheable(shape);
+                        cache.mark_uncacheable(shape, cloud);
                     }
                     // When nothing distinguishes this run from bound
                     // exploration — no binding constrains the STwig's

@@ -59,12 +59,13 @@ use crate::serve::breaker::{BreakerBank, BreakerDecision};
 use crate::serve::scheduler::{Delivery, QueueEntry, Scheduler};
 use crate::serve::{
     CostEstimator, QueryHandle, QueryRequest, QueryResponse, RejectReason, ServeConfig, Submit,
-    SubmitDisposition,
+    SubmitDisposition, TenantId,
 };
 use crate::stream::{ChannelSink, CollectSink, QueryOptions, ResultSink};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use trinity_sim::epoch::{GraphEpochs, UpdateBatch};
 use trinity_sim::MemoryCloud;
 
 /// Configuration of a [`QueryEngine`].
@@ -170,6 +171,11 @@ impl EngineConfig {
 /// ```
 pub struct QueryEngine<'c> {
     cloud: &'c MemoryCloud,
+    /// The epoch manager behind a dynamic engine
+    /// ([`QueryEngine::for_epochs`]): queries pin snapshots from it at
+    /// admission and [`QueryEngine::apply_updates`] batches route through
+    /// it. `None` for a static engine — every query runs on `cloud`.
+    epochs: Option<&'c GraphEpochs>,
     config: EngineConfig,
     cache: Option<StwigCache<'c>>,
     estimator: CostEstimator,
@@ -202,6 +208,8 @@ pub struct QueryEngine<'c> {
     retries_total: AtomicU64,
     timeouts_total: AtomicU64,
     duplicates_suppressed_total: AtomicU64,
+    updates_applied: AtomicU64,
+    epochs_sealed: AtomicU64,
 }
 
 impl std::fmt::Debug for QueryEngine<'_> {
@@ -225,6 +233,7 @@ impl<'c> QueryEngine<'c> {
         let breakers = BreakerBank::new(config.serve.breaker, cloud.num_machines());
         QueryEngine {
             cloud,
+            epochs: None,
             config,
             cache,
             estimator: CostEstimator::new(),
@@ -251,7 +260,48 @@ impl<'c> QueryEngine<'c> {
             retries_total: AtomicU64::new(0),
             timeouts_total: AtomicU64::new(0),
             duplicates_suppressed_total: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            epochs_sealed: AtomicU64::new(0),
         }
+    }
+
+    /// Creates an engine serving queries *and updates* over a dynamic
+    /// cloud. Queries pin the current epoch's snapshot at admission and see
+    /// exactly that epoch end to end; [`QueryEngine::apply_updates`] batches
+    /// interleave with queries through the same admission queue and fair
+    /// scheduler. The cache is built against the manager's base cloud and
+    /// recognizes every same-lineage snapshot; per-entry epoch tags keep
+    /// versions from aliasing (see [`crate::cache`]).
+    pub fn for_epochs(epochs: &'c GraphEpochs, config: EngineConfig) -> Self {
+        let mut engine = Self::new(epochs.base_cloud(), config);
+        engine.epochs = Some(epochs);
+        engine
+    }
+
+    /// The epoch manager behind this engine, when it serves a dynamic
+    /// cloud.
+    pub fn epochs(&self) -> Option<&'c GraphEpochs> {
+        self.epochs
+    }
+
+    /// The current epoch of a dynamic engine; `None` for a static one.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.epochs.map(GraphEpochs::epoch)
+    }
+
+    /// Merges all delta overlays into fresh per-partition bases (both
+    /// storage tiers), rebuilding signatures, label-pair statistics and id
+    /// maps — without changing the epoch number or any observable content,
+    /// so pinned readers and resident cache entries are unaffected. Runs
+    /// concurrently with queries; returns the (unchanged) current epoch, or
+    /// `None` for a static engine. See
+    /// [`trinity_sim::epoch::GraphEpochs::seal_epoch`].
+    pub fn seal_epoch(&self) -> Option<u64> {
+        self.epochs.map(|epochs| {
+            let epoch = epochs.seal_epoch();
+            self.epochs_sealed.fetch_add(1, Ordering::Relaxed);
+            epoch
+        })
     }
 
     /// The state of machine `m`'s circuit breaker (for observability and
@@ -392,11 +442,97 @@ impl<'c> QueryEngine<'c> {
             shared: Arc::clone(&shared),
             seq,
             aged_rank,
+            // Pin the snapshot at admission: the query sees exactly the
+            // epoch that was current when it was accepted, no matter how
+            // long it queues or how many updates apply meanwhile.
+            snapshot: self.epochs.map(GraphEpochs::pin),
+            update: None,
         };
         sched.enqueue(&tenant, entry);
         drop(sched);
         self.work_available.notify_one();
         Submit::Accepted(QueryHandle::from_shared(shared))
+    }
+
+    /// Submits a graph-update batch through the serving queue — **the**
+    /// update door of a dynamic engine. The batch waits its turn under the
+    /// same admission bounds and fair scheduler as queries (accounted to
+    /// the reserved `"updates"` tenant, so sustained churn gets a fair
+    /// share rather than starving or monopolizing query tenants), and is
+    /// applied atomically through the engine's
+    /// [`trinity_sim::epoch::GraphEpochs`] when dispatched. The handle
+    /// resolves with `table: None` and [`QueryResponse::epoch`] set to the
+    /// epoch *after* the batch applied (unchanged for a no-op batch); a
+    /// batch that fails validation resolves with [`StwigError::Update`]
+    /// having changed nothing.
+    ///
+    /// Queries admitted before the batch dispatches keep their pinned
+    /// pre-update snapshots; queries admitted after it see the new epoch —
+    /// updates never block queries and queries never block updates.
+    ///
+    /// On a static engine (built with [`QueryEngine::new`]) the returned
+    /// handle resolves immediately with [`StwigError::Update`].
+    pub fn apply_updates(&self, batch: UpdateBatch) -> Submit {
+        let now = Instant::now();
+        let tenant = TenantId::new("updates");
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.epochs.is_none() {
+            let shared = Arc::new(crate::serve::HandleShared::new(tenant, Default::default()));
+            shared.finish(Err(StwigError::Update(
+                "engine serves a static cloud; build it with QueryEngine::for_epochs to accept updates"
+                    .into(),
+            )));
+            return Submit::Accepted(QueryHandle::from_shared(shared));
+        }
+        let admission = &self.config.serve.admission;
+        let mut sched = self.sched.lock().expect("scheduler lock");
+        if sched.depth() >= admission.queue_capacity {
+            self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            sched.account_submit(&tenant, SubmitDisposition::Rejected);
+            return Submit::Rejected(RejectReason::QueueFull {
+                capacity: admission.queue_capacity,
+            });
+        }
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        sched.account_submit(&tenant, SubmitDisposition::Accepted);
+        let shared = Arc::new(crate::serve::HandleShared::new(
+            tenant.clone(),
+            Default::default(),
+        ));
+        let (seq, aged_rank) = sched.next_seq(0);
+        let entry = QueueEntry {
+            // Placeholder; never executed — `update: Some` short-circuits
+            // dispatch into the epochs manager.
+            query: Self::update_placeholder_query(),
+            options: QueryOptions::none(),
+            mode: None,
+            deadline: None,
+            submitted: now,
+            // DRR cost: one unit per op, so a huge batch debits the
+            // updates tenant proportionally more than a single-edge tweak.
+            cost: (batch.len() as f64).max(1.0),
+            sheddable: false,
+            delivery: Delivery::Collect,
+            shared: Arc::clone(&shared),
+            seq,
+            aged_rank,
+            snapshot: None,
+            update: Some(batch),
+        };
+        sched.enqueue(&tenant, entry);
+        drop(sched);
+        self.work_available.notify_one();
+        Submit::Accepted(QueryHandle::from_shared(shared))
+    }
+
+    /// The never-executed query carried by update entries (the scheduler's
+    /// entry type is query-shaped).
+    fn update_placeholder_query() -> QueryGraph {
+        let mut qb = QueryGraph::builder();
+        let a = qb.vertex(trinity_sim::ids::LabelId(0));
+        let b = qb.vertex(trinity_sim::ids::LabelId(0));
+        qb.edge(a, b);
+        qb.build().expect("placeholder query is valid")
     }
 
     // ------------------------------------------------------------------
@@ -494,6 +630,8 @@ impl<'c> QueryEngine<'c> {
             shared,
             seq: _,
             aged_rank: _,
+            snapshot,
+            update,
         } = entry;
         let now = Instant::now();
         let served_seq = self.served_seq.fetch_add(1, Ordering::Relaxed);
@@ -512,6 +650,7 @@ impl<'c> QueryEngine<'c> {
                 metrics,
                 served_seq,
                 queue_wait_us,
+                epoch: None,
             }));
         };
 
@@ -525,6 +664,44 @@ impl<'c> QueryEngine<'c> {
             respond_without_running(QueryOutcome::Cancelled);
             return;
         }
+
+        // Update application: the batch routes through the epochs manager
+        // and the handle resolves with the post-apply epoch. No snapshot,
+        // no executor, no shed/breaker checks (updates are local,
+        // unsheddable work).
+        if let Some(batch) = update {
+            let epochs = self
+                .epochs
+                .expect("update entries only enqueue on a dynamic engine");
+            shared.mark_running();
+            let started = Instant::now();
+            let applied = epochs.apply(&batch).map_err(StwigError::from);
+            let wall_us = started.elapsed().as_secs_f64() * 1e6;
+            self.busy_us.fetch_add(wall_us as u64, Ordering::Relaxed);
+            let mut sched = self.sched.lock().expect("scheduler lock");
+            let stats = sched.tenant_stats_mut(&tenant);
+            stats.busy_us += wall_us;
+            if applied.is_ok() {
+                stats.completed += 1;
+            }
+            drop(sched);
+            if applied.is_ok() {
+                self.updates_applied.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.finish(applied.map(|epoch| QueryResponse {
+                table: None,
+                metrics: QueryMetrics::default(),
+                served_seq,
+                queue_wait_us,
+                epoch: Some(epoch),
+            }));
+            return;
+        }
+
+        // The graph this query runs on: the snapshot pinned at admission
+        // (dynamic engine), or the engine's static cloud.
+        let cloud: &MemoryCloud = snapshot.as_deref().unwrap_or(self.cloud);
+        let epoch = snapshot.as_ref().map(|snap| snap.epoch());
 
         // Shed checks — before any exploration work or transport envelope.
         if sheddable {
@@ -596,17 +773,14 @@ impl<'c> QueryEngine<'c> {
         let started = Instant::now();
         let result: Result<(Option<crate::table::ResultTable>, QueryMetrics), StwigError> =
             match delivery {
-                Delivery::Collect if materialized => match_query_distributed_with_cache(
-                    self.cloud,
-                    &query,
-                    &config,
-                    self.cache.as_ref(),
-                )
-                .map(|out| (Some(out.table), out.metrics)),
+                Delivery::Collect if materialized => {
+                    match_query_distributed_with_cache(cloud, &query, &config, self.cache.as_ref())
+                        .map(|out| (Some(out.table), out.metrics))
+                }
                 Delivery::Collect => {
                     let mut sink = CollectSink::new();
                     match_query_streaming_with_cache(
-                        self.cloud,
+                        cloud,
                         &query,
                         &config,
                         &run_options,
@@ -618,7 +792,7 @@ impl<'c> QueryEngine<'c> {
                 Delivery::Channel(sender) => {
                     let mut sink = ChannelSink::new(sender);
                     match_query_streaming_with_cache(
-                        self.cloud,
+                        cloud,
                         &query,
                         &config,
                         &run_options,
@@ -692,7 +866,7 @@ impl<'c> QueryEngine<'c> {
             };
             let mut breakers = self.breakers.lock().expect("breaker lock");
             if failed.is_empty() {
-                for m in 0..self.cloud.num_machines() as u16 {
+                for m in 0..cloud.num_machines() as u16 {
                     breakers.record_success(m);
                 }
             } else {
@@ -712,6 +886,7 @@ impl<'c> QueryEngine<'c> {
             metrics,
             served_seq,
             queue_wait_us,
+            epoch,
         }));
     }
 
@@ -816,8 +991,12 @@ impl<'c> QueryEngine<'c> {
         sink: &mut dyn ResultSink,
     ) -> Result<QueryMetrics, StwigError> {
         let started = Instant::now();
+        // Inline execution still honors epoch semantics: pin the current
+        // snapshot so a concurrent `apply` can never tear this query.
+        let snapshot = self.epochs.map(GraphEpochs::pin);
+        let cloud: &MemoryCloud = snapshot.as_deref().unwrap_or(self.cloud);
         let result = match_query_streaming_with_cache(
-            self.cloud,
+            cloud,
             query,
             config,
             options,
@@ -927,6 +1106,9 @@ impl<'c> QueryEngine<'c> {
             } else {
                 0.0
             },
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),
+            current_epoch: self.current_epoch(),
             cache: self.cache_stats(),
         }
     }
@@ -1390,5 +1572,124 @@ mod tests {
             assert_eq!(response.table.unwrap().num_rows(), 12);
         }
         assert_eq!(engine.stats().queries_executed, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic graphs: epoch-pinned snapshots and the update door
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn queries_pin_their_admission_epoch_across_later_updates() {
+        let epochs = GraphEpochs::new(sample_cloud(2));
+        let engine = QueryEngine::for_epochs(&epochs, EngineConfig::default());
+        let query = triangle_query(epochs.base_cloud());
+
+        // Admitted at epoch 0: pins the pre-update snapshot even though it
+        // is only *served* after the update lands.
+        let before = engine
+            .submit(QueryRequest::new(query.clone()))
+            .expect_accepted();
+
+        // Removing v(0) (an "a" vertex) kills exactly one of the 12
+        // triangles. Applied directly so the epoch advances before the next
+        // admission, independent of scheduler order.
+        epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(0)))
+            .expect("valid batch applies");
+        assert_eq!(epochs.epoch(), 1);
+
+        // Admitted at epoch 1: sees the mutated graph.
+        let after = engine.submit(QueryRequest::new(query)).expect_accepted();
+
+        engine.drain();
+
+        let before = before.wait().unwrap();
+        assert_eq!(before.epoch, Some(0));
+        assert_eq!(before.table.unwrap().num_rows(), 12);
+
+        let after = after.wait().unwrap();
+        assert_eq!(after.epoch, Some(1));
+        assert_eq!(after.table.unwrap().num_rows(), 11);
+    }
+
+    #[test]
+    fn apply_updates_flows_through_the_scheduler_and_reports_the_new_epoch() {
+        let epochs = GraphEpochs::new(sample_cloud(2));
+        let engine = QueryEngine::for_epochs(&epochs, EngineConfig::default());
+        assert_eq!(engine.current_epoch(), Some(0));
+
+        let batch = UpdateBatch::new()
+            .add_vertex(v(900), "a")
+            .add_edge(v(900), v(12));
+        let handle = engine.apply_updates(batch).expect_accepted();
+        engine.drain();
+
+        let response = handle.wait().unwrap();
+        assert_eq!(response.epoch, Some(1));
+        assert!(response.table.is_none());
+        assert_eq!(epochs.epoch(), 1);
+
+        let stats = engine.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.current_epoch, Some(1));
+        assert_eq!(stats.epochs_sealed, 0);
+
+        assert_eq!(engine.seal_epoch(), Some(1));
+        assert_eq!(engine.stats().epochs_sealed, 1);
+    }
+
+    #[test]
+    fn static_engine_refuses_updates_with_a_typed_error() {
+        let cloud = sample_cloud(1);
+        let engine = QueryEngine::new(&cloud, EngineConfig::default());
+        assert_eq!(engine.current_epoch(), None);
+        assert_eq!(engine.seal_epoch(), None);
+
+        let handle = engine
+            .apply_updates(UpdateBatch::new().add_vertex(v(99), "a"))
+            .expect_accepted();
+        // Resolves immediately; no drain required.
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, StwigError::Update(_)));
+        assert_eq!(engine.stats().updates_applied, 0);
+        assert_eq!(engine.stats().current_epoch, None);
+    }
+
+    #[test]
+    fn refused_batch_resolves_typed_and_changes_nothing() {
+        let epochs = GraphEpochs::new(sample_cloud(2));
+        let engine = QueryEngine::for_epochs(&epochs, EngineConfig::default());
+
+        let handle = engine
+            .apply_updates(UpdateBatch::new().remove_vertex(v(9_999)))
+            .expect_accepted();
+        engine.drain();
+
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, StwigError::Update(_)));
+        assert_eq!(epochs.epoch(), 0);
+        assert_eq!(engine.stats().updates_applied, 0);
+
+        // The graph is untouched: all 12 triangles still match.
+        let out = engine
+            .run_one(&triangle_query(epochs.base_cloud()))
+            .unwrap();
+        assert_eq!(out.table.num_rows(), 12);
+    }
+
+    #[test]
+    fn legacy_inline_paths_see_the_current_epoch() {
+        let epochs = GraphEpochs::new(sample_cloud(1));
+        let engine = QueryEngine::for_epochs(&epochs, EngineConfig::default());
+        let query = triangle_query(epochs.base_cloud());
+
+        assert_eq!(engine.run_one(&query).unwrap().table.num_rows(), 12);
+        epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(0)))
+            .expect("valid batch applies");
+        // run_one / run_exists pin the *current* snapshot, not epoch 0.
+        assert_eq!(engine.run_one(&query).unwrap().table.num_rows(), 11);
+        let (found, _) = engine.run_exists(&query, &QueryOptions::none()).unwrap();
+        assert!(found);
     }
 }

@@ -50,6 +50,12 @@ pub enum StwigError {
         /// The error of the final attempt.
         last: TransportError,
     },
+    /// A graph update batch was refused: it referenced an unknown vertex,
+    /// or the engine serves a static cloud with no
+    /// [`trinity_sim::epoch::GraphEpochs`] manager. Validation is atomic —
+    /// a refused batch changed nothing (see
+    /// [`trinity_sim::epoch::GraphEpochs::apply`]).
+    Update(String),
     /// Internal invariant violation (a bug if ever observed).
     Internal(String),
 }
@@ -91,8 +97,15 @@ impl fmt::Display for StwigError {
                     "machine M{machine} unreachable after {attempts} attempt(s): {last}"
                 )
             }
+            StwigError::Update(msg) => write!(f, "graph update refused: {msg}"),
             StwigError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
+    }
+}
+
+impl From<trinity_sim::TrinityError> for StwigError {
+    fn from(err: trinity_sim::TrinityError) -> Self {
+        StwigError::Update(err.to_string())
     }
 }
 
@@ -125,6 +138,9 @@ mod tests {
         assert!(StwigError::Internal("oops".into())
             .to_string()
             .contains("oops"));
+        let update: StwigError =
+            trinity_sim::TrinityError::UnknownVertex(trinity_sim::ids::VertexId(9)).into();
+        assert!(update.to_string().contains("refused"));
         let transport: StwigError = TransportError::UnexpectedReply {
             expected: "LoadReply",
             got: "JoinRows",

@@ -178,6 +178,10 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries evicted to stay within the byte budget.
     pub evictions: u64,
+    /// Entries lazily evicted (or replaced) because their build epoch went
+    /// stale and the touched-label log could not prove them still valid.
+    /// Always 0 against a static cloud.
+    pub stale_evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// Bytes currently resident (table payloads).
@@ -218,6 +222,15 @@ pub struct EngineStats {
     pub busy_us: f64,
     /// Completed queries per second of batch wall-clock.
     pub queries_per_sec: f64,
+    /// Update batches applied through
+    /// [`crate::engine::QueryEngine::apply_updates`] (dynamic engines
+    /// only; failed validations are not counted).
+    pub updates_applied: u64,
+    /// [`crate::engine::QueryEngine::seal_epoch`] calls served.
+    pub epochs_sealed: u64,
+    /// The current graph epoch of a dynamic engine; `None` for a static
+    /// one.
+    pub current_epoch: Option<u64>,
     /// Cache counters, when the engine runs with a cache.
     pub cache: Option<CacheStats>,
 }

@@ -249,6 +249,12 @@ pub struct QueryResponse {
     pub served_seq: u64,
     /// Wall-clock the query spent queued before dispatch, in µs.
     pub queue_wait_us: f64,
+    /// The graph epoch the request was served against: for queries, the
+    /// epoch of the snapshot pinned at admission; for
+    /// [`crate::engine::QueryEngine::apply_updates`] requests, the epoch
+    /// *after* the batch applied. `None` when the engine serves a static
+    /// cloud (no [`trinity_sim::epoch::GraphEpochs`]).
+    pub epoch: Option<u64>,
 }
 
 impl QueryResponse {
@@ -434,6 +440,7 @@ mod tests {
             metrics: QueryMetrics::default(),
             served_seq: 7,
             queue_wait_us: 12.5,
+            epoch: None,
         }));
         assert!(handle.is_finished());
         let response = handle.wait().expect("finished ok");

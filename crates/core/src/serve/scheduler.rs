@@ -111,6 +111,15 @@ pub(crate) struct QueueEntry {
     pub seq: u64,
     /// `seq` minus the priority head start: the aging key.
     pub aged_rank: i64,
+    /// The graph snapshot pinned at admission, when the engine serves a
+    /// dynamic cloud: the query executes against exactly this epoch, no
+    /// matter how many updates apply (or seals run) while it waits.
+    pub snapshot: Option<trinity_sim::epoch::SnapshotRef>,
+    /// When `Some`, this entry is a graph-update application rather than a
+    /// query: dispatch applies the batch through the engine's
+    /// [`trinity_sim::epoch::GraphEpochs`] and the `query` field is an
+    /// unused placeholder.
+    pub update: Option<trinity_sim::epoch::UpdateBatch>,
 }
 
 /// Heap wrapper ordering entries min-first: deadline-carrying entries first
@@ -403,6 +412,8 @@ mod tests {
             shared: Arc::new(HandleShared::new(tenant.clone(), Default::default())),
             seq,
             aged_rank,
+            snapshot: None,
+            update: None,
         }
     }
 

@@ -17,6 +17,7 @@ pub mod query_gen;
 pub mod rmat;
 pub mod rmat_stream;
 pub mod synthetic;
+pub mod update_stream;
 
 pub use datasets::{facebook_like, patents_like, synthetic_experiment_graph, wordnet_like};
 pub use labels::{labels_for_density, LabelModel};
@@ -24,6 +25,7 @@ pub use query_gen::{dfs_query, query_batch, random_query, zipf_indices, zipf_wor
 pub use rmat::{rmat, RmatConfig};
 pub use rmat_stream::{stream_cloud, stream_cloud_with, RmatStream, StreamingLabels};
 pub use synthetic::SyntheticGraph;
+pub use update_stream::{update_stream, GraphMirror, UpdateStreamConfig};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -37,4 +39,5 @@ pub mod prelude {
     pub use crate::rmat::{rmat, RmatConfig};
     pub use crate::rmat_stream::{stream_cloud, stream_cloud_with, RmatStream, StreamingLabels};
     pub use crate::synthetic::SyntheticGraph;
+    pub use crate::update_stream::{update_stream, GraphMirror, UpdateStreamConfig};
 }

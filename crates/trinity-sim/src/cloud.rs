@@ -52,19 +52,37 @@ pub fn machine_for(id: VertexId, num_machines: usize) -> MachineId {
 ///   solely for graph construction, statistics, result verification and the
 ///   single-machine baselines (Ullmann/VF2/edge-join assume a fully
 ///   addressable graph); distributed execution must not call them.
-#[derive(Debug)]
+///
+/// Fields are crate-visible so the epoch manager ([`crate::epoch`]) can
+/// assemble successor snapshots directly; everything outside the crate goes
+/// through the accessors. Cloning is cheap by construction — partitions are
+/// `Arc`-backed and the network/catalog are shared — so an epoch snapshot is
+/// a handful of `Arc` bumps plus the frequency table.
+#[derive(Debug, Clone)]
 pub struct MemoryCloud {
-    partitions: Vec<Partition>,
-    interner: LabelInterner,
-    network: Network,
+    pub(crate) partitions: Vec<Partition>,
+    pub(crate) interner: LabelInterner,
+    /// Shared across every snapshot of a lineage: traffic accounting spans
+    /// epochs, and queries pinned to different epochs charge one ledger.
+    pub(crate) network: std::sync::Arc<Network>,
     /// Global number of vertices carrying each label, indexed by `LabelId`.
-    label_frequency: Vec<u64>,
+    pub(crate) label_frequency: Vec<u64>,
     /// Catalog of label pairs observed between each machine pair; feeds the
-    /// query-specific cluster graph of §5.3.
-    catalog: LabelPairCatalog,
-    num_vertices: u64,
-    num_edges: u64,
-    directed: bool,
+    /// query-specific cluster graph of §5.3. `Arc`-shared between snapshots
+    /// and replaced copy-on-write when an update adds pairs.
+    pub(crate) catalog: std::sync::Arc<LabelPairCatalog>,
+    pub(crate) num_vertices: u64,
+    pub(crate) num_edges: u64,
+    pub(crate) directed: bool,
+    /// Epoch this snapshot observes: 0 for a freshly built (static) cloud,
+    /// bumped by every effective [`crate::epoch::GraphEpochs::apply`].
+    pub(crate) epoch: u64,
+    /// Nonzero id tying every snapshot of one [`crate::epoch::GraphEpochs`]
+    /// together (0 for static clouds never handed to an epoch manager).
+    /// Snapshots of the same lineage differ only by their epoch's deltas.
+    pub(crate) lineage: u64,
+    /// Per-epoch touched-label log of this lineage, when managed.
+    pub(crate) epoch_labels: Option<std::sync::Arc<crate::epoch::EpochLabelLog>>,
 }
 
 // The distributed executor — and, one level up, the multi-query engine's
@@ -100,17 +118,49 @@ impl MemoryCloud {
         num_edges: u64,
         directed: bool,
     ) -> Self {
-        let network = Network::new(partitions.len(), cost);
+        let network = std::sync::Arc::new(Network::new(partitions.len(), cost));
         MemoryCloud {
             partitions,
             interner,
             network,
             label_frequency,
-            catalog,
+            catalog: std::sync::Arc::new(catalog),
             num_vertices,
             num_edges,
             directed,
+            epoch: 0,
+            lineage: 0,
+            epoch_labels: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch metadata (see `crate::epoch`)
+    // ------------------------------------------------------------------
+
+    /// The epoch this snapshot observes. A freshly built cloud is epoch 0;
+    /// every effective update batch applied through a
+    /// [`crate::epoch::GraphEpochs`] advances it by one. Sealing merges
+    /// overlays without changing observable content, so it keeps the epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Nonzero lineage id shared by every snapshot of one
+    /// [`crate::epoch::GraphEpochs`]; 0 for static clouds. Two clouds with
+    /// the same nonzero lineage hold the same graph *history* — only their
+    /// [`MemoryCloud::epoch`] distinguishes them.
+    #[inline]
+    pub fn lineage(&self) -> u64 {
+        self.lineage
+    }
+
+    /// The lineage's per-epoch touched-label log, when this snapshot is
+    /// managed by a [`crate::epoch::GraphEpochs`]. Caches use it to prove a
+    /// stale entry's labels were untouched and revalidate it in place.
+    pub fn epoch_label_log(&self) -> Option<&crate::epoch::EpochLabelLog> {
+        self.epoch_labels.as_deref()
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,1101 @@
+//! Epoch-versioned snapshots: dynamic updates without stopping the world.
+//!
+//! A [`GraphEpochs`] manager wraps a [`MemoryCloud`] and lets callers apply
+//! [`UpdateBatch`]es (vertex/edge inserts, deletes, relabels) while queries
+//! keep running against immutable snapshots:
+//!
+//! * **Readers pin, never lock.** [`GraphEpochs::pin`] hands out a
+//!   [`SnapshotRef`] — an `Arc` to the current epoch's cloud. A pinned
+//!   snapshot is immutable forever; writers publish *successor* clouds and
+//!   never touch published ones, so a query admitted at epoch N sees exactly
+//!   epoch N even while N+1 is being built or sealed.
+//! * **Writers overlay, then seal.** [`GraphEpochs::apply`] folds a batch
+//!   into per-partition [`crate::partition::PartitionOverlay`]s — fully
+//!   merged views of every touched vertex and label laid over the `Arc`-
+//!   shared immutable base — and publishes a new cloud at epoch N+1.
+//!   [`GraphEpochs::seal_epoch`] rebuilds touched partitions' base storage
+//!   (both tiers) from the merged view, refreshing signatures, id maps and
+//!   label-pair statistics; content is observationally identical, so the
+//!   epoch number is kept and pinned readers are unaffected.
+//! * **Caches revalidate by label.** Every effective apply records the set
+//!   of labels it touched in the lineage's [`EpochLabelLog`]; a cache entry
+//!   built at an older epoch whose labels were never touched since is
+//!   provably still exact and may be served after retagging.
+//!
+//! Update semantics follow [`crate::builder::GraphBuilder`]: edges are
+//! undirected and symmetrized, self-loops are ignored, adding an existing
+//! vertex relabels it, and edge endpoints must exist. A batch is atomic —
+//! it either applies fully (one epoch bump) or fails leaving the current
+//! epoch untouched.
+
+use crate::cloud::MemoryCloud;
+use crate::cluster_graph::LabelPairCatalog;
+use crate::error::TrinityError;
+use crate::ids::{LabelId, VertexId};
+use crate::neighbor_index::{label_bit, FULL_SIGNATURE};
+use crate::partition::{Partition, PartitionOverlay};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One mutation of the graph. Semantics mirror the builder's: undirected
+/// symmetrized edges, self-loops ignored, `AddVertex` of an existing vertex
+/// relabels it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Add vertex `id` with `label`, or relabel it if it already exists.
+    AddVertex {
+        /// The vertex to add (or relabel).
+        id: VertexId,
+        /// Its (new) label.
+        label: String,
+    },
+    /// Remove vertex `id` and every edge incident to it. Fails the batch if
+    /// the vertex does not exist at this point of the batch.
+    RemoveVertex {
+        /// The vertex to remove.
+        id: VertexId,
+    },
+    /// Add the undirected edge `u – v`. Both endpoints must exist at this
+    /// point of the batch; adding an existing edge or a self-loop is a no-op.
+    AddEdge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// Remove the undirected edge `u – v`; removing an absent edge is a
+    /// no-op.
+    RemoveEdge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+}
+
+/// An ordered batch of [`UpdateOp`]s applied atomically by
+/// [`GraphEpochs::apply`]: one batch, one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an add-vertex (or relabel) op. Builder-style.
+    pub fn add_vertex(mut self, id: VertexId, label: &str) -> Self {
+        self.ops.push(UpdateOp::AddVertex {
+            id,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Appends a remove-vertex op. Builder-style.
+    pub fn remove_vertex(mut self, id: VertexId) -> Self {
+        self.ops.push(UpdateOp::RemoveVertex { id });
+        self
+    }
+
+    /// Appends an add-edge op. Builder-style.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.ops.push(UpdateOp::AddEdge { u, v });
+        self
+    }
+
+    /// Appends a remove-edge op. Builder-style.
+    pub fn remove_edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.ops.push(UpdateOp::RemoveEdge { u, v });
+        self
+    }
+
+    /// Appends an op in place.
+    pub fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+    }
+
+    /// The batch's ops, in application order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of ops in the batch.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Per-epoch log of the labels each effective update batch touched, shared
+/// by every snapshot of a lineage. This is what lets a cache prove a stale
+/// entry is still exact: if an entry's labels are disjoint from everything
+/// touched since it was built, no table row it holds could have changed.
+#[derive(Debug, Default)]
+pub struct EpochLabelLog {
+    /// `(epoch, sorted touched labels)`, appended in epoch order — one
+    /// entry per effective apply (epoch `e ≥ 1`).
+    entries: Mutex<Vec<(u64, Vec<LabelId>)>>,
+}
+
+impl EpochLabelLog {
+    /// Records the labels epoch `epoch` touched. Called by the epoch
+    /// manager, under its writer lock, *before* the epoch is published.
+    fn record(&self, epoch: u64, labels: Vec<LabelId>) {
+        let mut entries = self.entries.lock().expect("epoch label log lock");
+        debug_assert!(entries.last().is_none_or(|(e, _)| *e < epoch));
+        entries.push((epoch, labels));
+    }
+
+    /// Whether any of `labels` was touched by an epoch in `(after, upto]`.
+    /// Returns `None` when the log does not cover the whole range (the
+    /// caller must then assume "touched").
+    pub fn touched_in_range(&self, after: u64, upto: u64, labels: &[LabelId]) -> Option<bool> {
+        if after >= upto {
+            return Some(false);
+        }
+        let entries = self.entries.lock().expect("epoch label log lock");
+        let mut covered = 0u64;
+        let mut touched = false;
+        for (e, touched_labels) in entries.iter() {
+            if *e > after && *e <= upto {
+                covered += 1;
+                if touched_labels.iter().any(|l| labels.contains(l)) {
+                    touched = true;
+                }
+            }
+        }
+        (covered == upto - after).then_some(touched)
+    }
+
+    /// Number of epochs recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("epoch label log lock").len()
+    }
+
+    /// Whether no epoch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A pinned, immutable view of one epoch's cloud. Cheap to clone (one `Arc`
+/// bump); holding it keeps the snapshot's storage alive but never blocks
+/// writers — updates and seals publish successors instead of mutating.
+#[derive(Debug, Clone)]
+pub struct SnapshotRef {
+    cloud: Arc<MemoryCloud>,
+}
+
+impl SnapshotRef {
+    /// The pinned cloud.
+    pub fn cloud(&self) -> &MemoryCloud {
+        &self.cloud
+    }
+
+    /// The epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.cloud.epoch()
+    }
+}
+
+impl std::ops::Deref for SnapshotRef {
+    type Target = MemoryCloud;
+
+    fn deref(&self) -> &MemoryCloud {
+        &self.cloud
+    }
+}
+
+/// Allocates process-unique nonzero lineage ids.
+static NEXT_LINEAGE: AtomicU64 = AtomicU64::new(1);
+
+/// The epoch manager: owns the lineage of snapshots evolving from one base
+/// cloud. See the module docs for the pin/apply/seal protocol.
+#[derive(Debug)]
+pub struct GraphEpochs {
+    /// The epoch-0 snapshot, lineage-stamped. Lives as long as the manager
+    /// so long-lived borrowers (engines, caches) can key on it.
+    base: MemoryCloud,
+    /// The latest published snapshot. Readers clone the `Arc` (pin);
+    /// writers replace it under `writer`.
+    current: RwLock<Arc<MemoryCloud>>,
+    /// Serializes `apply` and `seal_epoch`. Readers never take it.
+    writer: Mutex<()>,
+    /// Touched-label log shared with every snapshot of the lineage.
+    log: Arc<EpochLabelLog>,
+}
+
+// Engines share one `&GraphEpochs` across worker threads (queries pin
+// snapshots, update entries apply batches), so the manager must be
+// `Send + Sync` — as must the snapshots it hands out.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<GraphEpochs>();
+    assert_send_sync::<SnapshotRef>();
+    assert_send_sync::<EpochLabelLog>();
+};
+
+/// Canonical undirected edge key.
+#[inline]
+fn ekey(u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Final state of a vertex after folding a batch's ops.
+#[derive(Debug, Clone, Copy)]
+enum VertexChange {
+    /// `AddVertex` of a vertex the pending view did not contain.
+    Added(LabelId),
+    /// `AddVertex` of a vertex the pending view contained (relabel).
+    Relabeled(LabelId),
+    /// `RemoveVertex`.
+    Removed,
+}
+
+impl GraphEpochs {
+    /// Takes ownership of `cloud` as epoch 0 of a fresh lineage.
+    pub fn new(mut cloud: MemoryCloud) -> Self {
+        let log = Arc::new(EpochLabelLog::default());
+        cloud.lineage = NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed);
+        cloud.epoch_labels = Some(Arc::clone(&log));
+        let current = RwLock::new(Arc::new(cloud.clone()));
+        GraphEpochs {
+            base: cloud,
+            current,
+            writer: Mutex::new(()),
+            log,
+        }
+    }
+
+    /// The epoch-0 snapshot. Lives as long as the manager; long-lived
+    /// borrowers (a `QueryEngine`, a cache) key on this cloud and then
+    /// execute against pinned snapshots of the same lineage.
+    pub fn base_cloud(&self) -> &MemoryCloud {
+        &self.base
+    }
+
+    /// The lineage id stamped on every snapshot of this manager.
+    pub fn lineage(&self) -> u64 {
+        self.base.lineage
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("epoch lock").epoch()
+    }
+
+    /// Pins the current snapshot. Never blocks on writers beyond the
+    /// momentary `RwLock` read; the returned snapshot stays valid (and
+    /// bit-identical) forever, through any number of applies and seals.
+    pub fn pin(&self) -> SnapshotRef {
+        SnapshotRef {
+            cloud: Arc::clone(&self.current.read().expect("epoch lock")),
+        }
+    }
+
+    /// Applies `batch` atomically, publishing a new snapshot at epoch
+    /// `N + 1` and returning its epoch. A batch with no net effect returns
+    /// the current epoch without publishing. On error (unknown vertex), no
+    /// state changes.
+    pub fn apply(&self, batch: &UpdateBatch) -> Result<u64, TrinityError> {
+        let _writer = self.writer.lock().expect("epoch writer lock");
+        let prev = Arc::clone(&self.current.read().expect("epoch lock"));
+
+        // ---- Fold the ops into pending vertex/edge change maps ----------
+        let mut interner = prev.interner.clone();
+        let mut vchanges: HashMap<VertexId, VertexChange> = HashMap::new();
+        let mut echanges: HashMap<(VertexId, VertexId), bool> = HashMap::new();
+
+        let pending_exists = |vch: &HashMap<VertexId, VertexChange>, id: VertexId| -> bool {
+            match vch.get(&id) {
+                Some(VertexChange::Removed) => false,
+                Some(_) => true,
+                None => prev.contains_vertex(id),
+            }
+        };
+        let pending_has_edge =
+            |ech: &HashMap<(VertexId, VertexId), bool>, u: VertexId, v: VertexId| -> bool {
+                match ech.get(&ekey(u, v)) {
+                    Some(&present) => present,
+                    None => prev.has_edge_global(u, v),
+                }
+            };
+
+        for op in batch.ops() {
+            match op {
+                UpdateOp::AddVertex { id, label } => {
+                    let lid = interner.intern(label);
+                    let change = if pending_exists(&vchanges, *id) {
+                        match vchanges.get(id) {
+                            Some(VertexChange::Added(_)) => VertexChange::Added(lid),
+                            _ => VertexChange::Relabeled(lid),
+                        }
+                    } else {
+                        VertexChange::Added(lid)
+                    };
+                    vchanges.insert(*id, change);
+                }
+                UpdateOp::RemoveVertex { id } => {
+                    if !pending_exists(&vchanges, *id) {
+                        return Err(TrinityError::UnknownVertex(*id));
+                    }
+                    // Expand to explicit removals of every currently-
+                    // incident edge (prev edges still pending-present plus
+                    // edges added earlier in this batch).
+                    let mut incident: BTreeSet<VertexId> = prev
+                        .neighbors_global(*id)
+                        .into_iter()
+                        .filter(|&n| pending_has_edge(&echanges, *id, n))
+                        .collect();
+                    for (&(a, b), &present) in &echanges {
+                        if present {
+                            if a == *id {
+                                incident.insert(b);
+                            } else if b == *id {
+                                incident.insert(a);
+                            }
+                        }
+                    }
+                    for n in incident {
+                        echanges.insert(ekey(*id, n), false);
+                    }
+                    vchanges.insert(*id, VertexChange::Removed);
+                }
+                UpdateOp::AddEdge { u, v } => {
+                    if u == v {
+                        continue;
+                    }
+                    for end in [u, v] {
+                        if !pending_exists(&vchanges, *end) {
+                            return Err(TrinityError::UnknownVertex(*end));
+                        }
+                    }
+                    if !pending_has_edge(&echanges, *u, *v) {
+                        echanges.insert(ekey(*u, *v), true);
+                    }
+                }
+                UpdateOp::RemoveEdge { u, v } => {
+                    if u != v && pending_has_edge(&echanges, *u, *v) {
+                        echanges.insert(ekey(*u, *v), false);
+                    }
+                }
+            }
+        }
+
+        // ---- Net effects vs `prev` (drop intra-batch no-ops) ------------
+        let mut added_vertices: Vec<(VertexId, LabelId)> = Vec::new();
+        let mut removed_vertices: Vec<(VertexId, LabelId)> = Vec::new();
+        let mut relabeled: Vec<(VertexId, LabelId, LabelId)> = Vec::new();
+        for (&id, change) in &vchanges {
+            match (change, prev.label_of_global(id)) {
+                (VertexChange::Removed, Some(old)) => removed_vertices.push((id, old)),
+                (VertexChange::Removed, None) => {}
+                (VertexChange::Added(l), None) => added_vertices.push((id, *l)),
+                (VertexChange::Added(l) | VertexChange::Relabeled(l), Some(old)) => {
+                    if old != *l {
+                        relabeled.push((id, old, *l));
+                    }
+                }
+                (VertexChange::Relabeled(_), None) => unreachable!("relabel of absent vertex"),
+            }
+        }
+        let mut added_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut removed_edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for (&(a, b), &present) in &echanges {
+            let had = prev.has_edge_global(a, b);
+            if present && !had {
+                added_edges.push((a, b));
+            } else if !present && had {
+                removed_edges.push((a, b));
+            }
+        }
+        // Sort for determinism (the hash maps iterate in arbitrary order).
+        added_vertices.sort_unstable();
+        removed_vertices.sort_unstable();
+        relabeled.sort_unstable();
+        added_edges.sort_unstable();
+        removed_edges.sort_unstable();
+
+        if added_vertices.is_empty()
+            && removed_vertices.is_empty()
+            && relabeled.is_empty()
+            && added_edges.is_empty()
+            && removed_edges.is_empty()
+        {
+            return Ok(prev.epoch());
+        }
+
+        // Post-batch label of any surviving vertex.
+        let mut finals: HashMap<VertexId, LabelId> = HashMap::new();
+        for &(id, l) in &added_vertices {
+            finals.insert(id, l);
+        }
+        for &(id, _, l) in &relabeled {
+            finals.insert(id, l);
+        }
+        let final_label = |id: VertexId| -> Option<LabelId> {
+            finals
+                .get(&id)
+                .copied()
+                .or_else(|| prev.label_of_global(id))
+        };
+        let removed_set: HashSet<VertexId> = removed_vertices.iter().map(|&(id, _)| id).collect();
+
+        // ---- Merged adjacency of every adjacency-touched vertex ---------
+        let mut adj_add: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        let mut adj_del: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for &(a, b) in &added_edges {
+            adj_add.entry(a).or_default().push(b);
+            adj_add.entry(b).or_default().push(a);
+        }
+        for &(a, b) in &removed_edges {
+            adj_del.entry(a).or_default().push(b);
+            adj_del.entry(b).or_default().push(a);
+        }
+        let mut adj_touched: BTreeSet<VertexId> = adj_add.keys().copied().collect();
+        adj_touched.extend(adj_del.keys().copied());
+        adj_touched.extend(added_vertices.iter().map(|&(id, _)| id));
+        adj_touched.retain(|id| !removed_set.contains(id));
+        let mut merged_adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for &u in &adj_touched {
+            let mut list = prev.neighbors_global(u).to_vec();
+            if let Some(del) = adj_del.get(&u) {
+                list.retain(|n| !del.contains(n));
+            }
+            if let Some(add) = adj_add.get(&u) {
+                list.extend(add.iter().copied());
+            }
+            list.sort_unstable();
+            merged_adj.insert(u, list);
+        }
+
+        // ---- Per-machine overlays ---------------------------------------
+        let num_machines = prev.num_machines();
+        let mut overlays: HashMap<usize, PartitionOverlay> = HashMap::new();
+        let mut vertex_delta = vec![0i64; num_machines];
+        let mut entry_delta = vec![0i64; num_machines];
+        fn overlay_entry<'a>(
+            overlays: &'a mut HashMap<usize, PartitionOverlay>,
+            prev: &MemoryCloud,
+            machine: usize,
+        ) -> &'a mut PartitionOverlay {
+            overlays.entry(machine).or_insert_with(|| {
+                let p = &prev.partitions[machine];
+                match p.overlay() {
+                    Some(o) => o.clone(),
+                    None => PartitionOverlay {
+                        num_vertices: p.num_vertices(),
+                        num_edge_entries: p.num_edge_entries(),
+                        ..PartitionOverlay::default()
+                    },
+                }
+            })
+        }
+
+        for &(id, old) in &removed_vertices {
+            let machine = prev.machine_of(id).index();
+            entry_delta[machine] -= prev.partitions[machine].degree_of(id).unwrap_or(0) as i64;
+            vertex_delta[machine] -= 1;
+            let _ = old;
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            if let Some(pos) = o.added.iter().position(|&a| a == id) {
+                // Added in an earlier epoch of this lineage: it is not in
+                // the base, so forgetting it entirely removes it.
+                o.added.remove(pos);
+            } else {
+                o.deleted.insert(id);
+            }
+            o.labels.remove(&id);
+            o.adj.remove(&id);
+            o.signatures.remove(&id);
+        }
+        for &(id, label) in &added_vertices {
+            let machine = prev.machine_of(id).index();
+            vertex_delta[machine] += 1;
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            // A base vertex deleted in an earlier epoch comes back by
+            // un-deleting; a brand-new id joins the overlay's added run.
+            if !o.deleted.remove(&id) {
+                o.added.push(id);
+            }
+            o.labels.insert(id, label);
+        }
+        for &(id, _, new) in &relabeled {
+            let machine = prev.machine_of(id).index();
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            o.labels.insert(id, new);
+        }
+        for &u in &adj_touched {
+            let machine = prev.machine_of(u).index();
+            let list = merged_adj.get(&u).expect("merged above").clone();
+            entry_delta[machine] +=
+                list.len() as i64 - prev.partitions[machine].degree_of(u).unwrap_or(0) as i64;
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            o.adj.insert(u, list);
+        }
+
+        // ---- Merged postings of every touched (machine, label) ----------
+        let mut post_add: HashMap<(usize, LabelId), Vec<VertexId>> = HashMap::new();
+        let mut post_del: HashMap<(usize, LabelId), Vec<VertexId>> = HashMap::new();
+        for &(id, l) in &added_vertices {
+            post_add
+                .entry((prev.machine_of(id).index(), l))
+                .or_default()
+                .push(id);
+        }
+        for &(id, old) in &removed_vertices {
+            post_del
+                .entry((prev.machine_of(id).index(), old))
+                .or_default()
+                .push(id);
+        }
+        for &(id, old, new) in &relabeled {
+            let machine = prev.machine_of(id).index();
+            post_del.entry((machine, old)).or_default().push(id);
+            post_add.entry((machine, new)).or_default().push(id);
+        }
+        let touched_postings: BTreeSet<(usize, LabelId)> =
+            post_add.keys().chain(post_del.keys()).copied().collect();
+        for &(machine, label) in &touched_postings {
+            let mut list = prev.partitions[machine].vertices_with_label(label).to_vec();
+            if let Some(del) = post_del.get(&(machine, label)) {
+                list.retain(|id| !del.contains(id));
+            }
+            if let Some(add) = post_add.get(&(machine, label)) {
+                list.extend(add.iter().copied());
+            }
+            list.sort_unstable();
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            o.postings.insert(label, list);
+        }
+
+        // ---- Exact signature refresh of every signature-touched vertex --
+        let mut sig_touched: BTreeSet<VertexId> = adj_touched.clone();
+        for &(id, _, _) in &relabeled {
+            for n in merged_adj
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| prev.neighbors_global(id).to_vec())
+            {
+                if !removed_set.contains(&n) {
+                    sig_touched.insert(n);
+                }
+            }
+        }
+        for &u in &sig_touched {
+            let machine = prev.machine_of(u).index();
+            if prev.partitions[machine].signature_bits().is_none() {
+                continue;
+            }
+            let neighbors = merged_adj
+                .get(&u)
+                .cloned()
+                .unwrap_or_else(|| prev.neighbors_global(u).to_vec());
+            let mut sig = 0u64;
+            for n in neighbors {
+                match final_label(n) {
+                    Some(l) => sig |= label_bit(l),
+                    None => sig = FULL_SIGNATURE,
+                }
+            }
+            let o = overlay_entry(&mut overlays, &prev, machine);
+            o.signatures.insert(u, sig);
+        }
+
+        // ---- Catalog (copy-on-write; over-approximates on removal) ------
+        let catalog = if added_edges.is_empty() && relabeled.is_empty() {
+            Arc::clone(&prev.catalog)
+        } else {
+            let mut c = (*prev.catalog).clone();
+            let record_both = |c: &mut LabelPairCatalog, a: VertexId, b: VertexId| {
+                if let (Some(la), Some(lb)) = (final_label(a), final_label(b)) {
+                    let (ma, mb) = (prev.machine_of(a), prev.machine_of(b));
+                    c.record_edge(ma, la, mb, lb);
+                    c.record_edge(mb, lb, ma, la);
+                }
+            };
+            for &(a, b) in &added_edges {
+                record_both(&mut c, a, b);
+            }
+            for &(id, _, _) in &relabeled {
+                let neighbors = merged_adj
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_else(|| prev.neighbors_global(id).to_vec());
+                for n in neighbors {
+                    record_both(&mut c, id, n);
+                }
+            }
+            Arc::new(c)
+        };
+
+        // ---- Global metadata --------------------------------------------
+        let mut label_frequency = prev.label_frequency.clone();
+        label_frequency.resize(interner.len(), 0);
+        for &(_, l) in &added_vertices {
+            label_frequency[l.index()] += 1;
+        }
+        for &(_, old) in &removed_vertices {
+            label_frequency[old.index()] -= 1;
+        }
+        for &(_, old, new) in &relabeled {
+            label_frequency[old.index()] -= 1;
+            label_frequency[new.index()] += 1;
+        }
+        let num_vertices = (prev.num_vertices() as i64 + added_vertices.len() as i64
+            - removed_vertices.len() as i64) as u64;
+        let num_edges = (prev.num_edges() as i64 + added_edges.len() as i64
+            - removed_edges.len() as i64) as u64;
+
+        // ---- Touched labels for the cache-revalidation log --------------
+        let mut touched_labels: BTreeSet<LabelId> = BTreeSet::new();
+        for &(_, l) in &added_vertices {
+            touched_labels.insert(l);
+        }
+        for &(_, old) in &removed_vertices {
+            touched_labels.insert(old);
+        }
+        for &(_, old, new) in &relabeled {
+            touched_labels.insert(old);
+            touched_labels.insert(new);
+        }
+        for &(a, b) in added_edges.iter().chain(removed_edges.iter()) {
+            for end in [a, b] {
+                if let Some(l) = prev.label_of_global(end) {
+                    touched_labels.insert(l);
+                }
+                if let Some(l) = final_label(end) {
+                    touched_labels.insert(l);
+                }
+            }
+        }
+
+        // ---- Assemble and publish the successor snapshot ----------------
+        let mut partitions: Vec<Partition> = Vec::with_capacity(num_machines);
+        for machine in 0..num_machines {
+            match overlays.remove(&machine) {
+                Some(mut o) => {
+                    o.added.sort_unstable();
+                    o.added.dedup();
+                    o.num_vertices = (o.num_vertices as i64 + vertex_delta[machine]) as usize;
+                    o.num_edge_entries =
+                        (o.num_edge_entries as i64 + entry_delta[machine]) as usize;
+                    partitions.push(prev.partitions[machine].with_overlay(Some(o)));
+                }
+                None => partitions.push(prev.partitions[machine].clone()),
+            }
+        }
+
+        let next_epoch = prev.epoch() + 1;
+        self.log
+            .record(next_epoch, touched_labels.into_iter().collect());
+        let next = MemoryCloud {
+            partitions,
+            interner,
+            network: Arc::clone(&prev.network),
+            label_frequency,
+            catalog,
+            num_vertices,
+            num_edges,
+            directed: prev.is_directed(),
+            epoch: next_epoch,
+            lineage: prev.lineage(),
+            epoch_labels: prev.epoch_labels.clone(),
+        };
+        *self.current.write().expect("epoch lock") = Arc::new(next);
+        Ok(next_epoch)
+    }
+
+    /// Merges every partition's overlay into a fresh immutable base (same
+    /// storage tier), rebuilding id maps, postings, signatures and the
+    /// label-pair statistics exactly. Observable content is unchanged, so
+    /// the epoch number is kept: pinned readers hold the previous `Arc`
+    /// untouched, and caches keyed on `(lineage, epoch)` stay valid.
+    /// Returns the (unchanged) current epoch.
+    pub fn seal_epoch(&self) -> u64 {
+        let _writer = self.writer.lock().expect("epoch writer lock");
+        let prev = Arc::clone(&self.current.read().expect("epoch lock"));
+        if !prev.partitions.iter().any(Partition::has_overlay) {
+            return prev.epoch();
+        }
+        let num_machines = prev.num_machines();
+        let num_labels = prev.interner.len();
+        let mut partitions: Vec<Partition> = Vec::with_capacity(num_machines);
+        for machine in 0..num_machines {
+            let p = &prev.partitions[machine];
+            if !p.has_overlay() {
+                partitions.push(p.clone());
+                continue;
+            }
+            let mut ids = Vec::with_capacity(p.num_vertices());
+            let mut labels = Vec::with_capacity(p.num_vertices());
+            let mut adjacency = Vec::with_capacity(p.num_vertices());
+            for cell in p.iter_cells() {
+                ids.push(cell.id);
+                labels.push(cell.label);
+                adjacency.push(cell.neighbors.to_vec());
+            }
+            let tier = p.storage_tier();
+            let rebuilt = if p.signature_bits().is_some() {
+                Partition::with_neighbor_labels_tier(
+                    ids,
+                    labels,
+                    adjacency,
+                    num_labels,
+                    tier,
+                    |n| prev.label_of_global(n),
+                )
+            } else {
+                Partition::new_with_tier(ids, labels, adjacency, num_labels, tier)
+            };
+            partitions.push(rebuilt);
+        }
+        let next = MemoryCloud {
+            partitions,
+            interner: prev.interner.clone(),
+            network: Arc::clone(&prev.network),
+            label_frequency: prev.label_frequency.clone(),
+            catalog: Arc::clone(&prev.catalog),
+            num_vertices: prev.num_vertices(),
+            num_edges: prev.num_edges(),
+            directed: prev.is_directed(),
+            epoch: prev.epoch(),
+            lineage: prev.lineage(),
+            epoch_labels: prev.epoch_labels.clone(),
+        };
+        *self.current.write().expect("epoch lock") = Arc::new(next);
+        prev.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::compact::StorageTier;
+    use crate::cost::CostModel;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    /// Triangle a(0)-b(1)-c(2)-a(0) plus a pendant d(3) on c.
+    fn small_cloud(machines: usize) -> MemoryCloud {
+        let mut b = GraphBuilder::new_undirected();
+        b.add_vertex(v(0), "a");
+        b.add_vertex(v(1), "b");
+        b.add_vertex(v(2), "c");
+        b.add_vertex(v(3), "d");
+        b.add_edge(v(0), v(1));
+        b.add_edge(v(1), v(2));
+        b.add_edge(v(2), v(0));
+        b.add_edge(v(2), v(3));
+        b.build(machines, CostModel::default())
+    }
+
+    /// Everything observable about a cloud, as comparable owned data.
+    fn observe(cloud: &MemoryCloud) -> Vec<(VertexId, LabelId, Vec<VertexId>, Option<u64>)> {
+        let mut ids: Vec<VertexId> = cloud.iter_vertices().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                (
+                    id,
+                    cloud.label_of_global(id).expect("iterated vertex"),
+                    cloud.neighbors_global(id).to_vec(),
+                    cloud.signature_of(id),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_manager_is_epoch_zero_with_lineage() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        assert_eq!(epochs.epoch(), 0);
+        assert_ne!(epochs.lineage(), 0);
+        let snap = epochs.pin();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.lineage(), epochs.lineage());
+        assert_eq!(observe(snap.cloud()), observe(epochs.base_cloud()));
+    }
+
+    #[test]
+    fn apply_adds_vertices_and_edges() {
+        let epochs = GraphEpochs::new(small_cloud(4));
+        let e = epochs
+            .apply(
+                &UpdateBatch::new()
+                    .add_vertex(v(9), "e")
+                    .add_edge(v(9), v(2)),
+            )
+            .unwrap();
+        assert_eq!(e, 1);
+        let snap = epochs.pin();
+        assert!(snap.contains_vertex(v(9)));
+        assert_eq!(snap.labels().get("e"), snap.label_of_global(v(9)));
+        assert_eq!(snap.neighbors_global(v(9)).to_vec(), vec![v(2)]);
+        assert!(snap.has_edge_global(v(2), v(9)));
+        assert_eq!(snap.num_vertices(), 5);
+        assert_eq!(snap.num_edges(), 5);
+        let le = snap.labels().get("e").unwrap();
+        assert_eq!(snap.label_frequency(le), 1);
+        assert_eq!(snap.all_ids_with_label(le), vec![v(9)]);
+    }
+
+    #[test]
+    fn apply_removes_vertex_and_incident_edges() {
+        let epochs = GraphEpochs::new(small_cloud(4));
+        epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(2)))
+            .unwrap();
+        let snap = epochs.pin();
+        assert!(!snap.contains_vertex(v(2)));
+        assert!(!snap.has_edge_global(v(1), v(2)));
+        assert!(!snap.has_edge_global(v(2), v(3)));
+        assert_eq!(snap.neighbors_global(v(3)).to_vec(), Vec::<VertexId>::new());
+        assert_eq!(snap.neighbors_global(v(0)).to_vec(), vec![v(1)]);
+        assert_eq!(snap.num_vertices(), 3);
+        assert_eq!(snap.num_edges(), 1);
+        let lc = snap.labels().get("c").unwrap();
+        assert_eq!(snap.label_frequency(lc), 0);
+        assert!(snap.all_ids_with_label(lc).is_empty());
+    }
+
+    #[test]
+    fn apply_relabel_updates_postings_frequency_and_signatures() {
+        let epochs = GraphEpochs::new(small_cloud(2));
+        epochs
+            .apply(&UpdateBatch::new().add_vertex(v(3), "a"))
+            .unwrap();
+        let snap = epochs.pin();
+        let la = snap.labels().get("a").unwrap();
+        let ld = snap.labels().get("d").unwrap();
+        assert_eq!(snap.label_of_global(v(3)), Some(la));
+        assert_eq!(snap.label_frequency(la), 2);
+        assert_eq!(snap.label_frequency(ld), 0);
+        let mut with_a = snap.all_ids_with_label(la);
+        with_a.sort_unstable();
+        assert_eq!(with_a, vec![v(0), v(3)]);
+        // v(2) is v(3)'s only neighbor: its signature must now claim `a`
+        // (and no longer `d`).
+        let sig = snap.signature_of(v(2)).expect("builder always indexes");
+        assert_ne!(sig & label_bit(la), 0);
+        assert_eq!(sig & label_bit(ld), 0);
+    }
+
+    #[test]
+    fn pinned_snapshot_is_isolated_from_later_epochs() {
+        let epochs = GraphEpochs::new(small_cloud(4));
+        let before = epochs.pin();
+        let baseline = observe(before.cloud());
+        epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(0)).add_vertex(v(7), "x"))
+            .unwrap();
+        epochs
+            .apply(&UpdateBatch::new().add_edge(v(7), v(1)))
+            .unwrap();
+        assert_eq!(epochs.epoch(), 2);
+        // The old pin still sees epoch 0, bit-identical.
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(observe(before.cloud()), baseline);
+        assert!(before.contains_vertex(v(0)));
+        assert!(!before.contains_vertex(v(7)));
+    }
+
+    #[test]
+    fn seal_keeps_epoch_and_content_and_drops_overlays() {
+        for tier in [StorageTier::Plain, StorageTier::Compact] {
+            std::env::remove_var("STWIG_STORAGE");
+            let mut b = GraphBuilder::new_undirected().with_storage_tier(tier);
+            b.add_vertex(v(0), "a");
+            b.add_vertex(v(1), "b");
+            b.add_vertex(v(2), "c");
+            b.add_edge(v(0), v(1));
+            b.add_edge(v(1), v(2));
+            let epochs = GraphEpochs::new(b.build(3, CostModel::default()));
+            epochs
+                .apply(
+                    &UpdateBatch::new()
+                        .add_vertex(v(5), "b")
+                        .add_edge(v(5), v(0))
+                        .remove_edge(v(1), v(2)),
+                )
+                .unwrap();
+            let dirty = epochs.pin();
+            let before = observe(dirty.cloud());
+            assert!(dirty.cloud().partitions.iter().any(Partition::has_overlay));
+            let sealed_epoch = epochs.seal_epoch();
+            assert_eq!(sealed_epoch, 1);
+            let sealed = epochs.pin();
+            assert_eq!(sealed.epoch(), 1);
+            assert!(!sealed.cloud().partitions.iter().any(Partition::has_overlay));
+            assert_eq!(observe(sealed.cloud()), before);
+            // The pre-seal pin still reads its overlaid view, identically.
+            assert_eq!(observe(dirty.cloud()), before);
+            // Pair-table statistics were rebuilt exactly for the new graph.
+            let lb = sealed.labels().get("b").unwrap();
+            let la = sealed.labels().get("a").unwrap();
+            let lc = sealed.labels().get("c").unwrap();
+            assert_eq!(sealed.label_pair_count(la, lb), 4, "a-b edges: 0-1, 0-5");
+            assert_eq!(sealed.label_pair_count(lb, lc), 0, "1-2 was removed");
+            // Sealing an already-clean lineage is a no-op.
+            assert_eq!(epochs.seal_epoch(), 1);
+        }
+    }
+
+    #[test]
+    fn apply_validates_and_is_atomic() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        let baseline = observe(epochs.pin().cloud());
+        let err = epochs
+            .apply(
+                &UpdateBatch::new()
+                    .add_vertex(v(8), "x")
+                    .add_edge(v(8), v(99)),
+            )
+            .unwrap_err();
+        assert_eq!(err, TrinityError::UnknownVertex(v(99)));
+        assert_eq!(epochs.epoch(), 0, "failed batch must not publish");
+        assert_eq!(observe(epochs.pin().cloud()), baseline);
+        assert!(matches!(
+            epochs.apply(&UpdateBatch::new().remove_vertex(v(42))),
+            Err(TrinityError::UnknownVertex(_))
+        ));
+    }
+
+    #[test]
+    fn no_op_batches_keep_the_epoch() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        // Absent-edge removal, existing-edge add, same-label relabel,
+        // self-loop: all no-ops.
+        let e = epochs
+            .apply(
+                &UpdateBatch::new()
+                    .remove_edge(v(0), v(3))
+                    .add_edge(v(0), v(1))
+                    .add_vertex(v(0), "a")
+                    .add_edge(v(2), v(2)),
+            )
+            .unwrap();
+        assert_eq!(e, 0);
+        // Add-then-remove within one batch nets out too.
+        let e = epochs
+            .apply(
+                &UpdateBatch::new()
+                    .add_vertex(v(9), "z")
+                    .add_edge(v(9), v(0))
+                    .remove_vertex(v(9)),
+            )
+            .unwrap();
+        assert_eq!(e, 0);
+    }
+
+    #[test]
+    fn remove_then_readd_nets_to_edge_removal() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        let e = epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(2)).add_vertex(v(2), "c"))
+            .unwrap();
+        assert_eq!(e, 1, "edges changed even though the vertex survived");
+        let snap = epochs.pin();
+        assert!(snap.contains_vertex(v(2)));
+        assert_eq!(snap.neighbors_global(v(2)).to_vec(), Vec::<VertexId>::new());
+        assert_eq!(snap.num_edges(), 1);
+    }
+
+    #[test]
+    fn deleted_base_vertex_can_come_back() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        epochs
+            .apply(&UpdateBatch::new().remove_vertex(v(3)))
+            .unwrap();
+        epochs
+            .apply(
+                &UpdateBatch::new()
+                    .add_vertex(v(3), "d2")
+                    .add_edge(v(3), v(0)),
+            )
+            .unwrap();
+        let snap = epochs.pin();
+        assert_eq!(
+            snap.label_of_global(v(3)),
+            Some(snap.labels().get("d2").unwrap())
+        );
+        assert_eq!(snap.neighbors_global(v(3)).to_vec(), vec![v(0)]);
+        assert_eq!(snap.num_vertices(), 4);
+    }
+
+    #[test]
+    fn label_log_tracks_touched_labels_per_epoch() {
+        let epochs = GraphEpochs::new(small_cloud(3));
+        epochs
+            .apply(&UpdateBatch::new().add_edge(v(0), v(3)))
+            .unwrap(); // touches a, d
+        epochs
+            .apply(&UpdateBatch::new().add_vertex(v(1), "b2"))
+            .unwrap(); // touches b, b2
+        let snap = epochs.pin();
+        let log = snap.epoch_label_log().expect("managed cloud has a log");
+        let la = snap.labels().get("a").unwrap();
+        let lb = snap.labels().get("b").unwrap();
+        let lc = snap.labels().get("c").unwrap();
+        assert_eq!(log.touched_in_range(0, 2, &[lc]), Some(false));
+        assert_eq!(log.touched_in_range(0, 1, &[la]), Some(true));
+        assert_eq!(log.touched_in_range(1, 2, &[la]), Some(false));
+        assert_eq!(log.touched_in_range(1, 2, &[lb]), Some(true));
+        assert_eq!(log.touched_in_range(2, 2, &[la, lb, lc]), Some(false));
+        assert_eq!(
+            log.touched_in_range(0, 3, &[lc]),
+            None,
+            "epoch 3 not recorded yet: coverage is incomplete"
+        );
+    }
+
+    #[test]
+    fn readers_pinned_across_concurrent_seal_see_identical_data() {
+        let epochs = GraphEpochs::new(small_cloud(4));
+        epochs
+            .apply(
+                &UpdateBatch::new()
+                    .add_vertex(v(10), "x")
+                    .add_edge(v(10), v(0))
+                    .remove_edge(v(2), v(3)),
+            )
+            .unwrap();
+        let pinned = epochs.pin();
+        let baseline = observe(pinned.cloud());
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                for _ in 0..50 {
+                    assert_eq!(observe(pinned.cloud()), baseline);
+                }
+            });
+            let writer = scope.spawn(|| {
+                for i in 0..10u64 {
+                    epochs
+                        .apply(&UpdateBatch::new().add_vertex(v(100 + i), "y"))
+                        .unwrap();
+                    epochs.seal_epoch();
+                }
+            });
+            reader.join().unwrap();
+            writer.join().unwrap();
+        });
+        assert_eq!(epochs.epoch(), 11);
+        assert_eq!(observe(pinned.cloud()), baseline, "pin survived 10 seals");
+    }
+}

@@ -58,6 +58,7 @@ pub mod compact;
 pub mod cost;
 pub mod csr;
 pub mod edge_list;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod ids;
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::cloud::{machine_for, MemoryCloud};
     pub use crate::cluster_graph::{ClusterGraph, LabelPairCatalog};
     pub use crate::compact::{CompactCsr, NeighborScratch, Neighbors, Postings, StorageTier};
+    pub use crate::epoch::{EpochLabelLog, GraphEpochs, SnapshotRef, UpdateBatch, UpdateOp};
     pub use crate::error::TrinityError;
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultyTransport, MachineCrash};
     pub use crate::ids::{LabelId, LabelInterner, MachineId, VertexId};
@@ -88,6 +90,7 @@ pub mod prelude {
 
 pub use builder::GraphBuilder;
 pub use cloud::MemoryCloud;
+pub use epoch::{GraphEpochs, SnapshotRef, UpdateBatch, UpdateOp};
 pub use error::TrinityError;
 pub use fault::{FaultPlan, FaultyTransport};
 pub use ids::{LabelId, MachineId, VertexId};

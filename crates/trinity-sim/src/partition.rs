@@ -1,6 +1,12 @@
 //! One logical machine of the memory cloud: the vertices assigned to it,
 //! their labels, their adjacency, and the local label index — each stored in
 //! the physical representation selected by [`StorageTier`].
+//!
+//! A partition is an immutable base ([`PartitionBase`], behind an `Arc` so
+//! epoch snapshots share untouched machines) plus an optional
+//! [`PartitionOverlay`]: a materialized delta the epoch manager lays over the
+//! base when the graph mutates. Every read method dispatches overlay-first,
+//! so static partitions (no overlay) run the exact pre-refactor code path.
 
 use crate::compact::{
     CompactCsr, CompactIdMap, CompactLabelIndex, Neighbors, Postings, StorageTier,
@@ -10,7 +16,8 @@ use crate::ids::{LabelId, VertexId};
 use crate::label_index::LabelIndex;
 use crate::neighbor_index::{LabelPairTable, NeighborLabelIndex, FULL_SIGNATURE};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A vertex record as returned by `Cloud.Load`: the vertex's label and the
 /// IDs of its neighbors (which may live on any machine). The neighbor run is
@@ -267,9 +274,12 @@ impl LabelPostings {
     }
 }
 
-/// The data owned by a single logical machine.
+/// The immutable storage of one logical machine: vertex ids, labels,
+/// adjacency and indexes in their tiered physical representation. Shared via
+/// `Arc` between the partitions of successive epoch snapshots; never mutated
+/// after construction.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Partition {
+struct PartitionBase {
     /// Global IDs of local vertices, in local-index order (ascending id).
     vertex_ids: Vec<VertexId>,
     /// Label of each local vertex, parallel to `vertex_ids`.
@@ -285,6 +295,227 @@ pub struct Partition {
     neighbor_index: Option<NeighborLabelIndex>,
     /// Adjacency-entry counts by endpoint-label pair.
     pair_table: LabelPairTable,
+}
+
+impl PartitionBase {
+    /// Canonicalizes inputs (ascending global id) and builds the tiered
+    /// storage. See [`Partition::new_with_tier`].
+    fn new_with_tier(
+        mut vertex_ids: Vec<VertexId>,
+        mut labels: Vec<LabelId>,
+        mut adjacency_lists: Vec<Vec<VertexId>>,
+        num_labels: usize,
+        tier: StorageTier,
+    ) -> Self {
+        assert_eq!(vertex_ids.len(), labels.len());
+        assert_eq!(vertex_ids.len(), adjacency_lists.len());
+        if !vertex_ids.windows(2).all(|w| w[0] < w[1]) {
+            let mut order: Vec<usize> = (0..vertex_ids.len()).collect();
+            order.sort_unstable_by_key(|&i| vertex_ids[i]);
+            vertex_ids = order.iter().map(|&i| vertex_ids[i]).collect();
+            labels = order.iter().map(|&i| labels[i]).collect();
+            let mut reordered: Vec<Vec<VertexId>> = Vec::with_capacity(order.len());
+            for &i in &order {
+                reordered.push(std::mem::take(&mut adjacency_lists[i]));
+            }
+            adjacency_lists = reordered;
+        }
+        let id_map = IdMap::build(tier, &vertex_ids);
+        let postings = LabelPostings::build(tier, &vertex_ids, &labels, num_labels);
+        let adjacency = match tier {
+            StorageTier::Plain => Adjacency::Plain(Csr::from_lists(adjacency_lists)),
+            StorageTier::Compact => Adjacency::Compact(CompactCsr::from_lists(adjacency_lists)),
+        };
+        PartitionBase {
+            vertex_ids,
+            labels,
+            id_map,
+            adjacency,
+            postings,
+            neighbor_index: None,
+            pair_table: LabelPairTable::default(),
+        }
+    }
+
+    #[inline]
+    fn local_of(&self, id: VertexId) -> Option<usize> {
+        self.id_map.get(&self.vertex_ids, id).map(|l| l as usize)
+    }
+
+    fn load(&self, id: VertexId) -> Option<Cell<'_>> {
+        let local = self.local_of(id)?;
+        Some(Cell {
+            id,
+            label: self.labels[local],
+            neighbors: self.adjacency.neighbors(local),
+        })
+    }
+
+    fn neighbors_of(&self, id: VertexId) -> Option<Neighbors<'_>> {
+        self.local_of(id).map(|l| self.adjacency.neighbors(l))
+    }
+
+    fn label_of(&self, id: VertexId) -> Option<LabelId> {
+        self.local_of(id).map(|l| self.labels[l])
+    }
+
+    fn degree_of(&self, id: VertexId) -> Option<usize> {
+        self.local_of(id).map(|l| self.adjacency.degree(l))
+    }
+
+    fn owns(&self, id: VertexId) -> bool {
+        self.local_of(id).is_some()
+    }
+
+    fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        match self.local_of(from) {
+            Some(local) => self.adjacency.has_neighbor(local, to),
+            None => false,
+        }
+    }
+
+    fn signature_of(&self, id: VertexId) -> Option<u64> {
+        let index = self.neighbor_index.as_ref()?;
+        let local = self.local_of(id)?;
+        index.signature(local)
+    }
+}
+
+/// A materialized delta laid over an immutable [`PartitionBase`] by the
+/// epoch manager (`crate::epoch`). Rather than merge lazily at read time,
+/// the overlay stores the **fully merged** view of every touched vertex and
+/// label: reads stay a single map probe plus base fallthrough, no per-read
+/// merge iterators, and the compact tier's encodings are never touched.
+///
+/// Invariants (maintained by the epoch manager):
+/// * `added` is sorted ascending and disjoint from the base's vertex ids.
+/// * Every added vertex has entries in `labels` and `adj` (and `signatures`
+///   when the base carries a pruning index).
+/// * Any vertex whose merged adjacency differs from the base appears in
+///   `adj` with its **complete** sorted neighbor list; in particular, if a
+///   deleted vertex was a neighbor of `u`, then `u` is in `adj`.
+/// * Any label whose merged posting list differs from the base appears in
+///   `postings` with its complete sorted id list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct PartitionOverlay {
+    /// Base vertices removed in this epoch range.
+    pub(crate) deleted: HashSet<VertexId>,
+    /// Vertices added since the base was sealed, sorted ascending.
+    pub(crate) added: Vec<VertexId>,
+    /// Labels of added and relabeled vertices.
+    pub(crate) labels: HashMap<VertexId, LabelId>,
+    /// Complete merged adjacency of every adjacency-touched vertex.
+    pub(crate) adj: HashMap<VertexId, Vec<VertexId>>,
+    /// Complete merged posting list of every touched label.
+    pub(crate) postings: HashMap<LabelId, Vec<VertexId>>,
+    /// Exact recomputed signatures of signature-touched vertices (only
+    /// populated when the base carries a pruning index).
+    pub(crate) signatures: HashMap<VertexId, u64>,
+    /// Merged vertex count for this machine.
+    pub(crate) num_vertices: usize,
+    /// Merged adjacency-entry count for this machine.
+    pub(crate) num_edge_entries: usize,
+}
+
+impl PartitionOverlay {
+    /// Rough resident bytes of the overlay's maps (hash overhead estimated
+    /// at 16 bytes/entry, matching the plain id-map estimate).
+    fn approx_bytes(&self) -> (usize, usize, usize, usize, usize) {
+        let adj = self
+            .adj
+            .values()
+            .map(|v| 16 + v.len() * std::mem::size_of::<VertexId>())
+            .sum::<usize>();
+        let labels = self.labels.len() * 24;
+        let postings = self
+            .postings
+            .values()
+            .map(|v| 16 + v.len() * std::mem::size_of::<VertexId>())
+            .sum::<usize>();
+        let signatures = self.signatures.len() * 24;
+        let id_map = (self.added.len() + self.deleted.len()) * 16;
+        (adj, labels, postings, signatures, id_map)
+    }
+}
+
+/// The data owned by a single logical machine: an `Arc`-shared immutable
+/// base, plus the epoch manager's delta overlay when the graph has mutated
+/// since the base was sealed. Cloning a partition clones two `Arc`s, so
+/// epoch snapshots share all untouched storage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Partition {
+    base: Arc<PartitionBase>,
+    overlay: Option<Arc<PartitionOverlay>>,
+}
+
+/// Merge-iterates base vertex ids (minus deleted) with overlay-added ids;
+/// both runs are sorted ascending and disjoint, so the merged run is too.
+struct MergedVertexIter<'a> {
+    base: std::iter::Peekable<std::slice::Iter<'a, VertexId>>,
+    added: std::iter::Peekable<std::slice::Iter<'a, VertexId>>,
+    deleted: Option<&'a HashSet<VertexId>>,
+}
+
+impl Iterator for MergedVertexIter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            let take_base = match (self.base.peek(), self.added.peek()) {
+                (Some(&&b), Some(&&a)) => b < a,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            if take_base {
+                let b = *self.base.next().expect("peeked");
+                if self.deleted.is_some_and(|d| d.contains(&b)) {
+                    continue;
+                }
+                return Some(b);
+            }
+            return Some(*self.added.next().expect("peeked"));
+        }
+    }
+}
+
+/// Cell iteration: local-index order on a static partition (no id-map
+/// probes), merged-id order plus `load` on an overlaid one. The two orders
+/// coincide — local-index order is ascending-id order.
+enum CellIter<'a> {
+    Base {
+        base: &'a PartitionBase,
+        range: std::ops::Range<usize>,
+    },
+    Overlay {
+        partition: &'a Partition,
+        ids: MergedVertexIter<'a>,
+    },
+}
+
+impl<'a> Iterator for CellIter<'a> {
+    type Item = Cell<'a>;
+
+    fn next(&mut self) -> Option<Cell<'a>> {
+        match self {
+            CellIter::Base { base, range } => {
+                let local = range.next()?;
+                Some(Cell {
+                    id: base.vertex_ids[local],
+                    label: base.labels[local],
+                    neighbors: base.adjacency.neighbors(local),
+                })
+            }
+            CellIter::Overlay { partition, ids } => {
+                let id = ids.next()?;
+                Some(
+                    partition
+                        .load(id)
+                        .expect("merged vertex id must load from overlay or base"),
+                )
+            }
+        }
+    }
 }
 
 impl Partition {
@@ -314,39 +545,21 @@ impl Partition {
     /// return sorted ids, and keeping both tiers in one canonical order
     /// keeps them bit-identical everywhere.
     pub fn new_with_tier(
-        mut vertex_ids: Vec<VertexId>,
-        mut labels: Vec<LabelId>,
-        mut adjacency_lists: Vec<Vec<VertexId>>,
+        vertex_ids: Vec<VertexId>,
+        labels: Vec<LabelId>,
+        adjacency_lists: Vec<Vec<VertexId>>,
         num_labels: usize,
         tier: StorageTier,
     ) -> Self {
-        assert_eq!(vertex_ids.len(), labels.len());
-        assert_eq!(vertex_ids.len(), adjacency_lists.len());
-        if !vertex_ids.windows(2).all(|w| w[0] < w[1]) {
-            let mut order: Vec<usize> = (0..vertex_ids.len()).collect();
-            order.sort_unstable_by_key(|&i| vertex_ids[i]);
-            vertex_ids = order.iter().map(|&i| vertex_ids[i]).collect();
-            labels = order.iter().map(|&i| labels[i]).collect();
-            let mut reordered: Vec<Vec<VertexId>> = Vec::with_capacity(order.len());
-            for &i in &order {
-                reordered.push(std::mem::take(&mut adjacency_lists[i]));
-            }
-            adjacency_lists = reordered;
-        }
-        let id_map = IdMap::build(tier, &vertex_ids);
-        let postings = LabelPostings::build(tier, &vertex_ids, &labels, num_labels);
-        let adjacency = match tier {
-            StorageTier::Plain => Adjacency::Plain(Csr::from_lists(adjacency_lists)),
-            StorageTier::Compact => Adjacency::Compact(CompactCsr::from_lists(adjacency_lists)),
-        };
         Partition {
-            vertex_ids,
-            labels,
-            id_map,
-            adjacency,
-            postings,
-            neighbor_index: None,
-            pair_table: LabelPairTable::default(),
+            base: Arc::new(PartitionBase::new_with_tier(
+                vertex_ids,
+                labels,
+                adjacency_lists,
+                num_labels,
+                tier,
+            )),
+            overlay: None,
         }
     }
 
@@ -383,13 +596,14 @@ impl Partition {
         tier: StorageTier,
         neighbor_label: impl Fn(VertexId) -> Option<LabelId>,
     ) -> Self {
-        let mut p = Partition::new_with_tier(vertex_ids, labels, adjacency_lists, num_labels, tier);
-        let mut sigs = Vec::with_capacity(p.num_vertices());
+        let mut base =
+            PartitionBase::new_with_tier(vertex_ids, labels, adjacency_lists, num_labels, tier);
+        let mut sigs = Vec::with_capacity(base.vertex_ids.len());
         let mut pair_table = LabelPairTable::new();
-        for local in 0..p.num_vertices() {
-            let own_label = p.labels[local];
+        for local in 0..base.vertex_ids.len() {
+            let own_label = base.labels[local];
             let mut sig = 0u64;
-            for m in p.adjacency.neighbors(local) {
+            for m in base.adjacency.neighbors(local) {
                 match neighbor_label(m) {
                     Some(l) => {
                         sig |= crate::neighbor_index::label_bit(l);
@@ -400,9 +614,12 @@ impl Partition {
             }
             sigs.push(sig);
         }
-        p.neighbor_index = Some(NeighborLabelIndex::from_signatures(sigs));
-        p.pair_table = pair_table;
-        p
+        base.neighbor_index = Some(NeighborLabelIndex::from_signatures(sigs));
+        base.pair_table = pair_table;
+        Partition {
+            base: Arc::new(base),
+            overlay: None,
+        }
     }
 
     /// Assembles a partition from components the streaming bulk loader has
@@ -420,98 +637,205 @@ impl Partition {
     ) -> Self {
         debug_assert!(vertex_ids.windows(2).all(|w| w[0] < w[1]));
         Partition {
-            vertex_ids,
-            labels,
-            id_map,
-            adjacency,
-            postings,
-            neighbor_index,
-            pair_table,
+            base: Arc::new(PartitionBase {
+                vertex_ids,
+                labels,
+                id_map,
+                adjacency,
+                postings,
+                neighbor_index,
+                pair_table,
+            }),
+            overlay: None,
         }
+    }
+
+    /// A partition sharing this one's base with `overlay` laid over it
+    /// (`None` drops any existing overlay). Crate-internal: overlay
+    /// invariants are the epoch manager's job.
+    pub(crate) fn with_overlay(&self, overlay: Option<PartitionOverlay>) -> Partition {
+        Partition {
+            base: Arc::clone(&self.base),
+            overlay: overlay.map(Arc::new),
+        }
+    }
+
+    /// This partition's overlay, when the epoch manager has laid one over
+    /// the base (used to build the next cumulative overlay).
+    pub(crate) fn overlay(&self) -> Option<&PartitionOverlay> {
+        self.overlay.as_deref()
+    }
+
+    /// Whether this partition carries an unmerged delta overlay.
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
     }
 
     /// The storage tier this partition's adjacency is stored in.
     pub fn storage_tier(&self) -> StorageTier {
-        self.adjacency.tier()
+        self.base.adjacency.tier()
     }
 
     /// Number of vertices owned by this machine.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.vertex_ids.len()
+        match self.overlay.as_deref() {
+            Some(o) => o.num_vertices,
+            None => self.base.vertex_ids.len(),
+        }
     }
 
     /// Number of adjacency entries stored locally.
     #[inline]
     pub fn num_edge_entries(&self) -> usize {
-        self.adjacency.num_entries()
+        match self.overlay.as_deref() {
+            Some(o) => o.num_edge_entries,
+            None => self.base.adjacency.num_entries(),
+        }
     }
 
     /// Whether this machine owns vertex `id`.
     #[inline]
     pub fn owns(&self, id: VertexId) -> bool {
-        self.id_map.get(&self.vertex_ids, id).is_some()
+        match self.overlay.as_deref() {
+            None => self.base.owns(id),
+            Some(o) => {
+                !o.deleted.contains(&id) && (o.labels.contains_key(&id) || self.base.owns(id))
+            }
+        }
     }
 
     /// Loads the cell of a locally-owned vertex. Returns `None` when the
     /// vertex is not owned by this machine.
     pub fn load(&self, id: VertexId) -> Option<Cell<'_>> {
-        let local = self.id_map.get(&self.vertex_ids, id)? as usize;
+        let Some(o) = self.overlay.as_deref() else {
+            return self.base.load(id);
+        };
+        if o.deleted.contains(&id) {
+            return None;
+        }
+        let label = match o.labels.get(&id) {
+            Some(&l) => l,
+            None => self.base.label_of(id)?,
+        };
+        let neighbors = match o.adj.get(&id) {
+            Some(list) => Neighbors::Slice(list),
+            None => self.base.neighbors_of(id)?,
+        };
         Some(Cell {
             id,
-            label: self.labels[local],
-            neighbors: self.adjacency.neighbors(local),
+            label,
+            neighbors,
         })
     }
 
     /// Label of a locally-owned vertex.
     pub fn label_of(&self, id: VertexId) -> Option<LabelId> {
-        self.id_map
-            .get(&self.vertex_ids, id)
-            .map(|local| self.labels[local as usize])
+        match self.overlay.as_deref() {
+            None => self.base.label_of(id),
+            Some(o) => {
+                if o.deleted.contains(&id) {
+                    return None;
+                }
+                o.labels
+                    .get(&id)
+                    .copied()
+                    .or_else(|| self.base.label_of(id))
+            }
+        }
     }
 
     /// Degree of a locally-owned vertex.
     pub fn degree_of(&self, id: VertexId) -> Option<usize> {
-        self.id_map
-            .get(&self.vertex_ids, id)
-            .map(|local| self.adjacency.degree(local as usize))
+        match self.overlay.as_deref() {
+            None => self.base.degree_of(id),
+            Some(o) => {
+                if o.deleted.contains(&id) {
+                    return None;
+                }
+                match o.adj.get(&id) {
+                    Some(list) => Some(list.len()),
+                    None => self.base.degree_of(id),
+                }
+            }
+        }
     }
 
     /// Local vertices with the given label (the paper's `Index.getID`,
     /// restricted to this machine), sorted ascending. The [`Postings`] view
-    /// decodes lazily on the compact tier.
+    /// decodes lazily on the compact tier; labels the overlay touched hand
+    /// out their pre-merged list.
     #[inline]
     pub fn vertices_with_label(&self, label: LabelId) -> Postings<'_> {
-        self.postings.get(label, &self.vertex_ids)
+        match self.overlay.as_deref() {
+            None => self.base.postings.get(label, &self.base.vertex_ids),
+            Some(o) => match o.postings.get(&label) {
+                Some(list) => Postings::Slice(list),
+                None => self.base.postings.get(label, &self.base.vertex_ids),
+            },
+        }
     }
 
     /// Number of local vertices with the given label.
     #[inline]
     pub fn label_frequency(&self, label: LabelId) -> usize {
-        self.postings.frequency(label)
+        match self.overlay.as_deref() {
+            None => self.base.postings.frequency(label),
+            Some(o) => match o.postings.get(&label) {
+                Some(list) => list.len(),
+                None => self.base.postings.frequency(label),
+            },
+        }
     }
 
     /// Whether a locally-owned vertex has a given neighbor.
     pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
-        match self.id_map.get(&self.vertex_ids, from) {
-            Some(local) => self.adjacency.has_neighbor(local as usize, to),
-            None => false,
+        match self.overlay.as_deref() {
+            None => self.base.has_edge(from, to),
+            Some(o) => {
+                if o.deleted.contains(&from) {
+                    return false;
+                }
+                match o.adj.get(&from) {
+                    Some(list) => list.binary_search(&to).is_ok(),
+                    // A deleted `to` forces `from` into `adj` (overlay
+                    // invariant), so base fallthrough never sees a stale
+                    // edge to a removed vertex.
+                    None => self.base.has_edge(from, to),
+                }
+            }
         }
     }
 
-    /// Iterates over all locally-owned vertices in local-index order.
+    /// Iterates over all locally-owned vertices in ascending-id order.
     pub fn iter_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        self.vertex_ids.iter().copied()
+        let (added, deleted) = match self.overlay.as_deref() {
+            Some(o) => (o.added.as_slice(), Some(&o.deleted)),
+            None => (&[][..], None),
+        };
+        MergedVertexIter {
+            base: self.base.vertex_ids.iter().peekable(),
+            added: added.iter().peekable(),
+            deleted,
+        }
     }
 
     /// Iterates over `(vertex, label, neighbors)` of every local vertex.
     pub fn iter_cells(&self) -> impl Iterator<Item = Cell<'_>> {
-        (0..self.num_vertices()).map(move |local| Cell {
-            id: self.vertex_ids[local],
-            label: self.labels[local],
-            neighbors: self.adjacency.neighbors(local),
-        })
+        match self.overlay.as_deref() {
+            None => CellIter::Base {
+                base: &self.base,
+                range: 0..self.base.vertex_ids.len(),
+            },
+            Some(o) => CellIter::Overlay {
+                partition: self,
+                ids: MergedVertexIter {
+                    base: self.base.vertex_ids.iter().peekable(),
+                    added: o.added.iter().peekable(),
+                    deleted: Some(&o.deleted),
+                },
+            },
+        }
     }
 
     /// The neighborhood-label signature of a locally-owned vertex, or
@@ -519,39 +843,65 @@ impl Partition {
     /// without the pruning index.
     #[inline]
     pub fn signature_of(&self, id: VertexId) -> Option<u64> {
-        let index = self.neighbor_index.as_ref()?;
-        let local = self.id_map.get(&self.vertex_ids, id)?;
-        index.signature(local as usize)
+        match self.overlay.as_deref() {
+            None => self.base.signature_of(id),
+            Some(o) => {
+                if o.deleted.contains(&id) {
+                    return None;
+                }
+                o.signatures
+                    .get(&id)
+                    .copied()
+                    .or_else(|| self.base.signature_of(id))
+            }
+        }
     }
 
     /// Signature width in bits when the pruning index is present, `None`
     /// otherwise. Part of the cloud fingerprint: caches keyed on a cloud
     /// must distinguish index configurations.
     pub fn signature_bits(&self) -> Option<u32> {
-        self.neighbor_index
+        self.base
+            .neighbor_index
             .as_ref()
             .map(|_| crate::neighbor_index::SIGNATURE_BITS as u32)
     }
 
     /// This partition's adjacency-entry counts by endpoint-label pair.
+    ///
+    /// The pair table is a **cost heuristic**, not a correctness surface:
+    /// under an overlay it reflects the sealed base (a sound-enough
+    /// estimate for join ordering) and is rebuilt exactly at
+    /// `seal_epoch()`.
     pub fn pair_table(&self) -> &LabelPairTable {
-        &self.pair_table
+        &self.base.pair_table
     }
 
     /// Resident bytes of this partition, broken down by storage component.
+    /// An overlay's maps are charged to the components they shadow.
     pub fn storage_bytes(&self) -> StorageBytes {
-        StorageBytes {
-            adjacency: self.adjacency.memory_bytes(),
-            labels: self.labels.len() * std::mem::size_of::<LabelId>(),
-            id_map: self.vertex_ids.len() * std::mem::size_of::<VertexId>()
-                + self.id_map.memory_bytes(),
-            postings: self.postings.memory_bytes(),
-            signatures: self
+        let base = &self.base;
+        let mut bytes = StorageBytes {
+            adjacency: base.adjacency.memory_bytes(),
+            labels: base.labels.len() * std::mem::size_of::<LabelId>(),
+            id_map: base.vertex_ids.len() * std::mem::size_of::<VertexId>()
+                + base.id_map.memory_bytes(),
+            postings: base.postings.memory_bytes(),
+            signatures: base
                 .neighbor_index
                 .as_ref()
                 .map_or(0, NeighborLabelIndex::memory_bytes),
-            pair_table: self.pair_table.memory_bytes(),
+            pair_table: base.pair_table.memory_bytes(),
+        };
+        if let Some(o) = self.overlay.as_deref() {
+            let (adj, labels, postings, signatures, id_map) = o.approx_bytes();
+            bytes.adjacency += adj;
+            bytes.labels += labels;
+            bytes.postings += postings;
+            bytes.signatures += signatures;
+            bytes.id_map += id_map;
         }
+        bytes
     }
 
     /// Approximate memory footprint of this partition in bytes (the total
@@ -768,5 +1118,77 @@ mod tests {
         }
         // ... at a strictly smaller footprint for the compact tier.
         assert!(b.storage_bytes().id_map < a.storage_bytes().id_map);
+    }
+
+    /// A hand-built overlay: delete v(30), add v(40) with label 1 and edge
+    /// 20–40, so the merged view is {10: l0 ~ 20,99}, {20: l1 ~ 10,40},
+    /// {40: l1 ~ 20}.
+    fn overlaid_partition(tier: StorageTier) -> Partition {
+        let base = sample_partition_tier(tier);
+        let mut overlay = PartitionOverlay {
+            num_vertices: 3,
+            num_edge_entries: 4,
+            ..PartitionOverlay::default()
+        };
+        overlay.deleted.insert(v(30));
+        overlay.added.push(v(40));
+        overlay.labels.insert(v(40), l(1));
+        overlay.adj.insert(v(40), vec![v(20)]);
+        overlay.adj.insert(v(20), vec![v(10), v(40)]);
+        overlay.postings.insert(l(0), vec![v(10)]);
+        overlay.postings.insert(l(1), vec![v(20), v(40)]);
+        base.with_overlay(Some(overlay))
+    }
+
+    #[test]
+    fn overlay_shadows_base_reads_on_both_tiers() {
+        for tier in TIERS {
+            let p = overlaid_partition(tier);
+            assert!(p.has_overlay());
+            // Deleted vertex vanishes from every surface.
+            assert!(!p.owns(v(30)));
+            assert!(p.load(v(30)).is_none());
+            assert_eq!(p.label_of(v(30)), None);
+            assert_eq!(p.degree_of(v(30)), None);
+            // Added vertex is fully readable.
+            assert!(p.owns(v(40)));
+            assert_eq!(p.label_of(v(40)), Some(l(1)));
+            assert_eq!(p.load(v(40)).unwrap().neighbors, &[v(20)]);
+            // Touched vertex serves the merged adjacency; untouched vertex
+            // falls through to the base.
+            assert_eq!(p.load(v(20)).unwrap().neighbors, &[v(10), v(40)]);
+            assert!(p.has_edge(v(20), v(40)));
+            assert!(!p.has_edge(v(40), v(99)));
+            assert_eq!(p.load(v(10)).unwrap().neighbors, &[v(20), v(99)]);
+            // Postings and counts reflect the merge.
+            assert_eq!(p.vertices_with_label(l(0)).to_vec(), vec![v(10)]);
+            assert_eq!(p.vertices_with_label(l(1)).to_vec(), vec![v(20), v(40)]);
+            assert_eq!(p.label_frequency(l(1)), 2);
+            assert_eq!(p.num_vertices(), 3);
+            assert_eq!(p.num_edge_entries(), 4);
+            // Iteration merges deleted-out base ids with added ids, sorted.
+            let ids: Vec<_> = p.iter_vertices().collect();
+            assert_eq!(ids, vec![v(10), v(20), v(40)]);
+            let cells: Vec<_> = p.iter_cells().map(|c| c.id).collect();
+            assert_eq!(cells, vec![v(10), v(20), v(40)]);
+        }
+    }
+
+    #[test]
+    fn overlay_shares_base_storage() {
+        let base = sample_partition();
+        let overlaid = base.with_overlay(Some(PartitionOverlay {
+            num_vertices: base.num_vertices(),
+            num_edge_entries: base.num_edge_entries(),
+            ..PartitionOverlay::default()
+        }));
+        assert!(Arc::ptr_eq(&base.base, &overlaid.base));
+        // Dropping the overlay again restores the exact base view.
+        let restored = overlaid.with_overlay(None);
+        assert!(!restored.has_overlay());
+        assert_eq!(
+            restored.iter_vertices().collect::<Vec<_>>(),
+            base.iter_vertices().collect::<Vec<_>>()
+        );
     }
 }

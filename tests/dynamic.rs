@@ -1,0 +1,302 @@
+//! Differential and property tests for dynamic graphs: epoch-versioned
+//! snapshots under interleaved update/query schedules.
+//!
+//! The oracle replays seeded streams of [`UpdateBatch`]es through the
+//! engine's `apply_updates` door while querying between (and across) the
+//! applies. A [`GraphMirror`] tracks the exact intended graph; at every
+//! query point the engine's answer must equal VF2 on a freshly rebuilt
+//! reference cloud — an independent matcher on an independently constructed
+//! graph, so agreement certifies the whole overlay/snapshot/cache pipeline.
+//!
+//! Transport and storage-tier defaults also come from `STWIG_TRANSPORT` /
+//! `STWIG_STORAGE`, which the CI `dynamic` job sweeps; transports are
+//! additionally iterated in-process below.
+
+use proptest::prelude::*;
+use stwig_match::prelude::*;
+use trinity_sim::ids::VertexId;
+
+const MACHINES: [usize; 2] = [1, 4];
+const SCHEDULE_SEEDS: [u64; 3] = [0xD1A1, 0xD1A2, 0xD1A3];
+
+/// A ~200-vertex Erdős–Rényi base graph with 4 labels, seeded per schedule.
+fn base_graph(seed: u64) -> SyntheticGraph {
+    let g = gnm(200, 500, seed);
+    let labels = LabelModel::Uniform { num_labels: 4 }.assign(200, seed ^ 0x5EED);
+    g.with_labels(labels, 4)
+}
+
+fn stream_config(seed: u64) -> UpdateStreamConfig {
+    UpdateStreamConfig {
+        num_batches: 5,
+        ops_per_batch: 12,
+        seed,
+        ..UpdateStreamConfig::default()
+    }
+}
+
+/// The interleaved differential oracle. For every schedule seed × machine
+/// count × transport × cache setting:
+///
+/// 1. a probe query is admitted at epoch `N`, an update batch is then
+///    admitted behind it, and both drain together — the probe must match
+///    VF2 on the *pre*-update reference (admission pins the snapshot);
+/// 2. after the batch lands, a fresh workload generated from the current
+///    snapshot must match VF2 on the *post*-update reference.
+#[test]
+fn interleaved_updates_match_vf2_on_the_mutated_reference() {
+    let mut query_points = 0usize;
+    for (i, &seed) in SCHEDULE_SEEDS.iter().enumerate() {
+        // Rotate the in-process transport across schedules; the CI matrix
+        // sweeps the env-default transport over the whole suite as well.
+        let mode = if i % 2 == 0 {
+            TransportMode::DirectRead
+        } else {
+            TransportMode::Messages
+        };
+        for machines in MACHINES {
+            for cache_on in [false, true] {
+                let base = base_graph(seed)
+                    .build_cloud(machines, trinity_sim::network::CostModel::default());
+                let batches = update_stream(&base, &stream_config(seed));
+                let mut mirror = GraphMirror::from_cloud(&base);
+                let epochs = GraphEpochs::new(base);
+                let config = EngineConfig::default()
+                    .with_workers(Some(1))
+                    .with_cache(cache_on.then(CacheConfig::default))
+                    .with_match_config(
+                        MatchConfig::exhaustive()
+                            .with_num_threads(Some(1))
+                            .with_transport_mode(mode),
+                    );
+                let engine = QueryEngine::for_epochs(&epochs, config);
+                let ctx = move |batch_no: usize| {
+                    format!(
+                        "seed = {seed:#x}, machines = {machines}, cache = {cache_on}, \
+                         mode = {mode:?}, batch = {batch_no}"
+                    )
+                };
+
+                for (b, batch) in batches.iter().enumerate() {
+                    // -- Probe: admitted before the update, served after. --
+                    let pre_reference =
+                        mirror.build_cloud(1, trinity_sim::network::CostModel::default());
+                    let probe = dfs_query(&epochs.pin(), 3, seed ^ (b as u64) << 8);
+                    let probe_handle = probe.clone().map(|q| {
+                        (
+                            q.clone(),
+                            engine.submit(QueryRequest::new(q)).expect_accepted(),
+                        )
+                    });
+                    let update = engine.apply_updates(batch.clone()).expect_accepted();
+                    engine.drain();
+                    update
+                        .wait()
+                        .unwrap_or_else(|e| panic!("generated batch refused ({}): {e}", ctx(b)));
+                    mirror.apply(batch);
+                    if let Some((q, handle)) = probe_handle {
+                        let response = handle.wait().expect("probe query succeeds");
+                        let want = canonical_rows(&q, &vf2(&pre_reference, &q, None));
+                        assert_eq!(
+                            canonical_rows(&q, response.table.as_ref().unwrap()),
+                            want,
+                            "probe admitted pre-update diverged from the \
+                             pre-update reference: {}",
+                            ctx(b)
+                        );
+                        query_points += 1;
+                    }
+
+                    // -- Post-update workload vs the mutated reference. --
+                    let reference =
+                        mirror.build_cloud(1, trinity_sim::network::CostModel::default());
+                    let snapshot = epochs.pin();
+                    let mut queries = query_batch(&snapshot, 3, 3, None, seed ^ (b as u64));
+                    queries.extend(query_batch(
+                        &snapshot,
+                        2,
+                        3,
+                        Some(3),
+                        seed ^ 0xF00 ^ (b as u64),
+                    ));
+                    for q in &queries {
+                        let out = engine.run_one(q).expect("post-update query succeeds");
+                        let want = canonical_rows(q, &vf2(&reference, q, None));
+                        assert_eq!(
+                            canonical_rows(q, &out.table),
+                            want,
+                            "post-update embedding set diverged from VF2: {}",
+                            ctx(b)
+                        );
+                        verify_all(&snapshot, q, &out.table)
+                            .unwrap_or_else(|r| panic!("invalid row {r}: {}", ctx(b)));
+                        query_points += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        query_points >= 200,
+        "interleaved oracle degenerated to {query_points} query points"
+    );
+}
+
+/// Satellite 3, engine level: an entry cached at epoch `N` is never served
+/// at `N + 1` after an update that touches the shape's labels — and *is*
+/// still served (revalidated in place) after an update that provably
+/// doesn't.
+#[test]
+fn cache_survives_label_disjoint_updates_and_never_serves_stale_entries() {
+    let base = base_graph(0xCAC4E).build_cloud(2, trinity_sim::network::CostModel::default());
+    let query = dfs_query(&base, 3, 7).expect("base graph yields a query");
+    let epochs = GraphEpochs::new(base);
+    let engine = QueryEngine::for_epochs(
+        &epochs,
+        EngineConfig::default()
+            .with_workers(Some(1))
+            .with_cache(Some(CacheConfig::default()))
+            .with_match_config(MatchConfig::exhaustive().with_num_threads(Some(1))),
+    );
+
+    // Warm the cache, then hit it.
+    engine.run_one(&query).unwrap();
+    engine.run_one(&query).unwrap();
+    let warm = engine.cache_stats().unwrap();
+    assert!(warm.hits > 0, "second pass must hit the warm cache");
+    assert_eq!(warm.stale_evictions, 0);
+
+    // A label-disjoint update: an isolated island of fresh vertices whose
+    // labels are brand new. The epoch advances, but the touch log proves the
+    // cached shapes unaffected — hits keep landing, nothing is evicted.
+    let island = UpdateBatch::new()
+        .add_vertex(VertexId(9_000), "zz-island")
+        .add_vertex(VertexId(9_001), "zz-island")
+        .add_edge(VertexId(9_000), VertexId(9_001));
+    let before = epochs.epoch();
+    engine.apply_updates(island).expect_accepted();
+    engine.drain();
+    assert_eq!(epochs.epoch(), before + 1);
+    engine.run_one(&query).unwrap();
+    let disjoint = engine.cache_stats().unwrap();
+    assert!(
+        disjoint.hits > warm.hits,
+        "label-disjoint update must not cost the cache its hits"
+    );
+    assert_eq!(
+        disjoint.stale_evictions, 0,
+        "label-disjoint update must not evict"
+    );
+
+    // Now remove a vertex that carries one of the query's labels: the entry
+    // is stale, must be lazily evicted, and the re-computed answer must
+    // match VF2 on the mutated reference.
+    let mut mirror = GraphMirror::from_cloud(&epochs.pin());
+    let snap = epochs.pin();
+    let target = snap
+        .iter_vertices()
+        .find(|&id| {
+            snap.label_of_global(id) == Some(query.label(QVid(0))) && snap.degree_global(id) > 0
+        })
+        .expect("some vertex carries the query's root label");
+    drop(snap);
+    let batch = UpdateBatch::new().remove_vertex(target);
+    engine.apply_updates(batch.clone()).expect_accepted();
+    engine.drain();
+    mirror.apply(&batch);
+
+    let out = engine.run_one(&query).unwrap();
+    let stale = engine.cache_stats().unwrap();
+    assert!(
+        stale.stale_evictions > 0,
+        "touching update must lazily evict the stale entry"
+    );
+    let reference = mirror.build_cloud(1, trinity_sim::network::CostModel::default());
+    assert_eq!(
+        canonical_rows(&query, &out.table),
+        canonical_rows(&query, &vf2(&reference, &query, None)),
+        "post-eviction recompute diverged from VF2"
+    );
+}
+
+/// Builds a cloud from plain data at a given storage tier.
+fn tiered_cloud(
+    num_vertices: u64,
+    labels: &[u32],
+    edges: &[(u64, u64)],
+    machines: usize,
+    tier: StorageTier,
+) -> MemoryCloud {
+    let mut gb = GraphBuilder::new_undirected().with_storage_tier(tier);
+    for (i, &l) in labels.iter().enumerate().take(num_vertices as usize) {
+        gb.add_vertex(VertexId(i as u64), &format!("l{l}"));
+    }
+    for &(u, v) in edges {
+        gb.add_edge(VertexId(u % num_vertices), VertexId(v % num_vertices));
+    }
+    gb.build(machines, CostModel::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Satellite 2: a reader pinned before a churn of applies and a
+    /// `seal_epoch` sees bit-identical query results throughout — on both
+    /// storage tiers. Also checks seal itself is observationally invisible
+    /// to the *current* snapshot (same epoch, same answers).
+    #[test]
+    fn pinned_readers_are_bit_identical_across_applies_and_seal(
+        n in 8u64..40,
+        labels in proptest::collection::vec(0u32..3, 40),
+        edges in proptest::collection::vec((0u64..40, 0u64..40), 8..60),
+        machines in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        for tier in [StorageTier::Plain, StorageTier::Compact] {
+            let cloud = tiered_cloud(n, &labels, &edges, machines, tier);
+            let Some(query) = dfs_query(&cloud, 3, seed) else { continue };
+            let batches = update_stream(&cloud, &UpdateStreamConfig {
+                num_batches: 3,
+                ops_per_batch: 6,
+                seed,
+                ..UpdateStreamConfig::default()
+            });
+            let epochs = GraphEpochs::new(cloud);
+
+            let pinned = epochs.pin();
+            let config = MatchConfig::exhaustive().with_num_threads(Some(1));
+            let before = stwig::match_query_distributed(&pinned, &query, &config).unwrap();
+
+            for batch in &batches {
+                epochs.apply(batch).expect("generated batches are valid");
+            }
+            let current = epochs.pin();
+            let pre_seal = stwig::match_query_distributed(&current, &query, &config).unwrap();
+            let sealed_epoch = epochs.seal_epoch();
+            prop_assert_eq!(
+                sealed_epoch, current.epoch(),
+                "seal must keep the epoch number (tier = {:?})", tier
+            );
+
+            // The old pinned reader: bit-identical to its pre-churn answer.
+            let after = stwig::match_query_distributed(&pinned, &query, &config).unwrap();
+            prop_assert_eq!(
+                &before.table, &after.table,
+                "pinned reader's table changed across applies + seal (tier = {:?})", tier
+            );
+
+            // The pre-seal current snapshot: bit-identical across the seal,
+            // and a fresh pin agrees too (seal is observationally invisible).
+            let post_seal = stwig::match_query_distributed(&current, &query, &config).unwrap();
+            prop_assert_eq!(&pre_seal.table, &post_seal.table,
+                "pre-seal snapshot changed across seal (tier = {:?})", tier);
+            let fresh = epochs.pin();
+            let fresh_out = stwig::match_query_distributed(&fresh, &query, &config).unwrap();
+            prop_assert_eq!(&pre_seal.table, &fresh_out.table,
+                "sealed base diverged from the overlay it replaced (tier = {:?})", tier);
+        }
+    }
+}
